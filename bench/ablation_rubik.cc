@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Ablations of Rubik's design choices (DESIGN.md Sec. 6): octile row
+ * count, distribution resolution, exact-vs-Gaussian switchover position,
+ * table update period, conservative row bounds, PI feedback, and DVFS
+ * transition latency. Each row reports tail/bound (must stay <= ~1.1)
+ * and core energy savings vs fixed nominal frequency for masstree and
+ * xapian at 40% load.
+ */
+
+#include <functional>
+
+#include "common.h"
+#include "core/rubik_controller.h"
+#include "policies/replay.h"
+#include "sim/simulation.h"
+#include "util/units.h"
+#include "workloads/trace_gen.h"
+
+using namespace rubik;
+using namespace rubik::bench;
+
+namespace {
+
+struct Variant
+{
+    std::string name;
+    std::function<void(RubikConfig &)> tweak;
+    double transitionLatency = 4e-6;
+};
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseOptions(argc, argv);
+    const double nominal = DvfsModel::haswell().nominalFrequency();
+
+    const std::vector<Variant> variants = {
+        {"default (8 rows, 128 buckets, 16 positions, 100ms)",
+         [](RubikConfig &) {}},
+        {"rows=4", [](RubikConfig &c) { c.table.rows = 4; }},
+        {"rows=16", [](RubikConfig &c) { c.table.rows = 16; }},
+        {"buckets=32", [](RubikConfig &c) { c.table.buckets = 32; }},
+        {"buckets=256", [](RubikConfig &c) { c.table.buckets = 256; }},
+        {"positions=4", [](RubikConfig &c) { c.table.positions = 4; }},
+        {"positions=32", [](RubikConfig &c) { c.table.positions = 32; }},
+        {"update=20ms", [](RubikConfig &c) { c.updatePeriod = 20e-3; }},
+        {"update=500ms", [](RubikConfig &c) { c.updatePeriod = 500e-3; }},
+        {"conservative row bounds",
+         [](RubikConfig &c) { c.table.conservativeRowBounds = true; }},
+        {"no feedback", [](RubikConfig &c) { c.feedback = false; }},
+        {"direct convolution (no FFT)",
+         [](RubikConfig &c) { c.table.useFft = false; }},
+        {"transitions=0.5us", [](RubikConfig &) {}, 0.5e-6},
+        {"transitions=130us", [](RubikConfig &) {}, 130e-6},
+    };
+
+    for (AppId id : {AppId::Masstree, AppId::Xapian}) {
+        const AppProfile app = makeApp(id);
+        const int n = opts.numRequests(6000);
+
+        heading(opts, "Ablation: " + app.name + " @ 40% load");
+        TablePrinter table({"variant", "tail/bound", "energy_savings"},
+                           opts.csv);
+
+        for (const auto &v : variants) {
+            Platform plat(v.transitionLatency);
+            const Trace t50 =
+                generateLoadTrace(app, 0.5, n, nominal, opts.seed);
+            const double bound =
+                replayFixed(t50, nominal, plat.power).tailLatency(0.95);
+            const Trace t =
+                generateLoadTrace(app, 0.4, n, nominal, opts.seed + 1);
+            const double fixed_energy =
+                replayFixed(t, nominal, plat.power).coreActiveEnergy;
+
+            RubikConfig cfg;
+            cfg.latencyBound = bound;
+            v.tweak(cfg);
+            RubikController rubik(plat.dvfs, cfg);
+            const SimResult r = simulate(t, rubik, plat.dvfs, plat.power);
+
+            table.addRow(
+                {v.name, fmt("%.3f", r.tailLatency(0.95) / bound),
+                 fmt("%.1f%%",
+                     (1.0 - r.coreActiveEnergy() / fixed_energy) * 100)});
+        }
+        table.print();
+    }
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ablation: deep-sleep states vs tail latency (the Sec. 2.1 background
+ * claim that deep CPU sleep states hurt tail latency because they flush
+ * microarchitectural state and wake slowly, while shallow states save
+ * little power).
+ *
+ * We sweep the C3 entry threshold and wake (state-refill) latency and
+ * report the tail and the full-system power at 30% load under a fixed
+ * nominal frequency — isolating the sleep effect from DVFS.
+ */
+
+#include "common.h"
+#include "sim/simulation.h"
+#include "util/units.h"
+#include "workloads/trace_gen.h"
+
+using namespace rubik;
+using namespace rubik::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseOptions(argc, argv);
+    const DvfsModel dvfs = DvfsModel::haswell();
+    const double nominal = dvfs.nominalFrequency();
+
+    heading(opts, "Ablation: sleep-state policy vs tail latency and "
+                  "full-system power (masstree @ 30%, fixed 2.4 GHz)");
+    TablePrinter table({"c3_entry", "wake_latency", "tail_ms",
+                        "tail_vs_no_sleep", "system_W"},
+                       opts.csv);
+
+    const AppProfile app = makeApp(AppId::Masstree);
+    const int n = opts.numRequests(9000);
+    const Trace t = generateLoadTrace(app, 0.3, n, nominal, opts.seed);
+
+    struct Case
+    {
+        double entry;
+        double wake;
+    };
+    const std::vector<Case> cases = {
+        {1.0, 0.0},       // never sleeps (C1 only) — the reference
+        {300e-6, 0.0},    // paper-style: C3 for power, instant wake
+        {100e-6, 10e-6},  // eager C3, fast wake
+        {300e-6, 30e-6},  // Haswell-C3-like wake
+        {300e-6, 100e-6}, // C6-like deep sleep
+    };
+
+    double baseline_tail = 0.0;
+    for (const auto &c : cases) {
+        PowerModel::Params params;
+        params.c3EntryThreshold = c.entry;
+        const PowerModel pm(dvfs, params);
+
+        FixedFrequencyPolicy fixed(nominal);
+        SimConfig scfg;
+        scfg.wakeLatency = c.wake;
+        const SimResult r = simulate(t, fixed, dvfs, pm, scfg);
+
+        const double tail = r.tailLatency(0.95);
+        if (baseline_tail == 0.0)
+            baseline_tail = tail; // first row is the C1-only reference
+        const double system_w =
+            systemEnergy(r, pm, pm.params().numCores).total() / r.simTime;
+        table.addRow(
+            {c.entry >= 1.0 ? "never" : fmt("%.0f us", c.entry / kUs),
+             fmt("%.0f us", c.wake / kUs), fmt("%.3f", tail / kMs),
+             fmt("%+.1f%%", (tail / baseline_tail - 1.0) * 100),
+             fmt("%.1f", system_w)});
+    }
+    table.print();
+    return 0;
+}

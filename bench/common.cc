@@ -1,0 +1,113 @@
+#include "common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace rubik::bench {
+
+int
+Options::numRequests(int bench_default) const
+{
+    int n = requests > 0 ? requests : bench_default;
+    if (fast)
+        n = std::max(200, n / 4);
+    return n;
+}
+
+Options
+parseOptions(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0) {
+            opts.csv = true;
+        } else if (std::strcmp(argv[i], "--fast") == 0) {
+            opts.fast = true;
+        } else if (std::strcmp(argv[i], "--requests") == 0 &&
+                   i + 1 < argc) {
+            opts.requests = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+            opts.seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            std::printf("usage: %s [--csv] [--fast] [--requests N] "
+                        "[--seed S]\n",
+                        argv[0]);
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown flag: %s (try --help)\n",
+                         argv[i]);
+            std::exit(1);
+        }
+    }
+    return opts;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers, bool csv)
+    : headers_(std::move(headers)), csv_(csv)
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::print() const
+{
+    if (csv_) {
+        auto print_row = [](const std::vector<std::string> &row) {
+            for (std::size_t i = 0; i < row.size(); ++i)
+                std::printf("%s%s", i ? "," : "", row[i].c_str());
+            std::printf("\n");
+        };
+        print_row(headers_);
+        for (const auto &row : rows_)
+            print_row(row);
+        return;
+    }
+
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+        widths[i] = headers_[i].size();
+    for (const auto &row : rows_) {
+        for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            std::printf("%s%-*s", i ? "  " : "",
+                        static_cast<int>(widths[i]), row[i].c_str());
+        }
+        std::printf("\n");
+    };
+    print_row(headers_);
+    std::size_t total = headers_.empty() ? 0 : 2 * (headers_.size() - 1);
+    for (auto w : widths)
+        total += w;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+std::string
+fmt(const char *format, double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), format, value);
+    return buf;
+}
+
+void
+heading(const Options &opts, const std::string &title)
+{
+    if (opts.csv)
+        std::printf("# %s\n", title.c_str());
+    else
+        std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+} // namespace rubik::bench

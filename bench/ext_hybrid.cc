@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Extension: RubikBoost, the Rubik + Adrenaline combination the paper
+ * proposes as future work (Sec. 5.2). Requests carry Adrenaline-style
+ * class hints (long = above the 85th percentile of nominal service time);
+ * RubikBoost profiles each class separately, so a known-short in-flight
+ * request gets a tight c_0 instead of the mixture's pessimistic tail.
+ *
+ * Expectation: on class-structured apps (shore, specjbb, xapian) the
+ * hybrid saves more power than plain Rubik at equal tail compliance,
+ * and closes most of the remaining gap to AdrenalineOracle's oracular
+ * per-request knowledge; on near-uniform apps (masstree) it changes
+ * little.
+ */
+
+#include "common.h"
+#include "core/rubik_boost.h"
+#include "core/rubik_controller.h"
+#include "policies/adrenaline.h"
+#include "policies/replay.h"
+#include "sim/simulation.h"
+#include "util/units.h"
+#include "workloads/trace_gen.h"
+
+using namespace rubik;
+using namespace rubik::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseOptions(argc, argv);
+    Platform plat;
+    const double nominal = plat.dvfs.nominalFrequency();
+
+    heading(opts, "Extension: Rubik+Adrenaline hybrid (core power "
+                  "savings % over fixed 2.4 GHz; tail/bound in "
+                  "parentheses)");
+    TablePrinter table({"app", "load", "Rubik", "RubikBoost",
+                        "AdrenalineOracle"},
+                       opts.csv);
+
+    for (AppId id : {AppId::Masstree, AppId::Shore, AppId::Specjbb,
+                     AppId::Xapian}) {
+        const AppProfile app = makeApp(id);
+        const int n = opts.numRequests(std::max(app.paperRequests, 6000));
+
+        const Trace t50 =
+            generateLoadTrace(app, 0.5, n, nominal, opts.seed);
+        const double bound =
+            replayFixed(t50, nominal, plat.power).tailLatency(0.95);
+
+        for (double load : {0.3, 0.4, 0.5}) {
+            Trace t = load == 0.5
+                          ? t50
+                          : generateLoadTrace(app, load, n, nominal,
+                                              opts.seed + 1);
+            annotateClasses(t, 0.85, nominal);
+            const double fixed_energy =
+                replayFixed(t, nominal, plat.power).coreActiveEnergy;
+
+            RubikConfig rcfg;
+            rcfg.latencyBound = bound;
+            RubikController rubik(plat.dvfs, rcfg);
+            const SimResult plain =
+                simulate(t, rubik, plat.dvfs, plat.power);
+
+            RubikBoostConfig bcfg;
+            bcfg.base = rcfg;
+            RubikBoostController boost(plat.dvfs, bcfg);
+            const SimResult hybrid =
+                simulate(t, boost, plat.dvfs, plat.power);
+
+            const auto adr = adrenalineOracle(t, bound, plat.dvfs,
+                                              plat.power, nominal);
+
+            auto cell = [&](double energy, double tail) {
+                return fmt("%.1f", (1.0 - energy / fixed_energy) * 100) +
+                       " (" + fmt("%.2f", tail / bound) + ")";
+            };
+            table.addRow({app.name, fmt("%.0f%%", load * 100),
+                          cell(plain.coreActiveEnergy(),
+                               plain.tailLatency(0.95)),
+                          cell(hybrid.coreActiveEnergy(),
+                               hybrid.tailLatency(0.95)),
+                          cell(adr.replay.coreActiveEnergy,
+                               adr.replay.tailLatency(0.95))});
+        }
+    }
+    table.print();
+    return 0;
+}

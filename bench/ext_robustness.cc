@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Extension: stressing Rubik's two statistical assumptions.
+ *
+ *  1. Markov (Poisson) arrivals — real traffic is burstier. We drive
+ *     Rubik with MMPP-2 arrivals (4x bursts, 20% duty) at the same mean
+ *     load. Because Rubik reacts to the *queue* (not to an estimated
+ *     rate), it should keep the bound whenever the bound remains
+ *     achievable inside bursts.
+ *  2. Independent per-request work (Sec. 4.1) — justified by many-user
+ *     mixing and front-end caches. We induce rank autocorrelation in
+ *     service times (AR(1) copula, marginals unchanged) and measure how
+ *     far correlation degrades the model before feedback compensates.
+ */
+
+#include "common.h"
+#include "core/rubik_controller.h"
+#include "policies/replay.h"
+#include "policies/static_oracle.h"
+#include "sim/simulation.h"
+#include "util/units.h"
+#include "workloads/trace_gen.h"
+
+using namespace rubik;
+using namespace rubik::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseOptions(argc, argv);
+    Platform plat;
+    const double nominal = plat.dvfs.nominalFrequency();
+
+    heading(opts, "Extension: Rubik under bursty (MMPP) arrivals and "
+                  "correlated service times @ 40% mean load "
+                  "(tail/bound; savings vs fixed)");
+    TablePrinter table({"app", "traffic", "rubik_tail/bound",
+                        "rubik_savings", "static_tail/bound"},
+                       opts.csv);
+
+    for (AppId id : {AppId::Masstree, AppId::Xapian}) {
+        const AppProfile app = makeApp(id);
+        const int n = opts.numRequests(8000);
+
+        const Trace t50 =
+            generateLoadTrace(app, 0.5, n, nominal, opts.seed);
+        const double bound =
+            replayFixed(t50, nominal, plat.power).tailLatency(0.95);
+
+        struct Variant
+        {
+            std::string name;
+            Trace trace;
+        };
+        const std::vector<Variant> variants = {
+            {"poisson (paper)",
+             generateLoadTrace(app, 0.4, n, nominal, opts.seed + 1)},
+            // 2x bursts peak at ~67% load: the bound stays achievable
+            // and queue-driven Rubik must hold it.
+            {"mmpp 2x bursts",
+             generateBurstyTrace(app, 0.4, n, nominal, opts.seed + 2,
+                                 2.0)},
+            // 4x bursts peak at ~120% of capacity: no scheme can hold
+            // the bound inside a burst (the paper's "unachievable"
+            // regime) — what matters is degrading no worse than the
+            // clairvoyant static choice.
+            {"mmpp 4x bursts",
+             generateBurstyTrace(app, 0.4, n, nominal, opts.seed + 2)},
+            {"corr rho=0.5",
+             generateCorrelatedTrace(app, 0.4, n, nominal, opts.seed + 3,
+                                     0.5)},
+            {"corr rho=0.9",
+             generateCorrelatedTrace(app, 0.4, n, nominal, opts.seed + 4,
+                                     0.9)},
+        };
+
+        for (const auto &v : variants) {
+            const double fixed_energy =
+                replayFixed(v.trace, nominal, plat.power).coreActiveEnergy;
+            // StaticOracle re-tuned per variant: even the clairvoyant
+            // static scheme struggles when bursts exceed its margin.
+            const auto so = staticOracle(v.trace, bound, 0.95, plat.dvfs,
+                                         plat.power);
+
+            RubikConfig rcfg;
+            rcfg.latencyBound = bound;
+            RubikController rubik(plat.dvfs, rcfg);
+            const SimResult r =
+                simulate(v.trace, rubik, plat.dvfs, plat.power);
+
+            table.addRow(
+                {app.name, v.name,
+                 fmt("%.2f", r.tailLatency(0.95) / bound),
+                 fmt("%.1f%%",
+                     (1.0 - r.coreActiveEnergy() / fixed_energy) * 100),
+                 fmt("%.2f", so.replay.tailLatency(0.95) / bound)});
+        }
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Figure 1: Rubik vs StaticOracle on masstree.
+ *
+ *  (a) Core energy per request at 30/40/50% load — Rubik's sub-millisecond
+ *      adaptation beats the best static frequency by up to ~23%.
+ *  (b) Response to a 30% -> 50% load step at t = 1 s: input load, tail
+ *      latency over a rolling 200 ms window, and Rubik's frequency choices
+ *      over time. StaticOracle (tuned for 30%) misses the bound after the
+ *      step; Rubik holds it flat.
+ */
+
+#include <cstdio>
+
+#include "common.h"
+#include "core/rubik_controller.h"
+#include "policies/replay.h"
+#include "policies/static_oracle.h"
+#include "sim/metrics.h"
+#include "sim/simulation.h"
+#include "util/units.h"
+#include "workloads/trace_gen.h"
+
+using namespace rubik;
+using namespace rubik::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseOptions(argc, argv);
+    Platform plat;
+    const AppProfile app = makeApp(AppId::Masstree);
+    const double nominal = plat.dvfs.nominalFrequency();
+    const int n = opts.numRequests(9000);
+
+    // Latency bound: fixed-frequency tail at 50% load (Sec. 5.2).
+    const Trace t50 = generateLoadTrace(app, 0.5, n, nominal, opts.seed);
+    const double bound =
+        replayFixed(t50, nominal, plat.power).tailLatency(0.95);
+
+    heading(opts, "Fig. 1a: masstree core energy per request (mJ/req)");
+    TablePrinter table({"load", "StaticOracle", "Rubik", "savings"},
+                       opts.csv);
+    for (double load : {0.3, 0.4, 0.5}) {
+        const Trace t =
+            generateLoadTrace(app, load, n, nominal, opts.seed + 1);
+        const auto so = staticOracle(t, bound, 0.95, plat.dvfs, plat.power);
+
+        RubikConfig rcfg;
+        rcfg.latencyBound = bound;
+        RubikController rubik(plat.dvfs, rcfg);
+        const SimResult rr = simulate(t, rubik, plat.dvfs, plat.power);
+
+        const double so_mj = so.replay.energyPerRequest() / kMj;
+        const double rubik_mj = rr.coreEnergyPerRequest() / kMj;
+        table.addRow({fmt("%.0f%%", load * 100), fmt("%.3f", so_mj),
+                      fmt("%.3f", rubik_mj),
+                      fmt("%.1f%%", (1.0 - rubik_mj / so_mj) * 100)});
+    }
+    table.print();
+
+    heading(opts,
+            "Fig. 1b: response to a 30%->50% load step at t=1s "
+            "(tail over rolling 200ms)");
+    const Trace step = generateSteppedTrace(app, {{0.0, 0.3}, {1.0, 0.5}},
+                                            2.4, nominal, opts.seed + 2);
+
+    // StaticOracle tuned for the pre-step 30% load (it cannot re-tune).
+    const Trace t30 =
+        generateLoadTrace(app, 0.3, n, nominal, opts.seed + 3);
+    const auto so30 = staticOracle(t30, bound, 0.95, plat.dvfs, plat.power);
+    const ReplayResult so_step =
+        replayFixed(step, so30.frequency, plat.power);
+
+    RubikConfig rcfg;
+    rcfg.latencyBound = bound;
+    RubikController rubik(plat.dvfs, rcfg);
+    SimConfig scfg;
+    scfg.recordTimeline = true;
+    const SimResult rubik_step =
+        simulate(step, rubik, plat.dvfs, plat.power, scfg);
+
+    std::vector<CompletedRequest> so_completed;
+    for (std::size_t i = 0; i < step.size(); ++i) {
+        CompletedRequest c;
+        c.arrivalTime = step[i].arrivalTime;
+        c.startTime = step[i].arrivalTime;
+        c.completionTime = step[i].arrivalTime + so_step.latencies[i];
+        so_completed.push_back(c);
+    }
+    const auto so_tail =
+        rollingTailLatency(so_completed, 0.2, 0.95, 0.1);
+    const auto rubik_tail =
+        rollingTailLatency(rubik_step.completed, 0.2, 0.95, 0.1);
+
+    // Mean Rubik frequency inside each 100 ms sample window.
+    auto mean_freq_at = [&](double t_end) {
+        const auto &tl = rubik_step.freqTimeline;
+        double acc = 0.0, covered = 0.0;
+        const double t_begin = t_end - 0.1;
+        for (std::size_t i = 0; i < tl.size(); ++i) {
+            const double seg_start = std::max(tl[i].first, t_begin);
+            const double seg_end = std::min(
+                i + 1 < tl.size() ? tl[i + 1].first : t_end, t_end);
+            if (seg_end <= seg_start)
+                continue;
+            acc += tl[i].second * (seg_end - seg_start);
+            covered += seg_end - seg_start;
+        }
+        return covered > 0 ? acc / covered : 0.0;
+    };
+
+    TablePrinter series({"time_s", "load", "static_tail_ms",
+                         "rubik_tail_ms", "bound_ms", "rubik_freq_GHz"},
+                        opts.csv);
+    for (std::size_t i = 0; i < rubik_tail.size(); ++i) {
+        const double t = rubik_tail[i].time;
+        const double load = t < 1.0 ? 0.3 : 0.5;
+        const double st =
+            i < so_tail.size() ? so_tail[i].value : 0.0;
+        series.addRow({fmt("%.1f", t), fmt("%.0f%%", load * 100),
+                       fmt("%.3f", st / kMs),
+                       fmt("%.3f", rubik_tail[i].value / kMs),
+                       fmt("%.3f", bound / kMs),
+                       fmt("%.2f", mean_freq_at(t) / kGHz)});
+    }
+    series.print();
+
+    std::printf("\nStaticOracle@30%% frequency: %.1f GHz; bound %.3f ms\n",
+                so30.frequency / kGHz, bound / kMs);
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Figure 2: the short-term variability analysis that motivates Rubik.
+ *
+ *  (a) CDF of instantaneous load (QPS over a rolling 5 ms window,
+ *      normalized to the average) for the five apps.
+ *  (b) A masstree execution trace at 50% load: QPS, service times, queue
+ *      lengths and response times over time (1-second summary rows).
+ *  (c) Tail latency vs load, normalized to the 95th-percentile service
+ *      time — shows queuing dominating the tail well below saturation.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common.h"
+#include "sim/metrics.h"
+#include "sim/simulation.h"
+#include "stats/percentile.h"
+#include "util/units.h"
+#include "workloads/trace_gen.h"
+
+using namespace rubik;
+using namespace rubik::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseOptions(argc, argv);
+    Platform plat;
+    const double nominal = plat.dvfs.nominalFrequency();
+
+    heading(opts, "Fig. 2a: CDF of instantaneous QPS over 5ms windows, "
+                  "normalized to average load (values at percentiles)");
+    TablePrinter cdf({"app", "p10", "p25", "p50", "p75", "p90", "p99"},
+                     opts.csv);
+    for (AppId id : allApps()) {
+        const AppProfile app = makeApp(id);
+        const int n = opts.numRequests(app.paperRequests * 2);
+        const Trace t = generateLoadTrace(app, 0.5, n, nominal, opts.seed);
+        std::vector<double> arrivals;
+        for (const auto &r : t)
+            arrivals.push_back(r.arrivalTime);
+        const double avg_rate =
+            static_cast<double>(t.size() - 1) / traceDuration(t);
+        auto qps = instantaneousQps(arrivals, 5.0 * kMs, 1.0 * kMs);
+        std::vector<double> norm;
+        for (const auto &s : qps)
+            norm.push_back(s.value / avg_rate);
+        std::sort(norm.begin(), norm.end());
+        cdf.addRow({app.name, fmt("%.2f", percentileSorted(norm, 0.10)),
+                    fmt("%.2f", percentileSorted(norm, 0.25)),
+                    fmt("%.2f", percentileSorted(norm, 0.50)),
+                    fmt("%.2f", percentileSorted(norm, 0.75)),
+                    fmt("%.2f", percentileSorted(norm, 0.90)),
+                    fmt("%.2f", percentileSorted(norm, 0.99))});
+    }
+    cdf.print();
+
+    heading(opts, "Fig. 2b: masstree trace at 50% load "
+                  "(per-second summaries)");
+    {
+        const AppProfile app = makeApp(AppId::Masstree);
+        const int n = opts.numRequests(9000);
+        const Trace t =
+            generateLoadTrace(app, 0.5, n, nominal, opts.seed + 1);
+        FixedFrequencyPolicy fixed(nominal);
+        const SimResult sim = simulate(t, fixed, plat.dvfs, plat.power);
+
+        TablePrinter rows({"t_s", "qps", "svc_p50_ms", "svc_p95_ms",
+                           "qlen_p50", "qlen_p95", "resp_p95_ms"},
+                          opts.csv);
+        const double t_end = sim.simTime;
+        for (double t0 = 0.0; t0 + 1.0 <= t_end; t0 += 1.0) {
+            std::vector<double> svc, qlen, resp;
+            int arrivals_in = 0;
+            for (const auto &c : sim.completed) {
+                if (c.arrivalTime >= t0 && c.arrivalTime < t0 + 1.0) {
+                    ++arrivals_in;
+                    svc.push_back(c.serviceTime());
+                    qlen.push_back(c.queueLenAtArrival);
+                    resp.push_back(c.latency());
+                }
+            }
+            rows.addRow({fmt("%.0f", t0),
+                         fmt("%.0f", static_cast<double>(arrivals_in)),
+                         fmt("%.3f", percentile(svc, 0.5) / kMs),
+                         fmt("%.3f", percentile(svc, 0.95) / kMs),
+                         fmt("%.0f", percentile(qlen, 0.5)),
+                         fmt("%.0f", percentile(qlen, 0.95)),
+                         fmt("%.3f", percentile(resp, 0.95) / kMs)});
+        }
+        rows.print();
+    }
+
+    heading(opts, "Fig. 2c: tail latency vs load, normalized to the "
+                  "95th-pct service time (1.0 = no queuing)");
+    TablePrinter tails({"app", "20%", "30%", "40%", "50%", "60%", "70%",
+                        "80%"},
+                       opts.csv);
+    for (AppId id : allApps()) {
+        const AppProfile app = makeApp(id);
+        const int n = opts.numRequests(std::max(app.paperRequests, 4000));
+        std::vector<std::string> row{app.name};
+        for (double load : {0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}) {
+            const Trace t =
+                generateLoadTrace(app, load, n, nominal, opts.seed + 2);
+            FixedFrequencyPolicy fixed(nominal);
+            const SimResult sim = simulate(t, fixed, plat.dvfs, plat.power);
+            std::vector<double> svc;
+            for (const auto &c : sim.completed)
+                svc.push_back(c.serviceTime());
+            const double norm = percentile(svc, 0.95);
+            row.push_back(fmt("%.2f", sim.tailLatency(0.95) / norm));
+        }
+        tails.addRow(row);
+    }
+    tails.print();
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Figures 7 and 8: response-latency CDFs and Rubik frequency histograms
+ * for masstree and xapian at 50% load.
+ *
+ * Paper's shape: all schemes meet the tail bound; Rubik pushes the *low*
+ * end of the CDF right (it slows short requests to save power) much more
+ * than AdrenalineOracle; Rubik's busy time concentrates at low
+ * frequencies; xapian's variability forces more conservative settings, so
+ * its CDF shift is smaller.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "common.h"
+#include "core/rubik_controller.h"
+#include "policies/adrenaline.h"
+#include "policies/replay.h"
+#include "policies/static_oracle.h"
+#include "sim/simulation.h"
+#include "stats/percentile.h"
+#include "util/units.h"
+#include "workloads/trace_gen.h"
+
+using namespace rubik;
+using namespace rubik::bench;
+
+namespace {
+
+void
+runApp(AppId id, const Options &opts, Platform &plat)
+{
+    const AppProfile app = makeApp(id);
+    const double nominal = plat.dvfs.nominalFrequency();
+    const int n = opts.numRequests(std::max(app.paperRequests, 6000));
+
+    const Trace t = generateLoadTrace(app, 0.5, n, nominal, opts.seed);
+    const double bound =
+        replayFixed(t, nominal, plat.power).tailLatency(0.95);
+
+    const auto so = staticOracle(t, bound, 0.95, plat.dvfs, plat.power);
+    const auto adr =
+        adrenalineOracle(t, bound, plat.dvfs, plat.power, nominal);
+    RubikConfig rcfg;
+    rcfg.latencyBound = bound;
+    RubikController rubik(plat.dvfs, rcfg);
+    const SimResult rr = simulate(t, rubik, plat.dvfs, plat.power);
+
+    heading(opts, "Fig. " + std::string(id == AppId::Masstree ? "7" : "8") +
+                      "a: " + app.name +
+                      " response-latency CDF at 50% load (ms at "
+                      "percentile; bound " +
+                      fmt("%.3f", bound / kMs) + " ms)");
+    TablePrinter cdf({"percentile", "StaticOracle", "AdrenalineOracle",
+                      "Rubik"},
+                     opts.csv);
+    auto so_lat = so.replay.latencies;
+    auto adr_lat = adr.replay.latencies;
+    auto rubik_lat = rr.latencies();
+    std::sort(so_lat.begin(), so_lat.end());
+    std::sort(adr_lat.begin(), adr_lat.end());
+    std::sort(rubik_lat.begin(), rubik_lat.end());
+    for (double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99}) {
+        cdf.addRow({fmt("p%.0f", q * 100),
+                    fmt("%.3f", percentileSorted(so_lat, q) / kMs),
+                    fmt("%.3f", percentileSorted(adr_lat, q) / kMs),
+                    fmt("%.3f", percentileSorted(rubik_lat, q) / kMs)});
+    }
+    cdf.print();
+
+    heading(opts, "Fig. " + std::string(id == AppId::Masstree ? "7" : "8") +
+                      "b: " + app.name +
+                      " Rubik frequency histogram (fraction of busy time)");
+    TablePrinter hist({"freq_GHz", "fraction"}, opts.csv);
+    for (std::size_t i = 0; i < plat.dvfs.numFrequencies(); ++i) {
+        hist.addRow({fmt("%.1f", plat.dvfs.frequencies()[i] / kGHz),
+                     fmt("%.3f",
+                         rr.core.freqResidency[i] / rr.core.busyTime)});
+    }
+    hist.print();
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseOptions(argc, argv);
+    Platform plat;
+    runApp(AppId::Masstree, opts, plat);
+    runApp(AppId::Xapian, opts, plat);
+    return 0;
+}

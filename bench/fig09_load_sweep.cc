@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Figure 9: trace-driven characterization. For each app and load
+ * (10%..90%), tail latency (9a) and core energy per request (9b) under:
+ * fixed nominal frequency, StaticOracle, DynamicOracle, Rubik without
+ * feedback, and Rubik.
+ *
+ * Paper's shape: fixed-frequency tail explodes with load; oracles hold a
+ * flat tail to ~50% (the bound is unachievable beyond — shaded region);
+ * DynamicOracle saves 20-45% of StaticOracle's energy at 50%; Rubik
+ * captures most of that for tight-service apps, and Rubik-without-
+ * feedback runs slightly conservative (lower tail than necessary).
+ */
+
+#include "common.h"
+#include "core/rubik_controller.h"
+#include "policies/dynamic_oracle.h"
+#include "policies/replay.h"
+#include "policies/static_oracle.h"
+#include "sim/simulation.h"
+#include "util/units.h"
+#include "workloads/trace_gen.h"
+
+using namespace rubik;
+using namespace rubik::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseOptions(argc, argv);
+    Platform plat;
+    const double nominal = plat.dvfs.nominalFrequency();
+
+    for (AppId id : allApps()) {
+        const AppProfile app = makeApp(id);
+        const int n = opts.numRequests(std::max(app.paperRequests, 5000));
+
+        const Trace t50 =
+            generateLoadTrace(app, 0.5, n, nominal, opts.seed);
+        const double bound =
+            replayFixed(t50, nominal, plat.power).tailLatency(0.95);
+
+        heading(opts, "Fig. 9: " + app.name + " (bound " +
+                          fmt("%.3f", bound / kMs) +
+                          " ms = fixed-freq tail @50%)");
+        TablePrinter table(
+            {"load", "metric", "Fixed", "StaticOracle", "DynamicOracle",
+             "Rubik_noFB", "Rubik"},
+            opts.csv);
+
+        for (double load :
+             {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
+            const Trace t =
+                generateLoadTrace(app, load, n, nominal, opts.seed + 1);
+
+            const ReplayResult fixed = replayFixed(t, nominal, plat.power);
+            const auto so =
+                staticOracle(t, bound, 0.95, plat.dvfs, plat.power);
+            const auto dyn =
+                dynamicOracle(t, bound, 0.95, plat.dvfs, plat.power);
+
+            RubikConfig nofb_cfg;
+            nofb_cfg.latencyBound = bound;
+            nofb_cfg.feedback = false;
+            RubikController rubik_nofb(plat.dvfs, nofb_cfg);
+            const SimResult nofb =
+                simulate(t, rubik_nofb, plat.dvfs, plat.power);
+
+            RubikConfig fb_cfg;
+            fb_cfg.latencyBound = bound;
+            RubikController rubik(plat.dvfs, fb_cfg);
+            const SimResult fb = simulate(t, rubik, plat.dvfs, plat.power);
+
+            table.addRow({fmt("%.0f%%", load * 100), "tail_ms",
+                          fmt("%.3f", fixed.tailLatency() / kMs),
+                          fmt("%.3f", so.replay.tailLatency() / kMs),
+                          fmt("%.3f", dyn.replay.tailLatency() / kMs),
+                          fmt("%.3f", nofb.tailLatency() / kMs),
+                          fmt("%.3f", fb.tailLatency() / kMs)});
+            table.addRow(
+                {fmt("%.0f%%", load * 100), "mJ/req",
+                 fmt("%.3f", fixed.energyPerRequest() / kMj),
+                 fmt("%.3f", so.replay.energyPerRequest() / kMj),
+                 fmt("%.3f", dyn.replay.energyPerRequest() / kMj),
+                 fmt("%.3f", nofb.coreEnergyPerRequest() / kMj),
+                 fmt("%.3f", fb.coreEnergyPerRequest() / kMj)});
+        }
+        table.print();
+    }
+    return 0;
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Figure 10: responsiveness to load steps. For each app, load goes
+ * 25% -> 50% -> 75% at t = 0/4/8 s. StaticOracle and AdrenalineOracle
+ * are tuned for the initial 25% load (they adapt at multi-minute
+ * timescales, so within the 12 s window they cannot re-tune); Rubik
+ * adapts per arrival/completion.
+ *
+ * Paper's shape: the static schemes run unnecessarily fast at 25%
+ * (wasting power, overly low tail) and much too slow past 50% (tail
+ * explosion); Rubik tracks the bound through the first two phases and
+ * degrades least at 75%.
+ */
+
+#include "common.h"
+#include "core/rubik_controller.h"
+#include "policies/adrenaline.h"
+#include "policies/replay.h"
+#include "policies/static_oracle.h"
+#include "sim/metrics.h"
+#include "sim/simulation.h"
+#include "util/units.h"
+#include "workloads/trace_gen.h"
+
+using namespace rubik;
+using namespace rubik::bench;
+
+namespace {
+
+std::vector<CompletedRequest>
+toCompleted(const Trace &t, const ReplayResult &r)
+{
+    std::vector<CompletedRequest> out;
+    out.reserve(t.size());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        CompletedRequest c;
+        c.arrivalTime = t[i].arrivalTime;
+        c.startTime = t[i].arrivalTime;
+        c.completionTime = t[i].arrivalTime + r.latencies[i];
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseOptions(argc, argv);
+    Platform plat;
+    const double nominal = plat.dvfs.nominalFrequency();
+    const double duration = 12.0;
+
+    for (AppId id : allApps()) {
+        const AppProfile app = makeApp(id);
+        const int n_tune = opts.numRequests(5000);
+
+        // Bound from 50% load at nominal.
+        const Trace t50 =
+            generateLoadTrace(app, 0.5, n_tune, nominal, opts.seed);
+        const double bound =
+            replayFixed(t50, nominal, plat.power).tailLatency(0.95);
+
+        // Static schemes tuned at the initial 25% load.
+        const Trace t25 =
+            generateLoadTrace(app, 0.25, n_tune, nominal, opts.seed + 1);
+        const auto so =
+            staticOracle(t25, bound, 0.95, plat.dvfs, plat.power);
+        const auto adr = adrenalineOracle(t25, bound, plat.dvfs,
+                                          plat.power, nominal);
+
+        // The stepped trace everyone replays.
+        const Trace step = generateSteppedTrace(
+            app, {{0.0, 0.25}, {4.0, 0.5}, {8.0, 0.75}}, duration, nominal,
+            opts.seed + 2);
+
+        const ReplayResult so_r =
+            replayFixed(step, so.frequency, plat.power);
+        // Adrenaline applies its tuned (threshold, base, boost) setting.
+        std::vector<double> adr_freqs(step.size());
+        for (std::size_t i = 0; i < step.size(); ++i) {
+            adr_freqs[i] = step[i].serviceTime(nominal) > adr.threshold
+                               ? adr.boostFrequency
+                               : adr.baseFrequency;
+        }
+        const ReplayResult adr_r = replayFifo(step, adr_freqs, plat.power);
+
+        RubikConfig rcfg;
+        rcfg.latencyBound = bound;
+        RubikController rubik(plat.dvfs, rcfg);
+        const SimResult rubik_r =
+            simulate(step, rubik, plat.dvfs, plat.power);
+
+        heading(opts, "Fig. 10: " + app.name +
+                          " load steps 25/50/75% (bound " +
+                          fmt("%.3f", bound / kMs) + " ms)");
+        TablePrinter table({"t_s", "load", "static_tail_ms", "adr_tail_ms",
+                            "rubik_tail_ms", "static_W", "adr_W",
+                            "rubik_W"},
+                           opts.csv);
+
+        const double win = 0.2, dt = 0.5;
+        const auto so_t =
+            rollingTailLatency(toCompleted(step, so_r), win, 0.95, dt);
+        const auto adr_t =
+            rollingTailLatency(toCompleted(step, adr_r), win, 0.95, dt);
+        const auto ru_t =
+            rollingTailLatency(rubik_r.completed, win, 0.95, dt);
+        const auto ru_p = rollingActivePower(rubik_r.completed, win, dt);
+
+        // Static schemes' rolling power from per-request energies.
+        auto replay_power = [&](const ReplayResult &r,
+                                const std::vector<double> &freqs) {
+            std::vector<CompletedRequest> c = toCompleted(step, r);
+            for (std::size_t i = 0; i < c.size(); ++i)
+                c[i].coreEnergy = requestEnergy(step[i], freqs[i],
+                                                plat.power);
+            return rollingActivePower(c, win, dt);
+        };
+        const auto so_p = replay_power(
+            so_r, std::vector<double>(step.size(), so.frequency));
+        const auto adr_p = replay_power(adr_r, adr_freqs);
+
+        for (std::size_t i = 0; i < ru_t.size(); ++i) {
+            const double t = ru_t[i].time;
+            const double load = t < 4.0 ? 0.25 : (t < 8.0 ? 0.5 : 0.75);
+            auto at = [&](const std::vector<TimeSample> &v) {
+                return i < v.size() ? v[i].value : 0.0;
+            };
+            table.addRow({fmt("%.1f", t), fmt("%.0f%%", load * 100),
+                          fmt("%.3f", at(so_t) / kMs),
+                          fmt("%.3f", at(adr_t) / kMs),
+                          fmt("%.3f", at(ru_t) / kMs),
+                          fmt("%.2f", at(so_p)),
+                          fmt("%.2f", at(adr_p)),
+                          fmt("%.2f", at(ru_p))});
+        }
+        table.print();
+    }
+    return 0;
+}

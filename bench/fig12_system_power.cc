@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 12: full-system power savings of Rubik at 30% load.
+ *
+ * Core power savings are large (Fig. 6), but the server also burns
+ * uncore, DRAM and "other" power that DVFS cannot touch, so full-system
+ * savings are modest (~4-14% in the paper) — the motivation for
+ * RubikColoc (Sec. 6).
+ */
+
+#include "common.h"
+#include "core/rubik_controller.h"
+#include "policies/replay.h"
+#include "sim/simulation.h"
+#include "workloads/trace_gen.h"
+
+using namespace rubik;
+using namespace rubik::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseOptions(argc, argv);
+    Platform plat;
+    const double nominal = plat.dvfs.nominalFrequency();
+    const int copies = plat.power.params().numCores;
+
+    heading(opts, "Fig. 12: full-system power savings of Rubik at 30% "
+                  "load (6 app copies per server)");
+    TablePrinter table({"app", "core_savings", "system_savings",
+                        "fixed_W", "rubik_W"},
+                       opts.csv);
+
+    for (AppId id : allApps()) {
+        const AppProfile app = makeApp(id);
+        const int n = opts.numRequests(std::max(app.paperRequests, 5000));
+
+        const Trace t50 =
+            generateLoadTrace(app, 0.5, n, nominal, opts.seed);
+        const double bound =
+            replayFixed(t50, nominal, plat.power).tailLatency(0.95);
+
+        const Trace t =
+            generateLoadTrace(app, 0.3, n, nominal, opts.seed + 1);
+
+        FixedFrequencyPolicy fixed_policy(nominal);
+        const SimResult fixed =
+            simulate(t, fixed_policy, plat.dvfs, plat.power);
+
+        RubikConfig rcfg;
+        rcfg.latencyBound = bound;
+        RubikController rubik(plat.dvfs, rcfg);
+        const SimResult rr = simulate(t, rubik, plat.dvfs, plat.power);
+
+        const double fixed_sys =
+            systemEnergy(fixed, plat.power, copies).total() /
+            fixed.simTime;
+        const double rubik_sys =
+            systemEnergy(rr, plat.power, copies).total() / rr.simTime;
+        const double core_savings =
+            1.0 - rr.coreActiveEnergy() / fixed.coreActiveEnergy();
+
+        table.addRow({app.name, fmt("%.1f%%", core_savings * 100),
+                      fmt("%.1f%%", (1.0 - rubik_sys / fixed_sys) * 100),
+                      fmt("%.1f", fixed_sys), fmt("%.1f", rubik_sys)});
+    }
+    table.print();
+    return 0;
+}

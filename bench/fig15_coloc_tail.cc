@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Figure 15: tail latency under colocation at 60% LC load, across the
+ * 100 (LC app x batch mix) colocated-server configurations, for
+ * StaticColoc, RubikColoc, HW-T, and HW-TPW. Tail latencies are
+ * normalized to each app's bound; mixes are sorted worst-first per
+ * scheme.
+ *
+ * Paper's shape: HW-T and HW-TPW violate grossly (up to 8.2x / 3.2x);
+ * StaticColoc violates on ~40% of mixes (up to 42%); RubikColoc holds
+ * the bound on every mix.
+ *
+ * Memory partitioning decouples the six cores, so each (LC app, batch
+ * app, frequency policy) core is simulated once and shared across mixes
+ * (see coloc_sim.h).
+ */
+
+#include <algorithm>
+#include <map>
+
+#include "common.h"
+#include "coloc/batch_app.h"
+#include "coloc/coloc_sim.h"
+#include "coloc/hw_dvfs.h"
+#include "core/rubik_controller.h"
+#include "policies/replay.h"
+#include "policies/static_oracle.h"
+#include "stats/percentile.h"
+#include "util/units.h"
+#include "workloads/trace_gen.h"
+
+using namespace rubik;
+using namespace rubik::bench;
+
+namespace {
+
+enum class Scheme
+{
+    StaticColoc,
+    RubikColoc,
+    HwT,
+    HwTpw,
+};
+
+const char *
+schemeName(Scheme s)
+{
+    switch (s) {
+      case Scheme::StaticColoc: return "StaticColoc";
+      case Scheme::RubikColoc:  return "RubikColoc";
+      case Scheme::HwT:         return "HW-T";
+      case Scheme::HwTpw:       return "HW-TPW";
+    }
+    return "?";
+}
+
+struct Runner
+{
+    Platform &plat;
+    const Options &opts;
+    std::vector<BatchApp> suite = specLikeSuite();
+    double load = 0.6;
+
+    // Per-app artifacts.
+    std::map<int, Trace> traces;
+    std::map<int, double> bounds;
+    std::map<int, double> staticFreqs;
+
+    // Cache: (app, batch, lc_freq_key) -> sorted LC latencies.
+    std::map<std::tuple<int, std::size_t, long>,
+             std::vector<double>>
+        cache;
+
+    explicit Runner(Platform &p, const Options &o) : plat(p), opts(o)
+    {
+        const double nominal = plat.dvfs.nominalFrequency();
+        const int n = opts.numRequests(3000);
+        for (AppId id : allApps()) {
+            const AppProfile app = makeApp(id);
+            const int key = static_cast<int>(id);
+            const Trace t50 =
+                generateLoadTrace(app, 0.5, n, nominal, opts.seed + key);
+            bounds[key] =
+                replayFixed(t50, nominal, plat.power).tailLatency(0.95);
+            traces[key] = generateLoadTrace(app, load, n, nominal,
+                                            opts.seed + 100 + key);
+            staticFreqs[key] = staticOracle(traces[key], bounds[key], 0.95,
+                                            plat.dvfs, plat.power)
+                                   .frequency;
+        }
+    }
+
+    /// LC latencies for one core. lc_freq <= 0 means "Rubik".
+    const std::vector<double> &
+    core(AppId id, std::size_t batch_idx, double lc_freq,
+         double batch_freq)
+    {
+        const int key = static_cast<int>(id);
+        const long fkey =
+            lc_freq <= 0
+                ? -1
+                : static_cast<long>(lc_freq / 1e6) * 10000 +
+                      static_cast<long>(batch_freq / 1e6) % 10000;
+        const auto ck = std::make_tuple(key, batch_idx, fkey);
+        auto it = cache.find(ck);
+        if (it != cache.end())
+            return it->second;
+
+        ColocConfig cfg;
+        cfg.batchFrequency = batch_freq;
+        cfg.seed = opts.seed + 31 * batch_idx + key;
+
+        ColocCoreResult r = [&] {
+            if (lc_freq <= 0) {
+                RubikConfig rcfg;
+                rcfg.latencyBound = bounds[key];
+                RubikController rubik(plat.dvfs, rcfg);
+                return simulateColoc(traces[key], rubik, suite[batch_idx],
+                                     plat.dvfs, plat.power, cfg);
+            }
+            FixedFrequencyPolicy fixed(lc_freq);
+            return simulateColoc(traces[key], fixed, suite[batch_idx],
+                                 plat.dvfs, plat.power, cfg);
+        }();
+
+        std::vector<double> lat = r.lc.latencies();
+        std::sort(lat.begin(), lat.end());
+        return cache.emplace(ck, std::move(lat)).first->second;
+    }
+
+    /// Normalized tail for (app, mix) under a scheme.
+    double
+    mixTail(AppId id, const BatchMix &mix, Scheme scheme)
+    {
+        const int key = static_cast<int>(id);
+        const AppProfile app = makeApp(id);
+        std::vector<double> all;
+
+        // Per-core frequencies for the HW schemes.
+        std::vector<double> hw_freqs;
+        if (scheme == Scheme::HwT) {
+            const CoreWorkload lc = lcWorkload(
+                app.memFraction, plat.dvfs.nominalFrequency());
+            std::vector<CoreWorkload> cores;
+            for (std::size_t b : mix)
+                cores.push_back(blendWorkload(lc, suite[b], load));
+            hw_freqs =
+                hwThroughputAllocation(cores, plat.dvfs, plat.power);
+        }
+
+        for (std::size_t k = 0; k < mix.size(); ++k) {
+            const std::size_t b = mix[k];
+            double lc_freq = 0.0, batch_freq = 0.0;
+            switch (scheme) {
+              case Scheme::StaticColoc:
+                lc_freq = staticFreqs[key];
+                batch_freq =
+                    suite[b].tpwOptimalFrequency(plat.dvfs, plat.power);
+                break;
+              case Scheme::RubikColoc:
+                lc_freq = 0.0; // Rubik
+                batch_freq =
+                    suite[b].tpwOptimalFrequency(plat.dvfs, plat.power);
+                break;
+              case Scheme::HwT:
+                lc_freq = hw_freqs[k];
+                batch_freq = hw_freqs[k];
+                break;
+              case Scheme::HwTpw:
+                lc_freq = tpwOptimalFrequency(
+                    lcWorkload(app.memFraction,
+                               plat.dvfs.nominalFrequency()),
+                    plat.dvfs, plat.power);
+                batch_freq =
+                    suite[b].tpwOptimalFrequency(plat.dvfs, plat.power);
+                break;
+            }
+            const auto &lat = core(id, b, lc_freq, batch_freq);
+            all.insert(all.end(), lat.begin(), lat.end());
+        }
+        return percentile(std::move(all), 0.95) / bounds[key];
+    }
+};
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseOptions(argc, argv);
+    Platform plat;
+    Runner runner(plat, opts);
+    const auto mixes = makeMixes(runner.suite.size(), 20, 6, opts.seed);
+
+    heading(opts, "Fig. 15: normalized tail latency across 100 colocated "
+                  "mixes at 60% LC load (sorted worst-first; > 1.0 "
+                  "violates the bound)");
+
+    std::map<Scheme, std::vector<double>> results;
+    for (Scheme scheme : {Scheme::StaticColoc, Scheme::RubikColoc,
+                          Scheme::HwT, Scheme::HwTpw}) {
+        for (AppId id : allApps()) {
+            for (const auto &mix : mixes)
+                results[scheme].push_back(runner.mixTail(id, mix, scheme));
+        }
+        std::sort(results[scheme].rbegin(), results[scheme].rend());
+    }
+
+    TablePrinter table({"scheme", "worst", "p90", "p75", "median", "best",
+                        "violations/100"},
+                       opts.csv);
+    for (const auto &[scheme, tails] : results) {
+        int violations = 0;
+        for (double v : tails)
+            violations += v > 1.0;
+        table.addRow(
+            {schemeName(scheme), fmt("%.2f", tails.front()),
+             fmt("%.2f", tails[tails.size() / 10]),
+             fmt("%.2f", tails[tails.size() / 4]),
+             fmt("%.2f", tails[tails.size() / 2]),
+             fmt("%.2f", tails.back()),
+             fmt("%.0f", static_cast<double>(violations))});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Table 1: Pearson correlation of end-to-end response latency with
+ * service time, instantaneous QPS (5 ms window), and queue length at
+ * arrival, for each app at 50% load.
+ *
+ * Paper's finding: queue length is strongly correlated everywhere
+ * (0.63-0.94); service time only matters for variable-service apps
+ * (shore, xapian, specjbb); instantaneous QPS is weak.
+ */
+
+#include "common.h"
+#include "sim/metrics.h"
+#include "sim/simulation.h"
+#include "stats/correlation.h"
+#include "workloads/trace_gen.h"
+
+using namespace rubik;
+using namespace rubik::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseOptions(argc, argv);
+    Platform plat;
+    const double nominal = plat.dvfs.nominalFrequency();
+
+    heading(opts, "Table 1: correlation of response latency with "
+                  "service time / instantaneous QPS / queue length "
+                  "(50% load)");
+    TablePrinter table({"app", "service_time", "inst_qps", "queue_len"},
+                       opts.csv);
+    for (AppId id : allApps()) {
+        const AppProfile app = makeApp(id);
+        const int n = opts.numRequests(std::max(app.paperRequests, 6000));
+        const Trace t = generateLoadTrace(app, 0.5, n, nominal, opts.seed);
+        FixedFrequencyPolicy fixed(nominal);
+        const SimResult sim = simulate(t, fixed, plat.dvfs, plat.power);
+
+        const PerRequestSeries s = perRequestSeries(sim.completed);
+        table.addRow(
+            {app.name,
+             fmt("%.2f", pearsonCorrelation(s.responseLatency,
+                                            s.serviceTime)),
+             fmt("%.2f", pearsonCorrelation(s.responseLatency,
+                                            s.instantaneousQps)),
+             fmt("%.2f", pearsonCorrelation(s.responseLatency,
+                                            s.queueLength))});
+    }
+    table.print();
+    return 0;
+}

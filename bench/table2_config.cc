@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Table 2: the simulated CMP configuration. Prints the DVFS interface and
+ * the calibrated power-model parameters this reproduction uses in place
+ * of zsim's microarchitectural config (see DESIGN.md for the mapping).
+ */
+
+#include <cstdio>
+
+#include "common.h"
+#include "util/units.h"
+
+using namespace rubik;
+using namespace rubik::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseOptions(argc, argv);
+    Platform plat;
+    const auto &p = plat.power.params();
+
+    heading(opts, "Table 2: simulated CMP configuration");
+    TablePrinter table({"component", "configuration"}, opts.csv);
+    table.addRow({"cores", fmt("%.0f x request-level core model "
+                               "(C cycles + M memory time)",
+                               p.numCores)});
+    table.addRow({"dvfs.range",
+                  fmt("0.8-%.1f GHz, 200 MHz steps",
+                      plat.dvfs.maxFrequency() / kGHz)});
+    table.addRow({"dvfs.nominal",
+                  fmt("%.1f GHz", plat.dvfs.nominalFrequency() / kGHz)});
+    table.addRow({"dvfs.transition",
+                  fmt("%.0f us (FIVR-like)",
+                      plat.dvfs.transitionLatency() / kUs)});
+    table.addRow({"dvfs.voltage",
+                  fmt("0.65 V @ 0.8 GHz .. %.2f V @ 3.4 GHz",
+                      plat.dvfs.voltage(plat.dvfs.maxFrequency()))});
+    table.addRow({"power.core_nominal",
+                  fmt("%.2f W active @ 2.4 GHz",
+                      plat.power.coreActivePower(2.4 * kGHz))});
+    table.addRow({"power.core_min",
+                  fmt("%.2f W active @ 0.8 GHz",
+                      plat.power.coreActivePower(0.8 * kGHz))});
+    table.addRow({"power.c1", fmt("%.2f W", p.c1Power)});
+    table.addRow({"power.c3",
+                  fmt("%.2f W (L1/L2 flushed, Haswell C3)", p.c3Power)});
+    table.addRow({"power.uncore",
+                  fmt("%.1f W static + 0.5 W/active core",
+                      p.uncoreStatic)});
+    table.addRow({"power.dram",
+                  fmt("%.1f W static + 3 W at peak bandwidth",
+                      p.dramStatic)});
+    table.addRow({"power.other",
+                  fmt("%.1f W (PSU, disk, NIC, fans)", p.other)});
+    table.addRow({"power.tdp", fmt("%.0f W", p.tdp)});
+    table.print();
+    return 0;
+}

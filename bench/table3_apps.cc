@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Table 3: latency-critical application configurations, extended with
+ * the measured service-time statistics of this reproduction's synthetic
+ * models (so the substitution documented in DESIGN.md is auditable).
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "common.h"
+#include "stats/percentile.h"
+#include "util/rng.h"
+#include "util/units.h"
+#include "workloads/trace_gen.h"
+
+using namespace rubik;
+using namespace rubik::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseOptions(argc, argv);
+    Platform plat;
+
+    heading(opts, "Table 3: application workloads "
+                  "(service-time stats at 2.4 GHz)");
+    TablePrinter table({"app", "workload", "requests", "mean_ms",
+                        "p50_ms", "p95_ms", "cv", "mem_frac"},
+                       opts.csv);
+    for (AppId id : allApps()) {
+        const AppProfile app = makeApp(id);
+        Rng rng(opts.seed);
+        std::vector<double> samples;
+        for (int i = 0; i < 50000; ++i)
+            samples.push_back(app.serviceTime->sample(rng));
+        const double m = mean(samples);
+        const double cv = std::sqrt(variance(samples)) / m;
+        table.addRow({app.name, app.workloadConfig,
+                      fmt("%.0f", app.paperRequests), fmt("%.3f", m / kMs),
+                      fmt("%.3f", percentile(samples, 0.5) / kMs),
+                      fmt("%.3f", percentile(samples, 0.95) / kMs),
+                      fmt("%.2f", cv), fmt("%.2f", app.memFraction)});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,90 @@
+#include "coloc/batch_app.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace rubik {
+
+double
+BatchApp::tpwOptimalFrequency(const DvfsModel &dvfs,
+                              const PowerModel &pm) const
+{
+    // Package-level TPW: include the core's share of uncore static power
+    // so the optimum is interior (see hw_dvfs.cc for the rationale).
+    const double shared = pm.uncorePower(pm.params().numCores) /
+                          static_cast<double>(pm.params().numCores);
+    double best_f = dvfs.minFrequency();
+    double best_tpw = 0.0;
+    for (double f : dvfs.frequencies()) {
+        if (f > dvfs.nominalFrequency() + 1.0)
+            break; // batch stays at or below nominal (TDP)
+        const double tpw = ips(f) / (power(f, pm) + shared);
+        if (tpw > best_tpw) {
+            best_tpw = tpw;
+            best_f = f;
+        }
+    }
+    return best_f;
+}
+
+std::vector<BatchApp>
+specLikeSuite()
+{
+    // Memory-stall time per instruction expressed in nanoseconds here;
+    // values span SPEC CPU2006's range of memory intensity (MPKI x DRAM
+    // latency): compute-bound apps stall well under 0.05 ns/instr, mcf-
+    // like pointer chasers approach 1 ns/instr.
+    auto mk = [](const char *name, double cpi, double mem_ns) {
+        BatchApp a;
+        a.name = name;
+        a.cpi = cpi;
+        a.memTimePerInstr = mem_ns * 1e-9;
+        return a;
+    };
+    return {
+        mk("namd",       0.70, 0.01),
+        mk("povray",     0.80, 0.01),
+        mk("hmmer",      0.75, 0.02),
+        mk("h264ref",    0.85, 0.03),
+        mk("gobmk",      1.00, 0.08),
+        mk("sjeng",      1.05, 0.06),
+        mk("astar",      1.10, 0.15),
+        mk("gcc",        1.00, 0.20),
+        mk("soplex",     1.10, 0.45),
+        mk("milc",       1.20, 0.55),
+        mk("libquantum", 1.00, 0.70),
+        mk("mcf",        1.40, 0.95),
+    };
+}
+
+std::vector<BatchMix>
+makeMixes(std::size_t suite_size, std::size_t num_mixes,
+          std::size_t apps_per_mix, uint64_t seed)
+{
+    RUBIK_ASSERT(suite_size > 0, "empty suite");
+    Rng rng(seed);
+    std::vector<BatchMix> mixes;
+    mixes.reserve(num_mixes);
+    for (std::size_t m = 0; m < num_mixes; ++m) {
+        // Sample without replacement when the suite is large enough.
+        std::vector<std::size_t> pool(suite_size);
+        for (std::size_t i = 0; i < suite_size; ++i)
+            pool[i] = i;
+        BatchMix mix;
+        for (std::size_t k = 0; k < apps_per_mix; ++k) {
+            if (pool.empty()) {
+                mix.push_back(rng.uniformInt(suite_size));
+                continue;
+            }
+            const auto pick = rng.uniformInt(pool.size());
+            mix.push_back(pool[pick]);
+            pool.erase(pool.begin() + static_cast<long>(pick));
+        }
+        mixes.push_back(std::move(mix));
+    }
+    return mixes;
+}
+
+} // namespace rubik

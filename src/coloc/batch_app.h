@@ -1,0 +1,85 @@
+#ifndef RUBIK_COLOC_BATCH_APP_H
+#define RUBIK_COLOC_BATCH_APP_H
+
+/**
+ * @file
+ * Batch application models for RubikColoc (Secs. 6-7).
+ *
+ * The paper colocates SPEC CPU2006 applications with latency-critical
+ * work. RubikColoc consumes only two things from a batch app: its
+ * throughput as a function of frequency (instructions/second) and the
+ * power it draws — both fully determined by its compute intensity (cycles
+ * per instruction) and memory intensity (memory-stall time per
+ * instruction) under a partitioned memory system. We model a SPEC-like
+ * suite spanning compute-bound (namd, povray) to memory-bound (mcf, lbm)
+ * behavior, and build randomized 6-app mixes as the paper does
+ * (20 mixes of six randomly chosen apps, Sec. 7).
+ */
+
+#include <string>
+#include <vector>
+
+#include "power/dvfs_model.h"
+#include "power/power_model.h"
+#include "util/rng.h"
+
+namespace rubik {
+
+/**
+ * A batch application: fixed per-instruction compute and memory costs.
+ */
+struct BatchApp
+{
+    std::string name;
+    double cpi = 1.0;              ///< Core cycles per instruction.
+    double memTimePerInstr = 0.0;  ///< Memory-stall seconds per instruction.
+
+    /// Seconds per instruction at frequency f.
+    double timePerInstr(double freq) const
+    {
+        return cpi / freq + memTimePerInstr;
+    }
+
+    /// Instructions per second at frequency f.
+    double ips(double freq) const { return 1.0 / timePerInstr(freq); }
+
+    /// Fraction of time memory-stalled at frequency f.
+    double stallFrac(double freq) const
+    {
+        return memTimePerInstr / timePerInstr(freq);
+    }
+
+    /// Core power while running at frequency f.
+    double power(double freq, const PowerModel &pm) const
+    {
+        return pm.coreActivePower(freq, stallFrac(freq));
+    }
+
+    /**
+     * Frequency maximizing throughput per watt on the grid — where
+     * RubikColoc runs batch apps ("batch apps run at the frequency that
+     * maximizes their TPW", Sec. 6). Batch apps never exceed nominal
+     * frequency to stay within the TDP (Sec. 7).
+     */
+    double tpwOptimalFrequency(const DvfsModel &dvfs,
+                               const PowerModel &pm) const;
+};
+
+/// The SPEC-CPU2006-like suite (12 apps, compute- to memory-bound).
+std::vector<BatchApp> specLikeSuite();
+
+/// A mix of (indices into the suite); the paper uses 6-app mixes.
+using BatchMix = std::vector<std::size_t>;
+
+/**
+ * Generate `num_mixes` random mixes of `apps_per_mix` apps (with
+ * repetition across mixes, without repetition inside a mix when
+ * possible), deterministically from the seed.
+ */
+std::vector<BatchMix> makeMixes(std::size_t suite_size,
+                                std::size_t num_mixes,
+                                std::size_t apps_per_mix, uint64_t seed);
+
+} // namespace rubik
+
+#endif // RUBIK_COLOC_BATCH_APP_H

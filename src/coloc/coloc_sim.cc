@@ -1,0 +1,134 @@
+#include "coloc/coloc_sim.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace rubik {
+
+double
+ColocCoreResult::batchThroughputShare(const BatchApp &app, double freq) const
+{
+    const double wall = lc.simTime;
+    if (wall <= 0.0)
+        return 0.0;
+    const double dedicated = app.ips(freq) * wall;
+    return dedicated > 0.0 ? batchInstructions / dedicated : 0.0;
+}
+
+double
+ColocCoreResult::meanCorePower() const
+{
+    if (lc.simTime <= 0.0)
+        return 0.0;
+    return (lc.core.energy.coreActive + batchEnergy) / lc.simTime;
+}
+
+ColocCoreResult
+simulateColoc(const Trace &lc_trace, DvfsPolicy &lc_policy,
+              const BatchApp &batch, const DvfsModel &dvfs,
+              const PowerModel &power, const ColocConfig &config)
+{
+    RUBIK_ASSERT(config.batchFrequency > 0, "batch frequency must be set");
+
+    CoreEngineConfig ecfg;
+    ecfg.recordTimeline = config.recordTimeline;
+    CoreEngine core(dvfs, power, ecfg);
+    lc_policy.reset();
+    Rng rng(config.seed);
+
+    ColocCoreResult result;
+    result.lc.completed.reserve(lc_trace.size());
+
+    const double batch_power =
+        batch.power(config.batchFrequency, power);
+    const double batch_ips = batch.ips(config.batchFrequency);
+
+    std::size_t next_arrival = 0;
+    uint64_t next_id = 0;
+
+    // Idle-gap bookkeeping: batch occupies [gap_start + switch_in, ...).
+    double gap_start = 0.0;
+    bool batch_ran_in_gap = false;
+
+    auto account_batch = [&](double t0, double t1) {
+        // Batch work inside [t0, t1) given the current gap's start.
+        const double from = std::max(t0, gap_start +
+                                             config.batchSwitchInDelay);
+        const double dt = t1 - from;
+        if (dt <= 0.0)
+            return;
+        result.batchInstructions += batch_ips * dt;
+        result.batchBusyTime += dt;
+        result.batchEnergy += batch_power * dt;
+        batch_ran_in_gap = true;
+    };
+
+    while (next_arrival < lc_trace.size() || core.busy()) {
+        const double t_arrival = next_arrival < lc_trace.size()
+                                     ? lc_trace[next_arrival].arrivalTime
+                                     : DvfsPolicy::kNever;
+        const double t_engine = core.nextEventTime();
+        const double t_policy = lc_policy.nextPeriodicUpdate();
+        const double t_next = std::min({t_arrival, t_engine, t_policy});
+        RUBIK_ASSERT(t_next < DvfsPolicy::kNever,
+                     "coloc simulation stuck with no next event");
+
+        const bool was_idle = !core.busy();
+        const double t_prev = core.now();
+        core.advanceTo(t_next);
+        if (was_idle)
+            account_batch(t_prev, t_next);
+
+        bool consult_policy = false;
+
+        if (t_engine <= t_next + 1e-12) {
+            auto done = core.processEvents();
+            if (done) {
+                lc_policy.onCompletion(*done, core);
+                result.lc.completed.push_back(*done);
+                consult_policy = true;
+                if (!core.busy()) {
+                    // Queue drained: a fresh idle gap begins; batch gets
+                    // the core back after the switch-in delay.
+                    gap_start = core.now();
+                    batch_ran_in_gap = false;
+                }
+            }
+        }
+
+        while (next_arrival < lc_trace.size() &&
+               lc_trace[next_arrival].arrivalTime <= t_next + 1e-12) {
+            Request r;
+            r.id = next_id++;
+            r.arrivalTime = core.now();
+            r.computeCycles = lc_trace[next_arrival].computeCycles;
+            r.memoryTime = lc_trace[next_arrival].memoryTime;
+            if (!core.busy() && batch_ran_in_gap) {
+                // Core state polluted by the batch app: pay a refill
+                // penalty. Measured (profiled) cycles include it, so
+                // Rubik's model adapts to the interference it causes.
+                r.computeCycles +=
+                    rng.uniform(0.0, config.refillMaxCycles);
+            }
+            core.enqueue(r);
+            ++next_arrival;
+            consult_policy = true;
+        }
+
+        if (t_policy <= t_next + 1e-12) {
+            lc_policy.periodicUpdate(core);
+            consult_policy = true;
+        }
+
+        if (consult_policy)
+            core.requestFrequency(lc_policy.selectFrequency(core));
+    }
+
+    result.lc.core = core.stats();
+    result.lc.simTime = core.now();
+    result.lc.freqTimeline = core.timeline();
+    return result;
+}
+
+} // namespace rubik

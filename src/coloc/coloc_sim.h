@@ -1,0 +1,82 @@
+#ifndef RUBIK_COLOC_COLOC_SIM_H
+#define RUBIK_COLOC_COLOC_SIM_H
+
+/**
+ * @file
+ * Colocated-core simulation (Sec. 6, Fig. 13c).
+ *
+ * One core runs a latency-critical app plus one batch app. The LC app has
+ * strict priority: it runs whenever it has pending requests; the batch app
+ * soaks up idle gaps. Sharing the core perturbs the LC app through core
+ * microarchitectural state (branch predictors, TLBs, L1/L2): an LC request
+ * dispatched after batch execution pays a refill penalty in extra compute
+ * cycles. The memory system is partitioned (Vantage LLC partitioning +
+ * memory channel partitioning in the paper), so there is *no* LLC/DRAM
+ * interference term — core state is the only coupling, which is exactly
+ * the uncertainty Rubik's fast adaptation absorbs.
+ *
+ * Because memory partitioning decouples cores, a 6-core colocated server
+ * decomposes into six independent (LC app, batch app) core simulations;
+ * only HW-T's TDP coupling spans cores, and it is resolved statically per
+ * mix (see hw_dvfs.h). This is what makes the Sec. 7 experiments cheap.
+ */
+
+#include <cstdint>
+
+#include "coloc/batch_app.h"
+#include "power/dvfs_model.h"
+#include "power/power_model.h"
+#include "sim/policy.h"
+#include "sim/simulation.h"
+#include "sim/trace.h"
+
+namespace rubik {
+
+/// Configuration of one colocated core.
+struct ColocConfig
+{
+    /// Frequency the batch app runs at (its TPW optimum under RubikColoc,
+    /// or whatever the HW scheme dictates).
+    double batchFrequency = 0.0;
+    /// Max refill penalty (cycles) added to an LC request dispatched after
+    /// batch execution; drawn U(0, max]. Default models on the order of a
+    /// hundred microseconds of L1/L2/TLB/branch-state refill at nominal
+    /// frequency (private caches refill from the warm LLC partition in
+    /// microseconds, Sec. 6, but the full working set takes many misses).
+    double refillMaxCycles = 3.0e5;
+    /// Delay before the batch app makes progress in an idle gap
+    /// (context-switch-in).
+    double batchSwitchInDelay = 5e-6;
+    /// Seed for the refill penalty draws.
+    uint64_t seed = 12345;
+    /// Record the LC frequency timeline.
+    bool recordTimeline = false;
+};
+
+/// Result of one colocated-core run.
+struct ColocCoreResult
+{
+    SimResult lc;                  ///< LC side (latencies include refill).
+    double batchInstructions = 0;  ///< Instructions retired by batch.
+    double batchBusyTime = 0;      ///< Seconds batch occupied the core.
+    double batchEnergy = 0;        ///< Core energy while batch ran (J).
+
+    /// Batch throughput relative to a dedicated core at frequency f.
+    double batchThroughputShare(const BatchApp &app, double freq) const;
+
+    /// Mean total core power: LC active + batch active over wall time.
+    double meanCorePower() const;
+};
+
+/**
+ * Run a colocated core: LC trace under `lc_policy`, `batch` soaking idle
+ * time at `config.batchFrequency`.
+ */
+ColocCoreResult simulateColoc(const Trace &lc_trace, DvfsPolicy &lc_policy,
+                              const BatchApp &batch, const DvfsModel &dvfs,
+                              const PowerModel &power,
+                              const ColocConfig &config);
+
+} // namespace rubik
+
+#endif // RUBIK_COLOC_COLOC_SIM_H

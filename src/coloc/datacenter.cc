@@ -1,0 +1,230 @@
+#include "coloc/datacenter.h"
+
+#include <cmath>
+
+#include "core/rubik_controller.h"
+#include "policies/static_oracle.h"
+#include "sim/simulation.h"
+#include "util/error.h"
+#include "workloads/trace_gen.h"
+
+namespace rubik {
+
+namespace {
+
+/// Load quantized to a cache key (avoids float map keys).
+int
+loadKey(double load)
+{
+    return static_cast<int>(std::lround(load * 1000.0));
+}
+
+} // anonymous namespace
+
+DatacenterModel::DatacenterModel(const DvfsModel &dvfs,
+                                 const PowerModel &power,
+                                 const DatacenterConfig &config)
+    : dvfs_(dvfs), power_(power), cfg_(config), suite_(specLikeSuite()),
+      mixes_(makeMixes(suite_.size(), config.numMixes,
+                       static_cast<std::size_t>(config.coresPerServer),
+                       config.seed))
+{
+}
+
+double
+DatacenterModel::latencyBound(AppId app)
+{
+    const int key = static_cast<int>(app);
+    auto it = bounds_.find(key);
+    if (it != bounds_.end())
+        return it->second;
+
+    const AppProfile profile = makeApp(app);
+    const Trace trace =
+        generateLoadTrace(profile, cfg_.boundLoad, cfg_.lcRequestsPerSim,
+                          dvfs_.nominalFrequency(), cfg_.seed + key);
+    FixedFrequencyPolicy fixed(dvfs_.nominalFrequency());
+    const SimResult r = simulate(trace, fixed, dvfs_, power_);
+    const double bound = r.tailLatency(cfg_.percentile);
+    bounds_[key] = bound;
+    return bound;
+}
+
+double
+DatacenterModel::segregatedLcServerPower(AppId app, double load)
+{
+    const auto key = std::make_pair(static_cast<int>(app), loadKey(load));
+    auto it = segLcPowerCache_.find(key);
+    if (it != segLcPowerCache_.end())
+        return it->second;
+
+    const AppProfile profile = makeApp(app);
+    const double bound = latencyBound(app);
+    const Trace trace =
+        generateLoadTrace(profile, load, cfg_.lcRequestsPerSim,
+                          dvfs_.nominalFrequency(),
+                          cfg_.seed + 100 + static_cast<int>(app));
+
+    const StaticOracleResult so =
+        staticOracle(trace, bound, cfg_.percentile, dvfs_, power_);
+    FixedFrequencyPolicy fixed(so.frequency);
+    SimConfig scfg;
+    scfg.initialFrequency = so.frequency;
+    const SimResult r = simulate(trace, fixed, dvfs_, power_, scfg);
+
+    const EnergyBreakdown sys =
+        systemEnergy(r, power_, cfg_.coresPerServer);
+    const double watts = r.simTime > 0.0 ? sys.total() / r.simTime : 0.0;
+    segLcPowerCache_[key] = watts;
+    return watts;
+}
+
+double
+DatacenterModel::batchServerPower(const BatchMix &mix) const
+{
+    double cores = 0.0;
+    double stall_sum = 0.0;
+    for (std::size_t idx : mix) {
+        const BatchApp &app = suite_[idx];
+        const double f = app.tpwOptimalFrequency(dvfs_, power_);
+        cores += app.power(f, power_);
+        stall_sum += app.stallFrac(f);
+    }
+    const int n = static_cast<int>(mix.size());
+    const double bw_util = stall_sum / static_cast<double>(n);
+    return cores + power_.uncorePower(n) + power_.dramPower(bw_util) +
+           power_.otherPower();
+}
+
+const DatacenterModel::PairResult &
+DatacenterModel::pairResult(AppId app, std::size_t batch_idx, double load)
+{
+    const auto key = std::make_tuple(static_cast<int>(app), batch_idx,
+                                     loadKey(load));
+    auto it = pairCache_.find(key);
+    if (it != pairCache_.end())
+        return it->second;
+
+    const AppProfile profile = makeApp(app);
+    const BatchApp &batch = suite_[batch_idx];
+    const double bound = latencyBound(app);
+    const Trace trace = generateLoadTrace(
+        profile, load, cfg_.lcRequestsPerSim, dvfs_.nominalFrequency(),
+        cfg_.seed + 1000 + static_cast<int>(app) * 37 +
+            static_cast<int>(batch_idx));
+
+    RubikConfig rcfg;
+    rcfg.latencyBound = bound;
+    rcfg.percentile = cfg_.percentile;
+    RubikController rubik(dvfs_, rcfg);
+
+    ColocConfig ccfg;
+    ccfg.batchFrequency = batch.tpwOptimalFrequency(dvfs_, power_);
+    ccfg.seed = cfg_.seed + 5000 + batch_idx;
+    const ColocCoreResult r =
+        simulateColoc(trace, rubik, batch, dvfs_, power_, ccfg);
+
+    PairResult pr;
+    pr.corePower = r.meanCorePower();
+    pr.batchShare = r.batchThroughputShare(batch, ccfg.batchFrequency);
+    pr.lcStallShare =
+        r.lc.simTime > 0.0 ? r.lc.core.stallTime / r.lc.simTime : 0.0;
+    pr.batchStallFrac = batch.stallFrac(ccfg.batchFrequency) *
+                        (r.lc.simTime > 0.0
+                             ? r.batchBusyTime / r.lc.simTime
+                             : 0.0);
+    auto [pos, inserted] = pairCache_.emplace(key, pr);
+    RUBIK_ASSERT(inserted, "duplicate pair cache entry");
+    return pos->second;
+}
+
+DatacenterEval
+DatacenterModel::evaluate(double lc_load)
+{
+    DatacenterEval eval;
+    eval.lcLoad = lc_load;
+
+    const auto apps = allApps();
+    const double num_lc_servers =
+        static_cast<double>(cfg_.lcServersPerApp) *
+        static_cast<double>(apps.size());
+    const double num_batch_servers =
+        static_cast<double>(cfg_.serversPerMix) *
+        static_cast<double>(mixes_.size());
+
+    // ---- Segregated datacenter ----
+    double seg_lc_power = 0.0;
+    for (AppId app : apps) {
+        seg_lc_power += static_cast<double>(cfg_.lcServersPerApp) *
+                        segregatedLcServerPower(app, lc_load);
+    }
+    double seg_batch_power = 0.0;
+    for (const auto &mix : mixes_) {
+        seg_batch_power += static_cast<double>(cfg_.serversPerMix) *
+                           batchServerPower(mix);
+    }
+    eval.segregated.power = seg_lc_power + seg_batch_power;
+    eval.segregated.batchPower = seg_batch_power;
+    eval.segregated.servers = num_lc_servers + num_batch_servers;
+    eval.segregated.batchServers = num_batch_servers;
+
+    // ---- Colocated datacenter ----
+    // Mixes are interleaved across each app's servers: every app's 200
+    // servers host 200/20 = 10 servers of each mix.
+    const double servers_per_app_mix =
+        static_cast<double>(cfg_.lcServersPerApp) /
+        static_cast<double>(mixes_.size());
+
+    double coloc_power = 0.0;
+    // Deficit of batch instances (in dedicated-instance equivalents) per
+    // suite app, to be made up by batch-only servers.
+    std::vector<double> deficit(suite_.size(), 0.0);
+
+    for (AppId app : apps) {
+        for (const auto &mix : mixes_) {
+            double cores_power = 0.0;
+            double bw_util = 0.0;
+            for (std::size_t batch_idx : mix) {
+                const PairResult &pr = pairResult(app, batch_idx, lc_load);
+                cores_power += pr.corePower;
+                bw_util += (pr.lcStallShare + pr.batchStallFrac) /
+                           static_cast<double>(cfg_.coresPerServer);
+                deficit[batch_idx] +=
+                    servers_per_app_mix * (1.0 - pr.batchShare);
+            }
+            const double server_power =
+                cores_power + power_.uncorePower(cfg_.coresPerServer) +
+                power_.dramPower(bw_util) + power_.otherPower();
+            coloc_power += servers_per_app_mix * server_power;
+        }
+    }
+
+    // Batch-only top-up servers to match segregated batch throughput.
+    double extra_instances = 0.0;
+    double extra_core_power = 0.0;
+    double extra_stall = 0.0;
+    for (std::size_t j = 0; j < suite_.size(); ++j) {
+        if (deficit[j] <= 0.0)
+            continue;
+        const double f = suite_[j].tpwOptimalFrequency(dvfs_, power_);
+        extra_instances += deficit[j];
+        extra_core_power += deficit[j] * suite_[j].power(f, power_);
+        extra_stall += deficit[j] * suite_[j].stallFrac(f);
+    }
+    const double extra_servers =
+        extra_instances / static_cast<double>(cfg_.coresPerServer);
+    const double extra_bw =
+        extra_instances > 0.0 ? extra_stall / extra_instances : 0.0;
+    const double extra_power =
+        extra_core_power +
+        extra_servers * (power_.uncorePower(cfg_.coresPerServer) +
+                         power_.dramPower(extra_bw) + power_.otherPower());
+
+    eval.colocated.power = coloc_power + extra_power;
+    eval.colocated.batchPower = extra_power;
+    eval.colocated.servers = num_lc_servers + extra_servers;
+    eval.colocated.batchServers = extra_servers;
+    return eval;
+}
+
+} // namespace rubik

@@ -1,0 +1,110 @@
+#ifndef RUBIK_COLOC_DATACENTER_H
+#define RUBIK_COLOC_DATACENTER_H
+
+/**
+ * @file
+ * Datacenter-scale evaluation of RubikColoc (Sec. 7, Figs. 14 and 16).
+ *
+ * Baseline (segregated) datacenter: 1000 LC servers (200 per app, 6
+ * copies each, StaticOracle frequencies) plus 1000 batch servers (50 per
+ * 6-app mix, every app at its TPW-optimal frequency).
+ *
+ * Colocated datacenter: the 1000 LC servers also absorb the batch mixes
+ * (RubikColoc); because colocated batch apps achieve less throughput than
+ * dedicated ones, extra batch-only servers are provisioned so aggregate
+ * batch throughput matches the segregated baseline per app (fixed-work
+ * comparison). Outputs: total datacenter power and server count, with the
+ * batch-server contribution split out for Fig. 16's hatching.
+ */
+
+#include <map>
+#include <vector>
+
+#include "coloc/batch_app.h"
+#include "coloc/coloc_sim.h"
+#include "power/dvfs_model.h"
+#include "power/power_model.h"
+#include "workloads/apps.h"
+
+namespace rubik {
+
+/// Knobs for the datacenter experiment.
+struct DatacenterConfig
+{
+    int lcServersPerApp = 200;
+    int serversPerMix = 50;
+    std::size_t numMixes = 20;
+    int coresPerServer = 6;
+    int lcRequestsPerSim = 4000;
+    double percentile = 0.95;
+    /// Latency bounds are the fixed-frequency tails at this load.
+    double boundLoad = 0.5;
+    uint64_t seed = 7;
+};
+
+/// One datacenter's power/server tally.
+struct DatacenterTally
+{
+    double power = 0.0;          ///< Watts, whole datacenter.
+    double batchPower = 0.0;     ///< Of which batch-only servers.
+    double servers = 0.0;        ///< Server count (fractional top-up).
+    double batchServers = 0.0;   ///< Of which batch-only.
+};
+
+/// Result at one LC load.
+struct DatacenterEval
+{
+    double lcLoad = 0.0;
+    DatacenterTally segregated;
+    DatacenterTally colocated;
+};
+
+/**
+ * Evaluates segregated vs RubikColoc datacenters across LC loads.
+ * Heavy sub-simulations (per LC-app x batch-app pairs) are cached.
+ */
+class DatacenterModel
+{
+  public:
+    DatacenterModel(const DvfsModel &dvfs, const PowerModel &power,
+                    const DatacenterConfig &config = DatacenterConfig());
+
+    /// Evaluate both datacenters at one LC load (e.g. 0.1 .. 0.6).
+    DatacenterEval evaluate(double lc_load);
+
+    /// Tail latency bound used for an app (fixed-freq tail @ boundLoad).
+    double latencyBound(AppId app);
+
+  private:
+    /// Mean power of one segregated LC server for `app` at `load`.
+    double segregatedLcServerPower(AppId app, double load);
+
+    /// Mean power of one dedicated batch server running `mix`.
+    double batchServerPower(const BatchMix &mix) const;
+
+    struct PairResult
+    {
+        double corePower = 0.0;       ///< LC + batch active power (W).
+        double batchShare = 0.0;      ///< Fraction of dedicated throughput.
+        double lcStallShare = 0.0;    ///< For DRAM accounting.
+        double batchStallFrac = 0.0;
+    };
+
+    /// Colocated (LC app, batch app) core at `load` under RubikColoc.
+    const PairResult &pairResult(AppId app, std::size_t batch_idx,
+                                 double load);
+
+    DvfsModel dvfs_;
+    PowerModel power_;
+    DatacenterConfig cfg_;
+    std::vector<BatchApp> suite_;
+    std::vector<BatchMix> mixes_;
+
+    std::map<int, double> bounds_;               // AppId -> L
+    std::map<std::tuple<int, std::size_t, int>, PairResult> pairCache_;
+    std::map<std::pair<int, int>, double> segLcPowerCache_;
+};
+
+} // namespace rubik
+
+#endif // RUBIK_COLOC_DATACENTER_H

@@ -1,0 +1,121 @@
+#include "coloc/hw_dvfs.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace rubik {
+
+CoreWorkload
+lcWorkload(double mem_fraction, double nominal_freq)
+{
+    RUBIK_ASSERT(mem_fraction >= 0 && mem_fraction < 1,
+                 "invalid memory fraction");
+    // Define a "unit" so that at nominal frequency the time split matches
+    // the app's memory fraction: cpi = 1 cycle, mem chosen accordingly.
+    CoreWorkload w;
+    w.cpi = 1.0;
+    w.memTimePerInstr =
+        mem_fraction / ((1.0 - mem_fraction) * nominal_freq);
+    return w;
+}
+
+CoreWorkload
+blendWorkload(const CoreWorkload &lc, const BatchApp &batch,
+              double lc_busy_fraction)
+{
+    const double u = std::clamp(lc_busy_fraction, 0.0, 1.0);
+    CoreWorkload w;
+    w.cpi = u * lc.cpi + (1.0 - u) * batch.cpi;
+    w.memTimePerInstr =
+        u * lc.memTimePerInstr + (1.0 - u) * batch.memTimePerInstr;
+    return w;
+}
+
+std::vector<double>
+hwThroughputAllocation(const std::vector<CoreWorkload> &cores,
+                       const DvfsModel &dvfs, const PowerModel &power)
+{
+    const auto &grid = dvfs.frequencies();
+    std::vector<std::size_t> idx(cores.size(), 0);
+
+    auto core_power = [&](std::size_t c) {
+        const double f = grid[idx[c]];
+        return power.coreActivePower(f, cores[c].stallFrac(f));
+    };
+    auto package = [&]() {
+        double p = power.uncorePower(static_cast<int>(cores.size()));
+        for (std::size_t c = 0; c < cores.size(); ++c)
+            p += core_power(c);
+        return p;
+    };
+
+    // Greedy: repeatedly grant one grid step to the core with the largest
+    // *throughput* gain that still fits in the TDP. This is the paper's
+    // HW-T ("maximize aggregate system throughput (IPC) while staying
+    // below TDP"): compute-bound cores absorb the power budget first
+    // because a step buys them more IPC, and memory-bound cores — often
+    // the latency-critical ones — are starved. This is precisely why
+    // HW-T wrecks tail latency in Fig. 15.
+    for (;;) {
+        double best_gain = 0.0;
+        std::size_t best_core = cores.size();
+        const double current = package();
+        for (std::size_t c = 0; c < cores.size(); ++c) {
+            if (idx[c] + 1 >= grid.size())
+                continue;
+            const double f0 = grid[idx[c]];
+            const double f1 = grid[idx[c] + 1];
+            const double d_speed =
+                cores[c].speedup(f1, dvfs.nominalFrequency()) -
+                cores[c].speedup(f0, dvfs.nominalFrequency());
+            const double d_power =
+                power.coreActivePower(f1, cores[c].stallFrac(f1)) -
+                power.coreActivePower(f0, cores[c].stallFrac(f0));
+            if (current + d_power > power.tdp())
+                continue;
+            if (d_speed > best_gain) {
+                best_gain = d_speed;
+                best_core = c;
+            }
+        }
+        if (best_core == cores.size())
+            break;
+        ++idx[best_core];
+    }
+
+    std::vector<double> freqs(cores.size());
+    for (std::size_t c = 0; c < cores.size(); ++c)
+        freqs[c] = grid[idx[c]];
+    return freqs;
+}
+
+double
+tpwOptimalFrequency(const CoreWorkload &w, const DvfsModel &dvfs,
+                    const PowerModel &power)
+{
+    // Package-level throughput-per-watt: the core's share of uncore
+    // static power is part of the denominator, which gives the curve an
+    // interior optimum (running arbitrarily slow wastes shared static
+    // power per unit of work).
+    const double shared =
+        power.uncorePower(power.params().numCores) /
+        static_cast<double>(power.params().numCores);
+    double best_f = dvfs.minFrequency();
+    double best_tpw = 0.0;
+    for (double f : dvfs.frequencies()) {
+        if (f > dvfs.nominalFrequency() + 1.0)
+            break; // stay within the TDP envelope, as batch apps do
+        const double speed = 1.0 / w.timePerUnit(f);
+        const double p =
+            power.coreActivePower(f, w.stallFrac(f)) + shared;
+        const double tpw = speed / p;
+        if (tpw > best_tpw) {
+            best_tpw = tpw;
+            best_f = f;
+        }
+    }
+    return best_f;
+}
+
+} // namespace rubik

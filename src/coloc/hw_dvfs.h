@@ -1,0 +1,77 @@
+#ifndef RUBIK_COLOC_HW_DVFS_H
+#define RUBIK_COLOC_HW_DVFS_H
+
+/**
+ * @file
+ * Hardware-controlled coordinated DVFS schemes (Sec. 7): HW-T maximizes
+ * aggregate throughput subject to the package TDP; HW-TPW maximizes
+ * aggregate throughput-per-watt. Both are application-oblivious — they
+ * represent TurboBoost-style hardware governors — and the paper shows
+ * they grossly violate tail latency when colocating.
+ *
+ * Because batch work keeps every core ~100% occupied, the schemes'
+ * 100 us adaptation converges to a static per-core operating point per
+ * workload mix; we compute that fixed point directly (greedy marginal
+ * throughput-per-watt allocation for HW-T, per-core TPW optimum for
+ * HW-TPW). This keeps the colocated cores independent so the Sec. 7
+ * experiments decompose into per-core simulations.
+ */
+
+#include <vector>
+
+#include "coloc/batch_app.h"
+#include "power/dvfs_model.h"
+#include "power/power_model.h"
+
+namespace rubik {
+
+/**
+ * Blended workload characteristics of one shared core: the time-weighted
+ * instruction mix of its LC and batch occupants.
+ */
+struct CoreWorkload
+{
+    double cpi = 1.0;
+    double memTimePerInstr = 0.0;
+
+    double timePerUnit(double freq) const
+    {
+        return cpi / freq + memTimePerInstr;
+    }
+
+    /// Speed relative to running at `ref` frequency.
+    double speedup(double freq, double ref) const
+    {
+        return timePerUnit(ref) / timePerUnit(freq);
+    }
+
+    double stallFrac(double freq) const
+    {
+        return memTimePerInstr / timePerUnit(freq);
+    }
+};
+
+/// LC app expressed as a per-unit workload (cpi 1, memory share mem_frac).
+CoreWorkload lcWorkload(double mem_fraction, double nominal_freq);
+
+/// Occupancy-weighted blend of the LC and batch instruction mixes.
+CoreWorkload blendWorkload(const CoreWorkload &lc, const BatchApp &batch,
+                           double lc_busy_fraction);
+
+/**
+ * HW-T: per-core frequencies maximizing aggregate normalized throughput
+ * subject to packagePower <= TDP. Greedy marginal speed-per-watt
+ * allocation from the bottom of the grid (exactly optimal for concave
+ * speed/power curves, a good fit here).
+ */
+std::vector<double> hwThroughputAllocation(
+    const std::vector<CoreWorkload> &cores, const DvfsModel &dvfs,
+    const PowerModel &power);
+
+/// HW-TPW: the core-local throughput-per-watt optimal frequency.
+double tpwOptimalFrequency(const CoreWorkload &w, const DvfsModel &dvfs,
+                           const PowerModel &power);
+
+} // namespace rubik
+
+#endif // RUBIK_COLOC_HW_DVFS_H

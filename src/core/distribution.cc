@@ -1,0 +1,244 @@
+#include "core/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/fft.h"
+
+namespace rubik {
+
+DiscreteDistribution
+DiscreteDistribution::pointMass(double value, std::size_t buckets)
+{
+    RUBIK_ASSERT(buckets >= 2, "need at least 2 buckets");
+    value = std::max(value, 0.0);
+    // Pick the width so the value lands in the middle of the range. For
+    // value 0 the support must be negligible in any unit system the
+    // caller uses (seconds ~1e-4, cycles ~1e6): quantileUpper() of a
+    // zero point mass returns one bucket width, and that must not eat
+    // into Eq. 2's slack.
+    const double width =
+        value > 0.0 ? 2.0 * value / static_cast<double>(buckets) : 1e-12;
+    std::vector<double> masses(buckets, 0.0);
+    auto idx = static_cast<std::size_t>(value / width);
+    masses[std::min(idx, buckets - 1)] = 1.0;
+    return DiscreteDistribution(std::move(masses), width);
+}
+
+DiscreteDistribution
+DiscreteDistribution::fromHistogram(const Histogram &hist,
+                                    std::size_t buckets)
+{
+    if (hist.totalWeight() == 0.0)
+        return pointMass(0.0, buckets);
+
+    DiscreteDistribution d;
+    d.width_ = hist.bucketWidth();
+    d.p_ = hist.normalized();
+    if (d.p_.size() != buckets)
+        return d.rebin(hist.max() / static_cast<double>(buckets), buckets);
+    return d;
+}
+
+DiscreteDistribution::DiscreteDistribution(std::vector<double> masses,
+                                           double bucket_width)
+    : p_(std::move(masses)), width_(bucket_width)
+{
+    RUBIK_ASSERT(!p_.empty(), "empty distribution");
+    RUBIK_ASSERT(bucket_width > 0, "bucket width must be positive");
+    normalize();
+}
+
+void
+DiscreteDistribution::normalize()
+{
+    double total = 0.0;
+    for (double m : p_) {
+        RUBIK_ASSERT(m >= 0.0, "negative probability mass");
+        total += m;
+    }
+    if (total <= 0.0) {
+        // Degenerate: make it a point mass at 0.
+        p_.assign(p_.size(), 0.0);
+        p_[0] = 1.0;
+        return;
+    }
+    for (double &m : p_)
+        m /= total;
+}
+
+double
+DiscreteDistribution::totalMass() const
+{
+    double total = 0.0;
+    for (double m : p_)
+        total += m;
+    return total;
+}
+
+double
+DiscreteDistribution::mean() const
+{
+    double sum = 0.0;
+    for (std::size_t i = 0; i < p_.size(); ++i)
+        sum += p_[i] * bucketMid(i);
+    return sum;
+}
+
+double
+DiscreteDistribution::variance() const
+{
+    const double m = mean();
+    double sum = 0.0;
+    for (std::size_t i = 0; i < p_.size(); ++i) {
+        const double d = bucketMid(i) - m;
+        sum += p_[i] * d * d;
+    }
+    return sum;
+}
+
+double
+DiscreteDistribution::quantile(double q) const
+{
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q;
+    double cum = 0.0;
+    for (std::size_t i = 0; i < p_.size(); ++i) {
+        if (cum + p_[i] >= target) {
+            const double frac = p_[i] > 0.0 ? (target - cum) / p_[i] : 0.0;
+            return (static_cast<double>(i) + frac) * width_;
+        }
+        cum += p_[i];
+    }
+    return max();
+}
+
+double
+DiscreteDistribution::quantileUpper(double q) const
+{
+    q = std::clamp(q, 0.0, 1.0);
+    double cum = 0.0;
+    for (std::size_t i = 0; i < p_.size(); ++i) {
+        cum += p_[i];
+        if (cum >= q - 1e-12)
+            return (static_cast<double>(i) + 1.0) * width_;
+    }
+    return max();
+}
+
+DiscreteDistribution
+DiscreteDistribution::conditionalOnElapsed(double omega) const
+{
+    if (omega <= 0.0)
+        return *this;
+
+    // Shift left by omega with linear splitting of the fractional bucket,
+    // then renormalize over the surviving mass: P[S = c + w | S > w].
+    const double shift = omega / width_;
+    const auto k = static_cast<std::size_t>(shift);
+    const double frac = shift - static_cast<double>(k);
+
+    const std::size_t n = p_.size();
+    std::vector<double> shifted(n, 0.0);
+    double total = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+        double m = 0.0;
+        const std::size_t lo = j + k;
+        if (lo < n)
+            m += (1.0 - frac) * p_[lo];
+        if (lo + 1 < n)
+            m += frac * p_[lo + 1];
+        shifted[j] = m;
+        total += m;
+    }
+
+    if (total <= 1e-12) {
+        // ω beyond all profiled service times: predict imminent completion.
+        return pointMass(width_ * 0.5, n);
+    }
+    return DiscreteDistribution(std::move(shifted), width_);
+}
+
+DiscreteDistribution
+DiscreteDistribution::rebin(double new_width, std::size_t new_buckets) const
+{
+    RUBIK_ASSERT(new_width > 0 && new_buckets >= 2, "invalid rebin target");
+    std::vector<double> out(new_buckets, 0.0);
+    for (std::size_t i = 0; i < p_.size(); ++i) {
+        if (p_[i] == 0.0)
+            continue;
+        // Source bucket [a, b) spreads its mass uniformly over the target.
+        const double a = static_cast<double>(i) * width_;
+        const double b = a + width_;
+        const double lo_f = a / new_width;
+        const double hi_f = b / new_width;
+        auto lo = static_cast<std::size_t>(lo_f);
+        auto hi = static_cast<std::size_t>(hi_f);
+        lo = std::min(lo, new_buckets - 1);
+        hi = std::min(hi, new_buckets - 1);
+        if (lo == hi) {
+            out[lo] += p_[i];
+            continue;
+        }
+        const double span = hi_f - lo_f;
+        for (std::size_t j = lo; j <= hi; ++j) {
+            const double seg_lo = std::max(lo_f, static_cast<double>(j));
+            const double seg_hi =
+                std::min(hi_f, static_cast<double>(j + 1));
+            const double w = std::max(0.0, seg_hi - seg_lo) / span;
+            out[j] += p_[i] * w;
+        }
+    }
+    return DiscreteDistribution(std::move(out), new_width);
+}
+
+DiscreteDistribution
+DiscreteDistribution::convolveWith(const DiscreteDistribution &other,
+                                   bool use_fft) const
+{
+    // Bring both operands to a common bucket width. Crucially, rebin the
+    // narrower operand into only as many buckets as its support needs:
+    // zero-padding it to a full bucket count would double the result's
+    // support on every convolution and blow up a 16-deep chain.
+    const double common = std::max(width_, other.width_);
+    auto compact = [common](const DiscreteDistribution &d) {
+        if (d.width_ == common)
+            return d;
+        const auto k = static_cast<std::size_t>(
+            std::ceil(d.max() / common));
+        return d.rebin(common, std::max<std::size_t>(k, 2));
+    };
+    const DiscreteDistribution lhs = compact(*this);
+    const DiscreteDistribution rhs = compact(other);
+
+    const std::vector<double> raw =
+        use_fft ? fftConvolve(lhs.p_, rhs.p_)
+                : directConvolve(lhs.p_, rhs.p_);
+
+    // Index-domain convolution places the sum of two bucket midpoints,
+    // (i+0.5)w + (j+0.5)w = (i+j+1)w, exactly on the edge between output
+    // buckets i+j and i+j+1. Split the mass across both so means add
+    // exactly (no half-bucket drift across chained convolutions).
+    std::vector<double> conv(raw.size() + 1, 0.0);
+    for (std::size_t k = 0; k < raw.size(); ++k) {
+        conv[k] += 0.5 * raw[k];
+        conv[k + 1] += 0.5 * raw[k];
+    }
+
+    // Trim trailing (near-)zero mass so the support only reflects real
+    // probability, keeping chained convolutions' resolution tight.
+    while (conv.size() > 1 && conv.back() < 1e-15)
+        conv.pop_back();
+
+    // Rebin the widened result back to this bucket count.
+    const std::size_t n = p_.size();
+    DiscreteDistribution widened;
+    widened.p_ = std::move(conv);
+    widened.width_ = common;
+    const double support =
+        common * static_cast<double>(widened.p_.size());
+    return widened.rebin(support / static_cast<double>(n), n);
+}
+
+} // namespace rubik

@@ -1,0 +1,113 @@
+#ifndef RUBIK_CORE_DISTRIBUTION_H
+#define RUBIK_CORE_DISTRIBUTION_H
+
+/**
+ * @file
+ * Bucketed probability distributions for Rubik's statistical model.
+ *
+ * Rubik represents the per-request compute-cycle distribution P[C = c] and
+ * memory-time distribution P[M = t] as 128-bucket histograms (Sec. 4.2,
+ * "Cost"). This class supports the three operations the model needs:
+ *
+ *  1. conditioning on elapsed work ω (the in-flight request):
+ *       P[S0 = c] = P[S = c + ω | S > ω]                      (Sec. 4.1)
+ *  2. convolution, for queued requests: P_Si = P_Si-1 * P_S,
+ *     accelerated with FFTs,
+ *  3. tail quantiles (the c_i / m_i of the target tail tables).
+ *
+ * The distribution always keeps a fixed bucket count; convolution widens
+ * the bucket width instead of growing the array, so chained convolutions
+ * stay O(n log n) with bounded memory.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/histogram.h"
+
+namespace rubik {
+
+/**
+ * A probability distribution over [0, numBuckets * bucketWidth), stored as
+ * per-bucket masses. Bucket i covers [i*w, (i+1)*w).
+ */
+class DiscreteDistribution
+{
+  public:
+    /// Point mass at `value` (width chosen so value falls mid-range).
+    static DiscreteDistribution pointMass(double value,
+                                          std::size_t buckets = 128);
+
+    /// Normalize a sample histogram into a distribution.
+    static DiscreteDistribution fromHistogram(const Histogram &hist,
+                                              std::size_t buckets = 128);
+
+    /// Build from explicit masses (will be normalized).
+    DiscreteDistribution(std::vector<double> masses, double bucket_width);
+
+    std::size_t numBuckets() const { return p_.size(); }
+    double bucketWidth() const { return width_; }
+
+    /// Upper edge of the support.
+    double max() const { return width_ * static_cast<double>(p_.size()); }
+
+    double mass(std::size_t i) const { return p_[i]; }
+
+    /// Representative (midpoint) value of bucket i.
+    double bucketMid(std::size_t i) const
+    {
+        return (static_cast<double>(i) + 0.5) * width_;
+    }
+
+    double mean() const;
+    double variance() const;
+
+    /**
+     * q-quantile with linear interpolation inside the bucket.
+     */
+    double quantile(double q) const;
+
+    /**
+     * Conservative q-quantile: the *upper edge* of the bucket containing
+     * the quantile. Rubik uses this for tail values so discretization
+     * error never causes latency violations.
+     */
+    double quantileUpper(double q) const;
+
+    /**
+     * Distribution of remaining work after ω has elapsed:
+     * P[S - ω = c | S > ω]. If ω exceeds the support (the request has
+     * outlived every profiled sample), returns a one-bucket point mass —
+     * the model predicts imminent completion.
+     */
+    DiscreteDistribution conditionalOnElapsed(double omega) const;
+
+    /**
+     * Convolution with another distribution (sum of independent draws),
+     * rebinned back to this distribution's bucket count.
+     *
+     * @param use_fft Use the FFT path (paper's choice); the direct path
+     *                is exact and used for testing.
+     */
+    DiscreteDistribution convolveWith(const DiscreteDistribution &other,
+                                      bool use_fft = true) const;
+
+    /// Rebin to a new bucket width/count (mass split proportionally).
+    DiscreteDistribution rebin(double new_width,
+                               std::size_t new_buckets) const;
+
+    /// Total mass (1 up to rounding; 0 only for the empty edge case).
+    double totalMass() const;
+
+  private:
+    DiscreteDistribution() = default;
+
+    void normalize();
+
+    std::vector<double> p_;
+    double width_ = 1.0;
+};
+
+} // namespace rubik
+
+#endif // RUBIK_CORE_DISTRIBUTION_H

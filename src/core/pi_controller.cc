@@ -1,0 +1,36 @@
+#include "core/pi_controller.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace rubik {
+
+PiController::PiController(double kp, double ki, double out_min,
+                           double out_max, double initial)
+    : kp_(kp), ki_(ki), outMin_(out_min), outMax_(out_max),
+      output_(initial), prevError_(0.0), first_(true)
+{
+    RUBIK_ASSERT(out_min <= out_max, "invalid output clamp");
+}
+
+double
+PiController::update(double error, double dt)
+{
+    const double d_error = first_ ? 0.0 : error - prevError_;
+    first_ = false;
+    prevError_ = error;
+    output_ += kp_ * d_error + ki_ * error * dt;
+    output_ = std::clamp(output_, outMin_, outMax_);
+    return output_;
+}
+
+void
+PiController::reset(double initial)
+{
+    output_ = initial;
+    prevError_ = 0.0;
+    first_ = true;
+}
+
+} // namespace rubik

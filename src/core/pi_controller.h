@@ -1,0 +1,55 @@
+#ifndef RUBIK_CORE_PI_CONTROLLER_H
+#define RUBIK_CORE_PI_CONTROLLER_H
+
+/**
+ * @file
+ * Proportional-integral controller.
+ *
+ * Rubik's estimates are deliberately conservative; a small PI loop on the
+ * difference between the measured and target tail latency nudges the
+ * internal latency target so the conservatism does not waste power
+ * (Sec. 4.2, "Feedback-based fine-tuning"). Implemented in velocity form
+ * with output clamping, which gives anti-windup for free.
+ */
+
+namespace rubik {
+
+/**
+ * Velocity-form PI controller with clamped output.
+ */
+class PiController
+{
+  public:
+    /**
+     * @param kp      Proportional gain.
+     * @param ki      Integral gain (per second).
+     * @param out_min Lower output clamp.
+     * @param out_max Upper output clamp.
+     * @param initial Initial output.
+     */
+    PiController(double kp, double ki, double out_min, double out_max,
+                 double initial);
+
+    /**
+     * Advance the controller with the current error over a dt-second
+     * step; returns the new output.
+     */
+    double update(double error, double dt);
+
+    void reset(double initial);
+
+    double output() const { return output_; }
+
+  private:
+    double kp_;
+    double ki_;
+    double outMin_;
+    double outMax_;
+    double output_;
+    double prevError_;
+    bool first_;
+};
+
+} // namespace rubik
+
+#endif // RUBIK_CORE_PI_CONTROLLER_H

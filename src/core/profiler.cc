@@ -1,0 +1,56 @@
+#include "core/profiler.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace rubik {
+
+Profiler::Profiler(std::size_t window_samples, std::size_t buckets)
+    : window_(window_samples), buckets_(buckets)
+{
+    RUBIK_ASSERT(window_samples >= 2, "window too small");
+}
+
+void
+Profiler::record(double compute_cycles, double memory_time)
+{
+    samples_.push_back({std::max(0.0, compute_cycles),
+                        std::max(0.0, memory_time)});
+    if (samples_.size() > window_)
+        samples_.pop_front();
+}
+
+DiscreteDistribution
+Profiler::buildDistribution(bool memory) const
+{
+    if (samples_.empty())
+        return DiscreteDistribution::pointMass(0.0, buckets_);
+
+    double max_val = 0.0;
+    for (const auto &s : samples_)
+        max_val = std::max(max_val, memory ? s.memTime : s.cycles);
+    if (max_val <= 0.0)
+        return DiscreteDistribution::pointMass(0.0, buckets_);
+
+    // One-shot histogram sized to the window's max, so no growth/rebin
+    // noise enters the distribution.
+    Histogram hist(buckets_, max_val * 1.0001);
+    for (const auto &s : samples_)
+        hist.add(memory ? s.memTime : s.cycles);
+    return DiscreteDistribution::fromHistogram(hist, buckets_);
+}
+
+DiscreteDistribution
+Profiler::computeDistribution() const
+{
+    return buildDistribution(false);
+}
+
+DiscreteDistribution
+Profiler::memoryDistribution() const
+{
+    return buildDistribution(true);
+}
+
+} // namespace rubik

@@ -1,0 +1,64 @@
+#ifndef RUBIK_CORE_PROFILER_H
+#define RUBIK_CORE_PROFILER_H
+
+/**
+ * @file
+ * Online request profiler.
+ *
+ * In a real deployment Rubik reads per-request CPI stacks from performance
+ * counters to split each request's work into compute cycles and
+ * memory-bound time (Sec. 4.2, "Estimating probability distributions").
+ * The simulator hands the policy exactly those measurements on completion;
+ * this class accumulates them over a sliding window of recent requests and
+ * materializes the two distributions the target tail tables need.
+ */
+
+#include <deque>
+
+#include "core/distribution.h"
+
+namespace rubik {
+
+/**
+ * Sliding-window sample store for (compute cycles, memory time) pairs.
+ */
+class Profiler
+{
+  public:
+    /**
+     * @param window_samples Number of most-recent requests retained.
+     * @param buckets        Resolution of the produced distributions.
+     */
+    explicit Profiler(std::size_t window_samples = 4096,
+                      std::size_t buckets = 128);
+
+    /// Record a completed request's measured demands.
+    void record(double compute_cycles, double memory_time);
+
+    std::size_t numSamples() const { return samples_.size(); }
+
+    void clear() { samples_.clear(); }
+
+    /// Distribution of per-request compute cycles, P[C = c].
+    DiscreteDistribution computeDistribution() const;
+
+    /// Distribution of per-request memory-bound time, P[M = t].
+    DiscreteDistribution memoryDistribution() const;
+
+  private:
+    struct Sample
+    {
+        double cycles;
+        double memTime;
+    };
+
+    DiscreteDistribution buildDistribution(bool memory) const;
+
+    std::size_t window_;
+    std::size_t buckets_;
+    std::deque<Sample> samples_;
+};
+
+} // namespace rubik
+
+#endif // RUBIK_CORE_PROFILER_H

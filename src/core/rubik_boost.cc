@@ -1,0 +1,150 @@
+#include "core/rubik_boost.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace rubik {
+
+RubikBoostController::RubikBoostController(const DvfsModel &dvfs,
+                                           const RubikBoostConfig &config)
+    : dvfs_(dvfs), cfg_(config),
+      mixProfiler_(config.base.profileWindow, config.base.table.buckets),
+      internalTarget_(config.base.latencyBound),
+      measured_(config.base.feedbackWindow),
+      pi_(config.base.kp, config.base.ki, config.base.targetMultMin,
+          config.base.targetMultMax, 1.0),
+      nextUpdate_(config.base.updatePeriod)
+{
+    RUBIK_ASSERT(config.base.latencyBound > 0, "latency bound must be set");
+    RUBIK_ASSERT(config.numClasses >= 1, "need at least one class");
+    cfg_.base.table.percentile = config.base.percentile;
+    for (int k = 0; k < cfg_.numClasses; ++k) {
+        classProfilers_.emplace_back(cfg_.base.profileWindow,
+                                     cfg_.base.table.buckets);
+    }
+    classTables_.resize(cfg_.numClasses);
+}
+
+void
+RubikBoostController::reset()
+{
+    mixProfiler_.clear();
+    for (auto &p : classProfilers_)
+        p.clear();
+    mixTable_.reset();
+    for (auto &t : classTables_)
+        t.reset();
+    internalTarget_ = cfg_.base.latencyBound;
+    measured_ = RollingTail(cfg_.base.feedbackWindow);
+    pi_.reset(1.0);
+    nextUpdate_ = cfg_.base.updatePeriod;
+    completionsSeen_ = 0;
+    completionsAtLastBuild_ = 0;
+}
+
+const TargetTailTable *
+RubikBoostController::tableFor(int class_hint) const
+{
+    if (class_hint >= 0 &&
+        class_hint < static_cast<int>(classTables_.size()) &&
+        classTables_[class_hint]) {
+        return &*classTables_[class_hint];
+    }
+    return mixTable_ ? &*mixTable_ : nullptr;
+}
+
+double
+RubikBoostController::selectFrequency(const CoreEngine &core)
+{
+    if (!core.running())
+        return core.currentFrequency();
+    if (!mixTable_)
+        return dvfs_.maxFrequency();
+
+    const TargetTailTable *table = tableFor(core.running()->classHint);
+    const double now = core.now();
+    const std::size_t row = table->rowForElapsed(core.elapsedCycles());
+
+    double needed = 0.0;
+    std::size_t position = 0;
+    bool saturated = false;
+    auto add_constraint = [&](double arrival_time) {
+        const double t_i = now - arrival_time;
+        const double m_i = table->tailMemTime(row, position);
+        const double slack = internalTarget_ - t_i - m_i;
+        if (slack <= 0.0)
+            saturated = true;
+        else
+            needed = std::max(needed,
+                              table->tailCycles(row, position) / slack);
+        ++position;
+    };
+
+    add_constraint(core.running()->arrivalTime);
+    for (const auto &r : core.queue()) {
+        if (saturated)
+            break;
+        add_constraint(r.arrivalTime);
+    }
+    return saturated ? dvfs_.maxFrequency() : dvfs_.quantizeUp(needed);
+}
+
+void
+RubikBoostController::onCompletion(const CompletedRequest &done,
+                                   const CoreEngine &core)
+{
+    (void)core;
+    mixProfiler_.record(done.computeCycles, done.memoryTime);
+    if (done.classHint >= 0 &&
+        done.classHint < static_cast<int>(classProfilers_.size())) {
+        classProfilers_[done.classHint].record(done.computeCycles,
+                                               done.memoryTime);
+    }
+    measured_.add(done.completionTime, done.latency());
+    ++completionsSeen_;
+}
+
+void
+RubikBoostController::periodicUpdate(const CoreEngine &core)
+{
+    while (nextUpdate_ <= core.now() + 1e-12)
+        nextUpdate_ += cfg_.base.updatePeriod;
+
+    const uint64_t fresh = completionsSeen_ - completionsAtLastBuild_;
+    const bool enough_new =
+        !mixTable_ || fresh >= cfg_.base.minNewSamplesPerRebuild;
+    if (mixProfiler_.numSamples() >= cfg_.base.warmupSamples &&
+        enough_new) {
+        const DiscreteDistribution mix_c =
+            mixProfiler_.computeDistribution();
+        const DiscreteDistribution mix_m =
+            mixProfiler_.memoryDistribution();
+        mixTable_ =
+            TargetTailTable::build(mix_c, mix_m, cfg_.base.table);
+        for (int k = 0; k < cfg_.numClasses; ++k) {
+            if (classProfilers_[k].numSamples() <
+                cfg_.classWarmupSamples) {
+                continue;
+            }
+            classTables_[k] = TargetTailTable::build(
+                classProfilers_[k].computeDistribution(),
+                classProfilers_[k].memoryDistribution(), mix_c, mix_m,
+                cfg_.base.table);
+        }
+        completionsAtLastBuild_ = completionsSeen_;
+    }
+
+    if (cfg_.base.feedback && mixTable_) {
+        measured_.expire(core.now());
+        if (measured_.size() >= 32) {
+            const double tail = measured_.tail(cfg_.base.percentile);
+            const double error =
+                (cfg_.base.latencyBound - tail) / cfg_.base.latencyBound;
+            internalTarget_ = pi_.update(error, cfg_.base.updatePeriod) *
+                              cfg_.base.latencyBound;
+        }
+    }
+}
+
+} // namespace rubik

@@ -1,0 +1,97 @@
+#include "policies/adrenaline.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "stats/percentile.h"
+#include "util/error.h"
+
+namespace rubik {
+
+namespace {
+
+/// Per-request frequencies for a (threshold, base, boost) setting.
+std::vector<double>
+assignFrequencies(const Trace &trace, double nominal_freq, double threshold,
+                  double base, double boost)
+{
+    std::vector<double> freqs(trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const double nominal_service = trace[i].serviceTime(nominal_freq);
+        freqs[i] = nominal_service > threshold ? boost : base;
+    }
+    return freqs;
+}
+
+} // anonymous namespace
+
+AdrenalineResult
+adrenalineOracle(const Trace &trace, double latency_bound,
+                 const DvfsModel &dvfs, const PowerModel &power,
+                 double nominal_freq, const AdrenalineConfig &config)
+{
+    RUBIK_ASSERT(!trace.empty(), "empty trace");
+
+    // Threshold candidates: quantiles of nominal service time.
+    std::vector<double> service(trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        service[i] = trace[i].serviceTime(nominal_freq);
+    std::sort(service.begin(), service.end());
+
+    AdrenalineResult best;
+    double best_energy = std::numeric_limits<double>::infinity();
+    const auto &grid = dvfs.frequencies();
+
+    for (double q : config.thresholdQuantiles) {
+        const double threshold = percentileSorted(service, q);
+        for (double boost : grid) {
+            // Tail latency is non-increasing in the base frequency
+            // (raising it weakly reduces every completion time), so
+            // binary-search the smallest feasible base <= boost.
+            std::size_t lo = 0;
+            std::size_t hi = dvfs.indexOf(boost);
+            // Check feasibility at the top first.
+            {
+                auto freqs = assignFrequencies(trace, nominal_freq,
+                                               threshold, grid[hi], boost);
+                ReplayResult r = replayFifo(trace, freqs, power);
+                if (r.tailLatency(config.percentile) > latency_bound)
+                    continue; // no base in [0, boost] can work
+            }
+            while (lo < hi) {
+                const std::size_t mid = (lo + hi) / 2;
+                auto freqs = assignFrequencies(trace, nominal_freq,
+                                               threshold, grid[mid], boost);
+                ReplayResult r = replayFifo(trace, freqs, power);
+                if (r.tailLatency(config.percentile) <= latency_bound)
+                    hi = mid;
+                else
+                    lo = mid + 1;
+            }
+            auto freqs = assignFrequencies(trace, nominal_freq, threshold,
+                                           grid[lo], boost);
+            ReplayResult r = replayFifo(trace, freqs, power);
+            if (r.tailLatency(config.percentile) > latency_bound)
+                continue;
+            if (r.coreActiveEnergy < best_energy) {
+                best_energy = r.coreActiveEnergy;
+                best.threshold = threshold;
+                best.baseFrequency = grid[lo];
+                best.boostFrequency = boost;
+                best.feasible = true;
+                best.replay = std::move(r);
+            }
+        }
+    }
+
+    if (!best.feasible) {
+        // Nothing meets the bound: run everything at max frequency.
+        best.threshold = 0.0;
+        best.baseFrequency = dvfs.maxFrequency();
+        best.boostFrequency = dvfs.maxFrequency();
+        best.replay = replayFixed(trace, dvfs.maxFrequency(), power);
+    }
+    return best;
+}
+
+} // namespace rubik

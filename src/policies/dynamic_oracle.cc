@@ -1,0 +1,163 @@
+#include "policies/dynamic_oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/error.h"
+
+namespace rubik {
+
+namespace {
+
+/**
+ * Incremental FIFO schedule state for the greedy reduction phase.
+ * Lowering one request's frequency only affects its busy period (the
+ * effect stops propagating at the first idle gap), so recomputation is
+ * local.
+ */
+class Schedule
+{
+  public:
+    Schedule(const Trace &trace, std::vector<double> freqs, double bound,
+             double percentile)
+        : trace_(trace), freqs_(std::move(freqs)), bound_(bound)
+    {
+        completions_.resize(trace.size());
+        recomputeFrom(0);
+        violations_ = 0;
+        for (std::size_t i = 0; i < trace_.size(); ++i)
+            violations_ += isViolation(i);
+        maxViolations_ = static_cast<std::size_t>(std::floor(
+            (1.0 - percentile) * static_cast<double>(trace_.size())));
+    }
+
+    /// Try lowering request i to `freq`; keep if violations stay within
+    /// budget, otherwise roll back. Returns whether the change stuck.
+    bool tryLower(std::size_t i, double freq)
+    {
+        const double old_freq = freqs_[i];
+        freqs_[i] = freq;
+
+        // Recompute completions from i until they reconverge.
+        std::vector<std::pair<std::size_t, double>> saved;
+        std::size_t j = i;
+        double prev = i == 0 ? 0.0 : completions_[i - 1];
+        std::size_t new_violations = violations_;
+        for (; j < trace_.size(); ++j) {
+            const double start = std::max(trace_[j].arrivalTime, prev);
+            const double done = start + trace_[j].serviceTime(freqs_[j]);
+            if (j > i && done == completions_[j])
+                break; // reconverged; the suffix is unchanged
+            saved.emplace_back(j, completions_[j]);
+            new_violations -= isViolation(j);
+            completions_[j] = done;
+            new_violations += isViolation(j);
+            prev = done;
+        }
+
+        if (new_violations <= maxViolations_) {
+            violations_ = new_violations;
+            return true;
+        }
+        // Roll back.
+        freqs_[i] = old_freq;
+        for (const auto &[idx, val] : saved)
+            completions_[idx] = val;
+        return false;
+    }
+
+    const std::vector<double> &freqs() const { return freqs_; }
+
+  private:
+    bool isViolation(std::size_t i) const
+    {
+        return completions_[i] - trace_[i].arrivalTime > bound_;
+    }
+
+    void recomputeFrom(std::size_t i)
+    {
+        double prev = i == 0 ? 0.0 : completions_[i - 1];
+        for (std::size_t j = i; j < trace_.size(); ++j) {
+            const double start = std::max(trace_[j].arrivalTime, prev);
+            completions_[j] = start + trace_[j].serviceTime(freqs_[j]);
+            prev = completions_[j];
+        }
+    }
+
+    const Trace &trace_;
+    std::vector<double> freqs_;
+    std::vector<double> completions_;
+    double bound_;
+    std::size_t violations_ = 0;
+    std::size_t maxViolations_ = 0;
+};
+
+} // anonymous namespace
+
+DynamicOracleResult
+dynamicOracle(const Trace &trace, double latency_bound, double percentile,
+              const DvfsModel &dvfs, const PowerModel &power)
+{
+    RUBIK_ASSERT(!trace.empty(), "empty trace");
+    const auto &grid = dvfs.frequencies();
+
+    // Start from maximum frequency everywhere (the minimum-latency
+    // schedule), then progressively reduce frequencies while at most a
+    // (1 - percentile) fraction of requests sits above the bound,
+    // prioritizing the reductions that save the most energy (Sec. 5.3).
+    // Starting at the top keeps slack distributed across the queue; a
+    // per-request myopic minimum would leave every request exactly at
+    // the bound and cascade violations onto its successors.
+    std::vector<double> freqs(trace.size(), dvfs.maxFrequency());
+
+    // Greedy step-downs, largest energy saving first, while the
+    // violation budget holds. A request that fails to step down stays
+    // blocked: later reductions only increase latencies, so a rejected
+    // step can never become admissible.
+    Schedule sched(trace, freqs, latency_bound, percentile);
+
+    auto step_down_saving = [&](std::size_t i) -> double {
+        const double f = sched.freqs()[i];
+        const std::size_t idx = dvfs.indexOf(f);
+        if (idx == 0)
+            return -1.0;
+        return requestEnergy(trace[i], f, power) -
+               requestEnergy(trace[i], grid[idx - 1], power);
+    };
+
+    using Item = std::pair<double, std::size_t>; // (saving, request)
+    std::priority_queue<Item> heap;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const double s = step_down_saving(i);
+        if (s > 0.0)
+            heap.push({s, i});
+    }
+
+    while (!heap.empty()) {
+        const auto [saving, i] = heap.top();
+        heap.pop();
+        // The heap entry may be stale after a successful step-down.
+        const double fresh = step_down_saving(i);
+        if (fresh <= 0.0)
+            continue;
+        if (std::abs(fresh - saving) > 1e-12 * std::max(1.0, saving)) {
+            heap.push({fresh, i});
+            continue;
+        }
+        const std::size_t idx = dvfs.indexOf(sched.freqs()[i]);
+        if (sched.tryLower(i, grid[idx - 1])) {
+            const double next = step_down_saving(i);
+            if (next > 0.0)
+                heap.push({next, i});
+        }
+        // Rejected requests are simply dropped from the heap.
+    }
+
+    DynamicOracleResult result;
+    result.frequencies = sched.freqs();
+    result.replay = replayFifo(trace, result.frequencies, power);
+    return result;
+}
+
+} // namespace rubik

@@ -1,0 +1,40 @@
+#ifndef RUBIK_POLICIES_DYNAMIC_ORACLE_H
+#define RUBIK_POLICIES_DYNAMIC_ORACLE_H
+
+/**
+ * @file
+ * DynamicOracle (Sec. 5.3): the frequency schedule that minimizes power
+ * while staying within latency bounds, with full knowledge of the future.
+ *
+ * Following the paper: it first computes, for each request, the lowest
+ * frequency that meets the latency bound; then it progressively reduces
+ * frequencies until the allowed fraction of requests (1 - percentile)
+ * is above the tail bound, prioritizing the reductions that save the
+ * most power.
+ */
+
+#include "policies/replay.h"
+#include "power/dvfs_model.h"
+#include "power/power_model.h"
+#include "sim/trace.h"
+
+namespace rubik {
+
+/// DynamicOracle outcome.
+struct DynamicOracleResult
+{
+    std::vector<double> frequencies; ///< Per request, trace order.
+    ReplayResult replay;
+};
+
+/**
+ * Compute the DynamicOracle schedule for `trace` against `latency_bound`
+ * at the given percentile.
+ */
+DynamicOracleResult dynamicOracle(const Trace &trace, double latency_bound,
+                                  double percentile, const DvfsModel &dvfs,
+                                  const PowerModel &power);
+
+} // namespace rubik
+
+#endif // RUBIK_POLICIES_DYNAMIC_ORACLE_H

@@ -1,0 +1,62 @@
+#ifndef RUBIK_POLICIES_PEGASUS_H
+#define RUBIK_POLICIES_PEGASUS_H
+
+/**
+ * @file
+ * Pegasus-style feedback-only DVFS controller (Lo et al., ISCA 2014),
+ * included as a runnable baseline beyond the paper's StaticOracle upper
+ * bound (Sec. 2.2 explains why feedback-only control cannot exploit
+ * short-term variability: it adjusts every few seconds based on measured
+ * tail latency, which takes many requests to estimate reliably).
+ *
+ * The controller follows Pegasus's published rule set: a large measured
+ * tail (> bound) jumps to maximum frequency; a tail near the bound steps
+ * up; a comfortably low tail steps down slowly.
+ */
+
+#include "power/dvfs_model.h"
+#include "sim/policy.h"
+#include "stats/rolling_tail.h"
+
+namespace rubik {
+
+/// Pegasus configuration.
+struct PegasusConfig
+{
+    double latencyBound = 0.0;   ///< Target tail latency (s).
+    double percentile = 0.95;
+    double epoch = 1.0;          ///< Adjustment period (s).
+    double window = 10.0;        ///< Tail measurement window (s).
+    /// Rule thresholds as fractions of the bound.
+    double panicAt = 1.0;        ///< tail > bound: max frequency.
+    double stepUpAt = 0.85;      ///< tail > 0.85*bound: one step up.
+    double stepDownAt = 0.60;    ///< tail < 0.60*bound: one step down.
+};
+
+/**
+ * Feedback-only controller. Implements DvfsPolicy so it runs in the same
+ * event-driven harness as Rubik.
+ */
+class PegasusPolicy : public DvfsPolicy
+{
+  public:
+    PegasusPolicy(const DvfsModel &dvfs, const PegasusConfig &config);
+
+    void reset() override;
+    double selectFrequency(const CoreEngine &core) override;
+    void onCompletion(const CompletedRequest &done,
+                      const CoreEngine &core) override;
+    double nextPeriodicUpdate() const override { return nextEpoch_; }
+    void periodicUpdate(const CoreEngine &core) override;
+
+  private:
+    const DvfsModel &dvfs_;
+    PegasusConfig cfg_;
+    RollingTail measured_;
+    double freq_;
+    double nextEpoch_;
+};
+
+} // namespace rubik
+
+#endif // RUBIK_POLICIES_PEGASUS_H

@@ -1,0 +1,25 @@
+#include "policies/static_oracle.h"
+
+namespace rubik {
+
+StaticOracleResult
+staticOracle(const Trace &trace, double latency_bound, double percentile,
+             const DvfsModel &dvfs, const PowerModel &power)
+{
+    StaticOracleResult result;
+    for (double f : dvfs.frequencies()) {
+        ReplayResult r = replayFixed(trace, f, power);
+        if (r.tailLatency(percentile) <= latency_bound) {
+            result.frequency = f;
+            result.feasible = true;
+            result.replay = std::move(r);
+            return result;
+        }
+    }
+    result.frequency = dvfs.maxFrequency();
+    result.feasible = false;
+    result.replay = replayFixed(trace, result.frequency, power);
+    return result;
+}
+
+} // namespace rubik

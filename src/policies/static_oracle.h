@@ -1,0 +1,39 @@
+#ifndef RUBIK_POLICIES_STATIC_ORACLE_H
+#define RUBIK_POLICIES_STATIC_ORACLE_H
+
+/**
+ * @file
+ * StaticOracle (Sec. 5.2): for a given request trace, the lowest *static*
+ * frequency whose replay meets the tail latency bound. The paper uses it
+ * as an upper bound on the efficiency of feedback controllers such as
+ * Pegasus (it is identical to the oracular iso-latency scheme that
+ * upper-bounds Pegasus's savings).
+ */
+
+#include "policies/replay.h"
+#include "power/dvfs_model.h"
+#include "power/power_model.h"
+#include "sim/trace.h"
+
+namespace rubik {
+
+/// StaticOracle outcome.
+struct StaticOracleResult
+{
+    double frequency = 0.0;  ///< Chosen static frequency (Hz).
+    bool feasible = false;   ///< False if even max frequency misses L.
+    ReplayResult replay;     ///< Replay at the chosen frequency.
+};
+
+/**
+ * Find the lowest grid frequency meeting `latency_bound` at the given
+ * percentile. Falls back to max frequency (feasible = false) when no
+ * frequency meets the bound.
+ */
+StaticOracleResult staticOracle(const Trace &trace, double latency_bound,
+                                double percentile, const DvfsModel &dvfs,
+                                const PowerModel &power);
+
+} // namespace rubik
+
+#endif // RUBIK_POLICIES_STATIC_ORACLE_H

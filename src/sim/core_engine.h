@@ -1,0 +1,195 @@
+#ifndef RUBIK_SIM_CORE_ENGINE_H
+#define RUBIK_SIM_CORE_ENGINE_H
+
+/**
+ * @file
+ * Single-core execution engine: fluid service model, FIFO queue, per-core
+ * DVFS with transition latency, and idle/sleep power-state accounting.
+ *
+ * The engine is a resumable state machine driven by a simulation loop:
+ * the driver asks for the next internal event time (completion or DVFS
+ * transition end), advances the engine to event times, and processes
+ * events. This split lets the same engine power both the single-core
+ * Rubik experiments and the multi-core colocation experiments, where a
+ * coordinator (and batch work) sits between cores.
+ *
+ * Fluid service model: a request needs C compute cycles and M seconds of
+ * memory-bound time; at frequency f the remaining service time is always
+ * remC/f + remM, and both components deplete proportionally. This matches
+ * the paper's service model S = C + M*f (work in cycles at frequency f)
+ * and makes frequency changes mid-request well defined.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "power/dvfs_model.h"
+#include "power/power_model.h"
+#include "sim/request.h"
+
+namespace rubik {
+
+/// What the core does while a DVFS transition is in flight.
+enum class TransitionMode
+{
+    OldFrequency, ///< Keep executing at the old frequency (FIVR-like).
+    Stalled,      ///< Halt execution during the transition.
+};
+
+/// Engine configuration.
+struct CoreEngineConfig
+{
+    double initialFrequency = 0.0;     ///< 0 -> DVFS nominal.
+    TransitionMode transitionMode = TransitionMode::OldFrequency;
+    /// Extra latency when dispatching into a core that slept past the C3
+    /// entry threshold (models L1/L2 refill after the C3 flush). Default 0
+    /// keeps the event engine exactly consistent with analytic replay.
+    double wakeLatency = 0.0;
+    bool recordTimeline = false;       ///< Record (time, freq) changes.
+};
+
+/// Accumulated per-core statistics and energy.
+struct CoreStats
+{
+    double busyTime = 0.0;            ///< Seconds serving requests.
+    double stallTime = 0.0;           ///< Portion of busyTime memory-bound.
+    double idleTime = 0.0;            ///< Seconds in C1.
+    double sleepTime = 0.0;           ///< Seconds in C3.
+    uint64_t numTransitions = 0;      ///< Completed DVFS transitions.
+    EnergyBreakdown energy;           ///< Core components only.
+    std::vector<double> freqResidency; ///< Busy seconds per grid frequency.
+};
+
+/**
+ * One core: FIFO queue + in-service request + DVFS state + accounting.
+ */
+class CoreEngine
+{
+  public:
+    CoreEngine(const DvfsModel &dvfs, const PowerModel &power,
+               const CoreEngineConfig &config = CoreEngineConfig());
+
+    /// Current simulated time (s).
+    double now() const { return now_; }
+
+    /// @name Request flow
+    /// @{
+
+    /**
+     * Admit a request at the current time (request.arrivalTime must equal
+     * now()). Dispatches immediately if the core is idle.
+     */
+    void enqueue(Request request);
+
+    bool busy() const { return running_.has_value(); }
+    std::size_t queueLength() const { return queue_.size(); }
+
+    /// In-service request, or nullptr when idle.
+    const Request *running() const
+    {
+        return running_ ? &*running_ : nullptr;
+    }
+
+    /// Waiting requests in FIFO order (excludes the running one).
+    const std::deque<Request> &queue() const { return queue_; }
+
+    /// Compute cycles the running request has already executed (ω).
+    double elapsedCycles() const;
+
+    /// Memory-bound time the running request has already spent.
+    double elapsedMemTime() const;
+
+    /// @}
+    /// @name Event-loop interface
+    /// @{
+
+    /**
+     * Time of the next internal event (completion or transition end);
+     * +inf when idle with no transition pending.
+     */
+    double nextEventTime() const;
+
+    /**
+     * Advance simulated time to t (t must not exceed nextEventTime()),
+     * depleting the in-service request and accumulating time/energy.
+     */
+    void advanceTo(double t);
+
+    /**
+     * Process any internal events due at the current time. Returns the
+     * completed request if a completion fired (at most one per call:
+     * the follow-on request's completion is strictly later).
+     */
+    std::optional<CompletedRequest> processEvents();
+
+    /// @}
+    /// @name DVFS
+    /// @{
+
+    /**
+     * Request a frequency change. The frequency must be on the DVFS grid
+     * (use DvfsModel::quantizeUp/Down). Applies immediately when the
+     * model's transition latency is zero, otherwise after the latency;
+     * a request during an in-flight transition replaces the target and
+     * restarts the timer (serialized FIVR transitions).
+     */
+    void requestFrequency(double freq);
+
+    /// Currently effective frequency.
+    double currentFrequency() const { return freq_; }
+
+    /// Target of the in-flight transition (== current if none).
+    double targetFrequency() const
+    {
+        return inTransition() ? pendingFreq_ : freq_;
+    }
+
+    bool inTransition() const;
+
+    /// @}
+
+    const CoreStats &stats() const { return stats_; }
+
+    /// (time, frequency) change log; empty unless recordTimeline.
+    const std::vector<std::pair<double, double>> &timeline() const
+    {
+        return timeline_;
+    }
+
+    const DvfsModel &dvfs() const { return dvfs_; }
+    const PowerModel &power() const { return power_; }
+
+  private:
+    /// Remaining service time of the running request at frequency f.
+    double remainingServiceTime(double freq) const;
+
+    /// Pop the queue head into service (core must be free).
+    void dispatchNext();
+
+    /// Account energy for an idle interval [t0, t1).
+    void accountIdle(double t0, double t1);
+
+    const DvfsModel &dvfs_;
+    const PowerModel &power_;
+    CoreEngineConfig config_;
+
+    double now_ = 0.0;
+    double freq_ = 0.0;
+    double pendingFreq_ = 0.0;
+    double transitionEnd_ = -1.0;
+
+    std::optional<Request> running_;
+    std::deque<Request> queue_;
+    double runningEnergy_ = 0.0;   ///< Core energy spent on running request.
+    double wakeRemaining_ = 0.0;   ///< Pending wake latency before service.
+    double idleStart_ = 0.0;
+
+    CoreStats stats_;
+    std::vector<std::pair<double, double>> timeline_;
+};
+
+} // namespace rubik
+
+#endif // RUBIK_SIM_CORE_ENGINE_H

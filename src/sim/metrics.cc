@@ -1,0 +1,122 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+
+#include "stats/percentile.h"
+
+namespace rubik {
+
+std::vector<TimeSample>
+instantaneousQps(const std::vector<double> &arrivals, double window,
+                 double interval)
+{
+    std::vector<TimeSample> out;
+    if (arrivals.empty() || window <= 0.0 || interval <= 0.0)
+        return out;
+    std::vector<double> sorted = arrivals;
+    std::sort(sorted.begin(), sorted.end());
+    const double t_end = sorted.back();
+    for (double t = window; t <= t_end; t += interval) {
+        const auto lo =
+            std::lower_bound(sorted.begin(), sorted.end(), t - window);
+        const auto hi = std::upper_bound(sorted.begin(), sorted.end(), t);
+        out.push_back({t, static_cast<double>(hi - lo) / window});
+    }
+    return out;
+}
+
+std::vector<TimeSample>
+rollingTailLatency(const std::vector<CompletedRequest> &completed,
+                   double window, double q, double interval)
+{
+    std::vector<TimeSample> out;
+    if (completed.empty() || window <= 0.0 || interval <= 0.0)
+        return out;
+
+    // Completions sorted by completion time (simulation emits them sorted,
+    // but don't rely on it).
+    std::vector<std::pair<double, double>> events; // (completion, latency)
+    events.reserve(completed.size());
+    for (const auto &r : completed)
+        events.emplace_back(r.completionTime, r.latency());
+    std::sort(events.begin(), events.end());
+
+    const double t_end = events.back().first;
+    std::size_t lo = 0, hi = 0;
+    std::vector<double> live;
+    for (double t = window; t <= t_end; t += interval) {
+        while (hi < events.size() && events[hi].first <= t)
+            ++hi;
+        while (lo < hi && events[lo].first < t - window)
+            ++lo;
+        live.clear();
+        for (std::size_t i = lo; i < hi; ++i)
+            live.push_back(events[i].second);
+        out.push_back({t, percentile(live, q)});
+    }
+    return out;
+}
+
+std::vector<TimeSample>
+rollingActivePower(const std::vector<CompletedRequest> &completed,
+                   double window, double interval)
+{
+    std::vector<TimeSample> out;
+    if (completed.empty() || window <= 0.0 || interval <= 0.0)
+        return out;
+
+    std::vector<std::pair<double, double>> events; // (completion, energy)
+    events.reserve(completed.size());
+    for (const auto &r : completed)
+        events.emplace_back(r.completionTime, r.coreEnergy);
+    std::sort(events.begin(), events.end());
+
+    const double t_end = events.back().first;
+    std::size_t lo = 0, hi = 0;
+    double energy_in_window = 0.0;
+    for (double t = window; t <= t_end; t += interval) {
+        while (hi < events.size() && events[hi].first <= t) {
+            energy_in_window += events[hi].second;
+            ++hi;
+        }
+        while (lo < hi && events[lo].first < t - window) {
+            energy_in_window -= events[lo].second;
+            ++lo;
+        }
+        out.push_back({t, energy_in_window / window});
+    }
+    return out;
+}
+
+PerRequestSeries
+perRequestSeries(const std::vector<CompletedRequest> &completed,
+                 double qps_window)
+{
+    PerRequestSeries s;
+    const auto n = completed.size();
+    s.responseLatency.reserve(n);
+    s.serviceTime.reserve(n);
+    s.queueLength.reserve(n);
+    s.instantaneousQps.reserve(n);
+
+    std::vector<double> arrivals;
+    arrivals.reserve(n);
+    for (const auto &r : completed)
+        arrivals.push_back(r.arrivalTime);
+    std::sort(arrivals.begin(), arrivals.end());
+
+    for (const auto &r : completed) {
+        s.responseLatency.push_back(r.latency());
+        s.serviceTime.push_back(r.serviceTime());
+        s.queueLength.push_back(static_cast<double>(r.queueLenAtArrival));
+        const double t = r.arrivalTime;
+        const auto lo = std::lower_bound(arrivals.begin(), arrivals.end(),
+                                         t - qps_window);
+        const auto hi = std::upper_bound(arrivals.begin(), arrivals.end(), t);
+        s.instantaneousQps.push_back(static_cast<double>(hi - lo) /
+                                     qps_window);
+    }
+    return s;
+}
+
+} // namespace rubik

@@ -1,0 +1,69 @@
+#ifndef RUBIK_SIM_METRICS_H
+#define RUBIK_SIM_METRICS_H
+
+/**
+ * @file
+ * Derived metric series for the paper's figures: instantaneous QPS over a
+ * rolling window (Fig. 2a/2b), rolling tail latency (Fig. 1b, Fig. 10),
+ * rolling active power (Fig. 10), and per-request vectors for the Table 1
+ * correlation study.
+ */
+
+#include <vector>
+
+#include "sim/request.h"
+
+namespace rubik {
+
+/// A (time, value) sample.
+struct TimeSample
+{
+    double time;
+    double value;
+};
+
+/**
+ * Instantaneous load in queries/second: arrivals inside a rolling
+ * `window` ending at each sample point, sampled every `interval` seconds.
+ * The paper uses a 5 ms rolling window (Fig. 2a).
+ */
+std::vector<TimeSample> instantaneousQps(const std::vector<double> &arrivals,
+                                         double window, double interval);
+
+/**
+ * Tail latency over a rolling window: q-percentile of the latencies of
+ * requests completing inside [t - window, t], sampled every `interval`.
+ * The responsiveness figures use 200 ms windows.
+ */
+std::vector<TimeSample>
+rollingTailLatency(const std::vector<CompletedRequest> &completed,
+                   double window, double q, double interval);
+
+/**
+ * Active core power over a rolling window: sum of per-request core energy
+ * of requests completing inside the window, divided by the window.
+ */
+std::vector<TimeSample>
+rollingActivePower(const std::vector<CompletedRequest> &completed,
+                   double window, double interval);
+
+/// Per-request vectors for correlation studies (Table 1).
+struct PerRequestSeries
+{
+    std::vector<double> responseLatency;
+    std::vector<double> serviceTime;
+    std::vector<double> queueLength;
+    std::vector<double> instantaneousQps; ///< Over `qpsWindow` before arrival.
+};
+
+/**
+ * Build the per-request series used by Table 1. QPS is measured over a
+ * rolling `qps_window` (default 5 ms) ending at each request's arrival.
+ */
+PerRequestSeries
+perRequestSeries(const std::vector<CompletedRequest> &completed,
+                 double qps_window = 5e-3);
+
+} // namespace rubik
+
+#endif // RUBIK_SIM_METRICS_H

@@ -1,0 +1,83 @@
+#ifndef RUBIK_SIM_POLICY_H
+#define RUBIK_SIM_POLICY_H
+
+/**
+ * @file
+ * DVFS policy extension point.
+ *
+ * The simulation driver consults the policy on every request arrival and
+ * completion (the adaptation points in Fig. 3 of the paper) and at
+ * policy-requested periodic instants (e.g., Rubik's 100 ms table rebuilds,
+ * Pegasus's epoch adjustments). The policy reads queue state from the core
+ * engine and returns the frequency it wants; the driver forwards it to the
+ * engine, which models the transition latency.
+ */
+
+#include <limits>
+
+#include "sim/core_engine.h"
+#include "sim/request.h"
+
+namespace rubik {
+
+/**
+ * Interface implemented by all online DVFS schemes (Rubik, Pegasus,
+ * fixed frequency, hardware schemes...).
+ *
+ * Offline/oracular schemes (StaticOracle, DynamicOracle,
+ * AdrenalineOracle) are trace-replay computations and do not implement
+ * this interface; see policies/replay.h.
+ */
+class DvfsPolicy
+{
+  public:
+    static constexpr double kNever = std::numeric_limits<double>::infinity();
+
+    virtual ~DvfsPolicy() = default;
+
+    /// Called once before simulation starts.
+    virtual void reset() {}
+
+    /**
+     * Pick the frequency to run at, given current core state. Called on
+     * every arrival and completion (and after periodic updates). Must
+     * return a frequency on the DVFS grid.
+     */
+    virtual double selectFrequency(const CoreEngine &core) = 0;
+
+    /**
+     * Completed-request feedback: measured compute cycles, memory time
+     * and latency — what per-request CPI-stack performance counters
+     * provide in a real deployment (Sec. 4.2).
+     */
+    virtual void onCompletion(const CompletedRequest &done,
+                              const CoreEngine &core)
+    {
+        (void)done;
+        (void)core;
+    }
+
+    /// Next absolute time the policy wants a periodicUpdate (kNever: none).
+    virtual double nextPeriodicUpdate() const { return kNever; }
+
+    /// Periodic hook (table rebuilds, feedback adjustment, ...).
+    virtual void periodicUpdate(const CoreEngine &core) { (void)core; }
+};
+
+/// Trivial policy: always run at one frequency (the paper's baseline).
+class FixedFrequencyPolicy : public DvfsPolicy
+{
+  public:
+    explicit FixedFrequencyPolicy(double freq) : freq_(freq) {}
+
+    double selectFrequency(const CoreEngine &) override { return freq_; }
+
+    double frequency() const { return freq_; }
+
+  private:
+    double freq_;
+};
+
+} // namespace rubik
+
+#endif // RUBIK_SIM_POLICY_H

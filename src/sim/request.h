@@ -1,0 +1,64 @@
+#ifndef RUBIK_SIM_REQUEST_H
+#define RUBIK_SIM_REQUEST_H
+
+/**
+ * @file
+ * Request representation.
+ *
+ * A request's demand is split into compute cycles C and memory-bound time M
+ * (Sec. 4.1, "Core DVFS and memory"): core frequency scales the compute
+ * part but not the memory part, so the service time at frequency f is
+ * C/f + M. The simulator uses a fluid model in which the two components
+ * deplete proportionally, which makes the remaining service time at any
+ * instant exactly remC/f + remM.
+ */
+
+#include <cstdint>
+
+namespace rubik {
+
+/// A request in flight through the server.
+struct Request
+{
+    uint64_t id = 0;
+    double arrivalTime = 0.0;     ///< Seconds.
+    double computeCycles = 0.0;   ///< Total compute demand (cycles).
+    double memoryTime = 0.0;      ///< Total memory-bound time (s).
+    /// Application-level request-class hint (Adrenaline-style), known at
+    /// arrival; -1 when the application provides none.
+    int classHint = -1;
+
+    // Runtime state, managed by the core engine.
+    double remainingCycles = 0.0;
+    double remainingMemTime = 0.0;
+    double startTime = -1.0;      ///< Service start (-1 until dispatched).
+    int queueLenAtArrival = 0;    ///< Requests in system on arrival (incl.
+                                  ///< the one in service), before this one.
+};
+
+/// Measured results for a finished request.
+struct CompletedRequest
+{
+    uint64_t id = 0;
+    double arrivalTime = 0.0;
+    double startTime = 0.0;
+    double completionTime = 0.0;
+    double computeCycles = 0.0;   ///< Measured compute demand (cycles).
+    double memoryTime = 0.0;      ///< Measured memory-bound time (s).
+    double coreEnergy = 0.0;      ///< Core energy spent serving it (J).
+    int queueLenAtArrival = 0;
+    int classHint = -1;           ///< Class hint the request carried.
+
+    /// End-to-end response latency (queuing + service).
+    double latency() const { return completionTime - arrivalTime; }
+
+    /// Service latency only (no queuing).
+    double serviceTime() const { return completionTime - startTime; }
+
+    /// Queuing delay only.
+    double queuingTime() const { return startTime - arrivalTime; }
+};
+
+} // namespace rubik
+
+#endif // RUBIK_SIM_REQUEST_H

@@ -1,0 +1,81 @@
+#ifndef RUBIK_SIM_SIMULATION_H
+#define RUBIK_SIM_SIMULATION_H
+
+/**
+ * @file
+ * Single-core simulation driver and results.
+ *
+ * Runs a request trace through one CoreEngine under a DvfsPolicy and
+ * collects per-request records plus time/energy accounting. The paper's
+ * single-server experiments (Secs. 5.2-5.5) all reduce to this loop; the
+ * colocation experiments (Sec. 7) use the multi-core driver in
+ * src/coloc.
+ */
+
+#include <vector>
+
+#include "power/dvfs_model.h"
+#include "power/power_model.h"
+#include "sim/core_engine.h"
+#include "sim/policy.h"
+#include "sim/trace.h"
+
+namespace rubik {
+
+/// Options for a simulation run.
+struct SimConfig
+{
+    double initialFrequency = 0.0;  ///< 0 -> nominal.
+    TransitionMode transitionMode = TransitionMode::OldFrequency;
+    double wakeLatency = 0.0;
+    bool recordTimeline = false;    ///< Keep the (time, freq) change log.
+};
+
+/// Results of a simulation run.
+struct SimResult
+{
+    std::vector<CompletedRequest> completed;
+    CoreStats core;
+    double simTime = 0.0;           ///< Time of the last completion.
+    std::vector<std::pair<double, double>> freqTimeline;
+
+    /// Response latencies in completion order.
+    std::vector<double> latencies() const;
+
+    /// q-percentile response latency (paper: q = 0.95).
+    double tailLatency(double q = 0.95) const;
+
+    double meanLatency() const;
+
+    /// Active core energy (J) — dynamic + static while serving requests,
+    /// i.e., the "core energy" of Fig. 9b.
+    double coreActiveEnergy() const { return core.energy.coreActive; }
+
+    /// Active core energy per request (J/request).
+    double coreEnergyPerRequest() const;
+
+    /// Mean active core power over the run (W).
+    double meanActiveCorePower() const;
+
+    /// Fraction of wall time the core was serving requests.
+    double utilization() const;
+};
+
+/**
+ * Run `trace` through a single core under `policy`.
+ *
+ * The driver is exact-event-driven: between events the core state evolves
+ * under the fluid model, so no time quantization error is introduced.
+ */
+SimResult simulate(const Trace &trace, DvfsPolicy &policy,
+                   const DvfsModel &dvfs, const PowerModel &power,
+                   const SimConfig &config = SimConfig());
+
+/// Per-component full-system energy for `copies` replicas of this run
+/// sharing one server (Sec. 5.2 runs 6 copies of the app, one per core).
+EnergyBreakdown systemEnergy(const SimResult &result, const PowerModel &power,
+                             int copies);
+
+} // namespace rubik
+
+#endif // RUBIK_SIM_SIMULATION_H

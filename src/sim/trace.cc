@@ -1,0 +1,84 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "util/error.h"
+
+namespace rubik {
+
+void
+annotateClasses(Trace &trace, double quantile, double nominal_freq)
+{
+    RUBIK_ASSERT(quantile > 0 && quantile < 1, "quantile in (0,1)");
+    if (trace.empty())
+        return;
+    std::vector<double> service;
+    service.reserve(trace.size());
+    for (const auto &r : trace)
+        service.push_back(r.serviceTime(nominal_freq));
+    std::sort(service.begin(), service.end());
+    const auto rank = static_cast<std::size_t>(
+        quantile * static_cast<double>(service.size()));
+    const double threshold =
+        service[std::min(rank, service.size() - 1)];
+    for (auto &r : trace)
+        r.classHint = r.serviceTime(nominal_freq) > threshold ? 1 : 0;
+}
+
+double
+traceMeanServiceTime(const Trace &trace, double freq)
+{
+    if (trace.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &r : trace)
+        sum += r.serviceTime(freq);
+    return sum / static_cast<double>(trace.size());
+}
+
+double
+traceDuration(const Trace &trace)
+{
+    if (trace.size() < 2)
+        return 0.0;
+    return trace.back().arrivalTime - trace.front().arrivalTime;
+}
+
+void
+saveTrace(const Trace &trace, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open trace file for writing");
+    std::fprintf(f, "arrival_s,compute_cycles,memory_time_s\n");
+    for (const auto &r : trace) {
+        std::fprintf(f, "%.12g,%.12g,%.12g\n", r.arrivalTime,
+                     r.computeCycles, r.memoryTime);
+    }
+    std::fclose(f);
+}
+
+Trace
+loadTrace(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        fatal("cannot open trace file for reading");
+    Trace trace;
+    char header[256];
+    if (!std::fgets(header, sizeof(header), f)) {
+        std::fclose(f);
+        fatal("empty trace file");
+    }
+    TraceRecord r;
+    while (std::fscanf(f, "%lf,%lf,%lf\n", &r.arrivalTime, &r.computeCycles,
+                       &r.memoryTime) == 3) {
+        trace.push_back(r);
+    }
+    std::fclose(f);
+    return trace;
+}
+
+} // namespace rubik

@@ -1,0 +1,60 @@
+#ifndef RUBIK_SIM_TRACE_H
+#define RUBIK_SIM_TRACE_H
+
+/**
+ * @file
+ * Request traces: per-request arrival times and compute/memory demands.
+ *
+ * Traces decouple workload generation from execution so that every scheme
+ * (Rubik, the oracles, fixed frequency) sees the *same* arrivals and
+ * demands — this mirrors the paper's trace-driven characterization
+ * (Sec. 5.3), where per-request arrival times, core cycles, and
+ * memory-bound times are captured in zsim and replayed under different
+ * schemes.
+ */
+
+#include <string>
+#include <vector>
+
+namespace rubik {
+
+/// One trace entry: a request's arrival time and demands.
+struct TraceRecord
+{
+    double arrivalTime = 0.0;    ///< Seconds.
+    double computeCycles = 0.0;  ///< Compute demand (cycles).
+    double memoryTime = 0.0;     ///< Memory-bound time (s).
+    int classHint = -1;          ///< Optional request-class hint.
+
+    /// Service time at a fixed frequency (no queuing).
+    double serviceTime(double freq) const
+    {
+        return computeCycles / freq + memoryTime;
+    }
+};
+
+using Trace = std::vector<TraceRecord>;
+
+/**
+ * Annotate a trace with binary class hints: class 1 ("long") for requests
+ * whose nominal service time exceeds the given quantile of the trace,
+ * class 0 otherwise. This plays the role of Adrenaline's application-
+ * level hints for the hybrid controller (core/rubik_boost.h).
+ */
+void annotateClasses(Trace &trace, double quantile, double nominal_freq);
+
+/// Mean service time of the trace at the given frequency.
+double traceMeanServiceTime(const Trace &trace, double freq);
+
+/// Duration covered by the arrivals (last arrival - first arrival).
+double traceDuration(const Trace &trace);
+
+/// Save to a simple CSV (arrival,cycles,memtime); throws via fatal() on IO.
+void saveTrace(const Trace &trace, const std::string &path);
+
+/// Load a trace saved by saveTrace.
+Trace loadTrace(const std::string &path);
+
+} // namespace rubik
+
+#endif // RUBIK_SIM_TRACE_H

@@ -1,0 +1,38 @@
+#include "stats/correlation.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace rubik {
+
+double
+pearsonCorrelation(const std::vector<double> &x, const std::vector<double> &y)
+{
+    RUBIK_ASSERT(x.size() == y.size(), "correlation inputs must match");
+    const auto n = x.size();
+    if (n < 2)
+        return 0.0;
+
+    double mx = 0.0, my = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        mx += x[i];
+        my += y[i];
+    }
+    mx /= static_cast<double>(n);
+    my /= static_cast<double>(n);
+
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double dx = x[i] - mx;
+        const double dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+} // namespace rubik

@@ -1,0 +1,23 @@
+#ifndef RUBIK_STATS_CORRELATION_H
+#define RUBIK_STATS_CORRELATION_H
+
+/**
+ * @file
+ * Pearson correlation, for reproducing Table 1 (correlation of response
+ * latency with service time, instantaneous QPS, and queue length).
+ */
+
+#include <vector>
+
+namespace rubik {
+
+/**
+ * Pearson correlation coefficient of two equal-length sample vectors.
+ * Returns 0 if either vector has zero variance or fewer than 2 samples.
+ */
+double pearsonCorrelation(const std::vector<double> &x,
+                          const std::vector<double> &y);
+
+} // namespace rubik
+
+#endif // RUBIK_STATS_CORRELATION_H

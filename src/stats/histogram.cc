@@ -1,0 +1,124 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace rubik {
+
+Histogram::Histogram(std::size_t num_buckets, double initial_max)
+    : counts_(num_buckets, 0.0), max_(initial_max), totalWeight_(0.0),
+      count_(0)
+{
+    RUBIK_ASSERT(num_buckets >= 2, "histogram needs at least 2 buckets");
+    RUBIK_ASSERT(initial_max > 0, "histogram range must be positive");
+}
+
+void
+Histogram::add(double value)
+{
+    addWeighted(value, 1.0);
+}
+
+void
+Histogram::addWeighted(double value, double weight)
+{
+    if (weight <= 0.0)
+        return;
+    value = std::max(0.0, value);
+    if (value >= max_)
+        grow(value);
+    auto idx = static_cast<std::size_t>(value / bucketWidth());
+    idx = std::min(idx, counts_.size() - 1);
+    counts_[idx] += weight;
+    totalWeight_ += weight;
+    ++count_;
+}
+
+void
+Histogram::clear()
+{
+    std::fill(counts_.begin(), counts_.end(), 0.0);
+    totalWeight_ = 0.0;
+    count_ = 0;
+}
+
+void
+Histogram::grow(double value)
+{
+    double new_max = max_;
+    while (value >= new_max)
+        new_max *= 2.0;
+
+    const std::size_t n = counts_.size();
+    std::vector<double> rebinned(n, 0.0);
+    const double old_width = bucketWidth();
+    const double new_width = new_max / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (counts_[i] == 0.0)
+            continue;
+        const double mid = (static_cast<double>(i) + 0.5) * old_width;
+        auto idx = static_cast<std::size_t>(mid / new_width);
+        rebinned[std::min(idx, n - 1)] += counts_[i];
+    }
+    counts_ = std::move(rebinned);
+    max_ = new_max;
+}
+
+double
+Histogram::mean() const
+{
+    if (totalWeight_ == 0.0)
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        sum += counts_[i] * bucketMid(i);
+    return sum / totalWeight_;
+}
+
+double
+Histogram::variance() const
+{
+    if (totalWeight_ == 0.0)
+        return 0.0;
+    const double m = mean();
+    double sum = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double d = bucketMid(i) - m;
+        sum += counts_[i] * d * d;
+    }
+    return sum / totalWeight_;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    q = std::clamp(q, 0.0, 1.0);
+    if (totalWeight_ == 0.0)
+        return 0.0;
+    const double target = q * totalWeight_;
+    double cum = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (cum + counts_[i] >= target) {
+            const double frac =
+                counts_[i] > 0.0 ? (target - cum) / counts_[i] : 0.0;
+            return (static_cast<double>(i) + frac) * bucketWidth();
+        }
+        cum += counts_[i];
+    }
+    return max_;
+}
+
+std::vector<double>
+Histogram::normalized() const
+{
+    std::vector<double> probs(counts_.size(), 0.0);
+    if (totalWeight_ == 0.0)
+        return probs;
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        probs[i] = counts_[i] / totalWeight_;
+    return probs;
+}
+
+} // namespace rubik

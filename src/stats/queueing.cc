@@ -1,0 +1,58 @@
+#include "stats/queueing.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace rubik {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+double
+utilization(double lambda, double es)
+{
+    RUBIK_ASSERT(lambda >= 0 && es >= 0, "negative rate or service time");
+    return lambda * es;
+}
+
+double
+pkMeanWait(double lambda, double es, double es2)
+{
+    const double rho = utilization(lambda, es);
+    if (rho >= 1.0)
+        return kInf;
+    return lambda * es2 / (2.0 * (1.0 - rho));
+}
+
+double
+pkMeanInSystem(double lambda, double es, double es2)
+{
+    const double w = pkMeanWait(lambda, es, es2);
+    if (w == kInf)
+        return kInf;
+    // Little: L = lambda * (W + E[S]).
+    return lambda * (w + es);
+}
+
+double
+mm1ResponseQuantile(double lambda, double mu, double q)
+{
+    RUBIK_ASSERT(q > 0 && q < 1, "quantile must be in (0,1)");
+    if (mu <= lambda)
+        return kInf;
+    return -std::log(1.0 - q) / (mu - lambda);
+}
+
+double
+mg1MeanBusyPeriod(double lambda, double es)
+{
+    const double rho = utilization(lambda, es);
+    if (rho >= 1.0)
+        return kInf;
+    return es / (1.0 - rho);
+}
+
+} // namespace rubik

@@ -1,0 +1,49 @@
+#ifndef RUBIK_STATS_QUEUEING_H
+#define RUBIK_STATS_QUEUEING_H
+
+/**
+ * @file
+ * Closed-form queueing results used to validate the simulator substrate
+ * and to reason about operating points (e.g., where a scheme's frequency
+ * choice saturates the server).
+ *
+ * The paper's workloads are M/G/1: Poisson arrivals (Sec. 5.1) into a
+ * single FIFO core with a general service distribution.
+ */
+
+namespace rubik {
+
+/**
+ * Pollaczek–Khinchine mean waiting time (queuing delay, excluding
+ * service) of an M/G/1 queue.
+ *
+ * @param lambda  Arrival rate (1/s).
+ * @param es      Mean service time E[S] (s).
+ * @param es2     Second moment E[S^2] (s^2).
+ * @return        Mean wait (s); infinity when the queue is unstable.
+ */
+double pkMeanWait(double lambda, double es, double es2);
+
+/// Mean number of requests in system (Little's law on wait + service).
+double pkMeanInSystem(double lambda, double es, double es2);
+
+/**
+ * M/M/1 response-time quantile: with exponential service, response time
+ * is exponential with rate mu - lambda, so the q-quantile is
+ * -ln(1-q) / (mu - lambda). Useful as a sanity anchor for tails.
+ */
+double mm1ResponseQuantile(double lambda, double mu, double q);
+
+/// Server utilization rho = lambda * E[S] (may exceed 1 if unstable).
+double utilization(double lambda, double es);
+
+/**
+ * Mean M/G/1 busy-period length E[B] = E[S] / (1 - rho): how long a
+ * "burst" of continuous work lasts — the horizon over which Rubik's
+ * queue-aware constraints bind.
+ */
+double mg1MeanBusyPeriod(double lambda, double es);
+
+} // namespace rubik
+
+#endif // RUBIK_STATS_QUEUEING_H

@@ -1,0 +1,44 @@
+#include "stats/rolling_tail.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/percentile.h"
+#include "util/error.h"
+
+namespace rubik {
+
+RollingTail::RollingTail(double window)
+    : window_(window)
+{
+    RUBIK_ASSERT(window > 0, "rolling window must be positive");
+}
+
+void
+RollingTail::add(double time, double value)
+{
+    samples_.push_back({time, value});
+    expire(time);
+}
+
+void
+RollingTail::expire(double now)
+{
+    const double cutoff = now - window_;
+    while (!samples_.empty() && samples_.front().time < cutoff)
+        samples_.pop_front();
+}
+
+double
+RollingTail::tail(double q) const
+{
+    if (samples_.empty())
+        return 0.0;
+    std::vector<double> values;
+    values.reserve(samples_.size());
+    for (const auto &s : samples_)
+        values.push_back(s.value);
+    return percentile(std::move(values), q);
+}
+
+} // namespace rubik

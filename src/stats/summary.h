@@ -1,0 +1,48 @@
+#ifndef RUBIK_STATS_SUMMARY_H
+#define RUBIK_STATS_SUMMARY_H
+
+/**
+ * @file
+ * Streaming summary statistics (count/mean/variance via Welford's method),
+ * used by the power model's energy accounting and by profilers that need
+ * cheap online moments.
+ */
+
+#include <cstdint>
+
+namespace rubik {
+
+/**
+ * Welford online mean/variance accumulator.
+ */
+class Summary
+{
+  public:
+    Summary() : count_(0), mean_(0.0), m2_(0.0), min_(0.0), max_(0.0) {}
+
+    void add(double value);
+    void clear();
+
+    uint64_t count() const { return count_; }
+    double mean() const { return mean_; }
+
+    /// Population variance (0 for fewer than 2 samples).
+    double variance() const;
+
+    /// Population standard deviation.
+    double stddev() const;
+
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    uint64_t count_;
+    double mean_;
+    double m2_;
+    double min_;
+    double max_;
+};
+
+} // namespace rubik
+
+#endif // RUBIK_STATS_SUMMARY_H

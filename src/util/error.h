@@ -1,0 +1,47 @@
+#ifndef RUBIK_UTIL_ERROR_H
+#define RUBIK_UTIL_ERROR_H
+
+/**
+ * @file
+ * Error-reporting helpers, following the gem5 fatal()/panic() split:
+ * fatal() is for user/configuration errors, panic() for internal
+ * invariant violations (bugs).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rubik {
+
+/**
+ * Report an unrecoverable user/configuration error and exit(1).
+ * Use for invalid arguments, impossible configurations, etc.
+ */
+[[noreturn]] inline void
+fatal(const char *msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg);
+    std::exit(1);
+}
+
+/**
+ * Report an internal invariant violation (a bug) and abort().
+ */
+[[noreturn]] inline void
+panic(const char *msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg);
+    std::abort();
+}
+
+/// Assert an internal invariant; active in all build types.
+#define RUBIK_ASSERT(cond, msg)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::rubik::panic("assertion failed: " #cond " — " msg);           \
+        }                                                                   \
+    } while (0)
+
+} // namespace rubik
+
+#endif // RUBIK_UTIL_ERROR_H

@@ -1,0 +1,96 @@
+#include "util/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+
+namespace rubik {
+
+void
+fft(std::vector<std::complex<double>> &a, bool invert)
+{
+    const std::size_t n = a.size();
+    RUBIK_ASSERT((n & (n - 1)) == 0, "FFT size must be a power of two");
+    if (n <= 1)
+        return;
+
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(a[i], a[j]);
+    }
+
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double ang =
+            2.0 * std::numbers::pi / static_cast<double>(len) *
+            (invert ? -1.0 : 1.0);
+        const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+        for (std::size_t i = 0; i < n; i += len) {
+            std::complex<double> w(1.0, 0.0);
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const std::complex<double> u = a[i + k];
+                const std::complex<double> v = a[i + k + len / 2] * w;
+                a[i + k] = u + v;
+                a[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+
+    if (invert) {
+        for (auto &x : a)
+            x /= static_cast<double>(n);
+    }
+}
+
+std::vector<double>
+fftConvolve(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.empty() || b.empty())
+        return {};
+    const std::size_t out_size = a.size() + b.size() - 1;
+    std::size_t n = 1;
+    while (n < out_size)
+        n <<= 1;
+
+    std::vector<std::complex<double>> fa(n), fb(n);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        fa[i] = a[i];
+    for (std::size_t i = 0; i < b.size(); ++i)
+        fb[i] = b[i];
+
+    fft(fa, false);
+    fft(fb, false);
+    for (std::size_t i = 0; i < n; ++i)
+        fa[i] *= fb[i];
+    fft(fa, true);
+
+    std::vector<double> result(out_size);
+    for (std::size_t i = 0; i < out_size; ++i) {
+        // Probability masses are nonnegative; clamp tiny negative FFT noise.
+        result[i] = std::max(0.0, fa[i].real());
+    }
+    return result;
+}
+
+std::vector<double>
+directConvolve(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.empty() || b.empty())
+        return {};
+    std::vector<double> result(a.size() + b.size() - 1, 0.0);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] == 0.0)
+            continue;
+        for (std::size_t j = 0; j < b.size(); ++j)
+            result[i + j] += a[i] * b[j];
+    }
+    return result;
+}
+
+} // namespace rubik

@@ -1,0 +1,45 @@
+#ifndef RUBIK_UTIL_FFT_H
+#define RUBIK_UTIL_FFT_H
+
+/**
+ * @file
+ * Radix-2 FFT and FFT-based real convolution.
+ *
+ * Rubik rebuilds its target tail tables every 100 ms; each rebuild performs
+ * ~16 convolutions of 128-bucket distributions per table. The paper uses
+ * FFTs to accelerate these convolutions (Sec. 4.2, "Cost"); we provide both
+ * the FFT path and a direct O(n^2) path (used for testing and for very
+ * small sizes, where direct is faster).
+ */
+
+#include <complex>
+#include <vector>
+
+namespace rubik {
+
+/**
+ * In-place iterative radix-2 Cooley-Tukey FFT.
+ *
+ * @param a      Data; size must be a power of two.
+ * @param invert false for forward transform, true for inverse
+ *               (inverse includes the 1/n normalization).
+ */
+void fft(std::vector<std::complex<double>> &a, bool invert);
+
+/**
+ * Linear convolution of two real sequences via FFT.
+ * Result has size a.size() + b.size() - 1.
+ */
+std::vector<double> fftConvolve(const std::vector<double> &a,
+                                const std::vector<double> &b);
+
+/**
+ * Direct O(n*m) linear convolution of two real sequences.
+ * Result has size a.size() + b.size() - 1.
+ */
+std::vector<double> directConvolve(const std::vector<double> &a,
+                                   const std::vector<double> &b);
+
+} // namespace rubik
+
+#endif // RUBIK_UTIL_FFT_H

@@ -1,0 +1,169 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace rubik {
+
+namespace {
+
+/// SplitMix64, used to expand the seed into xoshiro state.
+uint64_t
+splitMix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+Rng::Rng(uint64_t seed)
+    : spareNormal_(0.0), haveSpare_(false)
+{
+    uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitMix64(x);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+uint64_t
+Rng::uniformInt(uint64_t n)
+{
+    RUBIK_ASSERT(n > 0, "uniformInt needs n > 0");
+    // Rejection sampling to remove modulo bias.
+    const uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+    uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return v % n;
+}
+
+double
+Rng::exponential(double mean)
+{
+    RUBIK_ASSERT(mean > 0, "exponential needs mean > 0");
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+double
+Rng::normal()
+{
+    if (haveSpare_) {
+        haveSpare_ = false;
+        return spareNormal_;
+    }
+    double u, v, s;
+    do {
+        u = uniform(-1.0, 1.0);
+        v = uniform(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double scale = std::sqrt(-2.0 * std::log(s) / s);
+    spareNormal_ = v * scale;
+    haveSpare_ = true;
+    return u * scale;
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::lognormal(double mu, double sigma)
+{
+    return std::exp(normal(mu, sigma));
+}
+
+double
+Rng::pareto(double x_m, double alpha)
+{
+    RUBIK_ASSERT(x_m > 0 && alpha > 0, "pareto needs positive parameters");
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return x_m / std::pow(u, 1.0 / alpha);
+}
+
+uint64_t
+Rng::zipf(const std::vector<double> &cdf)
+{
+    RUBIK_ASSERT(!cdf.empty(), "zipf needs a nonempty CDF");
+    const double u = uniform();
+    auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    if (it == cdf.end())
+        return cdf.size();
+    return static_cast<uint64_t>(it - cdf.begin()) + 1;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next());
+}
+
+ZipfTable::ZipfTable(std::size_t n, double s)
+{
+    RUBIK_ASSERT(n > 0, "ZipfTable needs n > 0");
+    cdf_.resize(n);
+    double sum = 0.0;
+    for (std::size_t k = 1; k <= n; ++k) {
+        sum += 1.0 / std::pow(static_cast<double>(k), s);
+        cdf_[k - 1] = sum;
+    }
+    for (auto &c : cdf_)
+        c /= sum;
+    cdf_.back() = 1.0; // guard against rounding
+}
+
+uint64_t
+ZipfTable::doSample(Rng &rng) const
+{
+    return rng.zipf(cdf_);
+}
+
+} // namespace rubik

@@ -1,0 +1,96 @@
+#ifndef RUBIK_UTIL_RNG_H
+#define RUBIK_UTIL_RNG_H
+
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * We implement xoshiro256++ plus explicit sampling algorithms (instead of
+ * using <random> distributions) so that traces are bit-reproducible across
+ * standard libraries and platforms. Every experiment seeds its own Rng, so
+ * results are exactly repeatable.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace rubik {
+
+/**
+ * xoshiro256++ PRNG with explicit, portable sampling methods.
+ *
+ * Reference: Blackman & Vigna, "Scrambled linear pseudorandom number
+ * generators" (2019). Seeding uses SplitMix64 as the authors recommend.
+ */
+class Rng
+{
+  public:
+    /// Construct from a 64-bit seed; any value (including 0) is valid.
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /// Next raw 64-bit value.
+    uint64_t next();
+
+    /// Uniform double in [0, 1).
+    double uniform();
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi);
+
+    /// Uniform integer in [0, n).
+    uint64_t uniformInt(uint64_t n);
+
+    /// Exponential with given mean (mean = 1/rate).
+    double exponential(double mean);
+
+    /// Standard normal via Marsaglia polar method (cached spare).
+    double normal();
+
+    /// Normal with given mean and standard deviation.
+    double normal(double mean, double stddev);
+
+    /// Lognormal: exp(N(mu, sigma)) of the underlying normal.
+    double lognormal(double mu, double sigma);
+
+    /// Pareto with scale x_m > 0 and shape alpha > 0 (support [x_m, inf)).
+    double pareto(double x_m, double alpha);
+
+    /**
+     * Zipf-distributed integer in [1, n] with exponent s, via inverse
+     * transform on the precomputed CDF held by ZipfTable (see below) — this
+     * overload does a direct O(log n) draw against a caller-provided CDF.
+     */
+    uint64_t zipf(const std::vector<double> &cdf);
+
+    /// Split off an independent stream (seeded from this stream).
+    Rng split();
+
+  private:
+    uint64_t s_[4];
+    double spareNormal_;
+    bool haveSpare_;
+};
+
+/**
+ * Precomputed Zipf CDF over ranks 1..n with exponent s, for repeated
+ * zipf draws (e.g., xapian's zipfian query popularity).
+ */
+class ZipfTable
+{
+  public:
+    ZipfTable(std::size_t n, double s);
+
+    /// Draw a rank in [1, n].
+    uint64_t sample(Rng &rng) const { return doSample(rng); }
+
+    std::size_t size() const { return cdf_.size(); }
+
+  private:
+    uint64_t doSample(Rng &rng) const;
+
+    std::vector<double> cdf_;
+};
+
+} // namespace rubik
+
+#endif // RUBIK_UTIL_RNG_H

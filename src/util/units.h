@@ -1,0 +1,35 @@
+#ifndef RUBIK_UTIL_UNITS_H
+#define RUBIK_UTIL_UNITS_H
+
+/**
+ * @file
+ * Unit conventions and conversion constants used across the library.
+ *
+ * Conventions (documented once here, relied on everywhere):
+ *  - time is held in double-precision seconds,
+ *  - frequency is held in Hz,
+ *  - work is held in core cycles (double, since distributions and
+ *    fluid-model depletion produce fractional cycles),
+ *  - power is held in watts, energy in joules.
+ */
+
+namespace rubik {
+
+/// Seconds per millisecond.
+constexpr double kMs = 1e-3;
+/// Seconds per microsecond.
+constexpr double kUs = 1e-6;
+/// Seconds per nanosecond.
+constexpr double kNs = 1e-9;
+
+/// Hz per GHz.
+constexpr double kGHz = 1e9;
+/// Hz per MHz.
+constexpr double kMHz = 1e6;
+
+/// Joules per millijoule.
+constexpr double kMj = 1e-3;
+
+} // namespace rubik
+
+#endif // RUBIK_UTIL_UNITS_H

@@ -1,0 +1,96 @@
+#include "workloads/apps.h"
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace rubik {
+
+std::vector<AppId>
+allApps()
+{
+    return {AppId::Masstree, AppId::Moses, AppId::Shore, AppId::Specjbb,
+            AppId::Xapian};
+}
+
+std::string
+appName(AppId id)
+{
+    switch (id) {
+      case AppId::Masstree: return "masstree";
+      case AppId::Moses:    return "moses";
+      case AppId::Shore:    return "shore";
+      case AppId::Specjbb:  return "specjbb";
+      case AppId::Xapian:   return "xapian";
+    }
+    panic("unknown app id");
+}
+
+double
+AppProfile::meanServiceTime(double freq, double nominal_freq) const
+{
+    const double t_nom = serviceTime->mean();
+    const double mem = t_nom * memFraction;
+    const double compute_cycles = (t_nom - mem) * nominal_freq;
+    return compute_cycles / freq + mem;
+}
+
+double
+AppProfile::maxQps(double freq, double nominal_freq) const
+{
+    return 1.0 / meanServiceTime(freq, nominal_freq);
+}
+
+AppProfile
+makeApp(AppId id)
+{
+    AppProfile app;
+    app.id = id;
+    app.name = appName(id);
+    app.memNoise = 0.15;
+
+    switch (id) {
+      case AppId::Masstree:
+        // Tight, short requests; responses dominated by queuing (Table 1).
+        app.workloadConfig = "mycsb-a (50% GETs/PUTs), 1.1GB table";
+        app.serviceTime =
+            std::make_shared<LognormalServiceTime>(0.22 * kMs, 0.12);
+        app.memFraction = 0.35;
+        app.paperRequests = 9000;
+        break;
+      case AppId::Moses:
+        // Long, fairly uniform translation requests; compute-heavy.
+        app.workloadConfig = "opensubtitles.org corpora, phrase mode";
+        app.serviceTime =
+            std::make_shared<LognormalServiceTime>(4.0 * kMs, 0.25);
+        app.memFraction = 0.20;
+        app.paperRequests = 900;
+        break;
+      case AppId::Shore:
+        // TPC-C mix: mostly short transactions, some long read-write ones.
+        app.workloadConfig = "TPC-C, 10 warehouses";
+        app.serviceTime = std::make_shared<BimodalServiceTime>(
+            0.35 * kMs, 0.40, 1.2 * kMs, 0.35, 0.25);
+        app.memFraction = 0.30;
+        app.paperRequests = 7500;
+        break;
+      case AppId::Specjbb:
+        // Short requests with high variability (occasional long ones).
+        app.workloadConfig = "1 warehouse";
+        app.serviceTime = std::make_shared<BimodalServiceTime>(
+            0.08 * kMs, 0.60, 0.60 * kMs, 0.50, 0.05);
+        app.memFraction = 0.25;
+        app.paperRequests = 37500;
+        break;
+      case AppId::Xapian:
+        // Search leaf: zipfian popularity -> heavy-tailed service times.
+        app.workloadConfig = "English Wikipedia, zipfian query popularity";
+        app.serviceTime = std::make_shared<ParetoTailServiceTime>(
+            0.80 * kMs, 0.60, 0.05, 2.0 * kMs, 2.2, 12.0 * kMs);
+        app.memFraction = 0.30;
+        app.paperRequests = 6000;
+        break;
+    }
+    return app;
+}
+
+} // namespace rubik

@@ -1,0 +1,75 @@
+#ifndef RUBIK_WORKLOADS_APPS_H
+#define RUBIK_WORKLOADS_APPS_H
+
+/**
+ * @file
+ * The five latency-critical application presets (Table 3).
+ *
+ * Each preset pairs a service-time distribution with a memory-boundedness
+ * split and the request count the paper simulates. Parameters are chosen
+ * to reproduce the per-app characteristics the paper reports:
+ *
+ *  - masstree: high-rate key-value store; very uniform service times
+ *    (Table 1: service-time correlation 0.03), median ~240 us on the real
+ *    system (Sec. 5.5); memory-bound (in-memory 1.1 GB table).
+ *  - moses: machine translation; long (median ~4 ms, Sec. 5.5), fairly
+ *    uniform requests (corr. 0.08); compute-heavy.
+ *  - shore: OLTP/TPC-C; variable transactions (corr. 0.56) with a mix of
+ *    short reads and longer read-write transactions.
+ *  - specjbb: Java middleware; short requests with high variability
+ *    (corr. 0.40; "highly variable service times", Sec. 5.3).
+ *  - xapian: web search leaf; zipfian query popularity produces a
+ *    heavy-tailed service distribution (corr. 0.50).
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/service_model.h"
+
+namespace rubik {
+
+/// Identifiers for the five LC applications.
+enum class AppId
+{
+    Masstree,
+    Moses,
+    Shore,
+    Specjbb,
+    Xapian,
+};
+
+/// All apps, in the paper's figure order.
+std::vector<AppId> allApps();
+
+/// Lowercase app name as printed in the paper's figures.
+std::string appName(AppId id);
+
+/**
+ * A latency-critical application model.
+ */
+struct AppProfile
+{
+    AppId id;
+    std::string name;
+    std::string workloadConfig;  ///< Table 3 "workload configuration".
+    std::shared_ptr<ServiceTimeDistribution> serviceTime;
+    double memFraction;          ///< Mean fraction of service memory-bound.
+    double memNoise;             ///< Relative noise on the split.
+    int paperRequests;           ///< Request count from Table 3.
+
+    /// Mean service time at the given frequency given the C/M split
+    /// (service times are defined at nominal frequency).
+    double meanServiceTime(double freq, double nominal_freq) const;
+
+    /// Max sustainable queries/second at the given frequency.
+    double maxQps(double freq, double nominal_freq) const;
+};
+
+/// Build the preset for one app.
+AppProfile makeApp(AppId id);
+
+} // namespace rubik
+
+#endif // RUBIK_WORKLOADS_APPS_H

@@ -1,0 +1,66 @@
+#include "workloads/arrival.h"
+
+#include <limits>
+
+#include "util/error.h"
+
+namespace rubik {
+
+ArrivalProcess::ArrivalProcess(double rate)
+    : steps_{{0.0, rate}}
+{
+    RUBIK_ASSERT(rate > 0, "arrival rate must be positive");
+}
+
+ArrivalProcess::ArrivalProcess(std::vector<Step> steps)
+    : steps_(std::move(steps))
+{
+    RUBIK_ASSERT(!steps_.empty(), "need at least one rate step");
+    RUBIK_ASSERT(steps_.front().time == 0.0, "first step must start at 0");
+    for (std::size_t i = 1; i < steps_.size(); ++i) {
+        RUBIK_ASSERT(steps_[i].time > steps_[i - 1].time,
+                     "steps must be increasing in time");
+    }
+    for (const auto &s : steps_)
+        RUBIK_ASSERT(s.rate > 0, "arrival rate must be positive");
+}
+
+double
+ArrivalProcess::rateAt(double t) const
+{
+    double rate = steps_.front().rate;
+    for (const auto &s : steps_) {
+        if (s.time <= t)
+            rate = s.rate;
+        else
+            break;
+    }
+    return rate;
+}
+
+double
+ArrivalProcess::nextArrival(double now, Rng &rng) const
+{
+    // Memorylessness lets us draw a fresh exponential inside each constant-
+    // rate segment: if the candidate lands past the segment boundary, move
+    // to the boundary and redraw at the new rate.
+    double t = now;
+    for (;;) {
+        const double rate = rateAt(t);
+        const double candidate = t + rng.exponential(1.0 / rate);
+
+        // Find the next boundary after t.
+        double boundary = std::numeric_limits<double>::infinity();
+        for (const auto &s : steps_) {
+            if (s.time > t) {
+                boundary = s.time;
+                break;
+            }
+        }
+        if (candidate <= boundary)
+            return candidate;
+        t = boundary;
+    }
+}
+
+} // namespace rubik

@@ -1,0 +1,57 @@
+#ifndef RUBIK_WORKLOADS_ARRIVAL_H
+#define RUBIK_WORKLOADS_ARRIVAL_H
+
+/**
+ * @file
+ * Request arrival processes.
+ *
+ * The paper's client "produces a request stream with exponentially
+ * distributed interarrival times at a given rate (i.e., a Markov input
+ * process, common in datacenter workloads)" (Sec. 5.1). The responsiveness
+ * experiments (Fig. 1b, Fig. 10) step the rate at fixed times, so the
+ * processes here are Poisson with a piecewise-constant rate.
+ */
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rubik {
+
+/**
+ * Poisson arrival process with piecewise-constant rate.
+ */
+class ArrivalProcess
+{
+  public:
+    /// Constant rate (queries/second).
+    explicit ArrivalProcess(double rate);
+
+    /**
+     * Piecewise-constant rates: step i applies from steps[i].time until
+     * steps[i+1].time. The first step must start at time 0.
+     */
+    struct Step
+    {
+        double time;
+        double rate;
+    };
+    explicit ArrivalProcess(std::vector<Step> steps);
+
+    /// Rate in effect at time t.
+    double rateAt(double t) const;
+
+    /**
+     * Next arrival strictly after `now` (thinning-free: exact for
+     * piecewise-constant rates by restarting the exponential at each
+     * boundary, valid because the Poisson process is memoryless).
+     */
+    double nextArrival(double now, Rng &rng) const;
+
+  private:
+    std::vector<Step> steps_;
+};
+
+} // namespace rubik
+
+#endif // RUBIK_WORKLOADS_ARRIVAL_H

@@ -1,0 +1,69 @@
+#include "workloads/mmpp.h"
+
+#include "util/error.h"
+
+namespace rubik {
+
+MmppArrivals::MmppArrivals(double rate_low, double rate_high,
+                           double dwell_low, double dwell_high)
+    : rateLow_(rate_low), rateHigh_(rate_high), dwellLow_(dwell_low),
+      dwellHigh_(dwell_high)
+{
+    RUBIK_ASSERT(rate_low > 0 && rate_high > 0, "rates must be positive");
+    RUBIK_ASSERT(dwell_low > 0 && dwell_high > 0,
+                 "dwell times must be positive");
+}
+
+void
+MmppArrivals::reset()
+{
+    high_ = false;
+    phaseEnd_ = -1.0;
+}
+
+double
+MmppArrivals::meanRate() const
+{
+    // Time-stationary phase probabilities are proportional to dwells.
+    const double p_high = dwellHigh_ / (dwellLow_ + dwellHigh_);
+    return p_high * rateHigh_ + (1.0 - p_high) * rateLow_;
+}
+
+double
+MmppArrivals::nextArrival(double now, Rng &rng)
+{
+    double t = now;
+    if (phaseEnd_ < 0.0)
+        phaseEnd_ = t + rng.exponential(dwellLow_); // start in low phase
+
+    // Memorylessness within a phase: draw an exponential at the current
+    // rate; if it spills past the phase boundary, move to the boundary,
+    // flip the phase, and redraw.
+    for (;;) {
+        const double rate = high_ ? rateHigh_ : rateLow_;
+        const double candidate = t + rng.exponential(1.0 / rate);
+        if (candidate <= phaseEnd_)
+            return candidate;
+        t = phaseEnd_;
+        high_ = !high_;
+        phaseEnd_ = t + rng.exponential(high_ ? dwellHigh_ : dwellLow_);
+    }
+}
+
+MmppArrivals
+makeBurstyArrivals(double mean_rate, double burst_factor,
+                   double high_fraction, double mean_dwell)
+{
+    RUBIK_ASSERT(burst_factor > 1.0, "burst factor must exceed 1");
+    RUBIK_ASSERT(high_fraction > 0 && high_fraction < 1,
+                 "high fraction in (0,1)");
+    // mean = p*B*r_low + (1-p)*r_low  =>  r_low = mean / (1 + p(B-1)).
+    const double r_low =
+        mean_rate / (1.0 + high_fraction * (burst_factor - 1.0));
+    const double r_high = burst_factor * r_low;
+    const double dwell_high = mean_dwell * high_fraction;
+    const double dwell_low = mean_dwell * (1.0 - high_fraction);
+    return MmppArrivals(r_low, r_high, dwell_low, dwell_high);
+}
+
+} // namespace rubik

@@ -1,0 +1,67 @@
+#ifndef RUBIK_WORKLOADS_MMPP_H
+#define RUBIK_WORKLOADS_MMPP_H
+
+/**
+ * @file
+ * Two-state Markov-modulated Poisson process (MMPP-2).
+ *
+ * The paper's client issues plain Poisson traffic (Sec. 5.1); real
+ * datacenter traffic is burstier. MMPP-2 alternates between a low-rate
+ * and a high-rate phase with exponentially distributed dwell times,
+ * producing sustained bursts that stress Rubik harder than Poisson
+ * clusters do. Used by the robustness extension (bench/ext_robustness)
+ * to check that queue-driven adaptation — unlike open-loop rate
+ * estimation — does not depend on the Poisson assumption.
+ */
+
+#include "util/rng.h"
+
+namespace rubik {
+
+/**
+ * Stateful MMPP-2 arrival generator.
+ */
+class MmppArrivals
+{
+  public:
+    /**
+     * @param rate_low    Arrival rate in the low phase (1/s).
+     * @param rate_high   Arrival rate in the high phase (1/s).
+     * @param dwell_low   Mean dwell time in the low phase (s).
+     * @param dwell_high  Mean dwell time in the high phase (s).
+     */
+    MmppArrivals(double rate_low, double rate_high, double dwell_low,
+                 double dwell_high);
+
+    /// Next arrival strictly after `now`; advances phase state.
+    double nextArrival(double now, Rng &rng);
+
+    /// Long-run average arrival rate.
+    double meanRate() const;
+
+    /// Reset phase state (start in the low phase at time 0).
+    void reset();
+
+    bool inHighPhase() const { return high_; }
+
+  private:
+    double rateLow_;
+    double rateHigh_;
+    double dwellLow_;
+    double dwellHigh_;
+
+    bool high_ = false;
+    double phaseEnd_ = -1.0; ///< <0: not yet drawn.
+};
+
+/**
+ * Build an MMPP whose mean rate equals `mean_rate`, with the high phase
+ * running at `burst_factor` times the low phase and the process spending
+ * `high_fraction` of time in the high phase.
+ */
+MmppArrivals makeBurstyArrivals(double mean_rate, double burst_factor,
+                                double high_fraction, double mean_dwell);
+
+} // namespace rubik
+
+#endif // RUBIK_WORKLOADS_MMPP_H

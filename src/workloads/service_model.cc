@@ -1,0 +1,157 @@
+#include "workloads/service_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace rubik {
+
+LognormalServiceTime::LognormalServiceTime(double mean, double cv)
+    : mean_(mean)
+{
+    RUBIK_ASSERT(mean > 0 && cv >= 0, "invalid lognormal parameters");
+    // For lognormal: mean = exp(mu + sigma^2/2), cv^2 = exp(sigma^2) - 1.
+    const double s2 = std::log(1.0 + cv * cv);
+    sigma_ = std::sqrt(s2);
+    mu_ = std::log(mean) - s2 / 2.0;
+}
+
+double
+LognormalServiceTime::sample(Rng &rng) const
+{
+    if (sigma_ == 0.0)
+        return mean_;
+    return rng.lognormal(mu_, sigma_);
+}
+
+std::string
+LognormalServiceTime::describe() const
+{
+    std::ostringstream os;
+    os << "lognormal(mean=" << mean_ * 1e3 << "ms)";
+    return os.str();
+}
+
+BimodalServiceTime::BimodalServiceTime(double short_mean, double short_cv,
+                                       double long_mean, double long_cv,
+                                       double long_prob)
+    : shortDist_(short_mean, short_cv), longDist_(long_mean, long_cv),
+      longProb_(long_prob)
+{
+    RUBIK_ASSERT(long_prob >= 0 && long_prob <= 1, "invalid mixture weight");
+}
+
+double
+BimodalServiceTime::sample(Rng &rng) const
+{
+    if (rng.uniform() < longProb_)
+        return longDist_.sample(rng);
+    return shortDist_.sample(rng);
+}
+
+double
+BimodalServiceTime::mean() const
+{
+    return (1.0 - longProb_) * shortDist_.mean() +
+           longProb_ * longDist_.mean();
+}
+
+std::string
+BimodalServiceTime::describe() const
+{
+    std::ostringstream os;
+    os << "bimodal(short=" << shortDist_.mean() * 1e3
+       << "ms, long=" << longDist_.mean() * 1e3
+       << "ms, p_long=" << longProb_ << ")";
+    return os.str();
+}
+
+ParetoTailServiceTime::ParetoTailServiceTime(double body_mean, double body_cv,
+                                             double tail_prob,
+                                             double tail_scale,
+                                             double tail_alpha,
+                                             double tail_cap)
+    : body_(body_mean, body_cv), tailProb_(tail_prob),
+      tailScale_(tail_scale), tailAlpha_(tail_alpha), tailCap_(tail_cap)
+{
+    RUBIK_ASSERT(tail_prob >= 0 && tail_prob <= 1, "invalid tail probability");
+    RUBIK_ASSERT(tail_cap >= tail_scale, "tail cap below tail scale");
+}
+
+double
+ParetoTailServiceTime::sample(Rng &rng) const
+{
+    if (rng.uniform() < tailProb_)
+        return std::min(rng.pareto(tailScale_, tailAlpha_), tailCap_);
+    return body_.sample(rng);
+}
+
+double
+ParetoTailServiceTime::mean() const
+{
+    // Mean of the (uncapped) Pareto for alpha > 1; the cap only trims a
+    // tiny sliver of mass, so this is a good analytic approximation.
+    const double tail_mean =
+        tailAlpha_ > 1.0 ? tailScale_ * tailAlpha_ / (tailAlpha_ - 1.0)
+                         : tailCap_;
+    return (1.0 - tailProb_) * body_.mean() + tailProb_ * tail_mean;
+}
+
+std::string
+ParetoTailServiceTime::describe() const
+{
+    std::ostringstream os;
+    os << "pareto-tail(body=" << body_.mean() * 1e3
+       << "ms, p_tail=" << tailProb_ << ")";
+    return os.str();
+}
+
+DeterministicServiceTime::DeterministicServiceTime(double mean,
+                                                   double jitter_frac)
+    : mean_(mean), jitterFrac_(jitter_frac)
+{
+    RUBIK_ASSERT(mean > 0 && jitter_frac >= 0 && jitter_frac < 1,
+                 "invalid deterministic parameters");
+}
+
+double
+DeterministicServiceTime::sample(Rng &rng) const
+{
+    return mean_ * (1.0 + rng.uniform(-jitterFrac_, jitterFrac_));
+}
+
+std::string
+DeterministicServiceTime::describe() const
+{
+    std::ostringstream os;
+    os << "deterministic(mean=" << mean_ * 1e3 << "ms +/- "
+       << jitterFrac_ * 100 << "%)";
+    return os.str();
+}
+
+DemandSplitter::DemandSplitter(double mem_frac, double mem_noise,
+                               double nominal_freq)
+    : memFrac_(mem_frac), memNoise_(mem_noise), nominalFreq_(nominal_freq)
+{
+    RUBIK_ASSERT(mem_frac >= 0 && mem_frac < 1, "invalid memory fraction");
+    RUBIK_ASSERT(nominal_freq > 0, "invalid nominal frequency");
+}
+
+ServiceDemand
+DemandSplitter::split(double total_service_time, Rng &rng) const
+{
+    total_service_time = std::max(total_service_time, 1e-9);
+    double frac = memFrac_;
+    if (memNoise_ > 0.0)
+        frac *= 1.0 + rng.normal(0.0, memNoise_);
+    frac = std::clamp(frac, 0.0, 0.95);
+
+    ServiceDemand d;
+    d.memoryTime = total_service_time * frac;
+    d.computeCycles = (total_service_time - d.memoryTime) * nominalFreq_;
+    return d;
+}
+
+} // namespace rubik

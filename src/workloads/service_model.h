@@ -1,0 +1,169 @@
+#ifndef RUBIK_WORKLOADS_SERVICE_MODEL_H
+#define RUBIK_WORKLOADS_SERVICE_MODEL_H
+
+/**
+ * @file
+ * Per-request service-demand models.
+ *
+ * The paper's five latency-critical applications (Tailbench-style builds
+ * of masstree, moses, shore, specjbb, xapian) are proprietary-input,
+ * full-application workloads run under zsim. We substitute parameterized
+ * stochastic service models that preserve what Rubik and every baseline
+ * actually consume: the distribution of per-request service time, its
+ * split into compute cycles and memory-bound time, and its variability
+ * structure (Sec. 3, Table 1, Fig. 2). DESIGN.md documents the mapping.
+ *
+ * A model draws the request's *total* service time at the nominal
+ * frequency, then splits it into memory-bound time M (a noisy fraction)
+ * and compute cycles C = (T - M) * f_nominal.
+ */
+
+#include <memory>
+#include <string>
+
+#include "util/rng.h"
+
+namespace rubik {
+
+/// A request's demand: compute cycles + memory-bound seconds.
+struct ServiceDemand
+{
+    double computeCycles = 0.0;
+    double memoryTime = 0.0;
+
+    double serviceTime(double freq) const
+    {
+        return computeCycles / freq + memoryTime;
+    }
+};
+
+/**
+ * Distribution of total service time (seconds at nominal frequency).
+ */
+class ServiceTimeDistribution
+{
+  public:
+    virtual ~ServiceTimeDistribution() = default;
+
+    /// Draw one total service time (s).
+    virtual double sample(Rng &rng) const = 0;
+
+    /// Analytic (or configured) mean (s).
+    virtual double mean() const = 0;
+
+    /// Short human-readable description.
+    virtual std::string describe() const = 0;
+};
+
+/// Lognormal service times with given mean and coefficient of variation.
+class LognormalServiceTime : public ServiceTimeDistribution
+{
+  public:
+    LognormalServiceTime(double mean, double cv);
+
+    double sample(Rng &rng) const override;
+    double mean() const override { return mean_; }
+    std::string describe() const override;
+
+  private:
+    double mean_;
+    double mu_;
+    double sigma_;
+};
+
+/// Two-component lognormal mixture (short/long request classes).
+class BimodalServiceTime : public ServiceTimeDistribution
+{
+  public:
+    /**
+     * @param short_mean Mean of the short class (s).
+     * @param short_cv   CV of the short class.
+     * @param long_mean  Mean of the long class (s).
+     * @param long_cv    CV of the long class.
+     * @param long_prob  Probability a request is long.
+     */
+    BimodalServiceTime(double short_mean, double short_cv, double long_mean,
+                       double long_cv, double long_prob);
+
+    double sample(Rng &rng) const override;
+    double mean() const override;
+    std::string describe() const override;
+
+  private:
+    LognormalServiceTime shortDist_;
+    LognormalServiceTime longDist_;
+    double longProb_;
+};
+
+/**
+ * Lognormal body with a bounded-Pareto tail: models search-style workloads
+ * (xapian) where zipfian query popularity produces rare, very long
+ * requests.
+ */
+class ParetoTailServiceTime : public ServiceTimeDistribution
+{
+  public:
+    /**
+     * @param body_mean  Mean of the lognormal body (s).
+     * @param body_cv    CV of the body.
+     * @param tail_prob  Probability of drawing from the tail.
+     * @param tail_scale Pareto scale x_m (s).
+     * @param tail_alpha Pareto shape.
+     * @param tail_cap   Upper truncation of tail draws (s).
+     */
+    ParetoTailServiceTime(double body_mean, double body_cv, double tail_prob,
+                          double tail_scale, double tail_alpha,
+                          double tail_cap);
+
+    double sample(Rng &rng) const override;
+    double mean() const override;
+    std::string describe() const override;
+
+  private:
+    LognormalServiceTime body_;
+    double tailProb_;
+    double tailScale_;
+    double tailAlpha_;
+    double tailCap_;
+};
+
+/// Near-deterministic service time with uniform jitter.
+class DeterministicServiceTime : public ServiceTimeDistribution
+{
+  public:
+    DeterministicServiceTime(double mean, double jitter_frac);
+
+    double sample(Rng &rng) const override;
+    double mean() const override { return mean_; }
+    std::string describe() const override;
+
+  private:
+    double mean_;
+    double jitterFrac_;
+};
+
+/**
+ * Splits total service time into (compute cycles, memory time).
+ *
+ * M = T * mem_frac * (1 + noise), noise ~ N(0, mem_noise) truncated so
+ * M stays in [0, T]; C = (T - M) * f_nominal.
+ */
+class DemandSplitter
+{
+  public:
+    DemandSplitter(double mem_frac, double mem_noise, double nominal_freq);
+
+    ServiceDemand split(double total_service_time, Rng &rng) const;
+
+    double memFraction() const { return memFrac_; }
+    double nominalFrequency() const { return nominalFreq_; }
+
+  private:
+    double memFrac_;
+    double memNoise_;
+    double nominalFreq_;
+};
+
+} // namespace rubik
+
+#endif // RUBIK_WORKLOADS_SERVICE_MODEL_H

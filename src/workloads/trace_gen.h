@@ -1,0 +1,71 @@
+#ifndef RUBIK_WORKLOADS_TRACE_GEN_H
+#define RUBIK_WORKLOADS_TRACE_GEN_H
+
+/**
+ * @file
+ * Trace generation: sample a request trace (arrivals + demands) from an
+ * application preset and an arrival process. Traces are deterministic in
+ * the seed, so every scheme replays identical requests.
+ */
+
+#include "sim/trace.h"
+#include "workloads/apps.h"
+#include "workloads/arrival.h"
+
+namespace rubik {
+
+/**
+ * Generate `num_requests` requests for `app` under `arrivals`.
+ *
+ * @param nominal_freq Frequency at which the app's service-time
+ *                     distribution is defined (Table 2: 2.4 GHz).
+ */
+Trace generateTrace(const AppProfile &app, const ArrivalProcess &arrivals,
+                    int num_requests, double nominal_freq, uint64_t seed);
+
+/**
+ * Convenience: trace at a fixed load. `load` is the fraction of the app's
+ * max sustainable throughput at nominal frequency (the paper's loads:
+ * 100% load = max request rate at 2.4 GHz, Sec. 5.3).
+ */
+Trace generateLoadTrace(const AppProfile &app, double load,
+                        int num_requests, double nominal_freq,
+                        uint64_t seed);
+
+/**
+ * Load steps for the responsiveness experiments: each (time, load) pair
+ * switches the arrival rate; e.g., Fig. 10 uses 25% -> 50% -> 75% at
+ * t = 0 s, 4 s, 8 s.
+ */
+Trace generateSteppedTrace(const AppProfile &app,
+                           const std::vector<std::pair<double, double>>
+                               &load_steps,
+                           double end_time, double nominal_freq,
+                           uint64_t seed);
+
+/**
+ * Bursty (MMPP-2) arrivals at an average load: the process alternates
+ * between a quiet phase and a `burst_factor`-times-hotter phase,
+ * spending `high_fraction` of its time bursting, with phase dwells
+ * around `mean_dwell` seconds. Robustness extension — the paper's
+ * clients are plain Poisson.
+ */
+Trace generateBurstyTrace(const AppProfile &app, double load,
+                          int num_requests, double nominal_freq,
+                          uint64_t seed, double burst_factor = 4.0,
+                          double high_fraction = 0.2,
+                          double mean_dwell = 50e-3);
+
+/**
+ * Trace with rank-autocorrelated service times: marginals are exactly
+ * the app's distribution, but consecutive requests' sizes correlate with
+ * coefficient ~`rho` (an AR(1) Gaussian copula reorders IID draws).
+ * Stresses Rubik's independence assumption (Sec. 4.1).
+ */
+Trace generateCorrelatedTrace(const AppProfile &app, double load,
+                              int num_requests, double nominal_freq,
+                              uint64_t seed, double rho);
+
+} // namespace rubik
+
+#endif // RUBIK_WORKLOADS_TRACE_GEN_H

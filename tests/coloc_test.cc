@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Tests for RubikColoc: batch app models, mixes, the colocated-core
+ * simulator (LC priority, batch progress, refill interference), the
+ * hardware DVFS schemes, and the datacenter model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coloc/batch_app.h"
+#include "coloc/coloc_sim.h"
+#include "coloc/datacenter.h"
+#include "coloc/hw_dvfs.h"
+#include "core/rubik_controller.h"
+#include "policies/replay.h"
+#include "policies/static_oracle.h"
+#include "sim/simulation.h"
+#include "util/units.h"
+#include "workloads/trace_gen.h"
+
+namespace rubik {
+namespace {
+
+struct Harness
+{
+    DvfsModel dvfs = DvfsModel::haswell();
+    PowerModel pm{dvfs};
+    std::vector<BatchApp> suite = specLikeSuite();
+};
+
+TEST(BatchApp, IpsIncreasesWithFrequency)
+{
+    Harness s;
+    for (const auto &app : s.suite) {
+        double prev = 0.0;
+        for (double f : s.dvfs.frequencies()) {
+            const double ips = app.ips(f);
+            EXPECT_GT(ips, prev);
+            prev = ips;
+        }
+    }
+}
+
+TEST(BatchApp, MemoryBoundAppsGainLessFromFrequency)
+{
+    Harness s;
+    const BatchApp &namd = s.suite.front(); // compute-bound
+    const BatchApp &mcf = s.suite.back();   // memory-bound
+    const double namd_gain = namd.ips(3.4 * kGHz) / namd.ips(0.8 * kGHz);
+    const double mcf_gain = mcf.ips(3.4 * kGHz) / mcf.ips(0.8 * kGHz);
+    EXPECT_GT(namd_gain, 3.5);
+    EXPECT_LT(mcf_gain, namd_gain * 0.75);
+}
+
+TEST(BatchApp, TpwOptimumBelowNominal)
+{
+    Harness s;
+    for (const auto &app : s.suite) {
+        const double f = app.tpwOptimalFrequency(s.dvfs, s.pm);
+        EXPECT_GE(f, s.dvfs.minFrequency());
+        EXPECT_LE(f, s.dvfs.nominalFrequency());
+    }
+}
+
+TEST(BatchApp, MemoryBoundPrefersLowerTpwFrequency)
+{
+    Harness s;
+    const double f_compute =
+        s.suite.front().tpwOptimalFrequency(s.dvfs, s.pm);
+    const double f_memory =
+        s.suite.back().tpwOptimalFrequency(s.dvfs, s.pm);
+    EXPECT_LE(f_memory, f_compute);
+}
+
+TEST(BatchMixes, DeterministicAndSized)
+{
+    const auto a = makeMixes(12, 20, 6, 7);
+    const auto b = makeMixes(12, 20, 6, 7);
+    ASSERT_EQ(a.size(), 20u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].size(), 6u);
+        EXPECT_EQ(a[i], b[i]);
+        for (auto idx : a[i])
+            EXPECT_LT(idx, 12u);
+    }
+}
+
+TEST(BatchMixes, NoDuplicatesWithinMix)
+{
+    const auto mixes = makeMixes(12, 20, 6, 11);
+    for (const auto &mix : mixes) {
+        auto sorted = mix;
+        std::sort(sorted.begin(), sorted.end());
+        EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                    sorted.end());
+    }
+}
+
+struct ColocHarness : Harness
+{
+    AppProfile app = makeApp(AppId::Masstree);
+    Trace trace = generateLoadTrace(app, 0.5, 4000,
+                                    dvfs.nominalFrequency(), 71);
+
+    double bound() const
+    {
+        return replayFixed(trace, dvfs.nominalFrequency(), pm)
+            .tailLatency(0.95);
+    }
+
+    ColocCoreResult run(DvfsPolicy &policy, const BatchApp &batch,
+                        double refill = 1.5e5) const
+    {
+        ColocConfig cfg;
+        cfg.batchFrequency = batch.tpwOptimalFrequency(dvfs, pm);
+        cfg.refillMaxCycles = refill;
+        return simulateColoc(trace, policy, batch, dvfs, pm, cfg);
+    }
+};
+
+TEST(ColocSim, BatchFillsIdleTime)
+{
+    ColocHarness s;
+    FixedFrequencyPolicy fixed(s.dvfs.nominalFrequency());
+    const auto r = s.run(fixed, s.suite[0]);
+
+    // LC load is 50%; batch should capture most of the remaining time.
+    const double batch_frac = r.batchBusyTime / r.lc.simTime;
+    EXPECT_GT(batch_frac, 0.30);
+    EXPECT_LT(batch_frac, 0.60);
+    EXPECT_GT(r.batchInstructions, 0.0);
+    EXPECT_GT(r.batchEnergy, 0.0);
+}
+
+TEST(ColocSim, CoreUtilizationNearFull)
+{
+    // The headline claim: RubikColoc achieves ~100% core utilization.
+    ColocHarness s;
+    FixedFrequencyPolicy fixed(s.dvfs.nominalFrequency());
+    const auto r = s.run(fixed, s.suite[3]);
+    const double total_busy = r.lc.core.busyTime + r.batchBusyTime;
+    EXPECT_GT(total_busy / r.lc.simTime, 0.95);
+}
+
+TEST(ColocSim, InterferenceInflatesLatency)
+{
+    ColocHarness s;
+    FixedFrequencyPolicy fixed(s.dvfs.nominalFrequency());
+
+    const auto with = s.run(fixed, s.suite[0], /*refill=*/3.0e5);
+    const auto without = s.run(fixed, s.suite[0], /*refill=*/0.0);
+    EXPECT_GT(with.lc.tailLatency(0.95),
+              without.lc.tailLatency(0.95) * 1.02);
+}
+
+TEST(ColocSim, NoRefillMatchesDedicated)
+{
+    // With zero refill penalty and a fixed LC frequency, LC latencies
+    // must match a dedicated (non-colocated) run exactly: batch soaks
+    // idle time without touching LC scheduling.
+    ColocHarness s;
+    FixedFrequencyPolicy fixed_a(s.dvfs.nominalFrequency());
+    const auto coloc = s.run(fixed_a, s.suite[5], /*refill=*/0.0);
+
+    FixedFrequencyPolicy fixed_b(s.dvfs.nominalFrequency());
+    const SimResult dedicated =
+        simulate(s.trace, fixed_b, s.dvfs, s.pm);
+
+    ASSERT_EQ(coloc.lc.completed.size(), dedicated.completed.size());
+    for (std::size_t i = 0; i < dedicated.completed.size(); ++i) {
+        EXPECT_NEAR(coloc.lc.completed[i].latency(),
+                    dedicated.completed[i].latency(), 1e-9);
+    }
+}
+
+TEST(ColocSim, RubikColocHoldsBoundUnderInterference)
+{
+    // Fig. 15's key result: Rubik absorbs core-state interference by
+    // running faster when needed, so the tail stays near the bound while
+    // StaticColoc (frequency from a dedicated StaticOracle run) misses it.
+    ColocHarness s;
+    const double L = s.bound();
+
+    const auto so = staticOracle(s.trace, L, 0.95, s.dvfs, s.pm);
+    FixedFrequencyPolicy static_coloc(so.frequency);
+    const auto static_r = s.run(static_coloc, s.suite[0], 3.0e5);
+
+    RubikConfig rcfg;
+    rcfg.latencyBound = L;
+    RubikController rubik(s.dvfs, rcfg);
+    const auto rubik_r = s.run(rubik, s.suite[0], 3.0e5);
+
+    EXPECT_LE(rubik_r.lc.tailLatency(0.95), L * 1.10);
+    EXPECT_GT(static_r.lc.tailLatency(0.95),
+              rubik_r.lc.tailLatency(0.95));
+}
+
+TEST(ColocSim, BatchThroughputShareBounded)
+{
+    ColocHarness s;
+    FixedFrequencyPolicy fixed(s.dvfs.nominalFrequency());
+    const auto r = s.run(fixed, s.suite[2]);
+    const double share = r.batchThroughputShare(
+        s.suite[2], s.suite[2].tpwOptimalFrequency(s.dvfs, s.pm));
+    EXPECT_GT(share, 0.0);
+    EXPECT_LT(share, 1.0);
+}
+
+TEST(HwDvfs, LcWorkloadMatchesMemFraction)
+{
+    const CoreWorkload w = lcWorkload(0.35, 2.4 * kGHz);
+    EXPECT_NEAR(w.stallFrac(2.4 * kGHz), 0.35, 1e-9);
+}
+
+TEST(HwDvfs, BlendInterpolates)
+{
+    Harness s;
+    const CoreWorkload lc = lcWorkload(0.3, 2.4 * kGHz);
+    const BatchApp &batch = s.suite.back();
+    const CoreWorkload all_lc = blendWorkload(lc, batch, 1.0);
+    const CoreWorkload all_batch = blendWorkload(lc, batch, 0.0);
+    EXPECT_DOUBLE_EQ(all_lc.cpi, lc.cpi);
+    EXPECT_DOUBLE_EQ(all_batch.cpi, batch.cpi);
+}
+
+TEST(HwDvfs, ThroughputAllocationRespectsTdp)
+{
+    Harness s;
+    std::vector<CoreWorkload> cores;
+    for (int i = 0; i < 6; ++i)
+        cores.push_back(blendWorkload(lcWorkload(0.3, 2.4 * kGHz),
+                                      s.suite[i], 0.5));
+    const auto freqs = hwThroughputAllocation(cores, s.dvfs, s.pm);
+    ASSERT_EQ(freqs.size(), 6u);
+    std::vector<double> stalls;
+    for (std::size_t i = 0; i < 6; ++i)
+        stalls.push_back(cores[i].stallFrac(freqs[i]));
+    EXPECT_LE(s.pm.packagePower(freqs, stalls), s.pm.tdp() + 1e-9);
+    // TDP should actually bind: no core sits at min while budget remains.
+    double total = 0.0;
+    for (double f : freqs)
+        total += f;
+    EXPECT_GT(total, 6.0 * s.dvfs.minFrequency());
+}
+
+TEST(HwDvfs, ComputeBoundCoresGetHigherFrequency)
+{
+    Harness s;
+    std::vector<CoreWorkload> cores;
+    // Three compute-bound, three memory-bound cores.
+    for (int i = 0; i < 3; ++i)
+        cores.push_back({0.8, 0.01e-9});
+    for (int i = 0; i < 3; ++i)
+        cores.push_back({1.3, 0.9e-9});
+    const auto freqs = hwThroughputAllocation(cores, s.dvfs, s.pm);
+    EXPECT_GT(freqs[0], freqs[5]);
+}
+
+TEST(HwDvfs, TpwFrequencyLowForMemoryBound)
+{
+    Harness s;
+    const double f_mem =
+        tpwOptimalFrequency({1.3, 0.9e-9}, s.dvfs, s.pm);
+    const double f_cpu =
+        tpwOptimalFrequency({0.8, 0.01e-9}, s.dvfs, s.pm);
+    EXPECT_LE(f_mem, f_cpu);
+    EXPECT_LT(f_mem, 2.0 * kGHz);
+}
+
+TEST(Datacenter, ColocationSavesPowerAndServers)
+{
+    Harness s;
+    DatacenterConfig cfg;
+    cfg.lcRequestsPerSim = 1500; // keep the test fast
+    DatacenterModel dc(s.dvfs, s.pm, cfg);
+
+    const DatacenterEval low = dc.evaluate(0.2);
+    EXPECT_LT(low.colocated.power, low.segregated.power);
+    EXPECT_LT(low.colocated.servers, low.segregated.servers);
+    // LC servers unchanged; batch servers shrink drastically.
+    EXPECT_LT(low.colocated.batchServers,
+              low.segregated.batchServers * 0.6);
+}
+
+TEST(Datacenter, SavingsGrowAsLoadDrops)
+{
+    // Fig. 16: lower LC load -> more idle time -> more batch absorbed in
+    // colocated servers -> fewer batch-only servers.
+    Harness s;
+    DatacenterConfig cfg;
+    cfg.lcRequestsPerSim = 1500;
+    DatacenterModel dc(s.dvfs, s.pm, cfg);
+
+    const DatacenterEval lo = dc.evaluate(0.2);
+    const DatacenterEval hi = dc.evaluate(0.5);
+    EXPECT_LT(lo.colocated.batchServers, hi.colocated.batchServers);
+}
+
+TEST(Datacenter, BoundsAreCachedAndPositive)
+{
+    Harness s;
+    DatacenterConfig cfg;
+    cfg.lcRequestsPerSim = 1000;
+    DatacenterModel dc(s.dvfs, s.pm, cfg);
+    for (AppId app : allApps()) {
+        const double b1 = dc.latencyBound(app);
+        const double b2 = dc.latencyBound(app);
+        EXPECT_GT(b1, 0.0);
+        EXPECT_DOUBLE_EQ(b1, b2);
+    }
+}
+
+} // namespace
+} // namespace rubik

@@ -1,0 +1,429 @@
+/**
+ * @file
+ * Tests for Rubik's core machinery: discrete distributions (conditioning,
+ * convolution, quantiles), target tail tables (including the Gaussian CLT
+ * extension), the online profiler, and the PI controller.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/distribution.h"
+#include "core/pi_controller.h"
+#include "core/profiler.h"
+#include "core/rubik_controller.h"
+#include "core/target_tail_table.h"
+#include "stats/percentile.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace rubik {
+namespace {
+
+/// Distribution from explicit samples.
+DiscreteDistribution
+fromSamples(const std::vector<double> &samples, std::size_t buckets = 128)
+{
+    double max_val = 0.0;
+    for (double s : samples)
+        max_val = std::max(max_val, s);
+    Histogram h(buckets, std::max(max_val * 1.0001, 1e-9));
+    for (double s : samples)
+        h.add(s);
+    return DiscreteDistribution::fromHistogram(h, buckets);
+}
+
+TEST(DiscreteDistribution, PointMassBasics)
+{
+    const auto d = DiscreteDistribution::pointMass(10.0);
+    EXPECT_NEAR(d.mean(), 10.0, d.bucketWidth());
+    EXPECT_NEAR(d.variance(), 0.0, d.bucketWidth() * d.bucketWidth());
+    EXPECT_NEAR(d.totalMass(), 1.0, 1e-12);
+    EXPECT_NEAR(d.quantile(0.5), 10.0, d.bucketWidth());
+}
+
+TEST(DiscreteDistribution, FromHistogramPreservesMoments)
+{
+    Rng rng(1);
+    std::vector<double> samples;
+    for (int i = 0; i < 50000; ++i)
+        samples.push_back(rng.lognormal(0.0, 0.5));
+    const auto d = fromSamples(samples);
+    EXPECT_NEAR(d.mean(), mean(samples), mean(samples) * 0.02);
+    EXPECT_NEAR(d.variance(), variance(samples), variance(samples) * 0.05);
+}
+
+TEST(DiscreteDistribution, QuantileMatchesSamples)
+{
+    Rng rng(2);
+    std::vector<double> samples;
+    for (int i = 0; i < 50000; ++i)
+        samples.push_back(rng.exponential(1.0));
+    const auto d = fromSamples(samples, 256);
+    for (double q : {0.5, 0.9, 0.95}) {
+        EXPECT_NEAR(d.quantile(q), percentile(samples, q),
+                    percentile(samples, q) * 0.05 + 2 * d.bucketWidth());
+    }
+}
+
+TEST(DiscreteDistribution, QuantileUpperIsConservative)
+{
+    Rng rng(3);
+    std::vector<double> samples;
+    for (int i = 0; i < 10000; ++i)
+        samples.push_back(rng.uniform(0.0, 100.0));
+    const auto d = fromSamples(samples);
+    for (double q : {0.25, 0.5, 0.75, 0.95})
+        EXPECT_GE(d.quantileUpper(q), d.quantile(q));
+}
+
+TEST(DiscreteDistribution, ConditionalShiftsSupport)
+{
+    // Uniform on [0, 100): conditioning on 50 elapsed leaves a uniform
+    // remainder on [0, 50).
+    std::vector<double> masses(100, 1.0);
+    const DiscreteDistribution d(std::move(masses), 1.0);
+    const auto cond = d.conditionalOnElapsed(50.0);
+    EXPECT_NEAR(cond.mean(), 25.0, 1.0);
+    EXPECT_NEAR(cond.totalMass(), 1.0, 1e-9);
+    EXPECT_NEAR(cond.quantile(0.99), 50.0, 2.0);
+}
+
+TEST(DiscreteDistribution, ConditionalZeroElapsedIsIdentity)
+{
+    Rng rng(4);
+    std::vector<double> samples;
+    for (int i = 0; i < 10000; ++i)
+        samples.push_back(rng.lognormal(1.0, 0.3));
+    const auto d = fromSamples(samples);
+    const auto cond = d.conditionalOnElapsed(0.0);
+    EXPECT_DOUBLE_EQ(cond.mean(), d.mean());
+}
+
+TEST(DiscreteDistribution, ConditionalBeyondSupportPredictsCompletion)
+{
+    const auto d = DiscreteDistribution::pointMass(10.0);
+    const auto cond = d.conditionalOnElapsed(1000.0);
+    // Degenerates to "about to finish".
+    EXPECT_LT(cond.quantile(0.99), d.bucketWidth() * 2.0);
+}
+
+TEST(DiscreteDistribution, ConditionalMeanDecreasesForLightTails)
+{
+    Rng rng(5);
+    std::vector<double> samples;
+    for (int i = 0; i < 50000; ++i)
+        samples.push_back(rng.lognormal(0.0, 0.25));
+    const auto d = fromSamples(samples);
+    double prev = d.mean();
+    for (double w : {0.3, 0.6, 0.9}) {
+        const double omega = d.quantile(w);
+        const double m = d.conditionalOnElapsed(omega).mean();
+        EXPECT_LT(m, prev + d.bucketWidth());
+        prev = m;
+    }
+}
+
+TEST(DiscreteDistribution, ConvolutionAddsMeans)
+{
+    const auto a = DiscreteDistribution::pointMass(5.0);
+    const auto b = DiscreteDistribution::pointMass(7.0);
+    const auto c = a.convolveWith(b);
+    EXPECT_NEAR(c.mean(), 12.0, c.bucketWidth() * 2.0);
+}
+
+TEST(DiscreteDistribution, ConvolutionAddsVariances)
+{
+    Rng rng(6);
+    std::vector<double> s1, s2;
+    for (int i = 0; i < 50000; ++i) {
+        s1.push_back(rng.lognormal(0.0, 0.4));
+        s2.push_back(rng.lognormal(0.5, 0.3));
+    }
+    const auto a = fromSamples(s1);
+    const auto b = fromSamples(s2);
+    const auto c = a.convolveWith(b);
+    EXPECT_NEAR(c.mean(), a.mean() + b.mean(),
+                (a.mean() + b.mean()) * 0.02);
+    EXPECT_NEAR(c.variance(), a.variance() + b.variance(),
+                (a.variance() + b.variance()) * 0.10);
+}
+
+TEST(DiscreteDistribution, FftAndDirectConvolutionAgree)
+{
+    Rng rng(7);
+    std::vector<double> s1, s2;
+    for (int i = 0; i < 20000; ++i) {
+        s1.push_back(rng.exponential(2.0));
+        s2.push_back(rng.uniform(0.0, 5.0));
+    }
+    const auto a = fromSamples(s1);
+    const auto b = fromSamples(s2);
+    const auto f = a.convolveWith(b, /*use_fft=*/true);
+    const auto d = a.convolveWith(b, /*use_fft=*/false);
+    ASSERT_EQ(f.numBuckets(), d.numBuckets());
+    EXPECT_NEAR(f.bucketWidth(), d.bucketWidth(), 1e-12);
+    for (std::size_t i = 0; i < f.numBuckets(); ++i)
+        EXPECT_NEAR(f.mass(i), d.mass(i), 1e-9);
+}
+
+TEST(DiscreteDistribution, ConvolutionChainStaysNormalized)
+{
+    Rng rng(8);
+    std::vector<double> s;
+    for (int i = 0; i < 10000; ++i)
+        s.push_back(rng.lognormal(0.0, 0.5));
+    auto acc = fromSamples(s);
+    const auto base = fromSamples(s);
+    for (int i = 0; i < 16; ++i) {
+        acc = acc.convolveWith(base);
+        EXPECT_NEAR(acc.totalMass(), 1.0, 1e-9);
+        EXPECT_EQ(acc.numBuckets(), 128u);
+    }
+    EXPECT_NEAR(acc.mean(), 17.0 * base.mean(), 17.0 * base.mean() * 0.05);
+}
+
+TEST(DiscreteDistribution, RebinPreservesMassAndMean)
+{
+    Rng rng(9);
+    std::vector<double> s;
+    for (int i = 0; i < 20000; ++i)
+        s.push_back(rng.uniform(0.0, 10.0));
+    const auto d = fromSamples(s);
+    const auto r = d.rebin(d.bucketWidth() * 3.7, 64);
+    EXPECT_NEAR(r.totalMass(), 1.0, 1e-9);
+    EXPECT_NEAR(r.mean(), d.mean(), d.mean() * 0.02);
+}
+
+TEST(TargetTailTable, TailsIncreaseWithQueuePosition)
+{
+    Rng rng(10);
+    std::vector<double> cycles, mems;
+    for (int i = 0; i < 20000; ++i) {
+        cycles.push_back(rng.lognormal(13.0, 0.3)); // ~ 500K cycles
+        mems.push_back(rng.lognormal(-9.0, 0.3));   // ~ 0.1 ms
+    }
+    TailTableConfig cfg;
+    const auto table = TargetTailTable::build(fromSamples(cycles),
+                                              fromSamples(mems), cfg);
+    for (std::size_t row = 0; row < cfg.rows; ++row) {
+        for (std::size_t i = 1; i < cfg.positions + 8; ++i) {
+            EXPECT_GT(table.tailCycles(row, i),
+                      table.tailCycles(row, i - 1))
+                << "row " << row << " position " << i;
+        }
+    }
+}
+
+TEST(TargetTailTable, GaussianExtensionContinuous)
+{
+    // The CLT extension at position `positions` should be close to the
+    // exact convolution value just before it.
+    Rng rng(11);
+    std::vector<double> cycles;
+    for (int i = 0; i < 50000; ++i)
+        cycles.push_back(rng.lognormal(13.0, 0.4));
+    TailTableConfig cfg;
+    cfg.positions = 16;
+    const auto table = TargetTailTable::build(
+        fromSamples(cycles), DiscreteDistribution::pointMass(0.0), cfg);
+    const double exact15 = table.tailCycles(0, 15);
+    const double gauss16 = table.tailCycles(0, 16);
+    EXPECT_GT(gauss16, exact15);
+    EXPECT_LT(gauss16, exact15 * 1.25);
+}
+
+TEST(TargetTailTable, RowSelection)
+{
+    Rng rng(12);
+    std::vector<double> cycles;
+    for (int i = 0; i < 20000; ++i)
+        cycles.push_back(rng.lognormal(13.0, 0.3));
+    TailTableConfig cfg;
+    const auto table = TargetTailTable::build(
+        fromSamples(cycles), DiscreteDistribution::pointMass(0.0), cfg);
+    EXPECT_EQ(table.rowForElapsed(0.0), 0u);
+    // Far beyond any observed service: the last row.
+    EXPECT_EQ(table.rowForElapsed(1e12), cfg.rows - 1);
+    // Monotone in omega.
+    std::size_t prev = 0;
+    for (double w = 0.0; w < 2e6; w += 1e5) {
+        const std::size_t r = table.rowForElapsed(w);
+        EXPECT_GE(r, prev);
+        prev = r;
+    }
+}
+
+TEST(TargetTailTable, ElapsedWorkShortensRemainingTail)
+{
+    // For a tight (low-variance) service distribution, a request that has
+    // already executed most of its work has a much smaller remaining
+    // tail: c_0[last row] << c_0[row 0].
+    Rng rng(13);
+    std::vector<double> cycles;
+    for (int i = 0; i < 50000; ++i)
+        cycles.push_back(rng.lognormal(13.0, 0.15));
+    TailTableConfig cfg;
+    const auto table = TargetTailTable::build(
+        fromSamples(cycles), DiscreteDistribution::pointMass(0.0), cfg);
+    EXPECT_LT(table.tailCycles(cfg.rows - 1, 0),
+              table.tailCycles(0, 0) * 0.6);
+}
+
+TEST(TargetTailTable, PercentileRaisesTails)
+{
+    Rng rng(14);
+    std::vector<double> cycles;
+    for (int i = 0; i < 20000; ++i)
+        cycles.push_back(rng.lognormal(13.0, 0.5));
+    const auto dist = fromSamples(cycles);
+    TailTableConfig p95, p99;
+    p95.percentile = 0.95;
+    p99.percentile = 0.99;
+    const auto t95 = TargetTailTable::build(
+        dist, DiscreteDistribution::pointMass(0.0), p95);
+    const auto t99 = TargetTailTable::build(
+        dist, DiscreteDistribution::pointMass(0.0), p99);
+    for (std::size_t i = 0; i < 20; ++i)
+        EXPECT_GE(t99.tailCycles(0, i), t95.tailCycles(0, i));
+}
+
+TEST(TargetTailTable, MemoryTailsTrackMemoryDistribution)
+{
+    Rng rng(15);
+    std::vector<double> cycles, mems;
+    for (int i = 0; i < 20000; ++i) {
+        cycles.push_back(rng.lognormal(13.0, 0.3));
+        mems.push_back(rng.lognormal(-8.0, 0.4));
+    }
+    TailTableConfig cfg;
+    const auto table = TargetTailTable::build(fromSamples(cycles),
+                                              fromSamples(mems), cfg);
+    const auto mem_dist = fromSamples(mems);
+    // m_0 at row 0 ~ 95th percentile of the memory distribution.
+    EXPECT_NEAR(table.tailMemTime(0, 0), mem_dist.quantileUpper(0.95),
+                mem_dist.quantileUpper(0.95) * 0.1);
+}
+
+class TableShapeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(TableShapeSweep, BuildsAndStaysMonotoneAcrossShapes)
+{
+    // Property sweep over (rows, positions, buckets): every shape must
+    // build successfully and produce position-monotone tails.
+    const auto [rows, positions, buckets] = GetParam();
+    Rng rng(16);
+    std::vector<double> cycles, mems;
+    for (int i = 0; i < 10000; ++i) {
+        cycles.push_back(rng.lognormal(13.0, 0.4));
+        mems.push_back(rng.lognormal(-9.0, 0.4));
+    }
+    TailTableConfig cfg;
+    cfg.rows = static_cast<std::size_t>(rows);
+    cfg.positions = static_cast<std::size_t>(positions);
+    cfg.buckets = static_cast<std::size_t>(buckets);
+    const auto table = TargetTailTable::build(
+        fromSamples(cycles, cfg.buckets), fromSamples(mems, cfg.buckets),
+        cfg);
+    for (std::size_t r = 0; r < cfg.rows; ++r) {
+        for (std::size_t i = 1; i < cfg.positions + 4; ++i) {
+            EXPECT_GE(table.tailCycles(r, i),
+                      table.tailCycles(r, i - 1) * 0.999);
+            EXPECT_GE(table.tailMemTime(r, i),
+                      table.tailMemTime(r, i - 1) * 0.999);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TableShapeSweep,
+    ::testing::Combine(::testing::Values(4, 8, 16),
+                       ::testing::Values(8, 16),
+                       ::testing::Values(64, 128)));
+
+TEST(Profiler, WindowEviction)
+{
+    Profiler prof(100, 64);
+    for (int i = 0; i < 250; ++i)
+        prof.record(1000.0, 1e-6);
+    EXPECT_EQ(prof.numSamples(), 100u);
+}
+
+TEST(Profiler, DistributionsReflectSamples)
+{
+    Profiler prof(4096, 128);
+    Rng rng(17);
+    std::vector<double> cycles;
+    for (int i = 0; i < 4000; ++i) {
+        const double c = rng.lognormal(13.0, 0.3);
+        cycles.push_back(c);
+        prof.record(c, 0.5e-3);
+    }
+    const auto cd = prof.computeDistribution();
+    EXPECT_NEAR(cd.mean(), mean(cycles), mean(cycles) * 0.03);
+    const auto md = prof.memoryDistribution();
+    EXPECT_NEAR(md.mean(), 0.5e-3, 0.5e-3 * 0.05);
+}
+
+TEST(Profiler, EmptyYieldsPointMassAtZero)
+{
+    Profiler prof(100, 64);
+    const auto d = prof.computeDistribution();
+    EXPECT_NEAR(d.mean(), 0.0, d.bucketWidth());
+}
+
+TEST(PiController, ConvergesToStep)
+{
+    // Track a constant positive error: the integral term must push the
+    // output upward until the clamp.
+    PiController pi(0.5, 1.0, 0.0, 10.0, 1.0);
+    double out = 1.0;
+    for (int i = 0; i < 200; ++i)
+        out = pi.update(0.5, 0.1);
+    EXPECT_GT(out, 9.0);
+}
+
+TEST(PiController, ClampsOutput)
+{
+    PiController pi(1.0, 10.0, 0.5, 2.0, 1.0);
+    for (int i = 0; i < 100; ++i)
+        pi.update(10.0, 1.0);
+    EXPECT_LE(pi.output(), 2.0);
+    for (int i = 0; i < 100; ++i)
+        pi.update(-10.0, 1.0);
+    EXPECT_GE(pi.output(), 0.5);
+}
+
+TEST(PiController, ZeroErrorHoldsOutput)
+{
+    PiController pi(0.5, 0.5, 0.0, 10.0, 3.0);
+    pi.update(0.0, 0.1);
+    pi.update(0.0, 0.1);
+    EXPECT_DOUBLE_EQ(pi.output(), 3.0);
+}
+
+TEST(PiController, ResetRestoresInitial)
+{
+    PiController pi(0.5, 0.5, 0.0, 10.0, 3.0);
+    pi.update(1.0, 1.0);
+    EXPECT_NE(pi.output(), 3.0);
+    pi.reset(3.0);
+    EXPECT_DOUBLE_EQ(pi.output(), 3.0);
+}
+
+TEST(RubikController, RequiresLatencyBound)
+{
+    const DvfsModel dvfs = DvfsModel::haswell();
+    RubikConfig cfg;
+    cfg.latencyBound = 1.0 * kMs;
+    RubikController rubik(dvfs, cfg);
+    EXPECT_FALSE(rubik.warm());
+    EXPECT_DOUBLE_EQ(rubik.internalTarget(), 1.0 * kMs);
+}
+
+} // namespace
+} // namespace rubik

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Parameterized property sweeps over DiscreteDistribution invariants,
+ * across distribution families, scales and bucket counts. These are the
+ * algebraic guarantees Rubik's model leans on:
+ *
+ *  - mass conservation under conditioning, convolution and rebinning,
+ *  - mean/variance additivity under convolution,
+ *  - quantile monotonicity and CDF/quantile consistency,
+ *  - conditional mass shifting (expected remaining work <= total work
+ *    for light-tailed inputs; support never grows),
+ *  - convolution commutativity.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/distribution.h"
+#include "util/rng.h"
+
+namespace rubik {
+namespace {
+
+struct FamilyCase
+{
+    const char *name;
+    double mu;     ///< Lognormal location (controls scale).
+    double sigma;  ///< Lognormal shape (controls variability).
+    int buckets;
+};
+
+class DistributionProperties : public ::testing::TestWithParam<FamilyCase>
+{
+  protected:
+    DiscreteDistribution make(uint64_t seed) const
+    {
+        const auto &p = GetParam();
+        Rng rng(seed);
+        Histogram h(static_cast<std::size_t>(p.buckets), 1.0);
+        for (int i = 0; i < 20000; ++i)
+            h.add(rng.lognormal(p.mu, p.sigma));
+        return DiscreteDistribution::fromHistogram(
+            h, static_cast<std::size_t>(p.buckets));
+    }
+};
+
+TEST_P(DistributionProperties, MassIsOneEverywhere)
+{
+    const auto d = make(1);
+    EXPECT_NEAR(d.totalMass(), 1.0, 1e-9);
+    EXPECT_NEAR(d.conditionalOnElapsed(d.quantile(0.5)).totalMass(), 1.0,
+                1e-9);
+    EXPECT_NEAR(d.convolveWith(d).totalMass(), 1.0, 1e-9);
+    EXPECT_NEAR(d.rebin(d.bucketWidth() * 2.3, 64).totalMass(), 1.0,
+                1e-9);
+}
+
+TEST_P(DistributionProperties, ConvolutionMomentsAdd)
+{
+    const auto a = make(2);
+    const auto b = make(3);
+    const auto c = a.convolveWith(b);
+    EXPECT_NEAR(c.mean(), a.mean() + b.mean(),
+                (a.mean() + b.mean()) * 0.02 + c.bucketWidth());
+    EXPECT_NEAR(c.variance(), a.variance() + b.variance(),
+                (a.variance() + b.variance()) * 0.15 +
+                    c.bucketWidth() * c.bucketWidth());
+}
+
+TEST_P(DistributionProperties, ConvolutionCommutes)
+{
+    const auto a = make(4);
+    const auto b = make(5);
+    const auto ab = a.convolveWith(b);
+    const auto ba = b.convolveWith(a);
+    EXPECT_NEAR(ab.mean(), ba.mean(),
+                std::max(ab.bucketWidth(), ba.bucketWidth()));
+    EXPECT_NEAR(ab.quantile(0.95), ba.quantile(0.95),
+                2.0 * std::max(ab.bucketWidth(), ba.bucketWidth()));
+}
+
+TEST_P(DistributionProperties, QuantilesMonotone)
+{
+    const auto d = make(6);
+    double prev = -1.0;
+    for (double q = 0.05; q < 1.0; q += 0.05) {
+        const double v = d.quantile(q);
+        EXPECT_GE(v, prev);
+        EXPECT_GE(d.quantileUpper(q), v);
+        prev = v;
+    }
+}
+
+TEST_P(DistributionProperties, ConditionalNeverGrowsSupport)
+{
+    const auto d = make(7);
+    for (double q : {0.25, 0.5, 0.75, 0.9}) {
+        const auto cond = d.conditionalOnElapsed(d.quantile(q));
+        EXPECT_LE(cond.quantileUpper(0.99),
+                  d.quantileUpper(0.999) + d.bucketWidth());
+    }
+}
+
+TEST_P(DistributionProperties, ConditionalExpectationBounded)
+{
+    // For any distribution, E[S - w | S > w] <= max support - w, and the
+    // remaining-work mean is nonnegative.
+    const auto d = make(8);
+    for (double q : {0.3, 0.6, 0.9}) {
+        const double w = d.quantile(q);
+        const auto cond = d.conditionalOnElapsed(w);
+        EXPECT_GE(cond.mean(), 0.0);
+        EXPECT_LE(cond.mean(), d.max() - w + d.bucketWidth());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, DistributionProperties,
+    ::testing::Values(
+        FamilyCase{"tight_small", 0.0, 0.15, 128},
+        FamilyCase{"tight_large", 13.0, 0.15, 128},
+        FamilyCase{"moderate", 13.0, 0.5, 128},
+        FamilyCase{"heavy", 13.0, 1.0, 128},
+        FamilyCase{"heavy_coarse", 13.0, 1.0, 32},
+        FamilyCase{"moderate_fine", 13.0, 0.5, 256}),
+    [](const ::testing::TestParamInfo<FamilyCase> &info) {
+        return info.param.name;
+    });
+
+} // namespace
+} // namespace rubik

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Edge-case and failure-injection tests across modules: degenerate
+ * demands, saturating loads, impossible latency bounds, exact Eq. 2
+ * frequency arithmetic on crafted distributions, DVFS corner cases, and
+ * simultaneous events.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rubik_controller.h"
+#include "policies/replay.h"
+#include "policies/static_oracle.h"
+#include "sim/simulation.h"
+#include "stats/percentile.h"
+#include "util/units.h"
+#include "workloads/trace_gen.h"
+
+namespace rubik {
+namespace {
+
+Request
+makeRequest(uint64_t id, double arrival, double cycles, double mem)
+{
+    Request r;
+    r.id = id;
+    r.arrivalTime = arrival;
+    r.computeCycles = cycles;
+    r.memoryTime = mem;
+    return r;
+}
+
+/// A Rubik controller warmed with constant (cycles, mem) demands.
+RubikController
+warmRubik(const DvfsModel &dvfs, double bound, double cycles, double mem,
+          const CoreEngine &core)
+{
+    RubikConfig cfg;
+    cfg.latencyBound = bound;
+    cfg.feedback = false;
+    cfg.warmupSamples = 16;
+    RubikController rubik(dvfs, cfg);
+    for (int i = 0; i < 64; ++i) {
+        CompletedRequest done;
+        done.computeCycles = cycles;
+        done.memoryTime = mem;
+        done.completionTime = static_cast<double>(i) * 1e-4;
+        rubik.onCompletion(done, core);
+    }
+    rubik.periodicUpdate(core);
+    return rubik;
+}
+
+TEST(Eq2Arithmetic, SingleRequestConstantWork)
+{
+    // Constant 2.4e6-cycle requests, no memory; L = 2 ms. A freshly
+    // dispatched request needs f >= 2.4e6 / 2ms = 1.2 GHz. Bucket
+    // granularity can push the estimate one 200 MHz step up.
+    const DvfsModel dvfs = DvfsModel::haswell(0.0);
+    const PowerModel pm(dvfs);
+    CoreEngine core(dvfs, pm);
+    RubikController rubik =
+        warmRubik(dvfs, 2.0 * kMs, 2.4e6, 0.0, core);
+    ASSERT_TRUE(rubik.warm());
+
+    core.enqueue(makeRequest(0, 0.0, 2.4e6, 0.0));
+    const double f = rubik.selectFrequency(core);
+    EXPECT_GE(f, 1.2 * kGHz);
+    EXPECT_LE(f, 1.4 * kGHz);
+}
+
+TEST(Eq2Arithmetic, QueuedRequestDoublesWork)
+{
+    // Two queued constant requests: the second's completion needs
+    // ~2 * 2.4e6 cycles within the same 2 ms -> f >= 2.4 GHz.
+    const DvfsModel dvfs = DvfsModel::haswell(0.0);
+    const PowerModel pm(dvfs);
+    CoreEngine core(dvfs, pm);
+    RubikController rubik =
+        warmRubik(dvfs, 2.0 * kMs, 2.4e6, 0.0, core);
+
+    core.enqueue(makeRequest(0, 0.0, 2.4e6, 0.0));
+    core.enqueue(makeRequest(1, 0.0, 2.4e6, 0.0));
+    const double f = rubik.selectFrequency(core);
+    EXPECT_GE(f, 2.4 * kGHz);
+    EXPECT_LE(f, 2.8 * kGHz);
+}
+
+TEST(Eq2Arithmetic, MemoryTimeShrinksSlack)
+{
+    // Constant work split 50/50: 1.2e6 cycles + 0.5 ms memory, L = 2 ms.
+    // Slack for compute is L - m ~ 1.5 ms -> f >= 0.8 GHz.
+    const DvfsModel dvfs = DvfsModel::haswell(0.0);
+    const PowerModel pm(dvfs);
+    CoreEngine core(dvfs, pm);
+    RubikController rubik =
+        warmRubik(dvfs, 2.0 * kMs, 1.2e6, 0.5 * kMs, core);
+
+    core.enqueue(makeRequest(0, 0.0, 1.2e6, 0.5 * kMs));
+    const double f1 = rubik.selectFrequency(core);
+    EXPECT_GE(f1, 0.8 * kGHz);
+    EXPECT_LE(f1, 1.0 * kGHz);
+
+    // With a 0.9 ms bound, slack ~0.4ms -> f >= 3 GHz.
+    RubikController tight =
+        warmRubik(dvfs, 0.9 * kMs, 1.2e6, 0.5 * kMs, core);
+    const double f2 = tight.selectFrequency(core);
+    EXPECT_GE(f2, 3.0 * kGHz);
+}
+
+TEST(Eq2Arithmetic, ExhaustedSlackForcesMaxFrequency)
+{
+    const DvfsModel dvfs = DvfsModel::haswell(0.0);
+    const PowerModel pm(dvfs);
+    CoreEngine core(dvfs, pm);
+    RubikController rubik =
+        warmRubik(dvfs, 1.0 * kMs, 2.4e6, 0.0, core);
+
+    // Request that has been waiting longer than the whole bound.
+    core.enqueue(makeRequest(0, 0.0, 2.4e6, 0.0));
+    core.advanceTo(1.5 * kMs);
+    EXPECT_DOUBLE_EQ(rubik.selectFrequency(core), dvfs.maxFrequency());
+}
+
+TEST(Eq2Arithmetic, OlderRequestsNeedHigherFrequency)
+{
+    const DvfsModel dvfs = DvfsModel::haswell(0.0);
+    const PowerModel pm(dvfs);
+
+    auto freq_after_wait = [&](double wait) {
+        CoreEngine core(dvfs, pm);
+        RubikController rubik =
+            warmRubik(dvfs, 2.0 * kMs, 2.4e6, 0.0, core);
+        core.advanceTo(wait);
+        core.enqueue(makeRequest(0, wait, 2.4e6, 0.0));
+        // Pretend it arrived at t=0 by rebuilding the view: enqueue a
+        // fresh request and advance so t_i grows.
+        core.advanceTo(wait + 0.5 * kMs);
+        return rubik.selectFrequency(core);
+    };
+    // 0.5 ms into a 2 ms budget (with ~1 ms of work left at 2.4 GHz):
+    // needs more than the fresh-request frequency.
+    EXPECT_GE(freq_after_wait(0.0), 1.2 * kGHz);
+}
+
+TEST(FailureInjection, ImpossibleBoundRunsFlatOut)
+{
+    const DvfsModel dvfs = DvfsModel::haswell();
+    const PowerModel pm(dvfs);
+    const AppProfile app = makeApp(AppId::Masstree);
+    const Trace t =
+        generateLoadTrace(app, 0.5, 3000, dvfs.nominalFrequency(), 3);
+
+    RubikConfig cfg;
+    cfg.latencyBound = 1.0 * kUs; // absurd
+    RubikController rubik(dvfs, cfg);
+    const SimResult r = simulate(t, rubik, dvfs, pm);
+
+    // Everything completed, mostly at max frequency.
+    EXPECT_EQ(r.completed.size(), t.size());
+    const double top =
+        r.core.freqResidency[dvfs.indexOf(dvfs.maxFrequency())];
+    EXPECT_GT(top, 0.9 * r.core.busyTime);
+}
+
+TEST(FailureInjection, OverloadStillCompletes)
+{
+    // Load 120% of capacity: the queue grows without bound but the
+    // simulation must terminate and account all requests.
+    const DvfsModel dvfs = DvfsModel::haswell(0.0);
+    const PowerModel pm(dvfs);
+    const AppProfile app = makeApp(AppId::Specjbb);
+    const Trace t =
+        generateLoadTrace(app, 1.2, 4000, dvfs.nominalFrequency(), 5);
+    FixedFrequencyPolicy fixed(dvfs.nominalFrequency());
+    const SimResult r = simulate(t, fixed, dvfs, pm);
+    EXPECT_EQ(r.completed.size(), t.size());
+    // Mean latency far above mean service time (queue buildup).
+    EXPECT_GT(r.meanLatency(),
+              5.0 * traceMeanServiceTime(t, dvfs.nominalFrequency()));
+}
+
+TEST(FailureInjection, ZeroDemandRequestCompletesInstantly)
+{
+    const DvfsModel dvfs = DvfsModel::haswell(0.0);
+    const PowerModel pm(dvfs);
+    CoreEngine core(dvfs, pm);
+    core.enqueue(makeRequest(0, 0.0, 0.0, 0.0));
+    EXPECT_NEAR(core.nextEventTime(), 0.0, 1e-12);
+    core.advanceTo(core.nextEventTime());
+    auto done = core.processEvents();
+    ASSERT_TRUE(done.has_value());
+    EXPECT_NEAR(done->latency(), 0.0, 1e-12);
+}
+
+TEST(FailureInjection, SimultaneousArrivalsKeepFifoOrder)
+{
+    const DvfsModel dvfs = DvfsModel::haswell(0.0);
+    const PowerModel pm(dvfs);
+    Trace t;
+    for (int i = 0; i < 5; ++i)
+        t.push_back({1.0 * kMs, 1.0e6, 0.0}); // all at the same instant
+    FixedFrequencyPolicy fixed(1.0 * kGHz);
+    const SimResult r = simulate(t, fixed, dvfs, pm);
+    ASSERT_EQ(r.completed.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(r.completed[i].id, i);
+    // Latencies stack: 1ms, 2ms, ...
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_NEAR(r.completed[i].latency(),
+                    static_cast<double>(i + 1) * 1.0 * kMs, 1e-9);
+    }
+}
+
+TEST(FailureInjection, RubikWithDegenerateProfile)
+{
+    // All profiled requests identical: the table collapses to point
+    // masses but must keep working.
+    const DvfsModel dvfs = DvfsModel::haswell(0.0);
+    const PowerModel pm(dvfs);
+    CoreEngine core(dvfs, pm);
+    RubikController rubik = warmRubik(dvfs, 1.0 * kMs, 1.0, 0.0, core);
+    core.enqueue(makeRequest(0, 0.0, 1.0, 0.0));
+    const double f = rubik.selectFrequency(core);
+    EXPECT_GE(f, dvfs.minFrequency());
+    EXPECT_LE(f, dvfs.maxFrequency());
+}
+
+class BoundTightnessSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(BoundTightnessSweep, TighterBoundsCostEnergy)
+{
+    // Property: energy is non-increasing in the latency bound (a looser
+    // bound can only allow lower frequencies).
+    const double mult = GetParam();
+    const DvfsModel dvfs = DvfsModel::haswell();
+    const PowerModel pm(dvfs);
+    const AppProfile app = makeApp(AppId::Masstree);
+    const Trace t =
+        generateLoadTrace(app, 0.4, 5000, dvfs.nominalFrequency(), 7);
+    const double base_bound =
+        replayFixed(t, dvfs.nominalFrequency(), pm).tailLatency(0.95);
+
+    auto energy = [&](double bound) {
+        RubikConfig cfg;
+        cfg.latencyBound = bound;
+        cfg.feedback = false;
+        RubikController rubik(dvfs, cfg);
+        return simulate(t, rubik, dvfs, pm).coreActiveEnergy();
+    };
+    EXPECT_GE(energy(base_bound * mult) * 1.02,
+              energy(base_bound * mult * 2.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Multipliers, BoundTightnessSweep,
+                         ::testing::Values(0.75, 1.0, 1.5));
+
+class QuantizeRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(QuantizeRoundTrip, UpDominatesDown)
+{
+    const DvfsModel dvfs = DvfsModel::haswell();
+    Rng rng(static_cast<uint64_t>(GetParam()));
+    for (int i = 0; i < 1000; ++i) {
+        const double f = rng.uniform(0.1 * kGHz, 4.0 * kGHz);
+        const double up = dvfs.quantizeUp(f);
+        const double down = dvfs.quantizeDown(f);
+        EXPECT_GE(up + 1.0, down);
+        if (f >= dvfs.minFrequency() && f <= dvfs.maxFrequency()) {
+            EXPECT_GE(up + 1.0, f);
+            EXPECT_LE(down - 1.0, f);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantizeRoundTrip,
+                         ::testing::Values(1, 2, 3));
+
+TEST(StaticOracleEdge, SingleRequestTrace)
+{
+    const DvfsModel dvfs = DvfsModel::haswell(0.0);
+    const PowerModel pm(dvfs);
+    Trace t;
+    t.push_back({0.0, 2.4e6, 0.0}); // 1 ms at nominal
+    // Bound of 2 ms: the oracle can halve the frequency.
+    const auto r = staticOracle(t, 2.0 * kMs, 0.95, dvfs, pm);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_LE(r.frequency, 1.4 * kGHz);
+    EXPECT_GE(r.frequency, 1.2 * kGHz);
+}
+
+TEST(RollingWindowEdge, FeedbackWithSparseTraffic)
+{
+    // moses at 10% load: ~25 completions/s, fewer than the 32-sample
+    // minimum in many 1 s windows. The controller must stay stable.
+    const DvfsModel dvfs = DvfsModel::haswell();
+    const PowerModel pm(dvfs);
+    const AppProfile app = makeApp(AppId::Moses);
+    const Trace t =
+        generateLoadTrace(app, 0.1, 600, dvfs.nominalFrequency(), 11);
+    const double bound =
+        replayFixed(t, dvfs.nominalFrequency(), pm).tailLatency(0.95);
+    RubikConfig cfg;
+    cfg.latencyBound = bound;
+    RubikController rubik(dvfs, cfg);
+    const SimResult r = simulate(t, rubik, dvfs, pm);
+    EXPECT_EQ(r.completed.size(), t.size());
+    EXPECT_LE(r.tailLatency(0.95), bound * 1.15);
+}
+
+} // namespace
+} // namespace rubik

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the RubikBoost hybrid (Rubik + Adrenaline class hints) and
+ * the class-annotation helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rubik_boost.h"
+#include "core/rubik_controller.h"
+#include "policies/replay.h"
+#include "sim/simulation.h"
+#include "util/units.h"
+#include "workloads/trace_gen.h"
+
+namespace rubik {
+namespace {
+
+struct Harness
+{
+    DvfsModel dvfs = DvfsModel::haswell();
+    PowerModel pm{dvfs};
+
+    Trace trace(AppId app, double load, int n, uint64_t seed = 3) const
+    {
+        Trace t = generateLoadTrace(makeApp(app), load, n,
+                                    dvfs.nominalFrequency(), seed);
+        annotateClasses(t, 0.85, dvfs.nominalFrequency());
+        return t;
+    }
+
+    double bound(const Trace &t) const
+    {
+        return replayFixed(t, dvfs.nominalFrequency(), pm)
+            .tailLatency(0.95);
+    }
+};
+
+TEST(AnnotateClasses, SplitsAtQuantile)
+{
+    Harness h;
+    Trace t = h.trace(AppId::Shore, 0.4, 4000);
+    int longs = 0;
+    for (const auto &r : t) {
+        ASSERT_GE(r.classHint, 0);
+        ASSERT_LE(r.classHint, 1);
+        longs += r.classHint;
+    }
+    // ~15% long.
+    EXPECT_NEAR(static_cast<double>(longs) / t.size(), 0.15, 0.03);
+}
+
+TEST(AnnotateClasses, LongClassHasLongerService)
+{
+    Harness h;
+    Trace t = h.trace(AppId::Specjbb, 0.4, 4000);
+    const double f = h.dvfs.nominalFrequency();
+    double short_sum = 0.0, long_sum = 0.0;
+    int shorts = 0, longs = 0;
+    for (const auto &r : t) {
+        if (r.classHint == 1) {
+            long_sum += r.serviceTime(f);
+            ++longs;
+        } else {
+            short_sum += r.serviceTime(f);
+            ++shorts;
+        }
+    }
+    ASSERT_GT(longs, 0);
+    ASSERT_GT(shorts, 0);
+    EXPECT_GT(long_sum / longs, 2.0 * (short_sum / shorts));
+}
+
+TEST(ClassAwareTable, ShortClassHasTighterC0)
+{
+    // Build class tables from a bimodal population and check the short
+    // class's position-0 tail is far below the mixture's.
+    Rng rng(5);
+    Histogram mix_h(128, 1.0), short_h(128, 1.0), long_h(128, 1.0);
+    for (int i = 0; i < 20000; ++i) {
+        const bool is_long = rng.uniform() < 0.15;
+        const double v = is_long ? rng.lognormal(15.0, 0.2)
+                                 : rng.lognormal(13.0, 0.2);
+        mix_h.add(v);
+        (is_long ? long_h : short_h).add(v);
+    }
+    const auto mix = DiscreteDistribution::fromHistogram(mix_h, 128);
+    const auto shorts = DiscreteDistribution::fromHistogram(short_h, 128);
+    const auto longs = DiscreteDistribution::fromHistogram(long_h, 128);
+    const auto zero = DiscreteDistribution::pointMass(0.0);
+
+    TailTableConfig cfg;
+    const auto t_mix = TargetTailTable::build(mix, zero, cfg);
+    const auto t_short =
+        TargetTailTable::build(shorts, zero, mix, zero, cfg);
+    const auto t_long =
+        TargetTailTable::build(longs, zero, mix, zero, cfg);
+
+    EXPECT_LT(t_short.tailCycles(0, 0), 0.5 * t_mix.tailCycles(0, 0));
+    EXPECT_GT(t_long.tailCycles(0, 0), t_mix.tailCycles(0, 0));
+    // Queued positions converge: both chains add mixture draws.
+    const double gap0 =
+        t_long.tailCycles(0, 0) - t_short.tailCycles(0, 0);
+    const double gap8 =
+        t_long.tailCycles(0, 8) - t_short.tailCycles(0, 8);
+    EXPECT_LT(gap8, gap0 * 1.5);
+}
+
+TEST(RubikBoost, MeetsBoundOnBimodalApp)
+{
+    Harness h;
+    const Trace t = h.trace(AppId::Specjbb, 0.4, 8000);
+    const double L = h.bound(h.trace(AppId::Specjbb, 0.5, 8000));
+
+    RubikBoostConfig cfg;
+    cfg.base.latencyBound = L;
+    RubikBoostController boost(h.dvfs, cfg);
+    const SimResult r = simulate(t, boost, h.dvfs, h.pm);
+    EXPECT_TRUE(boost.warm());
+    EXPECT_LE(r.tailLatency(0.95), L * 1.10);
+}
+
+TEST(RubikBoost, SavesEnergyVersusFixed)
+{
+    Harness h;
+    const Trace t = h.trace(AppId::Shore, 0.3, 8000);
+    const double L = h.bound(h.trace(AppId::Shore, 0.5, 8000));
+
+    RubikBoostConfig cfg;
+    cfg.base.latencyBound = L;
+    RubikBoostController boost(h.dvfs, cfg);
+    const SimResult r = simulate(t, boost, h.dvfs, h.pm);
+    const double fixed =
+        replayFixed(t, h.dvfs.nominalFrequency(), h.pm).coreActiveEnergy;
+    EXPECT_LT(r.coreActiveEnergy(), fixed * 0.9);
+}
+
+TEST(RubikBoost, FallsBackWithoutHints)
+{
+    // Without class hints (classHint = -1) the hybrid must behave like
+    // plain Rubik — same decisions, same results.
+    Harness h;
+    Trace t = generateLoadTrace(makeApp(AppId::Masstree), 0.4, 5000,
+                                h.dvfs.nominalFrequency(), 9);
+    const double L = h.bound(t);
+
+    RubikBoostConfig bcfg;
+    bcfg.base.latencyBound = L;
+    RubikBoostController boost(h.dvfs, bcfg);
+    const SimResult hybrid = simulate(t, boost, h.dvfs, h.pm);
+
+    RubikConfig rcfg;
+    rcfg.latencyBound = L;
+    RubikController rubik(h.dvfs, rcfg);
+    const SimResult plain = simulate(t, rubik, h.dvfs, h.pm);
+
+    ASSERT_EQ(hybrid.completed.size(), plain.completed.size());
+    EXPECT_NEAR(hybrid.coreActiveEnergy(), plain.coreActiveEnergy(),
+                plain.coreActiveEnergy() * 1e-6);
+    EXPECT_NEAR(hybrid.tailLatency(0.95), plain.tailLatency(0.95), 1e-9);
+}
+
+TEST(RubikBoost, ResetClearsClassState)
+{
+    Harness h;
+    const Trace t = h.trace(AppId::Shore, 0.4, 4000);
+    const double L = h.bound(t);
+    RubikBoostConfig cfg;
+    cfg.base.latencyBound = L;
+    RubikBoostController boost(h.dvfs, cfg);
+    const SimResult r1 = simulate(t, boost, h.dvfs, h.pm);
+    const SimResult r2 = simulate(t, boost, h.dvfs, h.pm);
+    EXPECT_NEAR(r1.coreActiveEnergy(), r2.coreActiveEnergy(), 1e-9);
+}
+
+} // namespace
+} // namespace rubik

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * End-to-end integration tests: Rubik running in the event-driven
+ * simulator across applications and loads. These check the paper's
+ * headline behaviors: the tail latency bound holds, Rubik saves
+ * substantial energy over fixed-frequency and StaticOracle operation, it
+ * adapts to load steps at sub-second timescales, and the feedback loop
+ * recovers extra power without blowing the bound.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rubik_controller.h"
+#include "policies/replay.h"
+#include "policies/static_oracle.h"
+#include "sim/metrics.h"
+#include "stats/percentile.h"
+#include "sim/simulation.h"
+#include "util/units.h"
+#include "workloads/apps.h"
+#include "workloads/trace_gen.h"
+
+namespace rubik {
+namespace {
+
+struct Bench
+{
+    DvfsModel dvfs = DvfsModel::haswell(); // 4us transitions
+    PowerModel pm{dvfs};
+
+    Trace trace(AppId app, double load, int n, uint64_t seed = 5) const
+    {
+        return generateLoadTrace(makeApp(app), load, n,
+                                 dvfs.nominalFrequency(), seed);
+    }
+
+    /// Paper methodology: bound = fixed-frequency tail at 50% load.
+    double bound(AppId app, uint64_t seed = 5) const
+    {
+        const Trace t = trace(app, 0.5, 6000, seed);
+        return replayFixed(t, dvfs.nominalFrequency(), pm)
+            .tailLatency(0.95);
+    }
+
+    SimResult runRubik(const Trace &t, double latency_bound,
+                       bool feedback = true) const
+    {
+        RubikConfig cfg;
+        cfg.latencyBound = latency_bound;
+        cfg.feedback = feedback;
+        RubikController rubik(dvfs, cfg);
+        return simulate(t, rubik, dvfs, pm);
+    }
+};
+
+struct AppLoad
+{
+    AppId app;
+    double load;
+};
+
+class RubikMeetsBound : public ::testing::TestWithParam<AppLoad>
+{
+};
+
+TEST_P(RubikMeetsBound, TailWithinBound)
+{
+    const auto [app, load] = GetParam();
+    Bench b;
+    const double L = b.bound(app);
+    const Trace t = b.trace(app, load, 8000, /*seed=*/21);
+    const SimResult r = b.runRubik(t, L);
+    // Allow a small excursion (the paper's own feedback trims around the
+    // bound); a 10% miss would be a real violation.
+    EXPECT_LE(r.tailLatency(0.95), L * 1.10)
+        << appName(app) << " @ " << load;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AppsAndLoads, RubikMeetsBound,
+    ::testing::Values(AppLoad{AppId::Masstree, 0.3},
+                      AppLoad{AppId::Masstree, 0.5},
+                      AppLoad{AppId::Moses, 0.3},
+                      AppLoad{AppId::Moses, 0.5},
+                      AppLoad{AppId::Shore, 0.3},
+                      AppLoad{AppId::Shore, 0.5},
+                      AppLoad{AppId::Specjbb, 0.3},
+                      AppLoad{AppId::Specjbb, 0.5},
+                      AppLoad{AppId::Xapian, 0.3},
+                      AppLoad{AppId::Xapian, 0.5}));
+
+class RubikSavesPower : public ::testing::TestWithParam<AppLoad>
+{
+};
+
+TEST_P(RubikSavesPower, BeatsFixedFrequency)
+{
+    const auto [app, load] = GetParam();
+    Bench b;
+    const double L = b.bound(app);
+    const Trace t = b.trace(app, load, 8000, /*seed=*/22);
+
+    const SimResult rubik = b.runRubik(t, L);
+    const ReplayResult fixed =
+        replayFixed(t, b.dvfs.nominalFrequency(), b.pm);
+
+    EXPECT_LT(rubik.coreActiveEnergy(), fixed.coreActiveEnergy * 0.95)
+        << appName(app) << " @ " << load;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AppsAndLoads, RubikSavesPower,
+    ::testing::Values(AppLoad{AppId::Masstree, 0.3},
+                      AppLoad{AppId::Moses, 0.3},
+                      AppLoad{AppId::Shore, 0.3},
+                      AppLoad{AppId::Specjbb, 0.3},
+                      AppLoad{AppId::Xapian, 0.3}));
+
+TEST(RubikIntegration, BeatsStaticOracleOnMasstree)
+{
+    // Fig. 1a: sub-millisecond adaptation beats the best static choice.
+    Bench b;
+    const double L = b.bound(AppId::Masstree);
+    const Trace t = b.trace(AppId::Masstree, 0.4, 9000, 23);
+
+    const SimResult rubik = b.runRubik(t, L);
+    const auto so = staticOracle(t, L, 0.95, b.dvfs, b.pm);
+
+    ASSERT_TRUE(so.feasible);
+    EXPECT_LT(rubik.coreActiveEnergy(), so.replay.coreActiveEnergy);
+}
+
+TEST(RubikIntegration, WarmupRunsAtMaxFrequency)
+{
+    Bench b;
+    RubikConfig cfg;
+    cfg.latencyBound = 1.0 * kMs;
+    RubikController rubik(b.dvfs, cfg);
+
+    // Before any profiling, Rubik must be conservative.
+    CoreEngine core(b.dvfs, b.pm);
+    Request r;
+    r.arrivalTime = 0.0;
+    r.computeCycles = 1e6;
+    core.enqueue(r);
+    EXPECT_DOUBLE_EQ(rubik.selectFrequency(core), b.dvfs.maxFrequency());
+}
+
+TEST(RubikIntegration, AdaptsToLoadStepWithinWindow)
+{
+    // Fig. 1b: a 30% -> 50% load step must not blow up the tail; Rubik
+    // reacts on arrival/completion, not on a multi-second feedback loop.
+    Bench b;
+    const AppProfile app = makeApp(AppId::Masstree);
+    const double L = b.bound(AppId::Masstree);
+    const Trace t = generateSteppedTrace(
+        app, {{0.0, 0.3}, {2.0, 0.5}}, 4.0, b.dvfs.nominalFrequency(), 29);
+
+    const SimResult r = b.runRubik(t, L);
+
+    // Tail over the second half (post-step), excluding a 200ms settle.
+    std::vector<double> post;
+    for (const auto &c : r.completed) {
+        if (c.arrivalTime > 2.2)
+            post.push_back(c.latency());
+    }
+    ASSERT_GT(post.size(), 500u);
+    EXPECT_LE(percentile(post, 0.95), L * 1.15);
+}
+
+TEST(RubikIntegration, HigherLoadUsesHigherFrequencies)
+{
+    Bench b;
+    const double L = b.bound(AppId::Masstree);
+
+    auto mean_busy_freq = [&](double load) {
+        const Trace t = b.trace(AppId::Masstree, load, 6000, 31);
+        const SimResult r = b.runRubik(t, L);
+        double weighted = 0.0;
+        for (std::size_t i = 0; i < r.core.freqResidency.size(); ++i)
+            weighted += r.core.freqResidency[i] * b.dvfs.frequencies()[i];
+        return weighted / r.core.busyTime;
+    };
+
+    EXPECT_LT(mean_busy_freq(0.2), mean_busy_freq(0.6));
+}
+
+TEST(RubikIntegration, FeedbackSavesEnergyWithoutViolation)
+{
+    // Sec. 4.2: the PI stage trims conservatism. Feedback-on should use
+    // no more energy than feedback-off, and still hold the bound.
+    Bench b;
+    const double L = b.bound(AppId::Shore);
+    const Trace t = b.trace(AppId::Shore, 0.4, 10000, 37);
+
+    const SimResult with = b.runRubik(t, L, /*feedback=*/true);
+    const SimResult without = b.runRubik(t, L, /*feedback=*/false);
+
+    EXPECT_LE(with.coreActiveEnergy(), without.coreActiveEnergy() * 1.02);
+    EXPECT_LE(with.tailLatency(0.95), L * 1.10);
+    // Without feedback, Rubik's conservative estimates keep the tail
+    // strictly under the bound (Fig. 9a's "Rubik (No Feedback)" curve).
+    EXPECT_LE(without.tailLatency(0.95), L * 1.05);
+}
+
+TEST(RubikIntegration, TableRebuildsHappenPeriodically)
+{
+    Bench b;
+    RubikConfig cfg;
+    cfg.latencyBound = b.bound(AppId::Masstree);
+    RubikController rubik(b.dvfs, cfg);
+    const Trace t = b.trace(AppId::Masstree, 0.5, 6000, 41);
+    const SimResult r = simulate(t, rubik, b.dvfs, b.pm);
+
+    // ~ one rebuild per 100 ms of simulated time once warm.
+    const double expected = r.simTime / cfg.updatePeriod;
+    EXPECT_GT(static_cast<double>(rubik.tableRebuilds()), expected * 0.5);
+    EXPECT_LT(static_cast<double>(rubik.tableRebuilds()), expected * 1.5);
+    EXPECT_TRUE(rubik.warm());
+}
+
+TEST(RubikIntegration, SlowDvfsDegradesGracefully)
+{
+    // Sec. 5.5: with 130us transitions Rubik still meets the bound, at
+    // reduced (but nonnegative) savings vs 4us transitions.
+    Bench fast;
+    DvfsModel slow_dvfs = DvfsModel::haswell(130e-6);
+    PowerModel slow_pm(slow_dvfs);
+
+    const double L = fast.bound(AppId::Masstree);
+    const Trace t = fast.trace(AppId::Masstree, 0.4, 8000, 43);
+
+    RubikConfig cfg;
+    cfg.latencyBound = L;
+    RubikController rubik(slow_dvfs, cfg);
+    const SimResult slow = simulate(t, rubik, slow_dvfs, slow_pm);
+
+    EXPECT_LE(slow.tailLatency(0.95), L * 1.12);
+
+    const SimResult quick = fast.runRubik(t, L);
+    // Slower DVFS can't save more energy than fast DVFS (same decisions,
+    // higher effective latency of each change).
+    EXPECT_GE(slow.coreActiveEnergy(), quick.coreActiveEnergy() * 0.9);
+}
+
+TEST(RubikIntegration, ZeroTransitionLatencyWorks)
+{
+    Bench b;
+    DvfsModel instant = DvfsModel::haswell(0.0);
+    PowerModel pm(instant);
+    const double L = b.bound(AppId::Specjbb);
+    const Trace t = b.trace(AppId::Specjbb, 0.4, 8000, 47);
+    RubikConfig cfg;
+    cfg.latencyBound = L;
+    RubikController rubik(instant, cfg);
+    const SimResult r = simulate(t, rubik, instant, pm);
+    EXPECT_LE(r.tailLatency(0.95), L * 1.10);
+}
+
+TEST(RubikIntegration, ResetAllowsReuse)
+{
+    Bench b;
+    const double L = b.bound(AppId::Masstree);
+    RubikConfig cfg;
+    cfg.latencyBound = L;
+    RubikController rubik(b.dvfs, cfg);
+
+    const Trace t = b.trace(AppId::Masstree, 0.4, 4000, 53);
+    const SimResult r1 = simulate(t, rubik, b.dvfs, b.pm);
+    const SimResult r2 = simulate(t, rubik, b.dvfs, b.pm);
+    ASSERT_EQ(r1.completed.size(), r2.completed.size());
+    for (std::size_t i = 0; i < r1.completed.size(); ++i) {
+        EXPECT_NEAR(r1.completed[i].latency(), r2.completed[i].latency(),
+                    1e-9);
+    }
+    EXPECT_NEAR(r1.coreActiveEnergy(), r2.coreActiveEnergy(), 1e-9);
+}
+
+TEST(RubikIntegration, FrequencyHistogramSkewsLowAtLowLoad)
+{
+    // Fig. 7b: at moderate load most busy time sits at low frequencies.
+    Bench b;
+    const double L = b.bound(AppId::Masstree);
+    const Trace t = b.trace(AppId::Masstree, 0.3, 8000, 59);
+    const SimResult r = b.runRubik(t, L);
+
+    double low = 0.0;
+    for (std::size_t i = 0; i < 5; ++i) // 0.8 .. 1.6 GHz
+        low += r.core.freqResidency[i];
+    EXPECT_GT(low, 0.5 * r.core.busyTime);
+}
+
+TEST(RubikIntegration, DelaysShortRequestsButHoldsTail)
+{
+    // Fig. 7a: Rubik shifts the *low* end of the latency CDF right
+    // (short requests run slower) while the tail stays at the bound.
+    Bench b;
+    const double L = b.bound(AppId::Masstree);
+    const Trace t = b.trace(AppId::Masstree, 0.5, 9000, 61);
+
+    const SimResult rubik = b.runRubik(t, L);
+    const ReplayResult fixed =
+        replayFixed(t, b.dvfs.nominalFrequency(), b.pm);
+
+    auto lat_rubik = rubik.latencies();
+    auto lat_fixed = fixed.latencies;
+    EXPECT_GT(percentile(lat_rubik, 0.25), percentile(lat_fixed, 0.25));
+    EXPECT_LE(percentile(lat_rubik, 0.95), L * 1.10);
+}
+
+} // namespace
+} // namespace rubik

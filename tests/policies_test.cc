@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Tests for the baseline policies: analytic replay, StaticOracle
+ * minimality, AdrenalineOracle tuning, DynamicOracle budgeting, and the
+ * Pegasus feedback baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "policies/adrenaline.h"
+#include "policies/dynamic_oracle.h"
+#include "policies/pegasus.h"
+#include "policies/replay.h"
+#include "policies/static_oracle.h"
+#include "sim/simulation.h"
+#include "util/units.h"
+#include "workloads/apps.h"
+#include "workloads/trace_gen.h"
+
+namespace rubik {
+namespace {
+
+struct Harness
+{
+    DvfsModel dvfs = DvfsModel::haswell(0.0);
+    PowerModel pm{dvfs};
+
+    Trace trace(AppId app, double load, int n, uint64_t seed = 11) const
+    {
+        return generateLoadTrace(makeApp(app), load, n,
+                                 dvfs.nominalFrequency(), seed);
+    }
+
+    double bound(const Trace &t) const
+    {
+        return replayFixed(t, dvfs.nominalFrequency(), pm).tailLatency(0.95);
+    }
+};
+
+TEST(Replay, NoQueueingAtTinyLoad)
+{
+    Harness s;
+    const Trace t = s.trace(AppId::Masstree, 0.01, 200);
+    const ReplayResult r = replayFixed(t, s.dvfs.nominalFrequency(), s.pm);
+    // Latency == service time for nearly every request (rare Poisson
+    // clusters may still queue).
+    int unqueued = 0;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const double service = t[i].serviceTime(s.dvfs.nominalFrequency());
+        unqueued += std::abs(r.latencies[i] - service) < 1e-9;
+    }
+    EXPECT_GE(unqueued, static_cast<int>(t.size()) * 95 / 100);
+}
+
+TEST(Replay, LatenciesShrinkWithFrequency)
+{
+    Harness s;
+    const Trace t = s.trace(AppId::Shore, 0.5, 2000);
+    const ReplayResult slow = replayFixed(t, 1.2 * kGHz, s.pm);
+    const ReplayResult fast = replayFixed(t, 3.0 * kGHz, s.pm);
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_LE(fast.latencies[i], slow.latencies[i] + 1e-12);
+}
+
+TEST(Replay, EnergyIncreasesWithFrequencyAtFixedWork)
+{
+    Harness s;
+    const Trace t = s.trace(AppId::Masstree, 0.3, 1000);
+    double prev = 0.0;
+    for (double f : s.dvfs.frequencies()) {
+        const double e = replayFixed(t, f, s.pm).coreActiveEnergy;
+        EXPECT_GT(e, prev * 0.99); // monotone up to memory-time effects
+        prev = e;
+    }
+}
+
+TEST(Replay, PerRequestFrequencyVector)
+{
+    Harness s;
+    Trace t;
+    t.push_back({0.0, 2.4e6, 0.0});
+    t.push_back({10.0, 2.4e6, 0.0});
+    const ReplayResult r =
+        replayFifo(t, {2.4 * kGHz, 1.2 * kGHz}, s.pm);
+    EXPECT_NEAR(r.latencies[0], 1.0 * kMs, 1e-9);
+    EXPECT_NEAR(r.latencies[1], 2.0 * kMs, 1e-9);
+}
+
+TEST(Replay, RequestEnergyUsesStallFactor)
+{
+    Harness s;
+    TraceRecord compute{0.0, 2.4e6, 0.0};
+    TraceRecord memory{0.0, 0.0, 1.0 * kMs};
+    // Same 1 ms service time at nominal, but the memory-bound request
+    // burns less energy.
+    EXPECT_LT(requestEnergy(memory, 2.4 * kGHz, s.pm),
+              requestEnergy(compute, 2.4 * kGHz, s.pm));
+}
+
+TEST(StaticOracle, PicksLowestFeasibleFrequency)
+{
+    Harness s;
+    const Trace t = s.trace(AppId::Masstree, 0.3, 4000);
+    const double bound = s.bound(t);
+    const auto result = staticOracle(t, bound, 0.95, s.dvfs, s.pm);
+    ASSERT_TRUE(result.feasible);
+    // The chosen frequency meets the bound...
+    EXPECT_LE(result.replay.tailLatency(0.95), bound);
+    // ...and the next lower one does not.
+    const std::size_t idx = s.dvfs.indexOf(result.frequency);
+    if (idx > 0) {
+        const auto lower =
+            replayFixed(t, s.dvfs.frequencies()[idx - 1], s.pm);
+        EXPECT_GT(lower.tailLatency(0.95), bound);
+    }
+}
+
+TEST(StaticOracle, FrequencyRisesWithLoad)
+{
+    Harness s;
+    double prev = 0.0;
+    // Same bound for all loads: fixed-frequency tail at 50% load.
+    const Trace t50 = s.trace(AppId::Masstree, 0.5, 4000);
+    const double bound = s.bound(t50);
+    for (double load : {0.3, 0.5, 0.7}) {
+        const Trace t = s.trace(AppId::Masstree, load, 4000);
+        const auto r = staticOracle(t, bound, 0.95, s.dvfs, s.pm);
+        EXPECT_GE(r.frequency, prev);
+        prev = r.frequency;
+    }
+}
+
+TEST(StaticOracle, InfeasibleFallsBackToMax)
+{
+    Harness s;
+    const Trace t = s.trace(AppId::Masstree, 0.9, 3000);
+    // Impossible bound.
+    const auto r = staticOracle(t, 1e-6, 0.95, s.dvfs, s.pm);
+    EXPECT_FALSE(r.feasible);
+    EXPECT_DOUBLE_EQ(r.frequency, s.dvfs.maxFrequency());
+}
+
+TEST(AdrenalineOracle, MeetsBoundAndBeatsNothing)
+{
+    Harness s;
+    const Trace t = s.trace(AppId::Shore, 0.4, 4000);
+    const double bound = s.bound(t);
+    const auto adr =
+        adrenalineOracle(t, bound, s.dvfs, s.pm, s.dvfs.nominalFrequency());
+    ASSERT_TRUE(adr.feasible);
+    EXPECT_LE(adr.replay.tailLatency(0.95), bound);
+    EXPECT_LE(adr.baseFrequency, adr.boostFrequency);
+}
+
+TEST(AdrenalineOracle, AtMostStaticOracleEnergy)
+{
+    // Adrenaline with threshold above all requests degenerates to a
+    // static frequency, so its tuned energy can't exceed StaticOracle's.
+    Harness s;
+    for (AppId app : {AppId::Masstree, AppId::Xapian}) {
+        const Trace t = s.trace(app, 0.4, 3000);
+        const double bound = s.bound(t);
+        const auto st = staticOracle(t, bound, 0.95, s.dvfs, s.pm);
+        const auto adr = adrenalineOracle(t, bound, s.dvfs, s.pm,
+                                          s.dvfs.nominalFrequency());
+        ASSERT_TRUE(adr.feasible);
+        EXPECT_LE(adr.replay.coreActiveEnergy,
+                  st.replay.coreActiveEnergy * 1.001);
+    }
+}
+
+TEST(DynamicOracle, RespectsViolationBudget)
+{
+    Harness s;
+    const Trace t = s.trace(AppId::Masstree, 0.5, 4000);
+    const double bound = s.bound(t);
+    const auto dyn = dynamicOracle(t, bound, 0.95, s.dvfs, s.pm);
+    int violations = 0;
+    for (double l : dyn.replay.latencies)
+        violations += l > bound;
+    EXPECT_LE(violations, static_cast<int>(0.05 * t.size()) + 1);
+}
+
+TEST(DynamicOracle, BeatsStaticOracleEnergy)
+{
+    // Short-term adaptation with oracle knowledge must save energy over
+    // the best static choice (Fig. 9b shows 20-45% at 50% load).
+    Harness s;
+    for (AppId app : {AppId::Masstree, AppId::Shore}) {
+        const Trace t = s.trace(app, 0.5, 4000);
+        const double bound = s.bound(t);
+        const auto st = staticOracle(t, bound, 0.95, s.dvfs, s.pm);
+        const auto dyn = dynamicOracle(t, bound, 0.95, s.dvfs, s.pm);
+        EXPECT_LT(dyn.replay.coreActiveEnergy,
+                  st.replay.coreActiveEnergy);
+    }
+}
+
+TEST(DynamicOracle, UsesGridFrequenciesOnly)
+{
+    Harness s;
+    const Trace t = s.trace(AppId::Specjbb, 0.4, 2000);
+    const auto dyn = dynamicOracle(t, s.bound(t), 0.95, s.dvfs, s.pm);
+    for (double f : dyn.frequencies) {
+        const double snapped =
+            s.dvfs.frequencies()[s.dvfs.indexOf(f)];
+        EXPECT_NEAR(f, snapped, 1.0);
+    }
+}
+
+TEST(DynamicOracle, TinyLoadUsesLowFrequencies)
+{
+    Harness s;
+    const Trace t = s.trace(AppId::Moses, 0.1, 300);
+    // Generous bound: everything can run slow.
+    const double bound = s.bound(t) * 3.0;
+    const auto dyn = dynamicOracle(t, bound, 0.95, s.dvfs, s.pm);
+    double mean_f = 0.0;
+    for (double f : dyn.frequencies)
+        mean_f += f;
+    mean_f /= static_cast<double>(dyn.frequencies.size());
+    EXPECT_LT(mean_f, 1.6 * kGHz);
+}
+
+TEST(Pegasus, ReactsToSustainedHighTail)
+{
+    Harness s;
+    PegasusConfig cfg;
+    cfg.latencyBound = 0.5 * kMs;
+    PegasusPolicy pegasus(s.dvfs, cfg);
+
+    // Run at 60% load with a tight bound: Pegasus should end up at a
+    // high frequency.
+    const Trace t = s.trace(AppId::Masstree, 0.6, 20000);
+    const SimResult r = simulate(t, pegasus, s.dvfs, s.pm);
+    EXPECT_GT(r.core.freqResidency[s.dvfs.indexOf(s.dvfs.maxFrequency())] +
+                  r.core.freqResidency[s.dvfs.indexOf(3.2 * kGHz)],
+              0.0);
+}
+
+TEST(Pegasus, SettlesLowUnderLooseBound)
+{
+    Harness s;
+    PegasusConfig cfg;
+    cfg.latencyBound = 50.0 * kMs; // enormously loose
+    cfg.epoch = 0.2;               // adapt faster for the short test
+    PegasusPolicy pegasus(s.dvfs, cfg);
+    const Trace t = s.trace(AppId::Masstree, 0.2, 20000);
+    const SimResult r = simulate(t, pegasus, s.dvfs, s.pm);
+    // Most busy time should end up at the lowest frequencies.
+    const double low = r.core.freqResidency[0] + r.core.freqResidency[1] +
+                       r.core.freqResidency[2];
+    EXPECT_GT(low, 0.5 * r.core.busyTime);
+}
+
+} // namespace
+} // namespace rubik

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for the robustness extensions: the queueing-theory helpers, the
+ * MMPP-2 bursty arrival process, and correlated-service trace generation
+ * — plus end-to-end checks that Rubik survives both stressors.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rubik_controller.h"
+#include "policies/replay.h"
+#include "sim/simulation.h"
+#include "stats/correlation.h"
+#include "stats/percentile.h"
+#include "stats/queueing.h"
+#include "util/units.h"
+#include "workloads/mmpp.h"
+#include "workloads/trace_gen.h"
+
+namespace rubik {
+namespace {
+
+TEST(Queueing, PkReducesToMm1)
+{
+    // Exponential service: E[S^2] = 2/mu^2 and W = rho/(mu - lambda).
+    const double lambda = 50.0, mu = 100.0;
+    const double es = 1.0 / mu;
+    const double es2 = 2.0 / (mu * mu);
+    const double rho = lambda / mu;
+    EXPECT_NEAR(pkMeanWait(lambda, es, es2), rho / (mu - lambda), 1e-12);
+}
+
+TEST(Queueing, UnstableQueueIsInfinite)
+{
+    EXPECT_TRUE(std::isinf(pkMeanWait(200.0, 0.01, 2e-4)));
+    EXPECT_TRUE(std::isinf(mg1MeanBusyPeriod(200.0, 0.01)));
+}
+
+TEST(Queueing, LittleLawConsistency)
+{
+    const double lambda = 30.0, es = 0.01, es2 = 2e-4;
+    const double l = pkMeanInSystem(lambda, es, es2);
+    EXPECT_NEAR(l, lambda * (pkMeanWait(lambda, es, es2) + es), 1e-12);
+}
+
+TEST(Queueing, Mm1QuantileMatchesSimulation)
+{
+    // Exponential-service sim vs the closed-form M/M/1 response quantile.
+    const DvfsModel dvfs = DvfsModel::haswell(0.0);
+    const PowerModel pm(dvfs);
+    AppProfile app = makeApp(AppId::Masstree);
+    app.serviceTime = std::make_shared<LognormalServiceTime>(1.0 * kMs, 1.0);
+    app.memFraction = 0.0;
+    app.memNoise = 0.0;
+    // Lognormal with cv=1 is NOT exponential; use high cv as a smoke
+    // check of ordering only: p95 response must exceed p95 service.
+    const Trace t = generateLoadTrace(app, 0.5, 20000,
+                                      dvfs.nominalFrequency(), 3);
+    const ReplayResult r = replayFixed(t, dvfs.nominalFrequency(), pm);
+    const double mu = 1.0 / (1.0 * kMs);
+    const double lambda = 0.5 * mu;
+    // The exact M/M/1 p95 with the same rho is the right order of
+    // magnitude for a cv=1 service distribution.
+    const double mm1 = mm1ResponseQuantile(lambda, mu, 0.95);
+    EXPECT_GT(r.tailLatency(0.95), 0.3 * mm1);
+    EXPECT_LT(r.tailLatency(0.95), 3.0 * mm1);
+}
+
+TEST(Queueing, BusyPeriodGrowsWithLoad)
+{
+    const double es = 1.0 * kMs;
+    EXPECT_LT(mg1MeanBusyPeriod(0.2 / es, es),
+              mg1MeanBusyPeriod(0.8 / es, es));
+}
+
+TEST(Mmpp, MeanRateMatchesConfiguration)
+{
+    MmppArrivals mmpp = makeBurstyArrivals(1000.0, 4.0, 0.2, 50e-3);
+    EXPECT_NEAR(mmpp.meanRate(), 1000.0, 1.0);
+
+    // Empirical check over many arrivals.
+    Rng rng(5);
+    double t = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        t = mmpp.nextArrival(t, rng);
+    EXPECT_NEAR(static_cast<double>(n) / t, 1000.0, 40.0);
+}
+
+TEST(Mmpp, BurstierThanPoisson)
+{
+    // The MMPP's 5ms-window rate variance must clearly exceed Poisson's
+    // at the same mean rate.
+    const AppProfile app = makeApp(AppId::Masstree);
+    const double nominal = 2.4 * kGHz;
+    const Trace poisson = generateLoadTrace(app, 0.4, 30000, nominal, 7);
+    const Trace bursty = generateBurstyTrace(app, 0.4, 30000, nominal, 7);
+
+    auto window_var = [](const Trace &t) {
+        std::vector<double> counts;
+        double window = 5e-3;
+        std::size_t i = 0;
+        for (double w = 0.0; w < t.back().arrivalTime - window;
+             w += window) {
+            int c = 0;
+            while (i < t.size() && t[i].arrivalTime < w + window) {
+                ++c;
+                ++i;
+            }
+            counts.push_back(c);
+        }
+        return variance(counts) / std::max(1.0, mean(counts));
+    };
+    // Dispersion index: ~1 for Poisson, >2 for our MMPP setting.
+    EXPECT_LT(window_var(poisson), 1.6);
+    EXPECT_GT(window_var(bursty), 2.0);
+}
+
+TEST(Mmpp, ArrivalsStrictlyIncrease)
+{
+    MmppArrivals mmpp = makeBurstyArrivals(500.0, 3.0, 0.3, 20e-3);
+    Rng rng(9);
+    double t = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double next = mmpp.nextArrival(t, rng);
+        ASSERT_GT(next, t);
+        t = next;
+    }
+}
+
+TEST(CorrelatedTrace, PreservesMarginalExactly)
+{
+    const AppProfile app = makeApp(AppId::Xapian);
+    const double nominal = 2.4 * kGHz;
+    const Trace iid = generateLoadTrace(app, 0.4, 5000, nominal, 11);
+    const Trace corr =
+        generateCorrelatedTrace(app, 0.4, 5000, nominal, 11, 0.8);
+
+    // Same multiset of demands (the copula only permutes them).
+    std::vector<double> a, b;
+    for (const auto &r : iid)
+        a.push_back(r.serviceTime(nominal));
+    for (const auto &r : corr)
+        b.push_back(r.serviceTime(nominal));
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(CorrelatedTrace, InducesAutocorrelation)
+{
+    const AppProfile app = makeApp(AppId::Xapian);
+    const double nominal = 2.4 * kGHz;
+    const Trace corr =
+        generateCorrelatedTrace(app, 0.4, 8000, nominal, 13, 0.8);
+    const Trace iid = generateLoadTrace(app, 0.4, 8000, nominal, 13);
+
+    auto lag1 = [&](const Trace &t) {
+        std::vector<double> x, y;
+        for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+            x.push_back(t[i].serviceTime(nominal));
+            y.push_back(t[i + 1].serviceTime(nominal));
+        }
+        return pearsonCorrelation(x, y);
+    };
+    EXPECT_LT(std::abs(lag1(iid)), 0.06);
+    EXPECT_GT(lag1(corr), 0.4);
+}
+
+TEST(Robustness, RubikSurvivesBurstyArrivals)
+{
+    const DvfsModel dvfs = DvfsModel::haswell();
+    const PowerModel pm(dvfs);
+    const AppProfile app = makeApp(AppId::Masstree);
+    const double nominal = dvfs.nominalFrequency();
+
+    const Trace t50 = generateLoadTrace(app, 0.5, 8000, nominal, 17);
+    const double bound =
+        replayFixed(t50, nominal, pm).tailLatency(0.95);
+
+    const Trace bursty =
+        generateBurstyTrace(app, 0.4, 8000, nominal, 17, 3.0, 0.2);
+    RubikConfig cfg;
+    cfg.latencyBound = bound;
+    RubikController rubik(dvfs, cfg);
+    const SimResult r = simulate(bursty, rubik, dvfs, pm);
+    // Bursts at 3x of a 40% mean stay below saturation; Rubik must hold
+    // the bound within a modest margin.
+    EXPECT_LE(r.tailLatency(0.95), bound * 1.2);
+    // Fixed-nominal cannot hold the bound under these bursts (the high
+    // phase runs at ~120% of nominal capacity), so Rubik legitimately
+    // spends more than it; the fair energy yardstick is the naive safe
+    // choice — pinning the maximum frequency — which Rubik must beat.
+    const ReplayResult fixed = replayFixed(bursty, nominal, pm);
+    EXPECT_GT(fixed.tailLatency(0.95), bound);
+    const double safe =
+        replayFixed(bursty, dvfs.maxFrequency(), pm).coreActiveEnergy;
+    EXPECT_LT(r.coreActiveEnergy(), safe);
+}
+
+TEST(Robustness, CorrelationDegradesGracefully)
+{
+    // Correlated service times violate Rubik's independence assumption;
+    // the tail may drift up but must not explode at moderate rho.
+    const DvfsModel dvfs = DvfsModel::haswell();
+    const PowerModel pm(dvfs);
+    const AppProfile app = makeApp(AppId::Masstree);
+    const double nominal = dvfs.nominalFrequency();
+
+    const Trace t50 = generateLoadTrace(app, 0.5, 8000, nominal, 19);
+    const double bound = replayFixed(t50, nominal, pm).tailLatency(0.95);
+
+    const Trace corr =
+        generateCorrelatedTrace(app, 0.4, 8000, nominal, 19, 0.5);
+    RubikConfig cfg;
+    cfg.latencyBound = bound;
+    RubikController rubik(dvfs, cfg);
+    const SimResult r = simulate(corr, rubik, dvfs, pm);
+    EXPECT_LE(r.tailLatency(0.95), bound * 1.25);
+}
+
+} // namespace
+} // namespace rubik

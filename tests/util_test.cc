@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Unit tests for src/util: RNG determinism and sampling quality, FFT
+ * correctness, FFT vs direct convolution equivalence.
+ */
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "util/fft.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace rubik {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(8);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform(3.0, 5.0);
+        EXPECT_GE(u, 3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    Rng rng(9);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng rng(10);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.uniformInt(17), 17u);
+}
+
+TEST(Rng, UniformIntCoversAllValues)
+{
+    Rng rng(11);
+    std::vector<int> counts(8, 0);
+    for (int i = 0; i < 8000; ++i)
+        counts[rng.uniformInt(8)]++;
+    for (int c : counts)
+        EXPECT_GT(c, 800); // each bucket near 1000
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(12);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(2.5);
+    EXPECT_NEAR(sum / n, 2.5, 0.03);
+}
+
+TEST(Rng, ExponentialMemorylessTail)
+{
+    // P(X > 2*mean) should be exp(-2) ~ 0.1353.
+    Rng rng(13);
+    const int n = 100000;
+    int over = 0;
+    for (int i = 0; i < n; ++i)
+        over += rng.exponential(1.0) > 2.0;
+    EXPECT_NEAR(static_cast<double>(over) / n, std::exp(-2.0), 0.01);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(14);
+    const int n = 200000;
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.01);
+    EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalShiftScale)
+{
+    Rng rng(15);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(10.0, 3.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, LognormalMean)
+{
+    // E[exp(N(mu, sigma))] = exp(mu + sigma^2/2).
+    Rng rng(16);
+    const double mu = 0.5, sigma = 0.4;
+    const int n = 200000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.lognormal(mu, sigma);
+    EXPECT_NEAR(sum / n, std::exp(mu + sigma * sigma / 2.0), 0.02);
+}
+
+TEST(Rng, ParetoSupportAndMean)
+{
+    Rng rng(17);
+    const double xm = 2.0, alpha = 3.0;
+    const int n = 200000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.pareto(xm, alpha);
+        ASSERT_GE(x, xm);
+        sum += x;
+    }
+    // Mean = xm * alpha / (alpha - 1) = 3.
+    EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, SplitStreamsAreIndependent)
+{
+    Rng a(99);
+    Rng b = a.split();
+    // Streams should not be identical.
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(ZipfTable, RankOneMostPopular)
+{
+    ZipfTable table(100, 1.0);
+    Rng rng(18);
+    std::vector<int> counts(101, 0);
+    for (int i = 0; i < 50000; ++i)
+        counts[table.sample(rng)]++;
+    EXPECT_GT(counts[1], counts[2]);
+    EXPECT_GT(counts[2], counts[10]);
+    EXPECT_GT(counts[1], counts[100] * 10);
+}
+
+TEST(ZipfTable, SamplesInRange)
+{
+    ZipfTable table(10, 0.8);
+    Rng rng(19);
+    for (int i = 0; i < 10000; ++i) {
+        const auto r = table.sample(rng);
+        EXPECT_GE(r, 1u);
+        EXPECT_LE(r, 10u);
+    }
+}
+
+TEST(Fft, ForwardInverseRoundTrip)
+{
+    Rng rng(20);
+    std::vector<std::complex<double>> data(64);
+    for (auto &d : data)
+        d = {rng.uniform(), rng.uniform()};
+    auto copy = data;
+    fft(copy, false);
+    fft(copy, true);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        EXPECT_NEAR(copy[i].real(), data[i].real(), 1e-9);
+        EXPECT_NEAR(copy[i].imag(), data[i].imag(), 1e-9);
+    }
+}
+
+TEST(Fft, DeltaIsConvolutionIdentity)
+{
+    std::vector<double> delta = {1.0};
+    std::vector<double> signal = {0.1, 0.2, 0.3, 0.4};
+    const auto out = fftConvolve(signal, delta);
+    ASSERT_EQ(out.size(), signal.size());
+    for (std::size_t i = 0; i < signal.size(); ++i)
+        EXPECT_NEAR(out[i], signal[i], 1e-12);
+}
+
+TEST(Fft, MatchesDirectConvolution)
+{
+    Rng rng(21);
+    for (int trial = 0; trial < 10; ++trial) {
+        std::vector<double> a(1 + rng.uniformInt(100));
+        std::vector<double> b(1 + rng.uniformInt(100));
+        for (auto &x : a)
+            x = rng.uniform();
+        for (auto &x : b)
+            x = rng.uniform();
+        const auto f = fftConvolve(a, b);
+        const auto d = directConvolve(a, b);
+        ASSERT_EQ(f.size(), d.size());
+        for (std::size_t i = 0; i < f.size(); ++i)
+            EXPECT_NEAR(f[i], d[i], 1e-9);
+    }
+}
+
+TEST(Fft, ConvolutionPreservesMass)
+{
+    // Probability mass functions convolve to a PMF: total mass 1.
+    std::vector<double> a = {0.25, 0.5, 0.25};
+    std::vector<double> b = {0.1, 0.9};
+    const auto c = fftConvolve(a, b);
+    const double total = std::accumulate(c.begin(), c.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Fft, ConvolutionShiftsMeans)
+{
+    // Mean of a convolution = sum of means (index domain).
+    std::vector<double> a = {0.0, 1.0};       // mean index 1
+    std::vector<double> b = {0.0, 0.0, 1.0};  // mean index 2
+    const auto c = fftConvolve(a, b);
+    double mean = 0.0;
+    for (std::size_t i = 0; i < c.size(); ++i)
+        mean += static_cast<double>(i) * c[i];
+    EXPECT_NEAR(mean, 3.0, 1e-9);
+}
+
+TEST(Units, Conversions)
+{
+    EXPECT_DOUBLE_EQ(1.0 * kMs, 1e-3);
+    EXPECT_DOUBLE_EQ(1.0 * kUs, 1e-6);
+    EXPECT_DOUBLE_EQ(2.4 * kGHz, 2.4e9);
+}
+
+} // namespace
+} // namespace rubik

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Tests for src/workloads: service-time distribution families, the demand
+ * splitter, the five app presets, arrival processes and trace generation.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+#include "workloads/apps.h"
+#include "workloads/arrival.h"
+#include "workloads/service_model.h"
+#include "workloads/trace_gen.h"
+
+namespace rubik {
+namespace {
+
+double
+sampleMean(const ServiceTimeDistribution &dist, int n, uint64_t seed)
+{
+    Rng rng(seed);
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += dist.sample(rng);
+    return sum / n;
+}
+
+double
+sampleCv(const ServiceTimeDistribution &dist, int n, uint64_t seed)
+{
+    Rng rng(seed);
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = dist.sample(rng);
+        sum += x;
+        sq += x * x;
+    }
+    const double m = sum / n;
+    const double var = sq / n - m * m;
+    return std::sqrt(std::max(0.0, var)) / m;
+}
+
+TEST(LognormalServiceTime, MeanAndCvMatchParameters)
+{
+    const LognormalServiceTime d(2.0 * kMs, 0.5);
+    EXPECT_NEAR(sampleMean(d, 200000, 1), 2.0 * kMs, 0.02 * kMs);
+    EXPECT_NEAR(sampleCv(d, 200000, 2), 0.5, 0.02);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.0 * kMs);
+}
+
+TEST(LognormalServiceTime, ZeroCvIsDeterministic)
+{
+    const LognormalServiceTime d(1.0 * kMs, 0.0);
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(d.sample(rng), 1.0 * kMs);
+}
+
+TEST(BimodalServiceTime, MixtureMean)
+{
+    const BimodalServiceTime d(1.0 * kMs, 0.1, 5.0 * kMs, 0.1, 0.25);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.0 * kMs);
+    EXPECT_NEAR(sampleMean(d, 200000, 4), 2.0 * kMs, 0.03 * kMs);
+}
+
+TEST(BimodalServiceTime, LongFractionRespected)
+{
+    const BimodalServiceTime d(1.0 * kMs, 0.05, 10.0 * kMs, 0.05, 0.2);
+    Rng rng(5);
+    int longs = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        longs += d.sample(rng) > 5.0 * kMs;
+    EXPECT_NEAR(static_cast<double>(longs) / n, 0.2, 0.01);
+}
+
+TEST(ParetoTailServiceTime, TailCapRespected)
+{
+    const ParetoTailServiceTime d(1.0 * kMs, 0.3, 0.10, 3.0 * kMs, 2.0,
+                                  20.0 * kMs);
+    Rng rng(6);
+    for (int i = 0; i < 100000; ++i)
+        EXPECT_LE(d.sample(rng), 20.0 * kMs);
+}
+
+TEST(ParetoTailServiceTime, HeavyTailPresent)
+{
+    const ParetoTailServiceTime d(1.0 * kMs, 0.3, 0.05, 3.0 * kMs, 2.0,
+                                  50.0 * kMs);
+    // CV should be clearly above the body's 0.3.
+    EXPECT_GT(sampleCv(d, 200000, 7), 0.8);
+}
+
+TEST(DeterministicServiceTime, JitterBounds)
+{
+    const DeterministicServiceTime d(1.0 * kMs, 0.1);
+    Rng rng(8);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = d.sample(rng);
+        EXPECT_GE(x, 0.9 * kMs);
+        EXPECT_LE(x, 1.1 * kMs);
+    }
+}
+
+TEST(DemandSplitter, SplitsAtMemoryFraction)
+{
+    const DemandSplitter splitter(0.4, 0.0, 2.4 * kGHz);
+    Rng rng(9);
+    const ServiceDemand d = splitter.split(1.0 * kMs, rng);
+    EXPECT_NEAR(d.memoryTime, 0.4 * kMs, 1e-12);
+    EXPECT_NEAR(d.computeCycles, 0.6 * kMs * 2.4 * kGHz, 1.0);
+    // Total service time at nominal reconstructs the input.
+    EXPECT_NEAR(d.serviceTime(2.4 * kGHz), 1.0 * kMs, 1e-12);
+}
+
+TEST(DemandSplitter, NoiseKeepsDemandsValid)
+{
+    const DemandSplitter splitter(0.5, 0.3, 2.4 * kGHz);
+    Rng rng(10);
+    for (int i = 0; i < 10000; ++i) {
+        const ServiceDemand d = splitter.split(1.0 * kMs, rng);
+        EXPECT_GE(d.memoryTime, 0.0);
+        EXPECT_GE(d.computeCycles, 0.0);
+        EXPECT_LE(d.memoryTime, 0.95 * kMs * 1.0001);
+    }
+}
+
+TEST(Apps, AllFivePresent)
+{
+    const auto apps = allApps();
+    ASSERT_EQ(apps.size(), 5u);
+    EXPECT_EQ(appName(apps[0]), "masstree");
+    EXPECT_EQ(appName(apps[4]), "xapian");
+}
+
+TEST(Apps, PaperRequestCountsMatchTable3)
+{
+    EXPECT_EQ(makeApp(AppId::Xapian).paperRequests, 6000);
+    EXPECT_EQ(makeApp(AppId::Masstree).paperRequests, 9000);
+    EXPECT_EQ(makeApp(AppId::Moses).paperRequests, 900);
+    EXPECT_EQ(makeApp(AppId::Shore).paperRequests, 7500);
+    EXPECT_EQ(makeApp(AppId::Specjbb).paperRequests, 37500);
+}
+
+TEST(Apps, ServiceTimeScalesOrdered)
+{
+    // moses has by far the longest requests; specjbb the shortest.
+    const double nominal = 2.4 * kGHz;
+    const double m = makeApp(AppId::Moses).meanServiceTime(nominal, nominal);
+    const double s =
+        makeApp(AppId::Specjbb).meanServiceTime(nominal, nominal);
+    const double k =
+        makeApp(AppId::Masstree).meanServiceTime(nominal, nominal);
+    EXPECT_GT(m, 10.0 * k);
+    EXPECT_LT(s, k);
+}
+
+TEST(Apps, FrequencyScalingRespectsMemoryFraction)
+{
+    // Halving frequency should less-than-double service time for apps
+    // with a memory-bound component.
+    const double nominal = 2.4 * kGHz;
+    const AppProfile app = makeApp(AppId::Masstree);
+    const double t_full = app.meanServiceTime(nominal, nominal);
+    const double t_half = app.meanServiceTime(nominal / 2.0, nominal);
+    EXPECT_GT(t_half, t_full);
+    EXPECT_LT(t_half, 2.0 * t_full);
+    // Specifically: t(f/2) = 2*compute + mem = (2 - memFrac) * t(f).
+    EXPECT_NEAR(t_half / t_full, 2.0 - app.memFraction, 1e-9);
+}
+
+TEST(Apps, MaxQpsIsInverseMeanService)
+{
+    const double nominal = 2.4 * kGHz;
+    const AppProfile app = makeApp(AppId::Shore);
+    EXPECT_NEAR(app.maxQps(nominal, nominal) *
+                    app.meanServiceTime(nominal, nominal),
+                1.0, 1e-9);
+}
+
+TEST(ArrivalProcess, ConstantRateMeanInterarrival)
+{
+    const ArrivalProcess p(1000.0);
+    Rng rng(11);
+    double t = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        t = p.nextArrival(t, rng);
+    EXPECT_NEAR(t / n, 1.0 / 1000.0, 0.02 / 1000.0);
+}
+
+TEST(ArrivalProcess, RateAtStepBoundaries)
+{
+    const ArrivalProcess p({{0.0, 100.0}, {1.0, 200.0}, {2.0, 50.0}});
+    EXPECT_DOUBLE_EQ(p.rateAt(0.5), 100.0);
+    EXPECT_DOUBLE_EQ(p.rateAt(1.0), 200.0);
+    EXPECT_DOUBLE_EQ(p.rateAt(1.99), 200.0);
+    EXPECT_DOUBLE_EQ(p.rateAt(5.0), 50.0);
+}
+
+TEST(ArrivalProcess, SteppedRatesProduceSteppedDensity)
+{
+    const ArrivalProcess p({{0.0, 100.0}, {1.0, 400.0}});
+    Rng rng(12);
+    int before = 0, after = 0;
+    double t = 0.0;
+    while (t < 2.0) {
+        t = p.nextArrival(t, rng);
+        if (t < 1.0)
+            ++before;
+        else if (t < 2.0)
+            ++after;
+    }
+    EXPECT_NEAR(before, 100, 40);
+    EXPECT_NEAR(after, 400, 80);
+}
+
+TEST(TraceGen, DeterministicInSeed)
+{
+    const AppProfile app = makeApp(AppId::Xapian);
+    const Trace a = generateLoadTrace(app, 0.4, 500, 2.4 * kGHz, 99);
+    const Trace b = generateLoadTrace(app, 0.4, 500, 2.4 * kGHz, 99);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].arrivalTime, b[i].arrivalTime);
+        EXPECT_DOUBLE_EQ(a[i].computeCycles, b[i].computeCycles);
+        EXPECT_DOUBLE_EQ(a[i].memoryTime, b[i].memoryTime);
+    }
+}
+
+TEST(TraceGen, DifferentSeedsDiffer)
+{
+    const AppProfile app = makeApp(AppId::Xapian);
+    const Trace a = generateLoadTrace(app, 0.4, 100, 2.4 * kGHz, 1);
+    const Trace b = generateLoadTrace(app, 0.4, 100, 2.4 * kGHz, 2);
+    int same = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        same += a[i].computeCycles == b[i].computeCycles;
+    EXPECT_LT(same, 5);
+}
+
+TEST(TraceGen, LoadSetsArrivalRate)
+{
+    const AppProfile app = makeApp(AppId::Masstree);
+    const double nominal = 2.4 * kGHz;
+    const Trace t = generateLoadTrace(app, 0.5, 20000, nominal, 3);
+    const double rate =
+        static_cast<double>(t.size() - 1) / traceDuration(t);
+    const double expected = 0.5 * app.maxQps(nominal, nominal);
+    EXPECT_NEAR(rate, expected, expected * 0.03);
+}
+
+TEST(TraceGen, MeanDemandMatchesApp)
+{
+    const AppProfile app = makeApp(AppId::Moses);
+    const double nominal = 2.4 * kGHz;
+    const Trace t = generateLoadTrace(app, 0.3, 20000, nominal, 4);
+    EXPECT_NEAR(traceMeanServiceTime(t, nominal),
+                app.meanServiceTime(nominal, nominal),
+                app.meanServiceTime(nominal, nominal) * 0.03);
+}
+
+TEST(TraceGen, SteppedTraceCoversLoadSchedule)
+{
+    const AppProfile app = makeApp(AppId::Masstree);
+    const Trace t = generateSteppedTrace(
+        app, {{0.0, 0.25}, {1.0, 0.75}}, 2.0, 2.4 * kGHz, 5);
+    ASSERT_FALSE(t.empty());
+    EXPECT_LE(t.back().arrivalTime, 2.0);
+    // Roughly 3x the arrivals in the second half.
+    int first = 0, second = 0;
+    for (const auto &r : t)
+        (r.arrivalTime < 1.0 ? first : second)++;
+    EXPECT_GT(second, 2 * first);
+}
+
+TEST(TraceGen, ArrivalsStrictlyIncreasing)
+{
+    const AppProfile app = makeApp(AppId::Specjbb);
+    const Trace t = generateLoadTrace(app, 0.6, 5000, 2.4 * kGHz, 6);
+    for (std::size_t i = 1; i < t.size(); ++i)
+        EXPECT_GT(t[i].arrivalTime, t[i - 1].arrivalTime);
+}
+
+} // namespace
+} // namespace rubik

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * rubik_cli — run any workload/load/policy combination from the command
+ * line and print tail latency, energy, and frequency statistics. The
+ * "driver" a downstream user reaches for before writing code against the
+ * library.
+ *
+ * Examples:
+ *   rubik_cli --app masstree --load 0.4 --policy rubik
+ *   rubik_cli --app xapian --load 0.5 --policy static --transition-us 130
+ *   rubik_cli --app specjbb --load 0.3 --policy dynamic --csv
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/rubik_boost.h"
+#include "core/rubik_controller.h"
+#include "policies/adrenaline.h"
+#include "policies/dynamic_oracle.h"
+#include "policies/pegasus.h"
+#include "policies/replay.h"
+#include "policies/static_oracle.h"
+#include "sim/simulation.h"
+#include "util/error.h"
+#include "util/units.h"
+#include "workloads/trace_gen.h"
+
+using namespace rubik;
+
+namespace {
+
+struct CliOptions
+{
+    std::string app = "masstree";
+    std::string policy = "rubik";
+    double load = 0.4;
+    int requests = 9000;
+    double boundMs = 0.0;       ///< 0: auto (fixed-freq tail @50%).
+    double transitionUs = 4.0;
+    uint64_t seed = 42;
+    bool csv = false;
+    bool bursty = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --app NAME         masstree|moses|shore|specjbb|xapian "
+        "(default masstree)\n"
+        "  --load F           fraction of max throughput at 2.4 GHz "
+        "(default 0.4)\n"
+        "  --policy NAME      fixed|static|dynamic|adrenaline|pegasus|"
+        "rubik|rubik-nofb|boost (default rubik)\n"
+        "  --requests N       trace length (default 9000)\n"
+        "  --bound-ms MS      tail latency bound; 0 = auto from 50%% "
+        "load (default)\n"
+        "  --transition-us US DVFS transition latency (default 4)\n"
+        "  --bursty           MMPP-2 arrivals instead of Poisson\n"
+        "  --seed S           RNG seed (default 42)\n"
+        "  --csv              machine-readable output\n",
+        argv0);
+    std::exit(0);
+}
+
+CliOptions
+parse(int argc, char **argv)
+{
+    CliOptions o;
+    for (int i = 1; i < argc; ++i) {
+        auto need = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--app"))
+            o.app = need("--app");
+        else if (!std::strcmp(argv[i], "--policy"))
+            o.policy = need("--policy");
+        else if (!std::strcmp(argv[i], "--load"))
+            o.load = std::atof(need("--load"));
+        else if (!std::strcmp(argv[i], "--requests"))
+            o.requests = std::atoi(need("--requests"));
+        else if (!std::strcmp(argv[i], "--bound-ms"))
+            o.boundMs = std::atof(need("--bound-ms"));
+        else if (!std::strcmp(argv[i], "--transition-us"))
+            o.transitionUs = std::atof(need("--transition-us"));
+        else if (!std::strcmp(argv[i], "--seed"))
+            o.seed = static_cast<uint64_t>(std::atoll(need("--seed")));
+        else if (!std::strcmp(argv[i], "--csv"))
+            o.csv = true;
+        else if (!std::strcmp(argv[i], "--bursty"))
+            o.bursty = true;
+        else
+            usage(argv[0]);
+    }
+    return o;
+}
+
+AppId
+appByName(const std::string &name)
+{
+    for (AppId id : allApps()) {
+        if (appName(id) == name)
+            return id;
+    }
+    fatal("unknown app (try --help)");
+}
+
+struct Outcome
+{
+    double tail = 0.0;
+    double energyPerReq = 0.0;
+    double meanFreq = 0.0; ///< Busy-time-weighted (0 for replays).
+    uint64_t transitions = 0;
+};
+
+Outcome
+fromSim(const SimResult &r, const DvfsModel &dvfs)
+{
+    Outcome o;
+    o.tail = r.tailLatency(0.95);
+    o.energyPerReq = r.coreEnergyPerRequest();
+    double weighted = 0.0;
+    for (std::size_t i = 0; i < r.core.freqResidency.size(); ++i)
+        weighted += r.core.freqResidency[i] * dvfs.frequencies()[i];
+    o.meanFreq = r.core.busyTime > 0 ? weighted / r.core.busyTime : 0.0;
+    o.transitions = r.core.numTransitions;
+    return o;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions o = parse(argc, argv);
+    const DvfsModel dvfs = DvfsModel::haswell(o.transitionUs * kUs);
+    const PowerModel power(dvfs);
+    const double nominal = dvfs.nominalFrequency();
+    const AppProfile app = makeApp(appByName(o.app));
+
+    Trace trace =
+        o.bursty ? generateBurstyTrace(app, o.load, o.requests, nominal,
+                                       o.seed)
+                 : generateLoadTrace(app, o.load, o.requests, nominal,
+                                     o.seed);
+    annotateClasses(trace, 0.85, nominal);
+
+    double bound = o.boundMs * kMs;
+    if (bound <= 0.0) {
+        const Trace t50 =
+            generateLoadTrace(app, 0.5, o.requests, nominal, o.seed);
+        bound = replayFixed(t50, nominal, power).tailLatency(0.95);
+    }
+
+    const ReplayResult fixed = replayFixed(trace, nominal, power);
+
+    Outcome out;
+    if (o.policy == "fixed") {
+        out.tail = fixed.tailLatency();
+        out.energyPerReq = fixed.energyPerRequest();
+        out.meanFreq = nominal;
+    } else if (o.policy == "static") {
+        const auto r = staticOracle(trace, bound, 0.95, dvfs, power);
+        out.tail = r.replay.tailLatency();
+        out.energyPerReq = r.replay.energyPerRequest();
+        out.meanFreq = r.frequency;
+    } else if (o.policy == "dynamic") {
+        const auto r = dynamicOracle(trace, bound, 0.95, dvfs, power);
+        out.tail = r.replay.tailLatency();
+        out.energyPerReq = r.replay.energyPerRequest();
+    } else if (o.policy == "adrenaline") {
+        const auto r =
+            adrenalineOracle(trace, bound, dvfs, power, nominal);
+        out.tail = r.replay.tailLatency();
+        out.energyPerReq = r.replay.energyPerRequest();
+    } else if (o.policy == "pegasus") {
+        PegasusConfig cfg;
+        cfg.latencyBound = bound;
+        PegasusPolicy policy(dvfs, cfg);
+        out = fromSim(simulate(trace, policy, dvfs, power), dvfs);
+    } else if (o.policy == "rubik" || o.policy == "rubik-nofb") {
+        RubikConfig cfg;
+        cfg.latencyBound = bound;
+        cfg.feedback = o.policy == "rubik";
+        RubikController policy(dvfs, cfg);
+        out = fromSim(simulate(trace, policy, dvfs, power), dvfs);
+    } else if (o.policy == "boost") {
+        RubikBoostConfig cfg;
+        cfg.base.latencyBound = bound;
+        RubikBoostController policy(dvfs, cfg);
+        out = fromSim(simulate(trace, policy, dvfs, power), dvfs);
+    } else {
+        usage(argv[0]);
+    }
+
+    const double savings =
+        1.0 - out.energyPerReq / fixed.energyPerRequest();
+    if (o.csv) {
+        std::printf("app,policy,load,bound_ms,tail_ms,tail_over_bound,"
+                    "energy_mj_per_req,savings_vs_fixed,mean_freq_ghz,"
+                    "transitions\n");
+        std::printf("%s,%s,%.2f,%.4f,%.4f,%.3f,%.4f,%.4f,%.2f,%llu\n",
+                    o.app.c_str(), o.policy.c_str(), o.load, bound / kMs,
+                    out.tail / kMs, out.tail / bound,
+                    out.energyPerReq / kMj, savings,
+                    out.meanFreq / kGHz,
+                    static_cast<unsigned long long>(out.transitions));
+        return 0;
+    }
+    std::printf("app            %s (%s)\n", o.app.c_str(),
+                app.workloadConfig.c_str());
+    std::printf("policy         %s\n", o.policy.c_str());
+    std::printf("load           %.0f%%%s\n", o.load * 100,
+                o.bursty ? " (bursty MMPP)" : "");
+    std::printf("bound          %.3f ms (95th pct)\n", bound / kMs);
+    std::printf("tail latency   %.3f ms (%.2fx bound)\n", out.tail / kMs,
+                out.tail / bound);
+    std::printf("core energy    %.3f mJ/req (%.1f%% vs fixed 2.4 GHz)\n",
+                out.energyPerReq / kMj, savings * 100);
+    if (out.meanFreq > 0)
+        std::printf("mean frequency %.2f GHz (busy-time weighted)\n",
+                    out.meanFreq / kGHz);
+    if (out.transitions > 0)
+        std::printf("transitions    %llu\n",
+                    static_cast<unsigned long long>(out.transitions));
+    return 0;
+}
