@@ -29,9 +29,11 @@ parseOptions(int argc, char **argv)
             opts.requests = std::atoi(argv[++i]);
         } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
             opts.seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+        } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            opts.jobs = std::atoi(argv[++i]);
         } else if (std::strcmp(argv[i], "--help") == 0) {
             std::printf("usage: %s [--csv] [--fast] [--requests N] "
-                        "[--seed S]\n",
+                        "[--seed S] [--jobs N]\n",
                         argv[0]);
             std::exit(0);
         } else {

@@ -27,6 +27,7 @@ struct Options
     int requests = 0;    ///< 0: per-bench default.
     bool fast = false;   ///< Quarter the workload for smoke runs.
     uint64_t seed = 42;
+    int jobs = 0;        ///< Worker threads; 0: hardware default.
 
     /// Effective request count given a bench default.
     int numRequests(int bench_default) const;

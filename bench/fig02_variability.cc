@@ -12,8 +12,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <functional>
 
 #include "common.h"
+#include "runner/experiment_runner.h"
 #include "sim/metrics.h"
 #include "sim/simulation.h"
 #include "stats/percentile.h"
@@ -29,32 +31,40 @@ main(int argc, char **argv)
     const Options opts = parseOptions(argc, argv);
     Platform plat;
     const double nominal = plat.dvfs.nominalFrequency();
+    ExperimentRunner runner(opts.jobs);
+    const std::vector<AppId> apps = allApps();
 
     heading(opts, "Fig. 2a: CDF of instantaneous QPS over 5ms windows, "
                   "normalized to average load (values at percentiles)");
     TablePrinter cdf({"app", "p10", "p25", "p50", "p75", "p90", "p99"},
                      opts.csv);
-    for (AppId id : allApps()) {
-        const AppProfile app = makeApp(id);
-        const int n = opts.numRequests(app.paperRequests * 2);
-        const Trace t = generateLoadTrace(app, 0.5, n, nominal, opts.seed);
-        std::vector<double> arrivals;
-        for (const auto &r : t)
-            arrivals.push_back(r.arrivalTime);
-        const double avg_rate =
-            static_cast<double>(t.size() - 1) / traceDuration(t);
-        auto qps = instantaneousQps(arrivals, 5.0 * kMs, 1.0 * kMs);
-        std::vector<double> norm;
-        for (const auto &s : qps)
-            norm.push_back(s.value / avg_rate);
-        std::sort(norm.begin(), norm.end());
-        cdf.addRow({app.name, fmt("%.2f", percentileSorted(norm, 0.10)),
+    std::vector<std::function<std::vector<std::string>()>> cdf_jobs;
+    for (AppId id : apps) {
+        cdf_jobs.push_back([&, id]() -> std::vector<std::string> {
+            const AppProfile app = makeApp(id);
+            const int n = opts.numRequests(app.paperRequests * 2);
+            const Trace t =
+                generateLoadTrace(app, 0.5, n, nominal, opts.seed);
+            std::vector<double> arrivals;
+            for (const auto &r : t)
+                arrivals.push_back(r.arrivalTime);
+            const double avg_rate =
+                static_cast<double>(t.size() - 1) / traceDuration(t);
+            auto qps = instantaneousQps(arrivals, 5.0 * kMs, 1.0 * kMs);
+            std::vector<double> norm;
+            for (const auto &s : qps)
+                norm.push_back(s.value / avg_rate);
+            std::sort(norm.begin(), norm.end());
+            return {app.name, fmt("%.2f", percentileSorted(norm, 0.10)),
                     fmt("%.2f", percentileSorted(norm, 0.25)),
                     fmt("%.2f", percentileSorted(norm, 0.50)),
                     fmt("%.2f", percentileSorted(norm, 0.75)),
                     fmt("%.2f", percentileSorted(norm, 0.90)),
-                    fmt("%.2f", percentileSorted(norm, 0.99))});
+                    fmt("%.2f", percentileSorted(norm, 0.99))};
+        });
     }
+    for (auto &row : runner.runBatch(std::move(cdf_jobs)))
+        cdf.addRow(std::move(row));
     cdf.print();
 
     heading(opts, "Fig. 2b: masstree trace at 50% load "
@@ -98,21 +108,34 @@ main(int argc, char **argv)
     TablePrinter tails({"app", "20%", "30%", "40%", "50%", "60%", "70%",
                         "80%"},
                        opts.csv);
-    for (AppId id : allApps()) {
-        const AppProfile app = makeApp(id);
-        const int n = opts.numRequests(std::max(app.paperRequests, 4000));
-        std::vector<std::string> row{app.name};
-        for (double load : {0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}) {
-            const Trace t =
-                generateLoadTrace(app, load, n, nominal, opts.seed + 2);
-            FixedFrequencyPolicy fixed(nominal);
-            const SimResult sim = simulate(t, fixed, plat.dvfs, plat.power);
-            std::vector<double> svc;
-            for (const auto &c : sim.completed)
-                svc.push_back(c.serviceTime());
-            const double norm = percentile(svc, 0.95);
-            row.push_back(fmt("%.2f", sim.tailLatency(0.95) / norm));
+    const std::vector<double> tail_loads = {0.2, 0.3, 0.4, 0.5,
+                                            0.6, 0.7, 0.8};
+    std::vector<std::function<std::string()>> tail_jobs;
+    for (AppId id : apps) {
+        for (double load : tail_loads) {
+            tail_jobs.push_back([&, id, load] {
+                const AppProfile app = makeApp(id);
+                const int n =
+                    opts.numRequests(std::max(app.paperRequests, 4000));
+                const Trace t = generateLoadTrace(app, load, n, nominal,
+                                                  opts.seed + 2);
+                FixedFrequencyPolicy fixed(nominal);
+                const SimResult sim =
+                    simulate(t, fixed, plat.dvfs, plat.power);
+                std::vector<double> svc;
+                for (const auto &c : sim.completed)
+                    svc.push_back(c.serviceTime());
+                const double norm = percentile(svc, 0.95);
+                return fmt("%.2f", sim.tailLatency(0.95) / norm);
+            });
         }
+    }
+    const std::vector<std::string> tail_cells =
+        runner.runBatch(std::move(tail_jobs));
+    for (std::size_t ai = 0; ai < apps.size(); ++ai) {
+        std::vector<std::string> row{makeApp(apps[ai]).name};
+        for (std::size_t li = 0; li < tail_loads.size(); ++li)
+            row.push_back(tail_cells[ai * tail_loads.size() + li]);
         tails.addRow(row);
     }
     tails.print();

@@ -7,6 +7,10 @@
  * Paper's shape: all three save a lot at 30%; at 50% StaticOracle saves
  * ~nothing, AdrenalineOracle a little (mostly masstree), and Rubik keeps
  * saving (up to ~28%, ~15% average); Rubik wins everywhere.
+ *
+ * Sweep execution: every (app, load) cell is an independent simulation
+ * job run through ExperimentRunner; rows are emitted in submission
+ * order, so the output is byte-identical to the old serial loop.
  */
 
 #include "common.h"
@@ -14,11 +18,33 @@
 #include "policies/adrenaline.h"
 #include "policies/replay.h"
 #include "policies/static_oracle.h"
+#include "runner/experiment_runner.h"
 #include "sim/simulation.h"
 #include "workloads/trace_gen.h"
 
 using namespace rubik;
 using namespace rubik::bench;
+
+namespace {
+
+/// Per-app inputs shared by that app's three load cells.
+struct AppContext
+{
+    AppProfile app;
+    int n = 0;
+    Trace t50;
+    double bound = 0.0;
+};
+
+/// One (app, load) cell: savings of each scheme vs. fixed nominal (%).
+struct Cell
+{
+    double staticOracle = 0.0;
+    double adrenaline = 0.0;
+    double rubik = 0.0;
+};
+
+} // anonymous namespace
 
 int
 main(int argc, char **argv)
@@ -26,61 +52,89 @@ main(int argc, char **argv)
     const Options opts = parseOptions(argc, argv);
     Platform plat;
     const double nominal = plat.dvfs.nominalFrequency();
+    ExperimentRunner runner(opts.jobs);
 
     heading(opts, "Fig. 6: core power savings over fixed 2.4 GHz (%)");
     TablePrinter table({"app", "load", "StaticOracle", "AdrenalineOracle",
                         "Rubik"},
                        opts.csv);
 
-    double sums[3][3] = {}; // [scheme][load index]
+    const std::vector<AppId> apps = allApps();
     const std::vector<double> loads = {0.3, 0.4, 0.5};
 
-    for (AppId id : allApps()) {
-        const AppProfile app = makeApp(id);
-        const int n = opts.numRequests(std::max(app.paperRequests, 5000));
+    // Phase 1: per-app 50%-load trace and latency bound.
+    std::vector<std::function<AppContext()>> bound_jobs;
+    for (AppId id : apps) {
+        bound_jobs.push_back([&, id] {
+            AppContext ctx;
+            ctx.app = makeApp(id);
+            ctx.n = opts.numRequests(std::max(ctx.app.paperRequests, 5000));
+            ctx.t50 = generateLoadTrace(ctx.app, 0.5, ctx.n, nominal,
+                                        opts.seed);
+            ctx.bound = replayFixed(ctx.t50, nominal, plat.power)
+                            .tailLatency(0.95);
+            return ctx;
+        });
+    }
+    const std::vector<AppContext> ctxs =
+        runner.runBatch(std::move(bound_jobs));
 
-        const Trace t50 =
-            generateLoadTrace(app, 0.5, n, nominal, opts.seed);
-        const double bound =
-            replayFixed(t50, nominal, plat.power).tailLatency(0.95);
-
+    // Phase 2: one job per (app, load) cell.
+    std::vector<std::function<Cell()>> cell_jobs;
+    for (std::size_t ai = 0; ai < ctxs.size(); ++ai) {
         for (std::size_t li = 0; li < loads.size(); ++li) {
-            const double load = loads[li];
-            // The 50% traces reuse the bound trace so StaticOracle at
-            // nominal is feasible by construction, as in the paper.
-            const Trace t =
-                load == 0.5 ? t50
-                            : generateLoadTrace(app, load, n, nominal,
-                                                opts.seed + 1);
-            const double fixed_energy =
-                replayFixed(t, nominal, plat.power).coreActiveEnergy;
+            cell_jobs.push_back([&, ai, li] {
+                const AppContext &ctx = ctxs[ai];
+                const double load = loads[li];
+                // The 50% traces reuse the bound trace so StaticOracle at
+                // nominal is feasible by construction, as in the paper.
+                const Trace t =
+                    load == 0.5 ? ctx.t50
+                                : generateLoadTrace(ctx.app, load, ctx.n,
+                                                    nominal, opts.seed + 1);
+                const double fixed_energy =
+                    replayFixed(t, nominal, plat.power).coreActiveEnergy;
 
-            const auto so =
-                staticOracle(t, bound, 0.95, plat.dvfs, plat.power);
-            const auto adr = adrenalineOracle(t, bound, plat.dvfs,
-                                              plat.power, nominal);
+                const auto so = staticOracle(t, ctx.bound, 0.95, plat.dvfs,
+                                             plat.power);
+                const auto adr = adrenalineOracle(t, ctx.bound, plat.dvfs,
+                                                  plat.power, nominal);
 
-            RubikConfig rcfg;
-            rcfg.latencyBound = bound;
-            RubikController rubik(plat.dvfs, rcfg);
-            const SimResult rr = simulate(t, rubik, plat.dvfs, plat.power);
+                RubikConfig rcfg;
+                rcfg.latencyBound = ctx.bound;
+                RubikController rubik(plat.dvfs, rcfg);
+                const SimResult rr =
+                    simulate(t, rubik, plat.dvfs, plat.power);
 
-            const double s_so =
-                (1.0 - so.replay.coreActiveEnergy / fixed_energy) * 100;
-            const double s_adr =
-                (1.0 - adr.replay.coreActiveEnergy / fixed_energy) * 100;
-            const double s_rubik =
-                (1.0 - rr.coreActiveEnergy() / fixed_energy) * 100;
-            sums[0][li] += s_so;
-            sums[1][li] += s_adr;
-            sums[2][li] += s_rubik;
-
-            table.addRow({app.name, fmt("%.0f%%", load * 100),
-                          fmt("%.1f", s_so), fmt("%.1f", s_adr),
-                          fmt("%.1f", s_rubik)});
+                Cell cell;
+                cell.staticOracle =
+                    (1.0 - so.replay.coreActiveEnergy / fixed_energy) * 100;
+                cell.adrenaline =
+                    (1.0 - adr.replay.coreActiveEnergy / fixed_energy) *
+                    100;
+                cell.rubik =
+                    (1.0 - rr.coreActiveEnergy() / fixed_energy) * 100;
+                return cell;
+            });
         }
     }
-    const double n_apps = static_cast<double>(allApps().size());
+    const std::vector<Cell> cells = runner.runBatch(std::move(cell_jobs));
+
+    double sums[3][3] = {}; // [scheme][load index]
+    for (std::size_t ai = 0; ai < ctxs.size(); ++ai) {
+        for (std::size_t li = 0; li < loads.size(); ++li) {
+            const Cell &cell = cells[ai * loads.size() + li];
+            sums[0][li] += cell.staticOracle;
+            sums[1][li] += cell.adrenaline;
+            sums[2][li] += cell.rubik;
+            table.addRow({ctxs[ai].app.name,
+                          fmt("%.0f%%", loads[li] * 100),
+                          fmt("%.1f", cell.staticOracle),
+                          fmt("%.1f", cell.adrenaline),
+                          fmt("%.1f", cell.rubik)});
+        }
+    }
+    const double n_apps = static_cast<double>(apps.size());
     for (std::size_t li = 0; li < loads.size(); ++li) {
         table.addRow({"mean", fmt("%.0f%%", loads[li] * 100),
                       fmt("%.1f", sums[0][li] / n_apps),

@@ -8,16 +8,22 @@
  * than AdrenalineOracle; Rubik's busy time concentrates at low
  * frequencies; xapian's variability forces more conservative settings, so
  * its CDF shift is smaller.
+ *
+ * Sweep execution: each app's three scheme runs are one ExperimentRunner
+ * job; blocks are emitted in submission order, so the output is
+ * byte-identical to the old serial code.
  */
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
 #include "common.h"
 #include "core/rubik_controller.h"
 #include "policies/adrenaline.h"
 #include "policies/replay.h"
 #include "policies/static_oracle.h"
+#include "runner/experiment_runner.h"
 #include "sim/simulation.h"
 #include "stats/percentile.h"
 #include "util/units.h"
@@ -28,8 +34,19 @@ using namespace rubik::bench;
 
 namespace {
 
-void
-runApp(AppId id, const Options &opts, Platform &plat)
+/// One app's computed results, emitted serially after the batch.
+struct AppBlock
+{
+    std::string name;
+    std::string figure;
+    double bound = 0.0;
+    std::vector<double> staticLat, adrLat, rubikLat; // Sorted.
+    std::vector<double> freqResidency;
+    double busyTime = 0.0;
+};
+
+AppBlock
+runApp(AppId id, const Options &opts, const Platform &plat)
 {
     const AppProfile app = makeApp(id);
     const double nominal = plat.dvfs.nominalFrequency();
@@ -47,36 +64,48 @@ runApp(AppId id, const Options &opts, Platform &plat)
     RubikController rubik(plat.dvfs, rcfg);
     const SimResult rr = simulate(t, rubik, plat.dvfs, plat.power);
 
-    heading(opts, "Fig. " + std::string(id == AppId::Masstree ? "7" : "8") +
-                      "a: " + app.name +
+    AppBlock block;
+    block.name = app.name;
+    block.figure = id == AppId::Masstree ? "7" : "8";
+    block.bound = bound;
+    block.staticLat = so.replay.latencies;
+    block.adrLat = adr.replay.latencies;
+    block.rubikLat = rr.latencies();
+    std::sort(block.staticLat.begin(), block.staticLat.end());
+    std::sort(block.adrLat.begin(), block.adrLat.end());
+    std::sort(block.rubikLat.begin(), block.rubikLat.end());
+    block.freqResidency = rr.core.freqResidency;
+    block.busyTime = rr.core.busyTime;
+    return block;
+}
+
+void
+printApp(const AppBlock &block, const Options &opts, const Platform &plat)
+{
+    heading(opts, "Fig. " + block.figure + "a: " + block.name +
                       " response-latency CDF at 50% load (ms at "
                       "percentile; bound " +
-                      fmt("%.3f", bound / kMs) + " ms)");
+                      fmt("%.3f", block.bound / kMs) + " ms)");
     TablePrinter cdf({"percentile", "StaticOracle", "AdrenalineOracle",
                       "Rubik"},
                      opts.csv);
-    auto so_lat = so.replay.latencies;
-    auto adr_lat = adr.replay.latencies;
-    auto rubik_lat = rr.latencies();
-    std::sort(so_lat.begin(), so_lat.end());
-    std::sort(adr_lat.begin(), adr_lat.end());
-    std::sort(rubik_lat.begin(), rubik_lat.end());
     for (double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99}) {
-        cdf.addRow({fmt("p%.0f", q * 100),
-                    fmt("%.3f", percentileSorted(so_lat, q) / kMs),
-                    fmt("%.3f", percentileSorted(adr_lat, q) / kMs),
-                    fmt("%.3f", percentileSorted(rubik_lat, q) / kMs)});
+        cdf.addRow(
+            {fmt("p%.0f", q * 100),
+             fmt("%.3f", percentileSorted(block.staticLat, q) / kMs),
+             fmt("%.3f", percentileSorted(block.adrLat, q) / kMs),
+             fmt("%.3f", percentileSorted(block.rubikLat, q) / kMs)});
     }
     cdf.print();
 
-    heading(opts, "Fig. " + std::string(id == AppId::Masstree ? "7" : "8") +
-                      "b: " + app.name +
-                      " Rubik frequency histogram (fraction of busy time)");
+    heading(opts, "Fig. " + block.figure + "b: " + block.name +
+                      " Rubik frequency histogram (fraction of busy "
+                      "time)");
     TablePrinter hist({"freq_GHz", "fraction"}, opts.csv);
     for (std::size_t i = 0; i < plat.dvfs.numFrequencies(); ++i) {
         hist.addRow({fmt("%.1f", plat.dvfs.frequencies()[i] / kGHz),
                      fmt("%.3f",
-                         rr.core.freqResidency[i] / rr.core.busyTime)});
+                         block.freqResidency[i] / block.busyTime)});
     }
     hist.print();
 }
@@ -88,7 +117,12 @@ main(int argc, char **argv)
 {
     const Options opts = parseOptions(argc, argv);
     Platform plat;
-    runApp(AppId::Masstree, opts, plat);
-    runApp(AppId::Xapian, opts, plat);
+    ExperimentRunner runner(opts.jobs);
+
+    std::vector<std::function<AppBlock()>> jobs;
+    for (AppId id : {AppId::Masstree, AppId::Xapian})
+        jobs.push_back([&, id] { return runApp(id, opts, plat); });
+    for (const AppBlock &block : runner.runBatch(std::move(jobs)))
+        printApp(block, opts, plat);
     return 0;
 }

@@ -10,6 +10,10 @@
  * DynamicOracle saves 20-45% of StaticOracle's energy at 50%; Rubik
  * captures most of that for tight-service apps, and Rubik-without-
  * feedback runs slightly conservative (lower tail than necessary).
+ *
+ * Sweep execution: the 5 apps x 9 loads grid is 45 independent jobs run
+ * through ExperimentRunner; tables are emitted in submission order, so
+ * the output is byte-identical to the old serial loop.
  */
 
 #include "common.h"
@@ -17,6 +21,7 @@
 #include "policies/dynamic_oracle.h"
 #include "policies/replay.h"
 #include "policies/static_oracle.h"
+#include "runner/experiment_runner.h"
 #include "sim/simulation.h"
 #include "util/units.h"
 #include "workloads/trace_gen.h"
@@ -24,66 +29,125 @@
 using namespace rubik;
 using namespace rubik::bench;
 
+namespace {
+
+/// Per-app inputs shared by that app's nine load cells.
+struct AppContext
+{
+    AppProfile app;
+    int n = 0;
+    double bound = 0.0;
+};
+
+/// One (app, load) cell: tail latency and energy/request per scheme.
+struct Cell
+{
+    double tail[5] = {};   // Fixed, StaticOracle, DynamicOracle,
+    double energy[5] = {}; // Rubik_noFB, Rubik.
+};
+
+} // anonymous namespace
+
 int
 main(int argc, char **argv)
 {
     const Options opts = parseOptions(argc, argv);
     Platform plat;
     const double nominal = plat.dvfs.nominalFrequency();
+    ExperimentRunner runner(opts.jobs);
 
-    for (AppId id : allApps()) {
-        const AppProfile app = makeApp(id);
-        const int n = opts.numRequests(std::max(app.paperRequests, 5000));
+    const std::vector<AppId> apps = allApps();
+    const std::vector<double> loads = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                       0.6, 0.7, 0.8, 0.9};
 
-        const Trace t50 =
-            generateLoadTrace(app, 0.5, n, nominal, opts.seed);
-        const double bound =
-            replayFixed(t50, nominal, plat.power).tailLatency(0.95);
+    // Phase 1: per-app latency bound from the 50%-load trace.
+    std::vector<std::function<AppContext()>> bound_jobs;
+    for (AppId id : apps) {
+        bound_jobs.push_back([&, id] {
+            AppContext ctx;
+            ctx.app = makeApp(id);
+            ctx.n = opts.numRequests(std::max(ctx.app.paperRequests, 5000));
+            const Trace t50 = generateLoadTrace(ctx.app, 0.5, ctx.n,
+                                                nominal, opts.seed);
+            ctx.bound = replayFixed(t50, nominal, plat.power)
+                            .tailLatency(0.95);
+            return ctx;
+        });
+    }
+    const std::vector<AppContext> ctxs =
+        runner.runBatch(std::move(bound_jobs));
 
-        heading(opts, "Fig. 9: " + app.name + " (bound " +
-                          fmt("%.3f", bound / kMs) +
+    // Phase 2: one job per (app, load) cell, all five schemes inside.
+    std::vector<std::function<Cell()>> cell_jobs;
+    for (std::size_t ai = 0; ai < ctxs.size(); ++ai) {
+        for (std::size_t li = 0; li < loads.size(); ++li) {
+            cell_jobs.push_back([&, ai, li] {
+                const AppContext &ctx = ctxs[ai];
+                const Trace t = generateLoadTrace(ctx.app, loads[li],
+                                                  ctx.n, nominal,
+                                                  opts.seed + 1);
+
+                const ReplayResult fixed =
+                    replayFixed(t, nominal, plat.power);
+                const auto so = staticOracle(t, ctx.bound, 0.95, plat.dvfs,
+                                             plat.power);
+                const auto dyn = dynamicOracle(t, ctx.bound, 0.95,
+                                               plat.dvfs, plat.power);
+
+                RubikConfig nofb_cfg;
+                nofb_cfg.latencyBound = ctx.bound;
+                nofb_cfg.feedback = false;
+                RubikController rubik_nofb(plat.dvfs, nofb_cfg);
+                const SimResult nofb =
+                    simulate(t, rubik_nofb, plat.dvfs, plat.power);
+
+                RubikConfig fb_cfg;
+                fb_cfg.latencyBound = ctx.bound;
+                RubikController rubik(plat.dvfs, fb_cfg);
+                const SimResult fb =
+                    simulate(t, rubik, plat.dvfs, plat.power);
+
+                Cell cell;
+                cell.tail[0] = fixed.tailLatency();
+                cell.tail[1] = so.replay.tailLatency();
+                cell.tail[2] = dyn.replay.tailLatency();
+                cell.tail[3] = nofb.tailLatency();
+                cell.tail[4] = fb.tailLatency();
+                cell.energy[0] = fixed.energyPerRequest();
+                cell.energy[1] = so.replay.energyPerRequest();
+                cell.energy[2] = dyn.replay.energyPerRequest();
+                cell.energy[3] = nofb.coreEnergyPerRequest();
+                cell.energy[4] = fb.coreEnergyPerRequest();
+                return cell;
+            });
+        }
+    }
+    const std::vector<Cell> cells = runner.runBatch(std::move(cell_jobs));
+
+    for (std::size_t ai = 0; ai < ctxs.size(); ++ai) {
+        const AppContext &ctx = ctxs[ai];
+        heading(opts, "Fig. 9: " + ctx.app.name + " (bound " +
+                          fmt("%.3f", ctx.bound / kMs) +
                           " ms = fixed-freq tail @50%)");
         TablePrinter table(
             {"load", "metric", "Fixed", "StaticOracle", "DynamicOracle",
              "Rubik_noFB", "Rubik"},
             opts.csv);
 
-        for (double load :
-             {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
-            const Trace t =
-                generateLoadTrace(app, load, n, nominal, opts.seed + 1);
-
-            const ReplayResult fixed = replayFixed(t, nominal, plat.power);
-            const auto so =
-                staticOracle(t, bound, 0.95, plat.dvfs, plat.power);
-            const auto dyn =
-                dynamicOracle(t, bound, 0.95, plat.dvfs, plat.power);
-
-            RubikConfig nofb_cfg;
-            nofb_cfg.latencyBound = bound;
-            nofb_cfg.feedback = false;
-            RubikController rubik_nofb(plat.dvfs, nofb_cfg);
-            const SimResult nofb =
-                simulate(t, rubik_nofb, plat.dvfs, plat.power);
-
-            RubikConfig fb_cfg;
-            fb_cfg.latencyBound = bound;
-            RubikController rubik(plat.dvfs, fb_cfg);
-            const SimResult fb = simulate(t, rubik, plat.dvfs, plat.power);
-
-            table.addRow({fmt("%.0f%%", load * 100), "tail_ms",
-                          fmt("%.3f", fixed.tailLatency() / kMs),
-                          fmt("%.3f", so.replay.tailLatency() / kMs),
-                          fmt("%.3f", dyn.replay.tailLatency() / kMs),
-                          fmt("%.3f", nofb.tailLatency() / kMs),
-                          fmt("%.3f", fb.tailLatency() / kMs)});
-            table.addRow(
-                {fmt("%.0f%%", load * 100), "mJ/req",
-                 fmt("%.3f", fixed.energyPerRequest() / kMj),
-                 fmt("%.3f", so.replay.energyPerRequest() / kMj),
-                 fmt("%.3f", dyn.replay.energyPerRequest() / kMj),
-                 fmt("%.3f", nofb.coreEnergyPerRequest() / kMj),
-                 fmt("%.3f", fb.coreEnergyPerRequest() / kMj)});
+        for (std::size_t li = 0; li < loads.size(); ++li) {
+            const Cell &cell = cells[ai * loads.size() + li];
+            table.addRow({fmt("%.0f%%", loads[li] * 100), "tail_ms",
+                          fmt("%.3f", cell.tail[0] / kMs),
+                          fmt("%.3f", cell.tail[1] / kMs),
+                          fmt("%.3f", cell.tail[2] / kMs),
+                          fmt("%.3f", cell.tail[3] / kMs),
+                          fmt("%.3f", cell.tail[4] / kMs)});
+            table.addRow({fmt("%.0f%%", loads[li] * 100), "mJ/req",
+                          fmt("%.3f", cell.energy[0] / kMj),
+                          fmt("%.3f", cell.energy[1] / kMj),
+                          fmt("%.3f", cell.energy[2] / kMj),
+                          fmt("%.3f", cell.energy[3] / kMj),
+                          fmt("%.3f", cell.energy[4] / kMj)});
         }
         table.print();
     }

@@ -10,6 +10,11 @@
  * (wasting power, overly low tail) and much too slow past 50% (tail
  * explosion); Rubik tracks the bound through the first two phases and
  * degrades least at 75%.
+ *
+ * Sweep execution: each app's full pipeline (tuning + stepped-trace
+ * replays + Rubik simulation) is one ExperimentRunner job; blocks are
+ * emitted in submission order, so the output is byte-identical to the
+ * old serial loop.
  */
 
 #include "common.h"
@@ -17,6 +22,7 @@
 #include "policies/adrenaline.h"
 #include "policies/replay.h"
 #include "policies/static_oracle.h"
+#include "runner/experiment_runner.h"
 #include "sim/metrics.h"
 #include "sim/simulation.h"
 #include "util/units.h"
@@ -42,6 +48,15 @@ toCompleted(const Trace &t, const ReplayResult &r)
     return out;
 }
 
+/// One app's full result block: the rolling tail/power time series.
+struct AppBlock
+{
+    std::string name;
+    double bound = 0.0;
+    std::vector<TimeSample> staticTail, adrTail, rubikTail;
+    std::vector<TimeSample> staticPower, adrPower, rubikPower;
+};
+
 } // anonymous namespace
 
 int
@@ -51,90 +66,105 @@ main(int argc, char **argv)
     Platform plat;
     const double nominal = plat.dvfs.nominalFrequency();
     const double duration = 12.0;
+    ExperimentRunner runner(opts.jobs);
 
-    for (AppId id : allApps()) {
-        const AppProfile app = makeApp(id);
-        const int n_tune = opts.numRequests(5000);
+    const std::vector<AppId> apps = allApps();
+    std::vector<std::function<AppBlock()>> jobs;
+    for (AppId id : apps) {
+        jobs.push_back([&, id] {
+            const AppProfile app = makeApp(id);
+            const int n_tune = opts.numRequests(5000);
 
-        // Bound from 50% load at nominal.
-        const Trace t50 =
-            generateLoadTrace(app, 0.5, n_tune, nominal, opts.seed);
-        const double bound =
-            replayFixed(t50, nominal, plat.power).tailLatency(0.95);
+            // Bound from 50% load at nominal.
+            const Trace t50 =
+                generateLoadTrace(app, 0.5, n_tune, nominal, opts.seed);
+            const double bound =
+                replayFixed(t50, nominal, plat.power).tailLatency(0.95);
 
-        // Static schemes tuned at the initial 25% load.
-        const Trace t25 =
-            generateLoadTrace(app, 0.25, n_tune, nominal, opts.seed + 1);
-        const auto so =
-            staticOracle(t25, bound, 0.95, plat.dvfs, plat.power);
-        const auto adr = adrenalineOracle(t25, bound, plat.dvfs,
-                                          plat.power, nominal);
+            // Static schemes tuned at the initial 25% load.
+            const Trace t25 = generateLoadTrace(app, 0.25, n_tune, nominal,
+                                                opts.seed + 1);
+            const auto so =
+                staticOracle(t25, bound, 0.95, plat.dvfs, plat.power);
+            const auto adr = adrenalineOracle(t25, bound, plat.dvfs,
+                                              plat.power, nominal);
 
-        // The stepped trace everyone replays.
-        const Trace step = generateSteppedTrace(
-            app, {{0.0, 0.25}, {4.0, 0.5}, {8.0, 0.75}}, duration, nominal,
-            opts.seed + 2);
+            // The stepped trace everyone replays.
+            const Trace step = generateSteppedTrace(
+                app, {{0.0, 0.25}, {4.0, 0.5}, {8.0, 0.75}}, duration,
+                nominal, opts.seed + 2);
 
-        const ReplayResult so_r =
-            replayFixed(step, so.frequency, plat.power);
-        // Adrenaline applies its tuned (threshold, base, boost) setting.
-        std::vector<double> adr_freqs(step.size());
-        for (std::size_t i = 0; i < step.size(); ++i) {
-            adr_freqs[i] = step[i].serviceTime(nominal) > adr.threshold
-                               ? adr.boostFrequency
-                               : adr.baseFrequency;
-        }
-        const ReplayResult adr_r = replayFifo(step, adr_freqs, plat.power);
+            const ReplayResult so_r =
+                replayFixed(step, so.frequency, plat.power);
+            // Adrenaline applies its tuned (threshold, base, boost)
+            // setting.
+            std::vector<double> adr_freqs(step.size());
+            for (std::size_t i = 0; i < step.size(); ++i) {
+                adr_freqs[i] = step[i].serviceTime(nominal) > adr.threshold
+                                   ? adr.boostFrequency
+                                   : adr.baseFrequency;
+            }
+            const ReplayResult adr_r =
+                replayFifo(step, adr_freqs, plat.power);
 
-        RubikConfig rcfg;
-        rcfg.latencyBound = bound;
-        RubikController rubik(plat.dvfs, rcfg);
-        const SimResult rubik_r =
-            simulate(step, rubik, plat.dvfs, plat.power);
+            RubikConfig rcfg;
+            rcfg.latencyBound = bound;
+            RubikController rubik(plat.dvfs, rcfg);
+            const SimResult rubik_r =
+                simulate(step, rubik, plat.dvfs, plat.power);
 
-        heading(opts, "Fig. 10: " + app.name +
+            const double win = 0.2, dt = 0.5;
+            AppBlock block;
+            block.name = app.name;
+            block.bound = bound;
+            block.staticTail = rollingTailLatency(toCompleted(step, so_r),
+                                                  win, 0.95, dt);
+            block.adrTail = rollingTailLatency(toCompleted(step, adr_r),
+                                               win, 0.95, dt);
+            block.rubikTail =
+                rollingTailLatency(rubik_r.completed, win, 0.95, dt);
+            block.rubikPower =
+                rollingActivePower(rubik_r.completed, win, dt);
+
+            // Static schemes' rolling power from per-request energies.
+            auto replay_power = [&](const ReplayResult &r,
+                                    const std::vector<double> &freqs) {
+                std::vector<CompletedRequest> c = toCompleted(step, r);
+                for (std::size_t i = 0; i < c.size(); ++i)
+                    c[i].coreEnergy = requestEnergy(step[i], freqs[i],
+                                                    plat.power);
+                return rollingActivePower(c, win, dt);
+            };
+            block.staticPower = replay_power(
+                so_r, std::vector<double>(step.size(), so.frequency));
+            block.adrPower = replay_power(adr_r, adr_freqs);
+            return block;
+        });
+    }
+    const std::vector<AppBlock> blocks = runner.runBatch(std::move(jobs));
+
+    for (const AppBlock &block : blocks) {
+        heading(opts, "Fig. 10: " + block.name +
                           " load steps 25/50/75% (bound " +
-                          fmt("%.3f", bound / kMs) + " ms)");
+                          fmt("%.3f", block.bound / kMs) + " ms)");
         TablePrinter table({"t_s", "load", "static_tail_ms", "adr_tail_ms",
                             "rubik_tail_ms", "static_W", "adr_W",
                             "rubik_W"},
                            opts.csv);
 
-        const double win = 0.2, dt = 0.5;
-        const auto so_t =
-            rollingTailLatency(toCompleted(step, so_r), win, 0.95, dt);
-        const auto adr_t =
-            rollingTailLatency(toCompleted(step, adr_r), win, 0.95, dt);
-        const auto ru_t =
-            rollingTailLatency(rubik_r.completed, win, 0.95, dt);
-        const auto ru_p = rollingActivePower(rubik_r.completed, win, dt);
-
-        // Static schemes' rolling power from per-request energies.
-        auto replay_power = [&](const ReplayResult &r,
-                                const std::vector<double> &freqs) {
-            std::vector<CompletedRequest> c = toCompleted(step, r);
-            for (std::size_t i = 0; i < c.size(); ++i)
-                c[i].coreEnergy = requestEnergy(step[i], freqs[i],
-                                                plat.power);
-            return rollingActivePower(c, win, dt);
-        };
-        const auto so_p = replay_power(
-            so_r, std::vector<double>(step.size(), so.frequency));
-        const auto adr_p = replay_power(adr_r, adr_freqs);
-
-        for (std::size_t i = 0; i < ru_t.size(); ++i) {
-            const double t = ru_t[i].time;
+        for (std::size_t i = 0; i < block.rubikTail.size(); ++i) {
+            const double t = block.rubikTail[i].time;
             const double load = t < 4.0 ? 0.25 : (t < 8.0 ? 0.5 : 0.75);
             auto at = [&](const std::vector<TimeSample> &v) {
                 return i < v.size() ? v[i].value : 0.0;
             };
             table.addRow({fmt("%.1f", t), fmt("%.0f%%", load * 100),
-                          fmt("%.3f", at(so_t) / kMs),
-                          fmt("%.3f", at(adr_t) / kMs),
-                          fmt("%.3f", at(ru_t) / kMs),
-                          fmt("%.2f", at(so_p)),
-                          fmt("%.2f", at(adr_p)),
-                          fmt("%.2f", at(ru_p))});
+                          fmt("%.3f", at(block.staticTail) / kMs),
+                          fmt("%.3f", at(block.adrTail) / kMs),
+                          fmt("%.3f", at(block.rubikTail) / kMs),
+                          fmt("%.2f", at(block.staticPower)),
+                          fmt("%.2f", at(block.adrPower)),
+                          fmt("%.2f", at(block.rubikPower))});
         }
         table.print();
     }

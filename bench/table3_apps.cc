@@ -7,8 +7,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
 #include "common.h"
+#include "runner/experiment_runner.h"
 #include "stats/percentile.h"
 #include "util/rng.h"
 #include "util/units.h"
@@ -28,20 +30,26 @@ main(int argc, char **argv)
     TablePrinter table({"app", "workload", "requests", "mean_ms",
                         "p50_ms", "p95_ms", "cv", "mem_frac"},
                        opts.csv);
+    ExperimentRunner runner(opts.jobs);
+    std::vector<std::function<std::vector<std::string>()>> jobs;
     for (AppId id : allApps()) {
-        const AppProfile app = makeApp(id);
-        Rng rng(opts.seed);
-        std::vector<double> samples;
-        for (int i = 0; i < 50000; ++i)
-            samples.push_back(app.serviceTime->sample(rng));
-        const double m = mean(samples);
-        const double cv = std::sqrt(variance(samples)) / m;
-        table.addRow({app.name, app.workloadConfig,
-                      fmt("%.0f", app.paperRequests), fmt("%.3f", m / kMs),
-                      fmt("%.3f", percentile(samples, 0.5) / kMs),
-                      fmt("%.3f", percentile(samples, 0.95) / kMs),
-                      fmt("%.2f", cv), fmt("%.2f", app.memFraction)});
+        jobs.push_back([&, id]() -> std::vector<std::string> {
+            const AppProfile app = makeApp(id);
+            Rng rng(opts.seed);
+            std::vector<double> samples;
+            for (int i = 0; i < 50000; ++i)
+                samples.push_back(app.serviceTime->sample(rng));
+            const double m = mean(samples);
+            const double cv = std::sqrt(variance(samples)) / m;
+            return {app.name, app.workloadConfig,
+                    fmt("%.0f", app.paperRequests), fmt("%.3f", m / kMs),
+                    fmt("%.3f", percentile(samples, 0.5) / kMs),
+                    fmt("%.3f", percentile(samples, 0.95) / kMs),
+                    fmt("%.2f", cv), fmt("%.2f", app.memFraction)};
+        });
     }
+    for (auto &row : runner.runBatch(std::move(jobs)))
+        table.addRow(std::move(row));
     table.print();
     return 0;
 }

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for rubik::ExperimentRunner: parallel results must be
+ * bit-identical to serial execution under fixed seeds, exceptions must
+ * propagate in submission order, and >1 worker must actually overlap
+ * work.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/rubik_controller.h"
+#include "runner/experiment_runner.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+#include "workloads/trace_gen.h"
+
+namespace rubik {
+namespace {
+
+TEST(ExperimentRunner, RunsAllJobsInSubmissionOrder)
+{
+    ExperimentRunner runner(4);
+    std::vector<std::function<int()>> jobs;
+    for (int i = 0; i < 100; ++i)
+        jobs.push_back([i] { return i * i; });
+    const std::vector<int> results = runner.runBatch(std::move(jobs));
+    ASSERT_EQ(results.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(results[i], i * i);
+}
+
+TEST(ExperimentRunner, DefaultWorkerCountPositive)
+{
+    EXPECT_GE(ExperimentRunner::defaultWorkerCount(), 1);
+    ExperimentRunner runner;
+    EXPECT_GE(runner.numWorkers(), 1);
+}
+
+// Parallel simulation results must equal serial results bit for bit:
+// every job owns its trace and seed, so scheduling cannot leak in.
+TEST(ExperimentRunner, ParallelSimulationsMatchSerial)
+{
+    const DvfsModel dvfs = DvfsModel::haswell(4e-6);
+    const PowerModel power(dvfs);
+    const AppProfile app = makeApp(AppId::Masstree);
+    const double nominal = dvfs.nominalFrequency();
+    const std::vector<double> loads = {0.2, 0.3, 0.4, 0.5, 0.6};
+    const uint64_t base_seed = 42;
+
+    auto run_one = [&](std::size_t i) {
+        const Trace t = generateLoadTrace(app, loads[i], 800, nominal,
+                                          base_seed + i);
+        RubikConfig cfg;
+        cfg.latencyBound = 1e-3;
+        RubikController policy(dvfs, cfg);
+        return simulate(t, policy, dvfs, power);
+    };
+
+    std::vector<SimResult> serial;
+    for (std::size_t i = 0; i < loads.size(); ++i)
+        serial.push_back(run_one(i));
+
+    ExperimentRunner runner(4);
+    std::vector<std::function<SimResult()>> jobs;
+    for (std::size_t i = 0; i < loads.size(); ++i)
+        jobs.push_back([&, i] { return run_one(i); });
+    const std::vector<SimResult> parallel =
+        runner.runBatch(std::move(jobs));
+
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(parallel[i].tailLatency(), serial[i].tailLatency());
+        EXPECT_EQ(parallel[i].coreActiveEnergy(),
+                  serial[i].coreActiveEnergy());
+        ASSERT_EQ(parallel[i].completed.size(),
+                  serial[i].completed.size());
+        for (std::size_t j = 0; j < serial[i].completed.size(); ++j) {
+            EXPECT_EQ(parallel[i].completed[j].completionTime,
+                      serial[i].completed[j].completionTime);
+        }
+    }
+}
+
+// Repeated parallel batches are self-consistent (no run-to-run drift).
+TEST(ExperimentRunner, ParallelRunsAreReproducible)
+{
+    auto batch = [] {
+        ExperimentRunner runner(3);
+        std::vector<std::function<uint64_t()>> jobs;
+        for (int i = 0; i < 16; ++i) {
+            jobs.push_back([i] {
+                Rng rng(1000 + static_cast<uint64_t>(i));
+                uint64_t acc = 0;
+                for (int k = 0; k < 1000; ++k)
+                    acc ^= rng.next();
+                return acc;
+            });
+        }
+        return runner.runBatch(std::move(jobs));
+    };
+    EXPECT_EQ(batch(), batch());
+}
+
+TEST(ExperimentRunner, PropagatesLowestIndexException)
+{
+    ExperimentRunner runner(4);
+    std::atomic<int> completed{0};
+    std::vector<std::function<int()>> jobs;
+    for (int i = 0; i < 20; ++i) {
+        jobs.push_back([i, &completed]() -> int {
+            if (i == 7)
+                throw std::runtime_error("job 7 failed");
+            if (i == 13)
+                throw std::logic_error("job 13 failed");
+            ++completed;
+            return i;
+        });
+    }
+    try {
+        runner.runBatch(std::move(jobs));
+        FAIL() << "expected runBatch to rethrow";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "job 7 failed"); // index 7 < 13.
+    }
+    // All non-throwing jobs still ran to completion.
+    EXPECT_EQ(completed.load(), 18);
+}
+
+TEST(ExperimentRunner, VoidBatchPropagatesExceptions)
+{
+    ExperimentRunner runner(2);
+    std::vector<std::function<void()>> jobs;
+    jobs.push_back([] {});
+    jobs.push_back([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(runner.runBatch(std::move(jobs)), std::runtime_error);
+}
+
+TEST(ExperimentRunner, ParallelForCoversAllIndices)
+{
+    ExperimentRunner runner(4);
+    std::vector<int> hits(257, 0);
+    runner.parallelFor(hits.size(),
+                       [&](std::size_t i) { hits[i] = 1; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i], 1) << "index " << i;
+}
+
+// With >1 worker, two blocking jobs must overlap: each waits for the
+// other to start, which can only happen if they run concurrently.
+TEST(ExperimentRunner, WorkersRunConcurrently)
+{
+    ExperimentRunner runner(2);
+    std::mutex m;
+    std::condition_variable cv;
+    int started = 0;
+    auto job = [&] {
+        std::unique_lock<std::mutex> lock(m);
+        ++started;
+        cv.notify_all();
+        // Deadlocks (until timeout) if jobs were serialized.
+        return cv.wait_for(lock, std::chrono::seconds(10),
+                           [&] { return started == 2; });
+    };
+    std::vector<std::function<bool()>> jobs = {job, job};
+    const auto ok = runner.runBatch(std::move(jobs));
+    EXPECT_TRUE(ok[0]);
+    EXPECT_TRUE(ok[1]);
+}
+
+// Wall-clock sanity: 4 workers finish 8 sleep-bound jobs materially
+// faster than one worker does. Sleeps make this robust on loaded CI.
+TEST(ExperimentRunner, MultiWorkerSpeedup)
+{
+    auto time_batch = [](int workers) {
+        ExperimentRunner runner(workers);
+        std::vector<std::function<void()>> jobs;
+        for (int i = 0; i < 8; ++i) {
+            jobs.push_back([] {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(50));
+            });
+        }
+        const auto start = std::chrono::steady_clock::now();
+        runner.runBatch(std::move(jobs));
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    };
+    const double serial = time_batch(1);   // ~400 ms.
+    const double parallel = time_batch(4); // ~100 ms.
+    EXPECT_LT(parallel, serial * 0.75);
+}
+
+} // namespace
+} // namespace rubik

@@ -9,12 +9,20 @@
  *   rubik_cli --app masstree --load 0.4 --policy rubik
  *   rubik_cli --app xapian --load 0.5 --policy static --transition-us 130
  *   rubik_cli --app specjbb --load 0.3 --policy dynamic --csv
+ *   rubik_cli --app moses --loads 0.1,0.3,0.5,0.7 --policy rubik --csv
+ *
+ * Multi-load sweeps (--loads) run every load as an independent job on
+ * an ExperimentRunner thread pool; each job derives its trace from the
+ * same seed, so results match a serial sweep exactly.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/rubik_boost.h"
 #include "core/rubik_controller.h"
@@ -23,6 +31,7 @@
 #include "policies/pegasus.h"
 #include "policies/replay.h"
 #include "policies/static_oracle.h"
+#include "runner/experiment_runner.h"
 #include "sim/simulation.h"
 #include "util/error.h"
 #include "util/units.h"
@@ -32,17 +41,23 @@ using namespace rubik;
 
 namespace {
 
+/// Every name run_load dispatches on; validation uses the same list.
+constexpr const char *kPolicies[] = {"fixed",  "static",     "dynamic",
+                                     "adrenaline", "pegasus", "rubik",
+                                     "rubik-nofb", "boost"};
+
 struct CliOptions
 {
     std::string app = "masstree";
     std::string policy = "rubik";
-    double load = 0.4;
+    std::vector<double> loads = {0.4};
     int requests = 9000;
     double boundMs = 0.0;       ///< 0: auto (fixed-freq tail @50%).
     double transitionUs = 4.0;
     uint64_t seed = 42;
     bool csv = false;
     bool bursty = false;
+    int jobs = 0;               ///< Sweep workers; 0: hardware default.
 };
 
 [[noreturn]] void
@@ -54,6 +69,8 @@ usage(const char *argv0)
         "(default masstree)\n"
         "  --load F           fraction of max throughput at 2.4 GHz "
         "(default 0.4)\n"
+        "  --loads F1,F2,...  sweep several loads in parallel\n"
+        "  --jobs N           sweep worker threads (default: hardware)\n"
         "  --policy NAME      fixed|static|dynamic|adrenaline|pegasus|"
         "rubik|rubik-nofb|boost (default rubik)\n"
         "  --requests N       trace length (default 9000)\n"
@@ -84,7 +101,33 @@ parse(int argc, char **argv)
         else if (!std::strcmp(argv[i], "--policy"))
             o.policy = need("--policy");
         else if (!std::strcmp(argv[i], "--load"))
-            o.load = std::atof(need("--load"));
+            o.loads = {std::atof(need("--load"))};
+        else if (!std::strcmp(argv[i], "--loads")) {
+            o.loads.clear();
+            std::string list = need("--loads");
+            std::size_t pos = 0;
+            while (pos < list.size()) {
+                std::size_t comma = list.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                const std::string item = list.substr(pos, comma - pos);
+                const double load = std::atof(item.c_str());
+                if (load <= 0.0 || load >= 1.5) {
+                    std::fprintf(stderr,
+                                 "--loads: '%s' is not a load in "
+                                 "(0, 1.5)\n",
+                                 item.c_str());
+                    std::exit(1);
+                }
+                o.loads.push_back(load);
+                pos = comma + 1;
+            }
+            if (o.loads.empty()) {
+                std::fprintf(stderr, "--loads needs a comma list\n");
+                std::exit(1);
+            }
+        } else if (!std::strcmp(argv[i], "--jobs"))
+            o.jobs = std::atoi(need("--jobs"));
         else if (!std::strcmp(argv[i], "--requests"))
             o.requests = std::atoi(need("--requests"));
         else if (!std::strcmp(argv[i], "--bound-ms"))
@@ -146,12 +189,12 @@ main(int argc, char **argv)
     const double nominal = dvfs.nominalFrequency();
     const AppProfile app = makeApp(appByName(o.app));
 
-    Trace trace =
-        o.bursty ? generateBurstyTrace(app, o.load, o.requests, nominal,
-                                       o.seed)
-                 : generateLoadTrace(app, o.load, o.requests, nominal,
-                                     o.seed);
-    annotateClasses(trace, 0.85, nominal);
+    // Reject unknown policies before any worker thread starts.
+    bool policy_known = false;
+    for (const char *name : kPolicies)
+        policy_known = policy_known || o.policy == name;
+    if (!policy_known)
+        usage(argv[0]);
 
     double bound = o.boundMs * kMs;
     if (bound <= 0.0) {
@@ -160,76 +203,114 @@ main(int argc, char **argv)
         bound = replayFixed(t50, nominal, power).tailLatency(0.95);
     }
 
-    const ReplayResult fixed = replayFixed(trace, nominal, power);
+    // One sweep job per load. Every job owns its trace and reads only
+    // shared immutable state, so parallel results match a serial sweep.
+    struct LoadResult
+    {
+        Outcome out;
+        double fixedEnergyPerReq = 0.0;
+    };
+    auto run_load = [&](double load) {
+        Trace trace = o.bursty
+                          ? generateBurstyTrace(app, load, o.requests,
+                                                nominal, o.seed)
+                          : generateLoadTrace(app, load, o.requests,
+                                              nominal, o.seed);
+        annotateClasses(trace, 0.85, nominal);
 
-    Outcome out;
-    if (o.policy == "fixed") {
-        out.tail = fixed.tailLatency();
-        out.energyPerReq = fixed.energyPerRequest();
-        out.meanFreq = nominal;
-    } else if (o.policy == "static") {
-        const auto r = staticOracle(trace, bound, 0.95, dvfs, power);
-        out.tail = r.replay.tailLatency();
-        out.energyPerReq = r.replay.energyPerRequest();
-        out.meanFreq = r.frequency;
-    } else if (o.policy == "dynamic") {
-        const auto r = dynamicOracle(trace, bound, 0.95, dvfs, power);
-        out.tail = r.replay.tailLatency();
-        out.energyPerReq = r.replay.energyPerRequest();
-    } else if (o.policy == "adrenaline") {
-        const auto r =
-            adrenalineOracle(trace, bound, dvfs, power, nominal);
-        out.tail = r.replay.tailLatency();
-        out.energyPerReq = r.replay.energyPerRequest();
-    } else if (o.policy == "pegasus") {
-        PegasusConfig cfg;
-        cfg.latencyBound = bound;
-        PegasusPolicy policy(dvfs, cfg);
-        out = fromSim(simulate(trace, policy, dvfs, power), dvfs);
-    } else if (o.policy == "rubik" || o.policy == "rubik-nofb") {
-        RubikConfig cfg;
-        cfg.latencyBound = bound;
-        cfg.feedback = o.policy == "rubik";
-        RubikController policy(dvfs, cfg);
-        out = fromSim(simulate(trace, policy, dvfs, power), dvfs);
-    } else if (o.policy == "boost") {
-        RubikBoostConfig cfg;
-        cfg.base.latencyBound = bound;
-        RubikBoostController policy(dvfs, cfg);
-        out = fromSim(simulate(trace, policy, dvfs, power), dvfs);
-    } else {
-        usage(argv[0]);
-    }
+        const ReplayResult fixed = replayFixed(trace, nominal, power);
 
-    const double savings =
-        1.0 - out.energyPerReq / fixed.energyPerRequest();
+        LoadResult r;
+        r.fixedEnergyPerReq = fixed.energyPerRequest();
+        Outcome &out = r.out;
+        if (o.policy == "fixed") {
+            out.tail = fixed.tailLatency();
+            out.energyPerReq = fixed.energyPerRequest();
+            out.meanFreq = nominal;
+        } else if (o.policy == "static") {
+            const auto sr = staticOracle(trace, bound, 0.95, dvfs, power);
+            out.tail = sr.replay.tailLatency();
+            out.energyPerReq = sr.replay.energyPerRequest();
+            out.meanFreq = sr.frequency;
+        } else if (o.policy == "dynamic") {
+            const auto dr = dynamicOracle(trace, bound, 0.95, dvfs, power);
+            out.tail = dr.replay.tailLatency();
+            out.energyPerReq = dr.replay.energyPerRequest();
+        } else if (o.policy == "adrenaline") {
+            const auto ar =
+                adrenalineOracle(trace, bound, dvfs, power, nominal);
+            out.tail = ar.replay.tailLatency();
+            out.energyPerReq = ar.replay.energyPerRequest();
+        } else if (o.policy == "pegasus") {
+            PegasusConfig cfg;
+            cfg.latencyBound = bound;
+            PegasusPolicy policy(dvfs, cfg);
+            out = fromSim(simulate(trace, policy, dvfs, power), dvfs);
+        } else if (o.policy == "rubik" || o.policy == "rubik-nofb") {
+            RubikConfig cfg;
+            cfg.latencyBound = bound;
+            cfg.feedback = o.policy == "rubik";
+            RubikController policy(dvfs, cfg);
+            out = fromSim(simulate(trace, policy, dvfs, power), dvfs);
+        } else if (o.policy == "boost") {
+            RubikBoostConfig cfg;
+            cfg.base.latencyBound = bound;
+            RubikBoostController policy(dvfs, cfg);
+            out = fromSim(simulate(trace, policy, dvfs, power), dvfs);
+        } else {
+            // Validated above; only reachable if kPolicies and this
+            // chain diverge. Thrown (not exit) so the runner rethrows
+            // it on the main thread.
+            throw std::logic_error("unhandled policy: " + o.policy);
+        }
+        return r;
+    };
+
+    ExperimentRunner runner(o.jobs);
+    std::vector<std::function<LoadResult()>> jobs;
+    for (double load : o.loads)
+        jobs.push_back([&run_load, load] { return run_load(load); });
+    const std::vector<LoadResult> results =
+        runner.runBatch(std::move(jobs));
+
     if (o.csv) {
         std::printf("app,policy,load,bound_ms,tail_ms,tail_over_bound,"
                     "energy_mj_per_req,savings_vs_fixed,mean_freq_ghz,"
                     "transitions\n");
-        std::printf("%s,%s,%.2f,%.4f,%.4f,%.3f,%.4f,%.4f,%.2f,%llu\n",
-                    o.app.c_str(), o.policy.c_str(), o.load, bound / kMs,
-                    out.tail / kMs, out.tail / bound,
-                    out.energyPerReq / kMj, savings,
-                    out.meanFreq / kGHz,
-                    static_cast<unsigned long long>(out.transitions));
-        return 0;
     }
-    std::printf("app            %s (%s)\n", o.app.c_str(),
-                app.workloadConfig.c_str());
-    std::printf("policy         %s\n", o.policy.c_str());
-    std::printf("load           %.0f%%%s\n", o.load * 100,
-                o.bursty ? " (bursty MMPP)" : "");
-    std::printf("bound          %.3f ms (95th pct)\n", bound / kMs);
-    std::printf("tail latency   %.3f ms (%.2fx bound)\n", out.tail / kMs,
-                out.tail / bound);
-    std::printf("core energy    %.3f mJ/req (%.1f%% vs fixed 2.4 GHz)\n",
-                out.energyPerReq / kMj, savings * 100);
-    if (out.meanFreq > 0)
-        std::printf("mean frequency %.2f GHz (busy-time weighted)\n",
-                    out.meanFreq / kGHz);
-    if (out.transitions > 0)
-        std::printf("transitions    %llu\n",
-                    static_cast<unsigned long long>(out.transitions));
+    for (std::size_t li = 0; li < o.loads.size(); ++li) {
+        const double load = o.loads[li];
+        const Outcome &out = results[li].out;
+        const double savings =
+            1.0 - out.energyPerReq / results[li].fixedEnergyPerReq;
+        if (o.csv) {
+            std::printf("%s,%s,%.2f,%.4f,%.4f,%.3f,%.4f,%.4f,%.2f,%llu\n",
+                        o.app.c_str(), o.policy.c_str(), load,
+                        bound / kMs, out.tail / kMs, out.tail / bound,
+                        out.energyPerReq / kMj, savings,
+                        out.meanFreq / kGHz,
+                        static_cast<unsigned long long>(out.transitions));
+            continue;
+        }
+        if (li > 0)
+            std::printf("\n");
+        std::printf("app            %s (%s)\n", o.app.c_str(),
+                    app.workloadConfig.c_str());
+        std::printf("policy         %s\n", o.policy.c_str());
+        std::printf("load           %.0f%%%s\n", load * 100,
+                    o.bursty ? " (bursty MMPP)" : "");
+        std::printf("bound          %.3f ms (95th pct)\n", bound / kMs);
+        std::printf("tail latency   %.3f ms (%.2fx bound)\n",
+                    out.tail / kMs, out.tail / bound);
+        std::printf("core energy    %.3f mJ/req (%.1f%% vs fixed "
+                    "2.4 GHz)\n",
+                    out.energyPerReq / kMj, savings * 100);
+        if (out.meanFreq > 0)
+            std::printf("mean frequency %.2f GHz (busy-time weighted)\n",
+                        out.meanFreq / kGHz);
+        if (out.transitions > 0)
+            std::printf("transitions    %llu\n",
+                        static_cast<unsigned long long>(out.transitions));
+    }
     return 0;
 }
