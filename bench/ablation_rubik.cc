@@ -13,9 +13,10 @@
 #include "common.h"
 #include "core/rubik_controller.h"
 #include "policies/replay.h"
+#include "runner/experiment_runner.h"
 #include "sim/simulation.h"
 #include "util/units.h"
-#include "workloads/trace_gen.h"
+#include "workloads/trace_store.h"
 
 using namespace rubik;
 using namespace rubik::bench;
@@ -57,36 +58,57 @@ main(int argc, char **argv)
         {"transitions=130us", [](RubikConfig &) {}, 130e-6},
     };
 
-    for (AppId id : {AppId::Masstree, AppId::Xapian}) {
-        const AppProfile app = makeApp(id);
-        const int n = opts.numRequests(6000);
+    // One job per (app, variant) cell. The 14 variants of one app
+    // replay the *same* two traces, so jobs pull them from the
+    // memoized TraceStore: each (app, load) trace is generated once
+    // per process instead of once per variant.
+    ExperimentRunner runner(opts.jobs);
+    TraceStore &store = globalTraceStore();
+    const std::vector<AppId> ids = {AppId::Masstree, AppId::Xapian};
+    std::vector<std::function<std::vector<std::string>()>> jobs;
+    for (AppId id : ids) {
+        for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+            jobs.push_back([&, id, vi]() -> std::vector<std::string> {
+                const Variant &v = variants[vi];
+                const AppProfile app = makeApp(id);
+                const int n = opts.numRequests(6000);
+                Platform plat(v.transitionLatency);
+                const auto t50 =
+                    store.loadTrace(app, 0.5, n, nominal, opts.seed);
+                const double bound =
+                    replayFixed(*t50, nominal, plat.power)
+                        .tailLatency(0.95);
+                const auto t = store.loadTrace(app, 0.4, n, nominal,
+                                               opts.seed + 1);
+                const double fixed_energy =
+                    replayFixed(*t, nominal, plat.power)
+                        .coreActiveEnergy;
 
+                RubikConfig cfg;
+                cfg.latencyBound = bound;
+                v.tweak(cfg);
+                RubikController rubik(plat.dvfs, cfg);
+                const SimResult r =
+                    simulate(*t, rubik, plat.dvfs, plat.power);
+
+                return {v.name,
+                        fmt("%.3f", r.tailLatency(0.95) / bound),
+                        fmt("%.1f%%", (1.0 - r.coreActiveEnergy() /
+                                                 fixed_energy) *
+                                          100)};
+            });
+        }
+    }
+    const std::vector<std::vector<std::string>> rows =
+        runner.runBatch(std::move(jobs));
+
+    for (std::size_t ai = 0; ai < ids.size(); ++ai) {
+        const AppProfile app = makeApp(ids[ai]);
         heading(opts, "Ablation: " + app.name + " @ 40% load");
         TablePrinter table({"variant", "tail/bound", "energy_savings"},
                            opts.csv);
-
-        for (const auto &v : variants) {
-            Platform plat(v.transitionLatency);
-            const Trace t50 =
-                generateLoadTrace(app, 0.5, n, nominal, opts.seed);
-            const double bound =
-                replayFixed(t50, nominal, plat.power).tailLatency(0.95);
-            const Trace t =
-                generateLoadTrace(app, 0.4, n, nominal, opts.seed + 1);
-            const double fixed_energy =
-                replayFixed(t, nominal, plat.power).coreActiveEnergy;
-
-            RubikConfig cfg;
-            cfg.latencyBound = bound;
-            v.tweak(cfg);
-            RubikController rubik(plat.dvfs, cfg);
-            const SimResult r = simulate(t, rubik, plat.dvfs, plat.power);
-
-            table.addRow(
-                {v.name, fmt("%.3f", r.tailLatency(0.95) / bound),
-                 fmt("%.1f%%",
-                     (1.0 - r.coreActiveEnergy() / fixed_energy) * 100)});
-        }
+        for (std::size_t vi = 0; vi < variants.size(); ++vi)
+            table.addRow(rows[ai * variants.size() + vi]);
         table.print();
     }
     return 0;

@@ -10,7 +10,10 @@
  * nominal frequency — isolating the sleep effect from DVFS.
  */
 
+#include <functional>
+
 #include "common.h"
+#include "runner/experiment_runner.h"
 #include "sim/simulation.h"
 #include "util/units.h"
 #include "workloads/trace_gen.h"
@@ -48,27 +51,46 @@ main(int argc, char **argv)
         {300e-6, 100e-6}, // C6-like deep sleep
     };
 
-    double baseline_tail = 0.0;
+    // One job per sleep configuration; the shared trace is read-only.
+    struct CaseResult
+    {
+        double tail = 0.0;
+        double systemW = 0.0;
+    };
+    ExperimentRunner runner(opts.jobs);
+    std::vector<std::function<CaseResult()>> jobs;
     for (const auto &c : cases) {
-        PowerModel::Params params;
-        params.c3EntryThreshold = c.entry;
-        const PowerModel pm(dvfs, params);
+        jobs.push_back([&, c] {
+            PowerModel::Params params;
+            params.c3EntryThreshold = c.entry;
+            const PowerModel pm(dvfs, params);
 
-        FixedFrequencyPolicy fixed(nominal);
-        SimConfig scfg;
-        scfg.wakeLatency = c.wake;
-        const SimResult r = simulate(t, fixed, dvfs, pm, scfg);
+            FixedFrequencyPolicy fixed(nominal);
+            SimConfig scfg;
+            scfg.wakeLatency = c.wake;
+            const SimResult r = simulate(t, fixed, dvfs, pm, scfg);
 
-        const double tail = r.tailLatency(0.95);
-        if (baseline_tail == 0.0)
-            baseline_tail = tail; // first row is the C1-only reference
-        const double system_w =
-            systemEnergy(r, pm, pm.params().numCores).total() / r.simTime;
+            CaseResult res;
+            res.tail = r.tailLatency(0.95);
+            res.systemW =
+                systemEnergy(r, pm, pm.params().numCores).total() /
+                r.simTime;
+            return res;
+        });
+    }
+    const std::vector<CaseResult> results =
+        runner.runBatch(std::move(jobs));
+
+    // First row (C1 only) is the tail-latency reference.
+    const double baseline_tail = results[0].tail;
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const auto &c = cases[i];
         table.addRow(
             {c.entry >= 1.0 ? "never" : fmt("%.0f us", c.entry / kUs),
-             fmt("%.0f us", c.wake / kUs), fmt("%.3f", tail / kMs),
-             fmt("%+.1f%%", (tail / baseline_tail - 1.0) * 100),
-             fmt("%.1f", system_w)});
+             fmt("%.0f us", c.wake / kUs),
+             fmt("%.3f", results[i].tail / kMs),
+             fmt("%+.1f%%", (results[i].tail / baseline_tail - 1.0) * 100),
+             fmt("%.1f", results[i].systemW)});
     }
     table.print();
     return 0;

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "runner/sweep_spec.h"
+
 namespace rubik::bench {
 
 int
@@ -16,7 +18,7 @@ Options::numRequests(int bench_default) const
 }
 
 Options
-parseOptions(int argc, char **argv)
+parseOptions(int argc, char **argv, bool allow_shard)
 {
     Options opts;
     for (int i = 1; i < argc; ++i) {
@@ -31,9 +33,17 @@ parseOptions(int argc, char **argv)
             opts.seed = static_cast<uint64_t>(std::atoll(argv[++i]));
         } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
             opts.jobs = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--shard") == 0 &&
+                   i + 1 < argc) {
+            if (!rubik::parseShardArg(argv[++i], &opts.shard,
+                                      &opts.numShards)) {
+                std::fprintf(stderr,
+                             "--shard wants I/N with 0 <= I < N\n");
+                std::exit(1);
+            }
         } else if (std::strcmp(argv[i], "--help") == 0) {
             std::printf("usage: %s [--csv] [--fast] [--requests N] "
-                        "[--seed S] [--jobs N]\n",
+                        "[--seed S] [--jobs N] [--shard I/N]\n",
                         argv[0]);
             std::exit(0);
         } else {
@@ -41,6 +51,17 @@ parseOptions(int argc, char **argv)
                          argv[i]);
             std::exit(1);
         }
+    }
+    if (opts.numShards > 1 && !allow_shard) {
+        std::fprintf(stderr, "this bench does not support --shard\n");
+        std::exit(1);
+    }
+    if (opts.numShards > 1 && !opts.csv) {
+        // Text tables align columns across all rows, so a shard's
+        // bytes would differ from the full run's; only CSV shards
+        // concatenate exactly.
+        std::fprintf(stderr, "--shard requires --csv\n");
+        std::exit(1);
     }
     return opts;
 }
@@ -65,7 +86,8 @@ TablePrinter::print() const
                 std::printf("%s%s", i ? "," : "", row[i].c_str());
             std::printf("\n");
         };
-        print_row(headers_);
+        if (showHeader_)
+            print_row(headers_);
         for (const auto &row : rows_)
             print_row(row);
         return;

@@ -28,13 +28,19 @@ struct Options
     bool fast = false;   ///< Quarter the workload for smoke runs.
     uint64_t seed = 42;
     int jobs = 0;        ///< Worker threads; 0: hardware default.
+    int shard = 0;       ///< --shard I/N: emit only shard I's cells.
+    int numShards = 1;
 
     /// Effective request count given a bench default.
     int numRequests(int bench_default) const;
 };
 
-/// Parse argv; prints usage and exits on unknown flags.
-Options parseOptions(int argc, char **argv);
+/**
+ * Parse argv; prints usage and exits on unknown flags. `allow_shard`
+ * marks benches that implement `--shard I/N` cell partitioning; the
+ * others reject the flag instead of silently emitting full output.
+ */
+Options parseOptions(int argc, char **argv, bool allow_shard = false);
 
 /**
  * Aligned-column table printer with optional CSV mode.
@@ -46,6 +52,13 @@ class TablePrinter
 
     void addRow(std::vector<std::string> cells);
 
+    /**
+     * Suppress the header row (CSV mode only). Sharded benches use
+     * this so a shard that continues another shard's table emits rows
+     * that concatenate byte-identically with it.
+     */
+    void setShowHeader(bool show) { showHeader_ = show; }
+
     /// Render everything to stdout.
     void print() const;
 
@@ -53,6 +66,7 @@ class TablePrinter
     std::vector<std::string> headers_;
     std::vector<std::vector<std::string>> rows_;
     bool csv_;
+    bool showHeader_ = true;
 };
 
 /// printf-style float formatting into std::string.

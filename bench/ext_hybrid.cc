@@ -13,11 +13,14 @@
  * little.
  */
 
+#include <functional>
+
 #include "common.h"
 #include "core/rubik_boost.h"
 #include "core/rubik_controller.h"
 #include "policies/adrenaline.h"
 #include "policies/replay.h"
+#include "runner/experiment_runner.h"
 #include "sim/simulation.h"
 #include "util/units.h"
 #include "workloads/trace_gen.h"
@@ -39,53 +42,87 @@ main(int argc, char **argv)
                         "AdrenalineOracle"},
                        opts.csv);
 
-    for (AppId id : {AppId::Masstree, AppId::Shore, AppId::Specjbb,
-                     AppId::Xapian}) {
-        const AppProfile app = makeApp(id);
-        const int n = opts.numRequests(std::max(app.paperRequests, 6000));
+    const std::vector<AppId> ids = {AppId::Masstree, AppId::Shore,
+                                    AppId::Specjbb, AppId::Xapian};
+    const std::vector<double> loads = {0.3, 0.4, 0.5};
+    ExperimentRunner runner(opts.jobs);
 
-        const Trace t50 =
-            generateLoadTrace(app, 0.5, n, nominal, opts.seed);
-        const double bound =
-            replayFixed(t50, nominal, plat.power).tailLatency(0.95);
+    // Phase 1: per-app bound and the 50%-load trace (reused by the
+    // load == 0.5 cells).
+    struct AppContext
+    {
+        AppProfile app;
+        int n = 0;
+        double bound = 0.0;
+        Trace t50;
+    };
+    std::vector<std::function<AppContext()>> bound_jobs;
+    for (AppId id : ids) {
+        bound_jobs.push_back([&, id] {
+            AppContext ctx;
+            ctx.app = makeApp(id);
+            ctx.n =
+                opts.numRequests(std::max(ctx.app.paperRequests, 6000));
+            ctx.t50 = generateLoadTrace(ctx.app, 0.5, ctx.n, nominal,
+                                        opts.seed);
+            ctx.bound = replayFixed(ctx.t50, nominal, plat.power)
+                            .tailLatency(0.95);
+            return ctx;
+        });
+    }
+    const std::vector<AppContext> ctxs =
+        runner.runBatch(std::move(bound_jobs));
 
-        for (double load : {0.3, 0.4, 0.5}) {
-            Trace t = load == 0.5
-                          ? t50
-                          : generateLoadTrace(app, load, n, nominal,
-                                              opts.seed + 1);
-            annotateClasses(t, 0.85, nominal);
-            const double fixed_energy =
-                replayFixed(t, nominal, plat.power).coreActiveEnergy;
+    // Phase 2: one job per (app, load) cell, three schemes inside.
+    std::vector<std::function<std::vector<std::string>()>> cell_jobs;
+    for (std::size_t ai = 0; ai < ctxs.size(); ++ai) {
+        for (double load : loads) {
+            cell_jobs.push_back([&, ai,
+                                 load]() -> std::vector<std::string> {
+                const AppContext &ctx = ctxs[ai];
+                Trace t = load == 0.5
+                              ? ctx.t50
+                              : generateLoadTrace(ctx.app, load, ctx.n,
+                                                  nominal,
+                                                  opts.seed + 1);
+                annotateClasses(t, 0.85, nominal);
+                const double fixed_energy =
+                    replayFixed(t, nominal, plat.power)
+                        .coreActiveEnergy;
 
-            RubikConfig rcfg;
-            rcfg.latencyBound = bound;
-            RubikController rubik(plat.dvfs, rcfg);
-            const SimResult plain =
-                simulate(t, rubik, plat.dvfs, plat.power);
+                RubikConfig rcfg;
+                rcfg.latencyBound = ctx.bound;
+                RubikController rubik(plat.dvfs, rcfg);
+                const SimResult plain =
+                    simulate(t, rubik, plat.dvfs, plat.power);
 
-            RubikBoostConfig bcfg;
-            bcfg.base = rcfg;
-            RubikBoostController boost(plat.dvfs, bcfg);
-            const SimResult hybrid =
-                simulate(t, boost, plat.dvfs, plat.power);
+                RubikBoostConfig bcfg;
+                bcfg.base = rcfg;
+                RubikBoostController boost(plat.dvfs, bcfg);
+                const SimResult hybrid =
+                    simulate(t, boost, plat.dvfs, plat.power);
 
-            const auto adr = adrenalineOracle(t, bound, plat.dvfs,
-                                              plat.power, nominal);
+                const auto adr = adrenalineOracle(t, ctx.bound,
+                                                  plat.dvfs, plat.power,
+                                                  nominal);
 
-            auto cell = [&](double energy, double tail) {
-                return fmt("%.1f", (1.0 - energy / fixed_energy) * 100) +
-                       " (" + fmt("%.2f", tail / bound) + ")";
-            };
-            table.addRow({app.name, fmt("%.0f%%", load * 100),
-                          cell(plain.coreActiveEnergy(),
-                               plain.tailLatency(0.95)),
-                          cell(hybrid.coreActiveEnergy(),
-                               hybrid.tailLatency(0.95)),
-                          cell(adr.replay.coreActiveEnergy,
-                               adr.replay.tailLatency(0.95))});
+                auto cell = [&](double energy, double tail) {
+                    return fmt("%.1f",
+                               (1.0 - energy / fixed_energy) * 100) +
+                           " (" + fmt("%.2f", tail / ctx.bound) + ")";
+                };
+                return {ctx.app.name, fmt("%.0f%%", load * 100),
+                        cell(plain.coreActiveEnergy(),
+                             plain.tailLatency(0.95)),
+                        cell(hybrid.coreActiveEnergy(),
+                             hybrid.tailLatency(0.95)),
+                        cell(adr.replay.coreActiveEnergy,
+                             adr.replay.tailLatency(0.95))};
+            });
         }
     }
+    for (auto &row : runner.runBatch(std::move(cell_jobs)))
+        table.addRow(std::move(row));
     table.print();
     return 0;
 }

@@ -11,11 +11,14 @@
  * load steps than Rubik.
  */
 
+#include <functional>
+
 #include "common.h"
 #include "core/rubik_controller.h"
 #include "policies/pegasus.h"
 #include "policies/replay.h"
 #include "policies/static_oracle.h"
+#include "runner/experiment_runner.h"
 #include "sim/metrics.h"
 #include "sim/simulation.h"
 #include "util/units.h"
@@ -42,36 +45,46 @@ main(int argc, char **argv)
                   "tail/bound)");
     TablePrinter table({"load", "Pegasus", "StaticOracle", "Rubik"},
                        opts.csv);
+    ExperimentRunner runner(opts.jobs);
+    std::vector<std::function<std::vector<std::string>()>> jobs;
     for (double load : {0.2, 0.3, 0.4, 0.5}) {
-        const Trace t = load == 0.5
-                            ? t50
-                            : generateLoadTrace(app, load, n, nominal,
-                                                opts.seed + 1);
-        const double fixed_energy =
-            replayFixed(t, nominal, plat.power).coreActiveEnergy;
+        jobs.push_back([&, load]() -> std::vector<std::string> {
+            const Trace t = load == 0.5
+                                ? t50
+                                : generateLoadTrace(app, load, n,
+                                                    nominal,
+                                                    opts.seed + 1);
+            const double fixed_energy =
+                replayFixed(t, nominal, plat.power).coreActiveEnergy;
 
-        PegasusConfig pcfg;
-        pcfg.latencyBound = bound;
-        PegasusPolicy pegasus(plat.dvfs, pcfg);
-        const SimResult pr = simulate(t, pegasus, plat.dvfs, plat.power);
+            PegasusConfig pcfg;
+            pcfg.latencyBound = bound;
+            PegasusPolicy pegasus(plat.dvfs, pcfg);
+            const SimResult pr =
+                simulate(t, pegasus, plat.dvfs, plat.power);
 
-        const auto so = staticOracle(t, bound, 0.95, plat.dvfs, plat.power);
+            const auto so =
+                staticOracle(t, bound, 0.95, plat.dvfs, plat.power);
 
-        RubikConfig rcfg;
-        rcfg.latencyBound = bound;
-        RubikController rubik(plat.dvfs, rcfg);
-        const SimResult rr = simulate(t, rubik, plat.dvfs, plat.power);
+            RubikConfig rcfg;
+            rcfg.latencyBound = bound;
+            RubikController rubik(plat.dvfs, rcfg);
+            const SimResult rr =
+                simulate(t, rubik, plat.dvfs, plat.power);
 
-        auto cell = [&](double energy, double tail) {
-            return fmt("%.1f", (1.0 - energy / fixed_energy) * 100) +
-                   " (" + fmt("%.2f", tail / bound) + ")";
-        };
-        table.addRow({fmt("%.0f%%", load * 100),
-                      cell(pr.coreActiveEnergy(), pr.tailLatency(0.95)),
-                      cell(so.replay.coreActiveEnergy,
-                           so.replay.tailLatency(0.95)),
-                      cell(rr.coreActiveEnergy(), rr.tailLatency(0.95))});
+            auto cell = [&](double energy, double tail) {
+                return fmt("%.1f", (1.0 - energy / fixed_energy) * 100) +
+                       " (" + fmt("%.2f", tail / bound) + ")";
+            };
+            return {fmt("%.0f%%", load * 100),
+                    cell(pr.coreActiveEnergy(), pr.tailLatency(0.95)),
+                    cell(so.replay.coreActiveEnergy,
+                         so.replay.tailLatency(0.95)),
+                    cell(rr.coreActiveEnergy(), rr.tailLatency(0.95))};
+        });
     }
+    for (auto &row : runner.runBatch(std::move(jobs)))
+        table.addRow(std::move(row));
     table.print();
 
     heading(opts, "Responsiveness: 25% -> 60% load step at t=6s "
@@ -79,15 +92,21 @@ main(int argc, char **argv)
     const Trace step = generateSteppedTrace(
         app, {{0.0, 0.25}, {6.0, 0.6}}, 12.0, nominal, opts.seed + 2);
 
-    PegasusConfig pcfg;
-    pcfg.latencyBound = bound;
-    PegasusPolicy pegasus(plat.dvfs, pcfg);
-    const SimResult pr = simulate(step, pegasus, plat.dvfs, plat.power);
-
-    RubikConfig rcfg;
-    rcfg.latencyBound = bound;
-    RubikController rubik(plat.dvfs, rcfg);
-    const SimResult rr = simulate(step, rubik, plat.dvfs, plat.power);
+    // The two step-response sims are independent; overlap them.
+    auto peg_future = runner.submit([&] {
+        PegasusConfig pcfg;
+        pcfg.latencyBound = bound;
+        PegasusPolicy pegasus(plat.dvfs, pcfg);
+        return simulate(step, pegasus, plat.dvfs, plat.power);
+    });
+    auto rubik_future = runner.submit([&] {
+        RubikConfig rcfg;
+        rcfg.latencyBound = bound;
+        RubikController rubik(plat.dvfs, rcfg);
+        return simulate(step, rubik, plat.dvfs, plat.power);
+    });
+    const SimResult pr = peg_future.get();
+    const SimResult rr = rubik_future.get();
 
     const auto peg_tail = rollingTailLatency(pr.completed, 0.2, 0.95, 1.0);
     const auto ru_tail = rollingTailLatency(rr.completed, 0.2, 0.95, 1.0);

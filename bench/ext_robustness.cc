@@ -13,10 +13,13 @@
  *     far correlation degrades the model before feedback compensates.
  */
 
+#include <functional>
+
 #include "common.h"
 #include "core/rubik_controller.h"
 #include "policies/replay.h"
 #include "policies/static_oracle.h"
+#include "runner/experiment_runner.h"
 #include "sim/simulation.h"
 #include "util/units.h"
 #include "workloads/trace_gen.h"
@@ -38,64 +41,97 @@ main(int argc, char **argv)
                         "rubik_savings", "static_tail/bound"},
                        opts.csv);
 
-    for (AppId id : {AppId::Masstree, AppId::Xapian}) {
-        const AppProfile app = makeApp(id);
-        const int n = opts.numRequests(8000);
+    struct Variant
+    {
+        std::string name;
+        Trace trace;
+    };
+    struct AppContext
+    {
+        AppProfile app;
+        double bound = 0.0;
+        std::vector<Variant> variants;
+    };
 
-        const Trace t50 =
-            generateLoadTrace(app, 0.5, n, nominal, opts.seed);
-        const double bound =
-            replayFixed(t50, nominal, plat.power).tailLatency(0.95);
+    const std::vector<AppId> ids = {AppId::Masstree, AppId::Xapian};
+    ExperimentRunner runner(opts.jobs);
 
-        struct Variant
-        {
-            std::string name;
-            Trace trace;
-        };
-        const std::vector<Variant> variants = {
-            {"poisson (paper)",
-             generateLoadTrace(app, 0.4, n, nominal, opts.seed + 1)},
-            // 2x bursts peak at ~67% load: the bound stays achievable
-            // and queue-driven Rubik must hold it.
-            {"mmpp 2x bursts",
-             generateBurstyTrace(app, 0.4, n, nominal, opts.seed + 2,
-                                 2.0)},
-            // 4x bursts peak at ~120% of capacity: no scheme can hold
-            // the bound inside a burst (the paper's "unachievable"
-            // regime) — what matters is degrading no worse than the
-            // clairvoyant static choice.
-            {"mmpp 4x bursts",
-             generateBurstyTrace(app, 0.4, n, nominal, opts.seed + 2)},
-            {"corr rho=0.5",
-             generateCorrelatedTrace(app, 0.4, n, nominal, opts.seed + 3,
-                                     0.5)},
-            {"corr rho=0.9",
-             generateCorrelatedTrace(app, 0.4, n, nominal, opts.seed + 4,
-                                     0.9)},
-        };
+    // Phase 1: per-app bound and the five traffic variants' traces.
+    std::vector<std::function<AppContext()>> setup_jobs;
+    for (AppId id : ids) {
+        setup_jobs.push_back([&, id] {
+            AppContext ctx;
+            ctx.app = makeApp(id);
+            const int n = opts.numRequests(8000);
 
-        for (const auto &v : variants) {
-            const double fixed_energy =
-                replayFixed(v.trace, nominal, plat.power).coreActiveEnergy;
-            // StaticOracle re-tuned per variant: even the clairvoyant
-            // static scheme struggles when bursts exceed its margin.
-            const auto so = staticOracle(v.trace, bound, 0.95, plat.dvfs,
-                                         plat.power);
+            const Trace t50 =
+                generateLoadTrace(ctx.app, 0.5, n, nominal, opts.seed);
+            ctx.bound = replayFixed(t50, nominal, plat.power)
+                            .tailLatency(0.95);
 
-            RubikConfig rcfg;
-            rcfg.latencyBound = bound;
-            RubikController rubik(plat.dvfs, rcfg);
-            const SimResult r =
-                simulate(v.trace, rubik, plat.dvfs, plat.power);
+            ctx.variants = {
+                {"poisson (paper)",
+                 generateLoadTrace(ctx.app, 0.4, n, nominal,
+                                   opts.seed + 1)},
+                // 2x bursts peak at ~67% load: the bound stays
+                // achievable and queue-driven Rubik must hold it.
+                {"mmpp 2x bursts",
+                 generateBurstyTrace(ctx.app, 0.4, n, nominal,
+                                     opts.seed + 2, 2.0)},
+                // 4x bursts peak at ~120% of capacity: no scheme can
+                // hold the bound inside a burst (the paper's
+                // "unachievable" regime) — what matters is degrading
+                // no worse than the clairvoyant static choice.
+                {"mmpp 4x bursts",
+                 generateBurstyTrace(ctx.app, 0.4, n, nominal,
+                                     opts.seed + 2)},
+                {"corr rho=0.5",
+                 generateCorrelatedTrace(ctx.app, 0.4, n, nominal,
+                                         opts.seed + 3, 0.5)},
+                {"corr rho=0.9",
+                 generateCorrelatedTrace(ctx.app, 0.4, n, nominal,
+                                         opts.seed + 4, 0.9)},
+            };
+            return ctx;
+        });
+    }
+    const std::vector<AppContext> ctxs =
+        runner.runBatch(std::move(setup_jobs));
 
-            table.addRow(
-                {app.name, v.name,
-                 fmt("%.2f", r.tailLatency(0.95) / bound),
-                 fmt("%.1f%%",
-                     (1.0 - r.coreActiveEnergy() / fixed_energy) * 100),
-                 fmt("%.2f", so.replay.tailLatency(0.95) / bound)});
+    // Phase 2: one job per (app, variant) row.
+    std::vector<std::function<std::vector<std::string>()>> row_jobs;
+    for (std::size_t ai = 0; ai < ctxs.size(); ++ai) {
+        for (std::size_t vi = 0; vi < ctxs[ai].variants.size(); ++vi) {
+            row_jobs.push_back([&, ai, vi]() -> std::vector<std::string> {
+                const AppContext &ctx = ctxs[ai];
+                const Variant &v = ctx.variants[vi];
+                const double fixed_energy =
+                    replayFixed(v.trace, nominal, plat.power)
+                        .coreActiveEnergy;
+                // StaticOracle re-tuned per variant: even the
+                // clairvoyant static scheme struggles when bursts
+                // exceed its margin.
+                const auto so = staticOracle(v.trace, ctx.bound, 0.95,
+                                             plat.dvfs, plat.power);
+
+                RubikConfig rcfg;
+                rcfg.latencyBound = ctx.bound;
+                RubikController rubik(plat.dvfs, rcfg);
+                const SimResult r =
+                    simulate(v.trace, rubik, plat.dvfs, plat.power);
+
+                return {ctx.app.name, v.name,
+                        fmt("%.2f", r.tailLatency(0.95) / ctx.bound),
+                        fmt("%.1f%%", (1.0 - r.coreActiveEnergy() /
+                                                 fixed_energy) *
+                                          100),
+                        fmt("%.2f",
+                            so.replay.tailLatency(0.95) / ctx.bound)};
+            });
         }
     }
+    for (auto &row : runner.runBatch(std::move(row_jobs)))
+        table.addRow(std::move(row));
     table.print();
     return 0;
 }

@@ -11,11 +11,13 @@
  */
 
 #include <cstdio>
+#include <functional>
 
 #include "common.h"
 #include "core/rubik_controller.h"
 #include "policies/replay.h"
 #include "policies/static_oracle.h"
+#include "runner/experiment_runner.h"
 #include "sim/metrics.h"
 #include "sim/simulation.h"
 #include "util/units.h"
@@ -41,22 +43,30 @@ main(int argc, char **argv)
     heading(opts, "Fig. 1a: masstree core energy per request (mJ/req)");
     TablePrinter table({"load", "StaticOracle", "Rubik", "savings"},
                        opts.csv);
+    ExperimentRunner runner(opts.jobs);
+    std::vector<std::function<std::vector<std::string>()>> jobs;
     for (double load : {0.3, 0.4, 0.5}) {
-        const Trace t =
-            generateLoadTrace(app, load, n, nominal, opts.seed + 1);
-        const auto so = staticOracle(t, bound, 0.95, plat.dvfs, plat.power);
+        jobs.push_back([&, load]() -> std::vector<std::string> {
+            const Trace t =
+                generateLoadTrace(app, load, n, nominal, opts.seed + 1);
+            const auto so =
+                staticOracle(t, bound, 0.95, plat.dvfs, plat.power);
 
-        RubikConfig rcfg;
-        rcfg.latencyBound = bound;
-        RubikController rubik(plat.dvfs, rcfg);
-        const SimResult rr = simulate(t, rubik, plat.dvfs, plat.power);
+            RubikConfig rcfg;
+            rcfg.latencyBound = bound;
+            RubikController rubik(plat.dvfs, rcfg);
+            const SimResult rr =
+                simulate(t, rubik, plat.dvfs, plat.power);
 
-        const double so_mj = so.replay.energyPerRequest() / kMj;
-        const double rubik_mj = rr.coreEnergyPerRequest() / kMj;
-        table.addRow({fmt("%.0f%%", load * 100), fmt("%.3f", so_mj),
-                      fmt("%.3f", rubik_mj),
-                      fmt("%.1f%%", (1.0 - rubik_mj / so_mj) * 100)});
+            const double so_mj = so.replay.energyPerRequest() / kMj;
+            const double rubik_mj = rr.coreEnergyPerRequest() / kMj;
+            return {fmt("%.0f%%", load * 100), fmt("%.3f", so_mj),
+                    fmt("%.3f", rubik_mj),
+                    fmt("%.1f%%", (1.0 - rubik_mj / so_mj) * 100)};
+        });
     }
+    for (auto &row : runner.runBatch(std::move(jobs)))
+        table.addRow(std::move(row));
     table.print();
 
     heading(opts,
@@ -65,20 +75,35 @@ main(int argc, char **argv)
     const Trace step = generateSteppedTrace(app, {{0.0, 0.3}, {1.0, 0.5}},
                                             2.4, nominal, opts.seed + 2);
 
-    // StaticOracle tuned for the pre-step 30% load (it cannot re-tune).
-    const Trace t30 =
-        generateLoadTrace(app, 0.3, n, nominal, opts.seed + 3);
-    const auto so30 = staticOracle(t30, bound, 0.95, plat.dvfs, plat.power);
-    const ReplayResult so_step =
-        replayFixed(step, so30.frequency, plat.power);
-
-    RubikConfig rcfg;
-    rcfg.latencyBound = bound;
-    RubikController rubik(plat.dvfs, rcfg);
-    SimConfig scfg;
-    scfg.recordTimeline = true;
-    const SimResult rubik_step =
-        simulate(step, rubik, plat.dvfs, plat.power, scfg);
+    // The two step runs are independent; run them as one batch.
+    // StaticOracle is tuned for the pre-step 30% load (it cannot
+    // re-tune).
+    struct StaticStep
+    {
+        double frequency = 0.0;
+        ReplayResult replay;
+    };
+    auto static_future = runner.submit([&] {
+        const Trace t30 =
+            generateLoadTrace(app, 0.3, n, nominal, opts.seed + 3);
+        const auto so30 =
+            staticOracle(t30, bound, 0.95, plat.dvfs, plat.power);
+        return StaticStep{so30.frequency,
+                          replayFixed(step, so30.frequency,
+                                      plat.power)};
+    });
+    auto rubik_future = runner.submit([&] {
+        RubikConfig rcfg;
+        rcfg.latencyBound = bound;
+        RubikController rubik(plat.dvfs, rcfg);
+        SimConfig scfg;
+        scfg.recordTimeline = true;
+        return simulate(step, rubik, plat.dvfs, plat.power, scfg);
+    });
+    const StaticStep static_result = static_future.get();
+    const double so30_frequency = static_result.frequency;
+    const ReplayResult &so_step = static_result.replay;
+    const SimResult rubik_step = rubik_future.get();
 
     std::vector<CompletedRequest> so_completed;
     for (std::size_t i = 0; i < step.size(); ++i) {
@@ -127,6 +152,6 @@ main(int argc, char **argv)
     series.print();
 
     std::printf("\nStaticOracle@30%% frequency: %.1f GHz; bound %.3f ms\n",
-                so30.frequency / kGHz, bound / kMs);
+                so30_frequency / kGHz, bound / kMs);
     return 0;
 }

@@ -14,11 +14,13 @@
  */
 
 #include <cstdio>
+#include <functional>
 
 #include "common.h"
 #include "core/rubik_controller.h"
 #include "policies/replay.h"
 #include "policies/static_oracle.h"
+#include "runner/experiment_runner.h"
 #include "sim/simulation.h"
 #include "util/units.h"
 #include "workloads/trace_gen.h"
@@ -59,38 +61,69 @@ main(int argc, char **argv)
                         "rubik_tail/bound"},
                        opts.csv);
 
-    for (AppId id : {AppId::Masstree, AppId::Moses}) {
-        const AppProfile app = realSystemVariant(id);
-        const int n = opts.numRequests(id == AppId::Masstree ? 9000 : 3000);
+    const std::vector<AppId> ids = {AppId::Masstree, AppId::Moses};
+    const std::vector<double> loads = {0.3, 0.4, 0.5};
+    ExperimentRunner runner(opts.jobs);
 
-        const Trace t50 =
-            generateLoadTrace(app, 0.5, n, nominal, opts.seed);
-        const double bound =
-            replayFixed(t50, nominal, plat.power).tailLatency(0.95);
+    // Phase 1: per-app latency bound from the 50%-load trace.
+    struct AppContext
+    {
+        AppProfile app;
+        int n = 0;
+        double bound = 0.0;
+    };
+    std::vector<std::function<AppContext()>> bound_jobs;
+    for (AppId id : ids) {
+        bound_jobs.push_back([&, id] {
+            AppContext ctx;
+            ctx.app = realSystemVariant(id);
+            ctx.n = opts.numRequests(id == AppId::Masstree ? 9000
+                                                           : 3000);
+            const Trace t50 = generateLoadTrace(ctx.app, 0.5, ctx.n,
+                                                nominal, opts.seed);
+            ctx.bound = replayFixed(t50, nominal, plat.power)
+                            .tailLatency(0.95);
+            return ctx;
+        });
+    }
+    const std::vector<AppContext> ctxs =
+        runner.runBatch(std::move(bound_jobs));
 
-        for (double load : {0.3, 0.4, 0.5}) {
-            const Trace t =
-                generateLoadTrace(app, load, n, nominal, opts.seed + 1);
-            const double fixed_energy =
-                replayFixed(t, nominal, plat.power).coreActiveEnergy;
-            const auto so =
-                staticOracle(t, bound, 0.95, plat.dvfs, plat.power);
+    // Phase 2: one job per (app, load) cell.
+    std::vector<std::function<std::vector<std::string>()>> cell_jobs;
+    for (std::size_t ai = 0; ai < ctxs.size(); ++ai) {
+        for (double load : loads) {
+            cell_jobs.push_back([&, ai,
+                                 load]() -> std::vector<std::string> {
+                const AppContext &ctx = ctxs[ai];
+                const Trace t = generateLoadTrace(ctx.app, load, ctx.n,
+                                                  nominal,
+                                                  opts.seed + 1);
+                const double fixed_energy =
+                    replayFixed(t, nominal, plat.power)
+                        .coreActiveEnergy;
+                const auto so = staticOracle(t, ctx.bound, 0.95,
+                                             plat.dvfs, plat.power);
 
-            RubikConfig rcfg;
-            rcfg.latencyBound = bound;
-            RubikController rubik(plat.dvfs, rcfg);
-            const SimResult rr = simulate(t, rubik, plat.dvfs, plat.power);
+                RubikConfig rcfg;
+                rcfg.latencyBound = ctx.bound;
+                RubikController rubik(plat.dvfs, rcfg);
+                const SimResult rr =
+                    simulate(t, rubik, plat.dvfs, plat.power);
 
-            table.addRow(
-                {app.name, fmt("%.0f%%", load * 100),
-                 fmt("%.1f%%",
-                     (1.0 - so.replay.coreActiveEnergy / fixed_energy) *
-                         100),
-                 fmt("%.1f%%",
-                     (1.0 - rr.coreActiveEnergy() / fixed_energy) * 100),
-                 fmt("%.2f", rr.tailLatency(0.95) / bound)});
+                return {ctx.app.name, fmt("%.0f%%", load * 100),
+                        fmt("%.1f%%", (1.0 - so.replay.coreActiveEnergy /
+                                                 fixed_energy) *
+                                          100),
+                        fmt("%.1f%%", (1.0 - rr.coreActiveEnergy() /
+                                                 fixed_energy) *
+                                          100),
+                        fmt("%.2f", rr.tailLatency(0.95) / ctx.bound)};
+            });
         }
     }
+    for (auto &row : runner.runBatch(std::move(cell_jobs)))
+        table.addRow(std::move(row));
     table.print();
     std::printf("\n(median service: masstree-like %.0f us, moses-like "
                 "%.1f ms; tail/bound <= 1 means the bound held)\n",

@@ -8,9 +8,12 @@
  * RubikColoc (Sec. 6).
  */
 
+#include <functional>
+
 #include "common.h"
 #include "core/rubik_controller.h"
 #include "policies/replay.h"
+#include "runner/experiment_runner.h"
 #include "sim/simulation.h"
 #include "workloads/trace_gen.h"
 
@@ -31,39 +34,48 @@ main(int argc, char **argv)
                         "fixed_W", "rubik_W"},
                        opts.csv);
 
+    ExperimentRunner runner(opts.jobs);
+    std::vector<std::function<std::vector<std::string>()>> jobs;
     for (AppId id : allApps()) {
-        const AppProfile app = makeApp(id);
-        const int n = opts.numRequests(std::max(app.paperRequests, 5000));
+        jobs.push_back([&, id]() -> std::vector<std::string> {
+            const AppProfile app = makeApp(id);
+            const int n =
+                opts.numRequests(std::max(app.paperRequests, 5000));
 
-        const Trace t50 =
-            generateLoadTrace(app, 0.5, n, nominal, opts.seed);
-        const double bound =
-            replayFixed(t50, nominal, plat.power).tailLatency(0.95);
+            const Trace t50 =
+                generateLoadTrace(app, 0.5, n, nominal, opts.seed);
+            const double bound =
+                replayFixed(t50, nominal, plat.power).tailLatency(0.95);
 
-        const Trace t =
-            generateLoadTrace(app, 0.3, n, nominal, opts.seed + 1);
+            const Trace t =
+                generateLoadTrace(app, 0.3, n, nominal, opts.seed + 1);
 
-        FixedFrequencyPolicy fixed_policy(nominal);
-        const SimResult fixed =
-            simulate(t, fixed_policy, plat.dvfs, plat.power);
+            FixedFrequencyPolicy fixed_policy(nominal);
+            const SimResult fixed =
+                simulate(t, fixed_policy, plat.dvfs, plat.power);
 
-        RubikConfig rcfg;
-        rcfg.latencyBound = bound;
-        RubikController rubik(plat.dvfs, rcfg);
-        const SimResult rr = simulate(t, rubik, plat.dvfs, plat.power);
+            RubikConfig rcfg;
+            rcfg.latencyBound = bound;
+            RubikController rubik(plat.dvfs, rcfg);
+            const SimResult rr =
+                simulate(t, rubik, plat.dvfs, plat.power);
 
-        const double fixed_sys =
-            systemEnergy(fixed, plat.power, copies).total() /
-            fixed.simTime;
-        const double rubik_sys =
-            systemEnergy(rr, plat.power, copies).total() / rr.simTime;
-        const double core_savings =
-            1.0 - rr.coreActiveEnergy() / fixed.coreActiveEnergy();
+            const double fixed_sys =
+                systemEnergy(fixed, plat.power, copies).total() /
+                fixed.simTime;
+            const double rubik_sys =
+                systemEnergy(rr, plat.power, copies).total() /
+                rr.simTime;
+            const double core_savings =
+                1.0 - rr.coreActiveEnergy() / fixed.coreActiveEnergy();
 
-        table.addRow({app.name, fmt("%.1f%%", core_savings * 100),
-                      fmt("%.1f%%", (1.0 - rubik_sys / fixed_sys) * 100),
-                      fmt("%.1f", fixed_sys), fmt("%.1f", rubik_sys)});
+            return {app.name, fmt("%.1f%%", core_savings * 100),
+                    fmt("%.1f%%", (1.0 - rubik_sys / fixed_sys) * 100),
+                    fmt("%.1f", fixed_sys), fmt("%.1f", rubik_sys)};
+        });
     }
+    for (auto &row : runner.runBatch(std::move(jobs)))
+        table.addRow(std::move(row));
     table.print();
     return 0;
 }

@@ -16,6 +16,7 @@
  */
 
 #include <algorithm>
+#include <functional>
 #include <map>
 
 #include "common.h"
@@ -25,6 +26,7 @@
 #include "core/rubik_controller.h"
 #include "policies/replay.h"
 #include "policies/static_oracle.h"
+#include "runner/experiment_runner.h"
 #include "stats/percentile.h"
 #include "util/units.h"
 #include "workloads/trace_gen.h"
@@ -71,70 +73,80 @@ struct Runner
              std::vector<double>>
         cache;
 
-    explicit Runner(Platform &p, const Options &o) : plat(p), opts(o)
+    Runner(Platform &p, const Options &o, ExperimentRunner &pool)
+        : plat(p), opts(o)
     {
         const double nominal = plat.dvfs.nominalFrequency();
         const int n = opts.numRequests(3000);
+        // Per-app bound, trace, and StaticColoc frequency, one job per
+        // app.
+        struct AppInit
+        {
+            int key = 0;
+            Trace trace;
+            double bound = 0.0;
+            double staticFreq = 0.0;
+        };
+        std::vector<std::function<AppInit()>> jobs;
         for (AppId id : allApps()) {
-            const AppProfile app = makeApp(id);
-            const int key = static_cast<int>(id);
-            const Trace t50 =
-                generateLoadTrace(app, 0.5, n, nominal, opts.seed + key);
-            bounds[key] =
-                replayFixed(t50, nominal, plat.power).tailLatency(0.95);
-            traces[key] = generateLoadTrace(app, load, n, nominal,
-                                            opts.seed + 100 + key);
-            staticFreqs[key] = staticOracle(traces[key], bounds[key], 0.95,
-                                            plat.dvfs, plat.power)
-                                   .frequency;
+            jobs.push_back([&, id] {
+                AppInit init;
+                const AppProfile app = makeApp(id);
+                init.key = static_cast<int>(id);
+                const Trace t50 = generateLoadTrace(
+                    app, 0.5, n, nominal, opts.seed + init.key);
+                init.bound = replayFixed(t50, nominal, plat.power)
+                                 .tailLatency(0.95);
+                init.trace = generateLoadTrace(app, load, n, nominal,
+                                               opts.seed + 100 +
+                                                   init.key);
+                init.staticFreq =
+                    staticOracle(init.trace, init.bound, 0.95,
+                                 plat.dvfs, plat.power)
+                        .frequency;
+                return init;
+            });
+        }
+        for (auto &init : pool.runBatch(std::move(jobs))) {
+            bounds[init.key] = init.bound;
+            staticFreqs[init.key] = init.staticFreq;
+            traces[init.key] = std::move(init.trace);
         }
     }
 
-    /// LC latencies for one core. lc_freq <= 0 means "Rubik".
-    const std::vector<double> &
-    core(AppId id, std::size_t batch_idx, double lc_freq,
-         double batch_freq)
+    /// One core's identity: which (LC app, batch app, frequencies)
+    /// simulateColoc run it needs.
+    struct CoreSel
     {
-        const int key = static_cast<int>(id);
+        AppId id;
+        std::size_t batch = 0;
+        double lcFreq = 0.0;   ///< <= 0 means "Rubik".
+        double batchFreq = 0.0;
+    };
+
+    using CacheKey = std::tuple<int, std::size_t, long>;
+
+    static CacheKey
+    cacheKey(const CoreSel &sel)
+    {
         const long fkey =
-            lc_freq <= 0
+            sel.lcFreq <= 0
                 ? -1
-                : static_cast<long>(lc_freq / 1e6) * 10000 +
-                      static_cast<long>(batch_freq / 1e6) % 10000;
-        const auto ck = std::make_tuple(key, batch_idx, fkey);
-        auto it = cache.find(ck);
-        if (it != cache.end())
-            return it->second;
-
-        ColocConfig cfg;
-        cfg.batchFrequency = batch_freq;
-        cfg.seed = opts.seed + 31 * batch_idx + key;
-
-        ColocCoreResult r = [&] {
-            if (lc_freq <= 0) {
-                RubikConfig rcfg;
-                rcfg.latencyBound = bounds[key];
-                RubikController rubik(plat.dvfs, rcfg);
-                return simulateColoc(traces[key], rubik, suite[batch_idx],
-                                     plat.dvfs, plat.power, cfg);
-            }
-            FixedFrequencyPolicy fixed(lc_freq);
-            return simulateColoc(traces[key], fixed, suite[batch_idx],
-                                 plat.dvfs, plat.power, cfg);
-        }();
-
-        std::vector<double> lat = r.lc.latencies();
-        std::sort(lat.begin(), lat.end());
-        return cache.emplace(ck, std::move(lat)).first->second;
+                : static_cast<long>(sel.lcFreq / 1e6) * 10000 +
+                      static_cast<long>(sel.batchFreq / 1e6) % 10000;
+        return std::make_tuple(static_cast<int>(sel.id), sel.batch,
+                               fkey);
     }
 
-    /// Normalized tail for (app, mix) under a scheme.
-    double
-    mixTail(AppId id, const BatchMix &mix, Scheme scheme)
+    /// The six per-core frequency choices of (app, mix) under a scheme
+    /// — the enumeration both prewarm() and mixTail() share, so the
+    /// parallel warm-up simulates exactly the cells the serial
+    /// aggregation reads.
+    std::vector<CoreSel>
+    coreSelections(AppId id, const BatchMix &mix, Scheme scheme)
     {
         const int key = static_cast<int>(id);
         const AppProfile app = makeApp(id);
-        std::vector<double> all;
 
         // Per-core frequencies for the HW schemes.
         std::vector<double> hw_freqs;
@@ -148,34 +160,123 @@ struct Runner
                 hwThroughputAllocation(cores, plat.dvfs, plat.power);
         }
 
+        std::vector<CoreSel> sels;
         for (std::size_t k = 0; k < mix.size(); ++k) {
             const std::size_t b = mix[k];
-            double lc_freq = 0.0, batch_freq = 0.0;
+            CoreSel sel;
+            sel.id = id;
+            sel.batch = b;
             switch (scheme) {
               case Scheme::StaticColoc:
-                lc_freq = staticFreqs[key];
-                batch_freq =
+                sel.lcFreq = staticFreqs[key];
+                sel.batchFreq =
                     suite[b].tpwOptimalFrequency(plat.dvfs, plat.power);
                 break;
               case Scheme::RubikColoc:
-                lc_freq = 0.0; // Rubik
-                batch_freq =
+                sel.lcFreq = 0.0; // Rubik
+                sel.batchFreq =
                     suite[b].tpwOptimalFrequency(plat.dvfs, plat.power);
                 break;
               case Scheme::HwT:
-                lc_freq = hw_freqs[k];
-                batch_freq = hw_freqs[k];
+                sel.lcFreq = hw_freqs[k];
+                sel.batchFreq = hw_freqs[k];
                 break;
               case Scheme::HwTpw:
-                lc_freq = tpwOptimalFrequency(
+                sel.lcFreq = tpwOptimalFrequency(
                     lcWorkload(app.memFraction,
                                plat.dvfs.nominalFrequency()),
                     plat.dvfs, plat.power);
-                batch_freq =
+                sel.batchFreq =
                     suite[b].tpwOptimalFrequency(plat.dvfs, plat.power);
                 break;
             }
-            const auto &lat = core(id, b, lc_freq, batch_freq);
+            sels.push_back(sel);
+        }
+        return sels;
+    }
+
+    /// Run one core simulation (the cache fill).
+    std::vector<double>
+    simulateCore(const CoreSel &sel)
+    {
+        const int key = static_cast<int>(sel.id);
+        ColocConfig cfg;
+        cfg.batchFrequency = sel.batchFreq;
+        cfg.seed = opts.seed + 31 * sel.batch + key;
+
+        ColocCoreResult r = [&] {
+            if (sel.lcFreq <= 0) {
+                RubikConfig rcfg;
+                rcfg.latencyBound = bounds[key];
+                RubikController rubik(plat.dvfs, rcfg);
+                return simulateColoc(traces[key], rubik,
+                                     suite[sel.batch], plat.dvfs,
+                                     plat.power, cfg);
+            }
+            FixedFrequencyPolicy fixed(sel.lcFreq);
+            return simulateColoc(traces[key], fixed, suite[sel.batch],
+                                 plat.dvfs, plat.power, cfg);
+        }();
+
+        std::vector<double> lat = r.lc.latencies();
+        std::sort(lat.begin(), lat.end());
+        return lat;
+    }
+
+    /**
+     * Simulate every distinct core the (scheme x app x mix) grid
+     * needs, in parallel, before the serial aggregation reads the
+     * cache. Distinct cores are collected in first-use order, so the
+     * fill is deterministic.
+     */
+    void
+    prewarm(const std::vector<Scheme> &schemes,
+            const std::vector<AppId> &apps,
+            const std::vector<BatchMix> &mixes, ExperimentRunner &pool)
+    {
+        std::vector<CoreSel> todo;
+        for (Scheme scheme : schemes) {
+            for (AppId id : apps) {
+                for (const auto &mix : mixes) {
+                    for (const CoreSel &sel :
+                         coreSelections(id, mix, scheme)) {
+                        const CacheKey ck = cacheKey(sel);
+                        if (!cache.count(ck)) {
+                            cache.emplace(ck, std::vector<double>{});
+                            todo.push_back(sel);
+                        }
+                    }
+                }
+            }
+        }
+        std::vector<std::function<std::vector<double>()>> jobs;
+        for (const CoreSel &sel : todo)
+            jobs.push_back([this, sel] { return simulateCore(sel); });
+        std::vector<std::vector<double>> results =
+            pool.runBatch(std::move(jobs));
+        for (std::size_t i = 0; i < todo.size(); ++i)
+            cache[cacheKey(todo[i])] = std::move(results[i]);
+    }
+
+    /// LC latencies for one core (prewarmed, or simulated on miss).
+    const std::vector<double> &
+    core(const CoreSel &sel)
+    {
+        const CacheKey ck = cacheKey(sel);
+        auto it = cache.find(ck);
+        if (it != cache.end() && !it->second.empty())
+            return it->second;
+        return cache[ck] = simulateCore(sel);
+    }
+
+    /// Normalized tail for (app, mix) under a scheme.
+    double
+    mixTail(AppId id, const BatchMix &mix, Scheme scheme)
+    {
+        const int key = static_cast<int>(id);
+        std::vector<double> all;
+        for (const CoreSel &sel : coreSelections(id, mix, scheme)) {
+            const auto &lat = core(sel);
             all.insert(all.end(), lat.begin(), lat.end());
         }
         return percentile(std::move(all), 0.95) / bounds[key];
@@ -189,16 +290,23 @@ main(int argc, char **argv)
 {
     const Options opts = parseOptions(argc, argv);
     Platform plat;
-    Runner runner(plat, opts);
+    ExperimentRunner pool(opts.jobs);
+    Runner runner(plat, opts, pool);
     const auto mixes = makeMixes(runner.suite.size(), 20, 6, opts.seed);
 
     heading(opts, "Fig. 15: normalized tail latency across 100 colocated "
                   "mixes at 60% LC load (sorted worst-first; > 1.0 "
                   "violates the bound)");
 
+    const std::vector<Scheme> schemes = {Scheme::StaticColoc,
+                                         Scheme::RubikColoc, Scheme::HwT,
+                                         Scheme::HwTpw};
+    // Simulate the distinct (LC app, batch app, frequency) cores in
+    // parallel; the aggregation below then only reads the cache.
+    runner.prewarm(schemes, allApps(), mixes, pool);
+
     std::map<Scheme, std::vector<double>> results;
-    for (Scheme scheme : {Scheme::StaticColoc, Scheme::RubikColoc,
-                          Scheme::HwT, Scheme::HwTpw}) {
+    for (Scheme scheme : schemes) {
         for (AppId id : allApps()) {
             for (const auto &mix : mixes)
                 results[scheme].push_back(runner.mixTail(id, mix, scheme));

@@ -11,8 +11,11 @@
  * power / ~19% servers.
  */
 
+#include <functional>
+
 #include "common.h"
 #include "coloc/datacenter.h"
+#include "runner/experiment_runner.h"
 #include "util/units.h"
 
 using namespace rubik;
@@ -27,10 +30,25 @@ main(int argc, char **argv)
     DatacenterConfig cfg;
     cfg.lcRequestsPerSim = opts.numRequests(3000);
     cfg.seed = opts.seed;
-    DatacenterModel dc(plat.dvfs, plat.power, cfg);
+
+    // One job per LC load. DatacenterModel caches per-load pair
+    // simulations internally, so each job gets its own instance;
+    // evaluate() is deterministic in (config, load), making per-job
+    // models equivalent to one warm serial model.
+    const std::vector<double> loads = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+    ExperimentRunner runner(opts.jobs);
+    std::vector<std::function<DatacenterEval()>> jobs;
+    for (double load : loads) {
+        jobs.push_back([&, load] {
+            DatacenterModel dc(plat.dvfs, plat.power, cfg);
+            return dc.evaluate(load);
+        });
+    }
+    const std::vector<DatacenterEval> evals =
+        runner.runBatch(std::move(jobs));
 
     // Normalization: segregated datacenter at 60% load.
-    const DatacenterEval base = dc.evaluate(0.6);
+    const DatacenterEval &base = evals.back();
     const double p0 = base.segregated.power;
     const double s0 = base.segregated.servers;
 
@@ -42,8 +60,9 @@ main(int argc, char **argv)
                         "servers_vs_seg"},
                        opts.csv);
 
-    for (double load : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6}) {
-        const DatacenterEval e = dc.evaluate(load);
+    for (std::size_t li = 0; li < loads.size(); ++li) {
+        const double load = loads[li];
+        const DatacenterEval &e = evals[li];
         table.addRow(
             {fmt("%.0f%%", load * 100),
              fmt("%.3f", e.segregated.power / p0) + " (" +

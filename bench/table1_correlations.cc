@@ -9,7 +9,10 @@
  * (shore, xapian, specjbb); instantaneous QPS is weak.
  */
 
+#include <functional>
+
 #include "common.h"
+#include "runner/experiment_runner.h"
 #include "sim/metrics.h"
 #include "sim/simulation.h"
 #include "stats/correlation.h"
@@ -30,23 +33,31 @@ main(int argc, char **argv)
                   "(50% load)");
     TablePrinter table({"app", "service_time", "inst_qps", "queue_len"},
                        opts.csv);
+    ExperimentRunner runner(opts.jobs);
+    std::vector<std::function<std::vector<std::string>()>> jobs;
     for (AppId id : allApps()) {
-        const AppProfile app = makeApp(id);
-        const int n = opts.numRequests(std::max(app.paperRequests, 6000));
-        const Trace t = generateLoadTrace(app, 0.5, n, nominal, opts.seed);
-        FixedFrequencyPolicy fixed(nominal);
-        const SimResult sim = simulate(t, fixed, plat.dvfs, plat.power);
+        jobs.push_back([&, id]() -> std::vector<std::string> {
+            const AppProfile app = makeApp(id);
+            const int n =
+                opts.numRequests(std::max(app.paperRequests, 6000));
+            const Trace t =
+                generateLoadTrace(app, 0.5, n, nominal, opts.seed);
+            FixedFrequencyPolicy fixed(nominal);
+            const SimResult sim =
+                simulate(t, fixed, plat.dvfs, plat.power);
 
-        const PerRequestSeries s = perRequestSeries(sim.completed);
-        table.addRow(
-            {app.name,
-             fmt("%.2f", pearsonCorrelation(s.responseLatency,
-                                            s.serviceTime)),
-             fmt("%.2f", pearsonCorrelation(s.responseLatency,
-                                            s.instantaneousQps)),
-             fmt("%.2f", pearsonCorrelation(s.responseLatency,
-                                            s.queueLength))});
+            const PerRequestSeries s = perRequestSeries(sim.completed);
+            return {app.name,
+                    fmt("%.2f", pearsonCorrelation(s.responseLatency,
+                                                   s.serviceTime)),
+                    fmt("%.2f", pearsonCorrelation(s.responseLatency,
+                                                   s.instantaneousQps)),
+                    fmt("%.2f", pearsonCorrelation(s.responseLatency,
+                                                   s.queueLength))};
+        });
     }
+    for (auto &row : runner.runBatch(std::move(jobs)))
+        table.addRow(std::move(row));
     table.print();
     return 0;
 }

@@ -1,0 +1,301 @@
+#include "runner/sweep_runner.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "core/rubik_boost.h"
+#include "core/rubik_controller.h"
+#include "policies/adrenaline.h"
+#include "policies/dynamic_oracle.h"
+#include "policies/pegasus.h"
+#include "policies/replay.h"
+#include "policies/static_oracle.h"
+#include "runner/experiment_runner.h"
+#include "sim/simulation.h"
+#include "util/units.h"
+#include "workloads/apps.h"
+#include "workloads/trace_store.h"
+
+namespace rubik {
+
+namespace {
+
+AppProfile
+appByNameOrThrow(const std::string &name)
+{
+    const std::optional<AppId> id = appIdByName(name);
+    if (!id)
+        throw std::runtime_error("unknown app: " + name);
+    return makeApp(*id);
+}
+
+PolicyOutcome
+fromSim(const SimResult &r, const DvfsModel &dvfs)
+{
+    PolicyOutcome o;
+    o.tailLatency = r.tailLatency(0.95);
+    o.energyPerRequest = r.coreEnergyPerRequest();
+    double weighted = 0.0;
+    for (std::size_t i = 0; i < r.core.freqResidency.size(); ++i)
+        weighted += r.core.freqResidency[i] * dvfs.frequencies()[i];
+    o.meanFrequency =
+        r.core.busyTime > 0 ? weighted / r.core.busyTime : 0.0;
+    o.transitions = r.core.numTransitions;
+    return o;
+}
+
+} // anonymous namespace
+
+const std::vector<std::string> &
+knownPolicyNames()
+{
+    static const std::vector<std::string> names = {
+        "fixed",   "static",     "dynamic", "adrenaline",
+        "pegasus", "rubik",      "rubik-nofb", "boost"};
+    return names;
+}
+
+bool
+isKnownPolicy(const std::string &name)
+{
+    for (const auto &known : knownPolicyNames()) {
+        if (known == name)
+            return true;
+    }
+    return false;
+}
+
+PolicyOutcome
+runPolicy(const std::string &policy, const Trace &trace, double bound,
+          const DvfsModel &dvfs, const PowerModel &power)
+{
+    return runPolicy(policy, trace, bound, dvfs, power,
+                     replayFixed(trace, dvfs.nominalFrequency(),
+                                 power));
+}
+
+PolicyOutcome
+runPolicy(const std::string &policy, const Trace &trace, double bound,
+          const DvfsModel &dvfs, const PowerModel &power,
+          const ReplayResult &fixed)
+{
+    const double nominal = dvfs.nominalFrequency();
+
+    PolicyOutcome out;
+    out.fixedEnergyPerRequest = fixed.energyPerRequest();
+    if (policy == "fixed") {
+        out.tailLatency = fixed.tailLatency();
+        out.energyPerRequest = fixed.energyPerRequest();
+        out.meanFrequency = nominal;
+    } else if (policy == "static") {
+        const auto sr = staticOracle(trace, bound, 0.95, dvfs, power);
+        out.tailLatency = sr.replay.tailLatency();
+        out.energyPerRequest = sr.replay.energyPerRequest();
+        out.meanFrequency = sr.frequency;
+    } else if (policy == "dynamic") {
+        const auto dr = dynamicOracle(trace, bound, 0.95, dvfs, power);
+        out.tailLatency = dr.replay.tailLatency();
+        out.energyPerRequest = dr.replay.energyPerRequest();
+    } else if (policy == "adrenaline") {
+        const auto ar =
+            adrenalineOracle(trace, bound, dvfs, power, nominal);
+        out.tailLatency = ar.replay.tailLatency();
+        out.energyPerRequest = ar.replay.energyPerRequest();
+    } else if (policy == "pegasus") {
+        PegasusConfig cfg;
+        cfg.latencyBound = bound;
+        PegasusPolicy scheme(dvfs, cfg);
+        const PolicyOutcome sim =
+            fromSim(simulate(trace, scheme, dvfs, power), dvfs);
+        out.tailLatency = sim.tailLatency;
+        out.energyPerRequest = sim.energyPerRequest;
+        out.meanFrequency = sim.meanFrequency;
+        out.transitions = sim.transitions;
+    } else if (policy == "rubik" || policy == "rubik-nofb") {
+        RubikConfig cfg;
+        cfg.latencyBound = bound;
+        cfg.feedback = policy == "rubik";
+        RubikController scheme(dvfs, cfg);
+        const PolicyOutcome sim =
+            fromSim(simulate(trace, scheme, dvfs, power), dvfs);
+        out.tailLatency = sim.tailLatency;
+        out.energyPerRequest = sim.energyPerRequest;
+        out.meanFrequency = sim.meanFrequency;
+        out.transitions = sim.transitions;
+    } else if (policy == "boost") {
+        RubikBoostConfig cfg;
+        cfg.base.latencyBound = bound;
+        RubikBoostController scheme(dvfs, cfg);
+        const PolicyOutcome sim =
+            fromSim(simulate(trace, scheme, dvfs, power), dvfs);
+        out.tailLatency = sim.tailLatency;
+        out.energyPerRequest = sim.energyPerRequest;
+        out.meanFrequency = sim.meanFrequency;
+        out.transitions = sim.transitions;
+    } else {
+        throw std::runtime_error("unknown policy: " + policy);
+    }
+    return out;
+}
+
+const char *
+sweepCsvHeader()
+{
+    return "app,policy,load,seed,bound_ms,tail_ms,tail_over_bound,"
+           "energy_mj_per_req,savings_vs_fixed,mean_freq_ghz,"
+           "transitions";
+}
+
+std::string
+sweepCsvRow(const SweepCell &cell, double bound,
+            const PolicyOutcome &outcome)
+{
+    const double savings =
+        1.0 - outcome.energyPerRequest / outcome.fixedEnergyPerRequest;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s,%s,%.2f,%llu,%.4f,%.4f,%.3f,%.4f,%.4f,%.2f,"
+                  "%llu\n",
+                  cell.app.c_str(), cell.policy.c_str(), cell.load,
+                  static_cast<unsigned long long>(cell.seed),
+                  bound / kMs, outcome.tailLatency / kMs,
+                  outcome.tailLatency / bound,
+                  outcome.energyPerRequest / kMj, savings,
+                  outcome.meanFrequency / kGHz,
+                  static_cast<unsigned long long>(outcome.transitions));
+    return buf;
+}
+
+void
+runSweep(const SweepSpec &spec, int shard, int num_shards, int jobs,
+         std::FILE *out)
+{
+    spec.validate();
+    std::map<std::string, AppProfile> apps;
+    for (const auto &name : spec.apps)
+        apps.emplace(name, appByNameOrThrow(name));
+    for (const auto &policy : spec.policies) {
+        if (!isKnownPolicy(policy))
+            throw std::runtime_error("unknown policy: " + policy);
+    }
+    const ShardRange range =
+        shardRange(spec.numCells(), shard, num_shards);
+
+    const DvfsModel dvfs = DvfsModel::haswell(spec.transitionUs * kUs);
+    const PowerModel power(dvfs);
+    const double nominal = dvfs.nominalFrequency();
+    const int n = spec.effectiveRequests();
+
+    ExperimentRunner runner(jobs);
+    TraceStore store;
+
+    // Phase 1: latency bounds for the (app, seed) pairs this shard
+    // touches. Bounds depend only on (app, seed), so every shard that
+    // shares a pair computes the identical value. Keys are kept in
+    // first-use order; the set only answers membership.
+    std::vector<std::pair<std::string, uint64_t>> bound_keys;
+    std::set<std::pair<std::string, uint64_t>> bound_seen;
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+        const SweepCell cell = spec.cell(i);
+        const auto key = std::make_pair(cell.app, cell.seed);
+        if (bound_seen.insert(key).second)
+            bound_keys.push_back(key);
+    }
+    std::map<std::pair<std::string, uint64_t>, double> bounds;
+    if (spec.boundMs > 0.0) {
+        for (const auto &key : bound_keys)
+            bounds[key] = spec.boundMs * kMs;
+    } else {
+        std::vector<std::function<double()>> bound_jobs;
+        for (const auto &key : bound_keys) {
+            bound_jobs.push_back([&, key] {
+                const auto t50 = store.loadTrace(apps.at(key.first),
+                                                 0.5, n, nominal,
+                                                 key.second);
+                return replayFixed(*t50, nominal, power)
+                    .tailLatency(0.95);
+            });
+        }
+        const std::vector<double> values =
+            runner.runBatch(std::move(bound_jobs));
+        for (std::size_t i = 0; i < bound_keys.size(); ++i)
+            bounds[bound_keys[i]] = values[i];
+    }
+
+    // Phase 2: per distinct (app, load, seed) triple, the annotated
+    // trace and its fixed-nominal baseline replay — each shared by
+    // every policy cell of that triple, so the trace is generated,
+    // annotated, and baseline-replayed once instead of once per
+    // policy.
+    using TripleKey = std::tuple<std::string, double, uint64_t>;
+    struct Prepared
+    {
+        std::shared_ptr<const Trace> trace; ///< Class-annotated.
+        ReplayResult fixed;
+    };
+    std::vector<TripleKey> triple_keys;
+    std::set<TripleKey> triple_seen;
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+        const SweepCell cell = spec.cell(i);
+        const TripleKey key{cell.app, cell.load, cell.seed};
+        if (triple_seen.insert(key).second)
+            triple_keys.push_back(key);
+    }
+    std::vector<std::function<Prepared()>> prep_jobs;
+    for (const TripleKey &key : triple_keys) {
+        prep_jobs.push_back([&, key] {
+            const auto &[app, load, seed] = key;
+            const auto base =
+                store.loadTrace(apps.at(app), load, n, nominal, seed);
+            auto annotated = std::make_shared<Trace>(*base);
+            annotateClasses(*annotated, 0.85, nominal);
+            Prepared prep;
+            prep.fixed = replayFixed(*annotated, nominal, power);
+            prep.trace = std::move(annotated);
+            return prep;
+        });
+    }
+    std::map<TripleKey, Prepared> prepared;
+    {
+        std::vector<Prepared> batch =
+            runner.runBatch(std::move(prep_jobs));
+        for (std::size_t i = 0; i < triple_keys.size(); ++i)
+            prepared.emplace(triple_keys[i], std::move(batch[i]));
+    }
+
+    // Phase 3: one job per owned cell, rows in cell-index order.
+    struct Row
+    {
+        SweepCell cell;
+        double bound = 0.0;
+        PolicyOutcome outcome;
+    };
+    std::vector<std::function<Row()>> cell_jobs;
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+        const SweepCell cell = spec.cell(i);
+        cell_jobs.push_back([&, cell] {
+            Row row;
+            row.cell = cell;
+            row.bound = bounds.at({cell.app, cell.seed});
+            const Prepared &prep =
+                prepared.at({cell.app, cell.load, cell.seed});
+            row.outcome = runPolicy(cell.policy, *prep.trace, row.bound,
+                                    dvfs, power, prep.fixed);
+            return row;
+        });
+    }
+    const std::vector<Row> rows = runner.runBatch(std::move(cell_jobs));
+
+    if (shard == 0)
+        std::fprintf(out, "%s\n", sweepCsvHeader());
+    for (const Row &row : rows)
+        std::fputs(sweepCsvRow(row.cell, row.bound, row.outcome).c_str(),
+                   out);
+}
+
+} // namespace rubik

@@ -1,0 +1,84 @@
+#ifndef RUBIK_RUNNER_SWEEP_RUNNER_H
+#define RUBIK_RUNNER_SWEEP_RUNNER_H
+
+/**
+ * @file
+ * Executes SweepSpec grids: one simulation per cell, fanned out on an
+ * ExperimentRunner pool, with CSV output whose bytes depend only on the
+ * spec — not on worker count or shard split. runSweep(spec, i, N, ...)
+ * emits exactly the rows of shard i; concatenating the N shard outputs
+ * (rubik_cli merge) reproduces the unsharded CSV byte for byte.
+ *
+ * Traces are pulled from a memoized TraceStore, so a grid's load trace
+ * is generated once per (app, load, seed) no matter how many policies
+ * share it, and the auto latency bound's 50%-load trace once per
+ * (app, seed).
+ *
+ * runPolicy() is the single name -> scheme dispatch, shared with
+ * rubik_cli so the CLI's one-shot mode and sweep cells cannot drift.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "policies/replay.h"
+#include "power/dvfs_model.h"
+#include "power/power_model.h"
+#include "runner/sweep_spec.h"
+#include "sim/trace.h"
+
+namespace rubik {
+
+/// What one policy run reports (the sweep CSV row's numeric fields).
+struct PolicyOutcome
+{
+    double tailLatency = 0.0;      ///< 95th percentile (s).
+    double energyPerRequest = 0.0; ///< Core energy (J/request).
+    double meanFrequency = 0.0;    ///< Busy-weighted (0 for replays).
+    uint64_t transitions = 0;
+    double fixedEnergyPerRequest = 0.0; ///< Fixed-nominal baseline.
+};
+
+/// Policy names runPolicy dispatches on.
+const std::vector<std::string> &knownPolicyNames();
+bool isKnownPolicy(const std::string &name);
+
+/**
+ * Run `policy` over `trace` (already class-annotated for the
+ * hint-driven schemes) against `bound`. Throws std::runtime_error on
+ * an unknown policy name.
+ */
+PolicyOutcome runPolicy(const std::string &policy, const Trace &trace,
+                        double bound, const DvfsModel &dvfs,
+                        const PowerModel &power);
+
+/**
+ * Same, with the fixed-nominal baseline replay supplied by the caller
+ * so grids sharing one trace across policies replay it only once.
+ */
+PolicyOutcome runPolicy(const std::string &policy, const Trace &trace,
+                        double bound, const DvfsModel &dvfs,
+                        const PowerModel &power,
+                        const ReplayResult &fixed);
+
+/// The sweep CSV header (no trailing newline).
+const char *sweepCsvHeader();
+
+/// One cell's CSV row (with trailing newline).
+std::string sweepCsvRow(const SweepCell &cell, double bound,
+                        const PolicyOutcome &outcome);
+
+/**
+ * Execute shard `shard` of `num_shards` of the spec's grid on `jobs`
+ * workers (0 = hardware default) and write CSV to `out`. The header is
+ * emitted only by shard 0 (header-once); rows follow cell-index order.
+ * Throws std::runtime_error on an invalid spec, unknown app or policy,
+ * or an out-of-range shard.
+ */
+void runSweep(const SweepSpec &spec, int shard, int num_shards,
+              int jobs, std::FILE *out);
+
+} // namespace rubik
+
+#endif // RUBIK_RUNNER_SWEEP_RUNNER_H

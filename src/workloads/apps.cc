@@ -25,6 +25,16 @@ appName(AppId id)
     panic("unknown app id");
 }
 
+std::optional<AppId>
+appIdByName(const std::string &name)
+{
+    for (AppId id : allApps()) {
+        if (appName(id) == name)
+            return id;
+    }
+    return std::nullopt;
+}
+
 double
 AppProfile::meanServiceTime(double freq, double nominal_freq) const
 {

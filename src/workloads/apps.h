@@ -23,6 +23,7 @@
  */
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,9 @@ std::vector<AppId> allApps();
 
 /// Lowercase app name as printed in the paper's figures.
 std::string appName(AppId id);
+
+/// Reverse lookup; nullopt for unknown names.
+std::optional<AppId> appIdByName(const std::string &name);
 
 /**
  * A latency-critical application model.

@@ -11,6 +11,15 @@
  *   rubik_cli --app specjbb --load 0.3 --policy dynamic --csv
  *   rubik_cli --app moses --loads 0.1,0.3,0.5,0.7 --policy rubik --csv
  *
+ * Subcommands for batch experiment grids (src/runner/sweep_spec.h):
+ *   rubik_cli sweep --spec grid.spec                # whole grid as CSV
+ *   rubik_cli sweep --spec grid.spec --shard 1/3    # one shard's rows
+ *   rubik_cli merge merged.csv shard0.csv shard1.csv shard2.csv
+ *
+ * Sharded sweeps write the CSV header only on shard 0, so concatenating
+ * the shard outputs in order (`merge`) is byte-identical to the
+ * unsharded run.
+ *
  * Multi-load sweeps (--loads) run every load as an independent job on
  * an ExperimentRunner thread pool; each job derives its trace from the
  * same seed, so results match a serial sweep exactly.
@@ -19,20 +28,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <functional>
-#include <stdexcept>
+#include <optional>
 #include <string>
 #include <vector>
 
-#include "core/rubik_boost.h"
-#include "core/rubik_controller.h"
-#include "policies/adrenaline.h"
-#include "policies/dynamic_oracle.h"
-#include "policies/pegasus.h"
 #include "policies/replay.h"
-#include "policies/static_oracle.h"
 #include "runner/experiment_runner.h"
-#include "sim/simulation.h"
+#include "runner/sweep_runner.h"
+#include "runner/sweep_spec.h"
 #include "util/error.h"
 #include "util/units.h"
 #include "workloads/trace_gen.h"
@@ -40,11 +45,6 @@
 using namespace rubik;
 
 namespace {
-
-/// Every name run_load dispatches on; validation uses the same list.
-constexpr const char *kPolicies[] = {"fixed",  "static",     "dynamic",
-                                     "adrenaline", "pegasus", "rubik",
-                                     "rubik-nofb", "boost"};
 
 struct CliOptions
 {
@@ -79,8 +79,15 @@ usage(const char *argv0)
         "  --transition-us US DVFS transition latency (default 4)\n"
         "  --bursty           MMPP-2 arrivals instead of Poisson\n"
         "  --seed S           RNG seed (default 42)\n"
-        "  --csv              machine-readable output\n",
-        argv0);
+        "  --csv              machine-readable output\n"
+        "subcommands:\n"
+        "  %s sweep --spec FILE [--shard I/N] [--jobs N]\n"
+        "                     run a sweep-spec grid (or one shard) as "
+        "CSV on stdout\n"
+        "  %s merge OUT SHARD0 [SHARD1 ...]\n"
+        "                     concatenate shard CSVs into OUT "
+        "(byte-identical to the unsharded run)\n",
+        argv0, argv0, argv0);
     std::exit(0);
 }
 
@@ -149,33 +156,75 @@ parse(int argc, char **argv)
 AppId
 appByName(const std::string &name)
 {
-    for (AppId id : allApps()) {
-        if (appName(id) == name)
-            return id;
-    }
-    fatal("unknown app (try --help)");
+    const std::optional<AppId> id = appIdByName(name);
+    if (!id)
+        fatal("unknown app (try --help)");
+    return *id;
 }
 
-struct Outcome
+/// `rubik_cli sweep --spec FILE [--shard I/N] [--jobs N]`.
+int
+sweepMain(int argc, char **argv)
 {
-    double tail = 0.0;
-    double energyPerReq = 0.0;
-    double meanFreq = 0.0; ///< Busy-time-weighted (0 for replays).
-    uint64_t transitions = 0;
-};
+    std::string spec_path;
+    int shard = 0, num_shards = 1, jobs = 0;
+    for (int i = 2; i < argc; ++i) {
+        auto need = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--spec"))
+            spec_path = need("--spec");
+        else if (!std::strcmp(argv[i], "--shard")) {
+            if (!parseShardArg(need("--shard"), &shard, &num_shards)) {
+                std::fprintf(stderr,
+                             "--shard wants I/N with 0 <= I < N\n");
+                return 1;
+            }
+        } else if (!std::strcmp(argv[i], "--jobs"))
+            jobs = std::atoi(need("--jobs"));
+        else {
+            // Not usage(): that exits 0 on stdout, which would let a
+            // typo'd flag corrupt a redirected shard CSV silently.
+            std::fprintf(stderr, "sweep: unknown flag %s\n", argv[i]);
+            return 1;
+        }
+    }
+    if (spec_path.empty()) {
+        std::fprintf(stderr, "sweep needs --spec FILE\n");
+        return 1;
+    }
+    try {
+        const SweepSpec spec = SweepSpec::parseFile(spec_path);
+        runSweep(spec, shard, num_shards, jobs, stdout);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "sweep: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
 
-Outcome
-fromSim(const SimResult &r, const DvfsModel &dvfs)
+/// `rubik_cli merge OUT SHARD0 [SHARD1 ...]`.
+int
+mergeMain(int argc, char **argv)
 {
-    Outcome o;
-    o.tail = r.tailLatency(0.95);
-    o.energyPerReq = r.coreEnergyPerRequest();
-    double weighted = 0.0;
-    for (std::size_t i = 0; i < r.core.freqResidency.size(); ++i)
-        weighted += r.core.freqResidency[i] * dvfs.frequencies()[i];
-    o.meanFreq = r.core.busyTime > 0 ? weighted / r.core.busyTime : 0.0;
-    o.transitions = r.core.numTransitions;
-    return o;
+    if (argc < 4) {
+        std::fprintf(stderr,
+                     "merge wants an output and >= 1 shard CSVs\n");
+        return 1;
+    }
+    try {
+        mergeCsvShardFiles(argv[2],
+                           std::vector<std::string>(argv + 3,
+                                                    argv + argc));
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "merge: %s\n", e.what());
+        return 1;
+    }
+    return 0;
 }
 
 } // anonymous namespace
@@ -183,18 +232,25 @@ fromSim(const SimResult &r, const DvfsModel &dvfs)
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && !std::strcmp(argv[1], "sweep"))
+        return sweepMain(argc, argv);
+    if (argc > 1 && !std::strcmp(argv[1], "merge"))
+        return mergeMain(argc, argv);
+
     const CliOptions o = parse(argc, argv);
     const DvfsModel dvfs = DvfsModel::haswell(o.transitionUs * kUs);
     const PowerModel power(dvfs);
     const double nominal = dvfs.nominalFrequency();
     const AppProfile app = makeApp(appByName(o.app));
 
-    // Reject unknown policies before any worker thread starts.
-    bool policy_known = false;
-    for (const char *name : kPolicies)
-        policy_known = policy_known || o.policy == name;
-    if (!policy_known)
-        usage(argv[0]);
+    // Reject unknown policies before any worker thread starts. Not
+    // usage(): that exits 0 on stdout and would corrupt redirected
+    // CSV output while reporting success.
+    if (!isKnownPolicy(o.policy)) {
+        std::fprintf(stderr, "unknown policy: %s (try --help)\n",
+                     o.policy.c_str());
+        return 1;
+    }
 
     double bound = o.boundMs * kMs;
     if (bound <= 0.0) {
@@ -205,11 +261,6 @@ main(int argc, char **argv)
 
     // One sweep job per load. Every job owns its trace and reads only
     // shared immutable state, so parallel results match a serial sweep.
-    struct LoadResult
-    {
-        Outcome out;
-        double fixedEnergyPerReq = 0.0;
-    };
     auto run_load = [&](double load) {
         Trace trace = o.bursty
                           ? generateBurstyTrace(app, load, o.requests,
@@ -217,60 +268,14 @@ main(int argc, char **argv)
                           : generateLoadTrace(app, load, o.requests,
                                               nominal, o.seed);
         annotateClasses(trace, 0.85, nominal);
-
-        const ReplayResult fixed = replayFixed(trace, nominal, power);
-
-        LoadResult r;
-        r.fixedEnergyPerReq = fixed.energyPerRequest();
-        Outcome &out = r.out;
-        if (o.policy == "fixed") {
-            out.tail = fixed.tailLatency();
-            out.energyPerReq = fixed.energyPerRequest();
-            out.meanFreq = nominal;
-        } else if (o.policy == "static") {
-            const auto sr = staticOracle(trace, bound, 0.95, dvfs, power);
-            out.tail = sr.replay.tailLatency();
-            out.energyPerReq = sr.replay.energyPerRequest();
-            out.meanFreq = sr.frequency;
-        } else if (o.policy == "dynamic") {
-            const auto dr = dynamicOracle(trace, bound, 0.95, dvfs, power);
-            out.tail = dr.replay.tailLatency();
-            out.energyPerReq = dr.replay.energyPerRequest();
-        } else if (o.policy == "adrenaline") {
-            const auto ar =
-                adrenalineOracle(trace, bound, dvfs, power, nominal);
-            out.tail = ar.replay.tailLatency();
-            out.energyPerReq = ar.replay.energyPerRequest();
-        } else if (o.policy == "pegasus") {
-            PegasusConfig cfg;
-            cfg.latencyBound = bound;
-            PegasusPolicy policy(dvfs, cfg);
-            out = fromSim(simulate(trace, policy, dvfs, power), dvfs);
-        } else if (o.policy == "rubik" || o.policy == "rubik-nofb") {
-            RubikConfig cfg;
-            cfg.latencyBound = bound;
-            cfg.feedback = o.policy == "rubik";
-            RubikController policy(dvfs, cfg);
-            out = fromSim(simulate(trace, policy, dvfs, power), dvfs);
-        } else if (o.policy == "boost") {
-            RubikBoostConfig cfg;
-            cfg.base.latencyBound = bound;
-            RubikBoostController policy(dvfs, cfg);
-            out = fromSim(simulate(trace, policy, dvfs, power), dvfs);
-        } else {
-            // Validated above; only reachable if kPolicies and this
-            // chain diverge. Thrown (not exit) so the runner rethrows
-            // it on the main thread.
-            throw std::logic_error("unhandled policy: " + o.policy);
-        }
-        return r;
+        return runPolicy(o.policy, trace, bound, dvfs, power);
     };
 
     ExperimentRunner runner(o.jobs);
-    std::vector<std::function<LoadResult()>> jobs;
+    std::vector<std::function<PolicyOutcome()>> jobs;
     for (double load : o.loads)
         jobs.push_back([&run_load, load] { return run_load(load); });
-    const std::vector<LoadResult> results =
+    const std::vector<PolicyOutcome> results =
         runner.runBatch(std::move(jobs));
 
     if (o.csv) {
@@ -280,15 +285,16 @@ main(int argc, char **argv)
     }
     for (std::size_t li = 0; li < o.loads.size(); ++li) {
         const double load = o.loads[li];
-        const Outcome &out = results[li].out;
+        const PolicyOutcome &out = results[li];
         const double savings =
-            1.0 - out.energyPerReq / results[li].fixedEnergyPerReq;
+            1.0 - out.energyPerRequest / out.fixedEnergyPerRequest;
         if (o.csv) {
             std::printf("%s,%s,%.2f,%.4f,%.4f,%.3f,%.4f,%.4f,%.2f,%llu\n",
                         o.app.c_str(), o.policy.c_str(), load,
-                        bound / kMs, out.tail / kMs, out.tail / bound,
-                        out.energyPerReq / kMj, savings,
-                        out.meanFreq / kGHz,
+                        bound / kMs, out.tailLatency / kMs,
+                        out.tailLatency / bound,
+                        out.energyPerRequest / kMj, savings,
+                        out.meanFrequency / kGHz,
                         static_cast<unsigned long long>(out.transitions));
             continue;
         }
@@ -301,13 +307,13 @@ main(int argc, char **argv)
                     o.bursty ? " (bursty MMPP)" : "");
         std::printf("bound          %.3f ms (95th pct)\n", bound / kMs);
         std::printf("tail latency   %.3f ms (%.2fx bound)\n",
-                    out.tail / kMs, out.tail / bound);
+                    out.tailLatency / kMs, out.tailLatency / bound);
         std::printf("core energy    %.3f mJ/req (%.1f%% vs fixed "
                     "2.4 GHz)\n",
-                    out.energyPerReq / kMj, savings * 100);
-        if (out.meanFreq > 0)
+                    out.energyPerRequest / kMj, savings * 100);
+        if (out.meanFrequency > 0)
             std::printf("mean frequency %.2f GHz (busy-time weighted)\n",
-                        out.meanFreq / kGHz);
+                        out.meanFrequency / kGHz);
         if (out.transitions > 0)
             std::printf("transitions    %llu\n",
                         static_cast<unsigned long long>(out.transitions));
