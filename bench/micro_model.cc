@@ -11,13 +11,18 @@
  *  - end-to-end event-simulator throughput.
  */
 
+#include <complex>
+#include <vector>
+
 #include <benchmark/benchmark.h>
 
+#include "core/convolution_plan.h"
 #include "core/distribution.h"
 #include "core/profiler.h"
 #include "core/rubik_controller.h"
 #include "core/target_tail_table.h"
 #include "sim/simulation.h"
+#include "util/fft.h"
 #include "util/rng.h"
 #include "util/units.h"
 #include "workloads/trace_gen.h"
@@ -63,6 +68,40 @@ BM_TableRebuildNonConservative(benchmark::State &state)
     }
 }
 BENCHMARK(BM_TableRebuildNonConservative);
+
+void
+BM_TableRebuildWarmPlan(benchmark::State &state)
+{
+    // Steady-state controller shape: the ConvolutionPlan persists across
+    // rebuilds, so every mixing-distribution spectrum is a cache hit.
+    const auto compute = lognormalDist(13.0, 0.3, 1);
+    const auto memory = lognormalDist(-9.0, 0.3, 2);
+    TailTableConfig cfg;
+    cfg.rows = static_cast<std::size_t>(state.range(0));
+    ConvolutionPlan plan;
+    for (auto _ : state) {
+        auto table = TargetTailTable::build(compute, memory, cfg, &plan);
+        benchmark::DoNotOptimize(table);
+    }
+}
+BENCHMARK(BM_TableRebuildWarmPlan)->Arg(8)->Arg(16);
+
+void
+BM_TableRebuildPackedFft(benchmark::State &state)
+{
+    // The flagged packed real-input transform (one forward FFT per
+    // convolution with no spectrum cache; ~1e-12 from the exact path).
+    const auto compute = lognormalDist(13.0, 0.3, 1);
+    const auto memory = lognormalDist(-9.0, 0.3, 2);
+    TailTableConfig cfg;
+    cfg.rows = static_cast<std::size_t>(state.range(0));
+    cfg.packedRealFft = true;
+    for (auto _ : state) {
+        auto table = TargetTailTable::build(compute, memory, cfg);
+        benchmark::DoNotOptimize(table);
+    }
+}
+BENCHMARK(BM_TableRebuildPackedFft)->Arg(16);
 
 void
 BM_FrequencyDecision(benchmark::State &state)
@@ -118,6 +157,66 @@ BM_ConvolveDirect(benchmark::State &state)
         benchmark::DoNotOptimize(a.convolveWith(b, /*use_fft=*/false));
 }
 BENCHMARK(BM_ConvolveDirect);
+
+void
+BM_ConvolvePacked(benchmark::State &state)
+{
+    const auto a = lognormalDist(13.0, 0.3, 4);
+    const auto b = lognormalDist(13.0, 0.4, 5);
+    ConvolveOptions opts;
+    opts.packedReal = true;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a.convolveWith(b, opts, nullptr));
+}
+BENCHMARK(BM_ConvolvePacked);
+
+void
+BM_FftPlanned(benchmark::State &state)
+{
+    // One planned forward+inverse pair at the convolution's native size.
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const FftPlan &plan = FftPlan::forSize(n);
+    std::vector<std::complex<double>> buf(n);
+    for (std::size_t i = 0; i < n; ++i)
+        buf[i] = 1.0 / static_cast<double>(i + 1);
+    for (auto _ : state) {
+        plan.run(buf.data(), false);
+        plan.run(buf.data(), true);
+        benchmark::DoNotOptimize(buf.data());
+    }
+}
+BENCHMARK(BM_FftPlanned)->Arg(256)->Arg(1024);
+
+void
+BM_FftUnplanned(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::vector<std::complex<double>> buf(n);
+    for (std::size_t i = 0; i < n; ++i)
+        buf[i] = 1.0 / static_cast<double>(i + 1);
+    for (auto _ : state) {
+        fft(buf, false);
+        fft(buf, true);
+        benchmark::DoNotOptimize(buf.data());
+    }
+}
+BENCHMARK(BM_FftUnplanned)->Arg(256)->Arg(1024);
+
+void
+BM_QuantileUpper(benchmark::State &state)
+{
+    // The table-build inner-loop quantile: a binary search over the
+    // cached CDF.
+    const auto d = lognormalDist(13.0, 0.3, 4);
+    double q = 0.0;
+    for (auto _ : state) {
+        q += 1e-4;
+        if (q >= 1.0)
+            q = 0.0;
+        benchmark::DoNotOptimize(d.quantileUpper(q));
+    }
+}
+BENCHMARK(BM_QuantileUpper);
 
 void
 BM_ProfilerRecordAndBuild(benchmark::State &state)

@@ -1,0 +1,98 @@
+#include "core/convolution_plan.h"
+
+#include <bit>
+
+#include "core/distribution.h"
+
+namespace rubik {
+
+namespace {
+
+inline std::size_t
+mixHash(std::size_t h, std::uint64_t v)
+{
+    // splitmix64-style mixing: cheap and good enough for cache keys.
+    v += 0x9e3779b97f4a7c15ULL + h;
+    v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(v ^ (v >> 31));
+}
+
+} // anonymous namespace
+
+namespace {
+
+std::size_t
+hashSpectrumKey(double src_width, double common, std::size_t len,
+                std::size_t fft_size, const std::vector<double> &src)
+{
+    std::size_t h = mixHash(0, std::bit_cast<std::uint64_t>(src_width));
+    h = mixHash(h, std::bit_cast<std::uint64_t>(common));
+    h = mixHash(h, len);
+    h = mixHash(h, fft_size);
+    h = mixHash(h, src.size());
+    // Sample a few masses instead of hashing all of them; equality still
+    // compares the full vector.
+    if (!src.empty()) {
+        const std::size_t n = src.size();
+        h = mixHash(h, std::bit_cast<std::uint64_t>(src[0]));
+        h = mixHash(h, std::bit_cast<std::uint64_t>(src[n / 2]));
+        h = mixHash(h, std::bit_cast<std::uint64_t>(src[n - 1]));
+    }
+    return h;
+}
+
+} // anonymous namespace
+
+std::size_t
+ConvolutionPlan::SpectrumKeyHash::operator()(const SpectrumKey &k) const
+{
+    return hashSpectrumKey(k.srcWidth, k.common, k.len, k.fftSize, k.src);
+}
+
+std::size_t
+ConvolutionPlan::SpectrumKeyHash::operator()(const SpectrumKeyView &k) const
+{
+    return hashSpectrumKey(k.srcWidth, k.common, k.len, k.fftSize, *k.src);
+}
+
+void
+ConvolutionPlan::clear()
+{
+    spectra_.clear();
+    stats_ = Stats();
+}
+
+const std::vector<std::complex<double>> &
+ConvolutionPlan::spectrumFor(const DiscreteDistribution &src, double common,
+                             std::size_t len, std::size_t fft_n)
+{
+    const SpectrumKeyView view{src.width_, common, len, fft_n, &src.p_};
+    const auto it = spectra_.find(view);
+    if (it != spectra_.end()) {
+        ++stats_.spectrumHits;
+        return it->second;
+    }
+    ++stats_.spectrumMisses;
+
+    if (spectra_.size() >= kMaxSpectra)
+        spectra_.clear();
+
+    std::vector<std::complex<double>> spec;
+    if (src.width_ == common) {
+        fftRealSpectrum(src.p_, fft_n, spec);
+    } else {
+        const DiscreteDistribution rebinned = src.rebin(common, len);
+        fftRealSpectrum(rebinned.p_, fft_n, spec);
+    }
+    SpectrumKey key;
+    key.srcWidth = src.width_;
+    key.common = common;
+    key.len = len;
+    key.fftSize = fft_n;
+    key.src = src.p_;
+    return spectra_.emplace(std::move(key), std::move(spec))
+        .first->second;
+}
+
+} // namespace rubik

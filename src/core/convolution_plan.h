@@ -1,0 +1,138 @@
+#ifndef RUBIK_CORE_CONVOLUTION_PLAN_H
+#define RUBIK_CORE_CONVOLUTION_PLAN_H
+
+/**
+ * @file
+ * Reusable workspace for DiscreteDistribution::convolveWith.
+ *
+ * A table rebuild runs ~2*(rows+1) convolution chains of up to 16 steps
+ * each, and every step used to re-transform the same mixing distribution,
+ * re-derive FFT tables, and allocate half a dozen temporaries. A
+ * ConvolutionPlan owns (1) the FFT scratch buffers and the
+ * edge-split/trim arena, reused across calls, and (2) a content-keyed
+ * cache of right-operand spectra, so a chain against a fixed mixing
+ * distribution pays one forward transform per step instead of two.
+ *
+ * Results are bitwise identical with or without a plan, and on hits as
+ * well as misses: cache entries are keyed by the exact source masses and
+ * widths, so a hit can only ever replay a transform that would have
+ * produced the same bits.
+ *
+ * A plan is NOT thread-safe; use one per controller or chain (callers
+ * that pass none get a per-thread fallback). The global FftPlan table it
+ * draws on is thread-safe.
+ */
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/fft.h"
+
+namespace rubik {
+
+class DiscreteDistribution;
+
+class ConvolutionPlan
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t spectrumHits = 0;
+        std::uint64_t spectrumMisses = 0;
+    };
+
+    const Stats &stats() const { return stats_; }
+
+    /// Drop cached spectra and counters (arena capacity is kept).
+    void clear();
+
+  private:
+    friend class DiscreteDistribution;
+
+    /// Exact cache key: geometry scalars plus the source masses
+    /// themselves, so a hit can only replay a transform of identical
+    /// input (bitwise-equal output by construction).
+    struct SpectrumKey
+    {
+        double srcWidth = 0.0;   ///< Bucket width of the source masses.
+        double common = 0.0;     ///< Common width it was rebinned to.
+        std::size_t len = 0;     ///< Mass count after rebinning.
+        std::size_t fftSize = 0; ///< Transform length.
+        std::vector<double> src; ///< Exact source masses.
+    };
+
+    /// Borrowed-key twin of SpectrumKey for heterogeneous lookup, so a
+    /// cache probe never copies the source masses.
+    struct SpectrumKeyView
+    {
+        double srcWidth;
+        double common;
+        std::size_t len;
+        std::size_t fftSize;
+        const std::vector<double> *src;
+    };
+
+    struct SpectrumKeyHash
+    {
+        using is_transparent = void;
+        std::size_t operator()(const SpectrumKey &k) const;
+        std::size_t operator()(const SpectrumKeyView &k) const;
+    };
+
+    struct SpectrumKeyEq
+    {
+        using is_transparent = void;
+        static bool eq(const SpectrumKey &a, const SpectrumKeyView &b)
+        {
+            return a.srcWidth == b.srcWidth && a.common == b.common &&
+                   a.len == b.len && a.fftSize == b.fftSize &&
+                   a.src == *b.src;
+        }
+        bool operator()(const SpectrumKey &a, const SpectrumKey &b) const
+        {
+            return a.srcWidth == b.srcWidth && a.common == b.common &&
+                   a.len == b.len && a.fftSize == b.fftSize &&
+                   a.src == b.src;
+        }
+        bool operator()(const SpectrumKey &a,
+                        const SpectrumKeyView &b) const
+        {
+            return eq(a, b);
+        }
+        bool operator()(const SpectrumKeyView &a,
+                        const SpectrumKey &b) const
+        {
+            return eq(b, a);
+        }
+    };
+
+    /**
+     * Spectrum of `src` rebinned to width `common` in `len` buckets and
+     * transformed at length fft_n, from cache when an entry with the
+     * same source bytes and geometry exists. The reference is valid
+     * until the next spectrumFor() call.
+     */
+    const std::vector<std::complex<double>> &
+    spectrumFor(const DiscreteDistribution &src, double common,
+                std::size_t len, std::size_t fft_n);
+
+    /// Cache size cap; reaching it flushes the cache wholesale (an
+    /// epoch flush: by then the profiled distributions have drifted and
+    /// old spectra would not be asked for again).
+    static constexpr std::size_t kMaxSpectra = 1024;
+
+    FftScratch scratch_;
+    std::vector<double> raw_;  ///< Convolution output arena.
+    std::vector<double> conv_; ///< Edge-split arena.
+    std::unordered_map<SpectrumKey, std::vector<std::complex<double>>,
+                       SpectrumKeyHash, SpectrumKeyEq>
+        spectra_;
+    Stats stats_;
+};
+
+} // namespace rubik
+
+#endif // RUBIK_CORE_CONVOLUTION_PLAN_H

@@ -3,10 +3,25 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/convolution_plan.h"
 #include "util/error.h"
 #include "util/fft.h"
 
 namespace rubik {
+
+namespace {
+
+/// Fallback workspace for callers that don't thread a plan through.
+/// Thread-local so sweeps running convolutions from many
+/// ExperimentRunner jobs never share mutable state.
+ConvolutionPlan &
+threadLocalPlan()
+{
+    static thread_local ConvolutionPlan plan;
+    return plan;
+}
+
+} // anonymous namespace
 
 DiscreteDistribution
 DiscreteDistribution::pointMass(double value, std::size_t buckets)
@@ -38,6 +53,7 @@ DiscreteDistribution::fromHistogram(const Histogram &hist,
     d.p_ = hist.normalized();
     if (d.p_.size() != buckets)
         return d.rebin(hist.max() / static_cast<double>(buckets), buckets);
+    d.rebuildCdf();
     return d;
 }
 
@@ -53,6 +69,8 @@ DiscreteDistribution::DiscreteDistribution(std::vector<double> masses,
 void
 DiscreteDistribution::normalize()
 {
+    // One validation+sum pass, then one fused divide+CDF pass;
+    // totalMass() reads the cached CDF instead of re-scanning.
     double total = 0.0;
     for (double m : p_) {
         RUBIK_ASSERT(m >= 0.0, "negative probability mass");
@@ -62,19 +80,27 @@ DiscreteDistribution::normalize()
         // Degenerate: make it a point mass at 0.
         p_.assign(p_.size(), 0.0);
         p_[0] = 1.0;
+        rebuildCdf();
         return;
     }
-    for (double &m : p_)
-        m /= total;
+    cdf_.resize(p_.size());
+    double cum = 0.0;
+    for (std::size_t i = 0; i < p_.size(); ++i) {
+        p_[i] /= total;
+        cum += p_[i];
+        cdf_[i] = cum;
+    }
 }
 
-double
-DiscreteDistribution::totalMass() const
+void
+DiscreteDistribution::rebuildCdf()
 {
-    double total = 0.0;
-    for (double m : p_)
-        total += m;
-    return total;
+    cdf_.resize(p_.size());
+    double cum = 0.0;
+    for (std::size_t i = 0; i < p_.size(); ++i) {
+        cum += p_[i];
+        cdf_[i] = cum;
+    }
 }
 
 double
@@ -102,29 +128,27 @@ double
 DiscreteDistribution::quantile(double q) const
 {
     q = std::clamp(q, 0.0, 1.0);
-    const double target = q;
-    double cum = 0.0;
-    for (std::size_t i = 0; i < p_.size(); ++i) {
-        if (cum + p_[i] >= target) {
-            const double frac = p_[i] > 0.0 ? (target - cum) / p_[i] : 0.0;
-            return (static_cast<double>(i) + frac) * width_;
-        }
-        cum += p_[i];
-    }
-    return max();
+    // First bucket whose inclusive CDF reaches q. The CDF entries are
+    // the same sums the old linear scan compared against, so the binary
+    // search picks the same bucket and returns the same bits.
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), q);
+    if (it == cdf_.end())
+        return max();
+    const auto i = static_cast<std::size_t>(it - cdf_.begin());
+    const double below = i == 0 ? 0.0 : cdf_[i - 1];
+    const double frac = p_[i] > 0.0 ? (q - below) / p_[i] : 0.0;
+    return (static_cast<double>(i) + frac) * width_;
 }
 
 double
 DiscreteDistribution::quantileUpper(double q) const
 {
     q = std::clamp(q, 0.0, 1.0);
-    double cum = 0.0;
-    for (std::size_t i = 0; i < p_.size(); ++i) {
-        cum += p_[i];
-        if (cum >= q - 1e-12)
-            return (static_cast<double>(i) + 1.0) * width_;
-    }
-    return max();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), q - 1e-12);
+    if (it == cdf_.end())
+        return max();
+    const auto i = static_cast<std::size_t>(it - cdf_.begin());
+    return (static_cast<double>(i) + 1.0) * width_;
 }
 
 DiscreteDistribution
@@ -160,17 +184,18 @@ DiscreteDistribution::conditionalOnElapsed(double omega) const
     return DiscreteDistribution(std::move(shifted), width_);
 }
 
-DiscreteDistribution
-DiscreteDistribution::rebin(double new_width, std::size_t new_buckets) const
+std::vector<double>
+DiscreteDistribution::rebinMasses(const double *src, std::size_t src_len,
+                                  double src_width, double new_width,
+                                  std::size_t new_buckets)
 {
-    RUBIK_ASSERT(new_width > 0 && new_buckets >= 2, "invalid rebin target");
     std::vector<double> out(new_buckets, 0.0);
-    for (std::size_t i = 0; i < p_.size(); ++i) {
-        if (p_[i] == 0.0)
+    for (std::size_t i = 0; i < src_len; ++i) {
+        if (src[i] == 0.0)
             continue;
         // Source bucket [a, b) spreads its mass uniformly over the target.
-        const double a = static_cast<double>(i) * width_;
-        const double b = a + width_;
+        const double a = static_cast<double>(i) * src_width;
+        const double b = a + src_width;
         const double lo_f = a / new_width;
         const double hi_f = b / new_width;
         auto lo = static_cast<std::size_t>(lo_f);
@@ -178,7 +203,7 @@ DiscreteDistribution::rebin(double new_width, std::size_t new_buckets) const
         lo = std::min(lo, new_buckets - 1);
         hi = std::min(hi, new_buckets - 1);
         if (lo == hi) {
-            out[lo] += p_[i];
+            out[lo] += src[i];
             continue;
         }
         const double span = hi_f - lo_f;
@@ -187,58 +212,106 @@ DiscreteDistribution::rebin(double new_width, std::size_t new_buckets) const
             const double seg_hi =
                 std::min(hi_f, static_cast<double>(j + 1));
             const double w = std::max(0.0, seg_hi - seg_lo) / span;
-            out[j] += p_[i] * w;
+            out[j] += src[i] * w;
         }
     }
-    return DiscreteDistribution(std::move(out), new_width);
+    return out;
+}
+
+DiscreteDistribution
+DiscreteDistribution::rebin(double new_width, std::size_t new_buckets) const
+{
+    RUBIK_ASSERT(new_width > 0 && new_buckets >= 2, "invalid rebin target");
+    return DiscreteDistribution(
+        rebinMasses(p_.data(), p_.size(), width_, new_width, new_buckets),
+        new_width);
 }
 
 DiscreteDistribution
 DiscreteDistribution::convolveWith(const DiscreteDistribution &other,
                                    bool use_fft) const
 {
+    ConvolveOptions opts;
+    opts.useFft = use_fft;
+    return convolveWith(other, opts, nullptr);
+}
+
+DiscreteDistribution
+DiscreteDistribution::convolveWith(const DiscreteDistribution &other,
+                                   const ConvolveOptions &opts,
+                                   ConvolutionPlan *plan) const
+{
+    ConvolutionPlan &ws = plan ? *plan : threadLocalPlan();
+
     // Bring both operands to a common bucket width. Crucially, rebin the
     // narrower operand into only as many buckets as its support needs:
     // zero-padding it to a full bucket count would double the result's
-    // support on every convolution and blow up a 16-deep chain.
+    // support on every convolution and blow up a 16-deep chain. Operands
+    // already at the common width are used in place (no copies).
     const double common = std::max(width_, other.width_);
-    auto compact = [common](const DiscreteDistribution &d) {
-        if (d.width_ == common)
-            return d;
-        const auto k = static_cast<std::size_t>(
-            std::ceil(d.max() / common));
-        return d.rebin(common, std::max<std::size_t>(k, 2));
+    const auto compact_len = [common](const DiscreteDistribution &d) {
+        const auto k =
+            static_cast<std::size_t>(std::ceil(d.max() / common));
+        return std::max<std::size_t>(k, 2);
     };
-    const DiscreteDistribution lhs = compact(*this);
-    const DiscreteDistribution rhs = compact(other);
 
-    const std::vector<double> raw =
-        use_fft ? fftConvolve(lhs.p_, rhs.p_)
-                : directConvolve(lhs.p_, rhs.p_);
+    const DiscreteDistribution *lhs = this;
+    DiscreteDistribution lhs_storage;
+    if (width_ != common) {
+        lhs_storage = rebin(common, compact_len(*this));
+        lhs = &lhs_storage;
+    }
+    const std::size_t rhs_len =
+        other.width_ == common ? other.p_.size() : compact_len(other);
+    const std::size_t out_size = lhs->p_.size() + rhs_len - 1;
+
+    std::vector<double> &raw = ws.raw_;
+    if (opts.useFft && !opts.packedReal) {
+        // Exact FFT path: the rhs spectrum comes from the plan's cache,
+        // so a chain against a fixed mixing distribution transforms it
+        // once, not once per position.
+        const std::vector<std::complex<double>> &spec = ws.spectrumFor(
+            other, common, rhs_len, fftConvolveSize(out_size));
+        fftConvolveSpectrum(lhs->p_, spec, out_size, ws.scratch_, raw);
+    } else {
+        const DiscreteDistribution *rhs = &other;
+        DiscreteDistribution rhs_storage;
+        if (other.width_ != common) {
+            rhs_storage = other.rebin(common, rhs_len);
+            rhs = &rhs_storage;
+        }
+        if (!opts.useFft)
+            raw = directConvolve(lhs->p_, rhs->p_);
+        else
+            fftConvolvePacked(lhs->p_, rhs->p_, ws.scratch_, raw);
+    }
 
     // Index-domain convolution places the sum of two bucket midpoints,
     // (i+0.5)w + (j+0.5)w = (i+j+1)w, exactly on the edge between output
     // buckets i+j and i+j+1. Split the mass across both so means add
     // exactly (no half-bucket drift across chained convolutions).
-    std::vector<double> conv(raw.size() + 1, 0.0);
-    for (std::size_t k = 0; k < raw.size(); ++k) {
-        conv[k] += 0.5 * raw[k];
-        conv[k + 1] += 0.5 * raw[k];
-    }
+    // conv[k] = 0.5*raw[k-1] + 0.5*raw[k], added low-index-first — the
+    // same sums, in the same order, as the old accumulate-in-place loop.
+    std::vector<double> &conv = ws.conv_;
+    conv.resize(raw.size() + 1);
+    conv[0] = 0.5 * raw[0];
+    for (std::size_t k = 1; k < raw.size(); ++k)
+        conv[k] = 0.5 * raw[k - 1] + 0.5 * raw[k];
+    conv[raw.size()] = 0.5 * raw[raw.size() - 1];
 
     // Trim trailing (near-)zero mass so the support only reflects real
     // probability, keeping chained convolutions' resolution tight.
-    while (conv.size() > 1 && conv.back() < 1e-15)
-        conv.pop_back();
+    std::size_t conv_len = conv.size();
+    while (conv_len > 1 && conv[conv_len - 1] < 1e-15)
+        --conv_len;
 
     // Rebin the widened result back to this bucket count.
     const std::size_t n = p_.size();
-    DiscreteDistribution widened;
-    widened.p_ = std::move(conv);
-    widened.width_ = common;
-    const double support =
-        common * static_cast<double>(widened.p_.size());
-    return widened.rebin(support / static_cast<double>(n), n);
+    const double support = common * static_cast<double>(conv_len);
+    const double new_width = support / static_cast<double>(n);
+    return DiscreteDistribution(
+        rebinMasses(conv.data(), conv_len, common, new_width, n),
+        new_width);
 }
 
 } // namespace rubik

@@ -18,6 +18,13 @@
  * The distribution always keeps a fixed bucket count; convolution widens
  * the bucket width instead of growing the array, so chained convolutions
  * stay O(n log n) with bounded memory.
+ *
+ * Every distribution carries its CDF (prefix sums built with the same
+ * accumulation order as the linear scans they replaced), so quantile()
+ * and quantileUpper() are binary searches with bitwise-identical results.
+ * Convolutions route through a ConvolutionPlan workspace — an explicit
+ * one when the caller is running a chain, a per-thread fallback
+ * otherwise — for plan-cached, allocation-free FFTs.
  */
 
 #include <cstddef>
@@ -26,6 +33,21 @@
 #include "stats/histogram.h"
 
 namespace rubik {
+
+class ConvolutionPlan;
+
+/// Convolution variant selection. The defaults are the exact path whose
+/// results every golden CSV pins down.
+struct ConvolveOptions
+{
+    /// FFT path (paper's choice); the direct path is exact and used for
+    /// testing.
+    bool useFft = true;
+    /// Pack both real operands into a single forward transform. Agrees
+    /// with the exact FFT path to ~1e-12 but is NOT bitwise identical;
+    /// strictly opt-in (TailTableConfig::packedRealFft).
+    bool packedReal = false;
+};
 
 /**
  * A probability distribution over [0, numBuckets * bucketWidth), stored as
@@ -92,19 +114,50 @@ class DiscreteDistribution
     DiscreteDistribution convolveWith(const DiscreteDistribution &other,
                                       bool use_fft = true) const;
 
+    /**
+     * Convolution with explicit options and an optional reusable
+     * workspace. Chains (tailChain, table builds) pass a plan so the
+     * mixing distribution's spectrum is computed once per chain and the
+     * temporaries live in one arena; with opts at defaults the result is
+     * bitwise identical to convolveWith(other).
+     */
+    DiscreteDistribution convolveWith(
+        const DiscreteDistribution &other, const ConvolveOptions &opts,
+        ConvolutionPlan *plan = nullptr) const;
+
     /// Rebin to a new bucket width/count (mass split proportionally).
     DiscreteDistribution rebin(double new_width,
                                std::size_t new_buckets) const;
 
     /// Total mass (1 up to rounding; 0 only for the empty edge case).
-    double totalMass() const;
+    /// O(1): the tail of the cached CDF.
+    double totalMass() const
+    {
+        return cdf_.empty() ? 0.0 : cdf_.back();
+    }
 
   private:
+    friend class ConvolutionPlan;
+
     DiscreteDistribution() = default;
 
     void normalize();
+    /// Recompute cdf_ from p_ (sequential prefix sums).
+    void rebuildCdf();
+
+    /// The rebin() mass-splitting loop on raw arrays, shared with the
+    /// convolution trim/rebin stage.
+    static std::vector<double> rebinMasses(const double *src,
+                                           std::size_t src_len,
+                                           double src_width,
+                                           double new_width,
+                                           std::size_t new_buckets);
 
     std::vector<double> p_;
+    /// Inclusive prefix sums of p_: cdf_[i] = p_[0] + ... + p_[i],
+    /// accumulated in index order (the same order the quantile scans
+    /// used, so binary searches return bitwise-identical results).
+    std::vector<double> cdf_;
     double width_ = 1.0;
 };
 

@@ -35,6 +35,7 @@ RubikBoostController::reset()
     mixTable_.reset();
     for (auto &t : classTables_)
         t.reset();
+    convPlan_.clear();
     internalTarget_ = cfg_.base.latencyBound;
     measured_ = RollingTail(cfg_.base.feedbackWindow);
     pi_.reset(1.0);
@@ -120,8 +121,8 @@ RubikBoostController::periodicUpdate(const CoreEngine &core)
             mixProfiler_.computeDistribution();
         const DiscreteDistribution mix_m =
             mixProfiler_.memoryDistribution();
-        mixTable_ =
-            TargetTailTable::build(mix_c, mix_m, cfg_.base.table);
+        mixTable_ = TargetTailTable::build(mix_c, mix_m, cfg_.base.table,
+                                           &convPlan_);
         for (int k = 0; k < cfg_.numClasses; ++k) {
             if (classProfilers_[k].numSamples() <
                 cfg_.classWarmupSamples) {
@@ -130,7 +131,7 @@ RubikBoostController::periodicUpdate(const CoreEngine &core)
             classTables_[k] = TargetTailTable::build(
                 classProfilers_[k].computeDistribution(),
                 classProfilers_[k].memoryDistribution(), mix_c, mix_m,
-                cfg_.base.table);
+                cfg_.base.table, &convPlan_);
         }
         completionsAtLastBuild_ = completionsSeen_;
     }

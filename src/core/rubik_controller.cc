@@ -25,6 +25,7 @@ RubikController::reset()
 {
     profiler_.clear();
     table_.reset();
+    convPlan_.clear();
     internalTarget_ = cfg_.latencyBound;
     measured_ = RollingTail(cfg_.feedbackWindow);
     pi_.reset(1.0);
@@ -105,7 +106,7 @@ RubikController::periodicUpdate(const CoreEngine &core)
     if (profiler_.numSamples() >= cfg_.warmupSamples && enough_new) {
         table_ = TargetTailTable::build(profiler_.computeDistribution(),
                                         profiler_.memoryDistribution(),
-                                        cfg_.table);
+                                        cfg_.table, &convPlan_);
         ++tableRebuilds_;
         completionsAtLastBuild_ = completionsSeen_;
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/convolution_plan.h"
 #include "stats/percentile.h"
 #include "util/error.h"
 
@@ -12,12 +13,18 @@ namespace {
 
 /**
  * Compute one row's exact tails: percentiles of the convolution chain
- * S_0 ⊛ S^(⊛i) for i = 0..positions-1.
+ * S_0 ⊛ S^(⊛i) for i = 0..positions-1. The plan carries the FFT scratch
+ * and the cached spectrum of `s` across positions (and across the rows
+ * of a build), so each step pays one forward transform, not two.
  */
 std::vector<double>
 tailChain(const DiscreteDistribution &s0, const DiscreteDistribution &s,
-          const TailTableConfig &cfg)
+          const TailTableConfig &cfg, ConvolutionPlan &plan)
 {
+    ConvolveOptions opts;
+    opts.useFft = cfg.useFft;
+    opts.packedReal = cfg.packedRealFft;
+
     std::vector<double> tails;
     tails.reserve(cfg.positions);
     DiscreteDistribution cur = s0;
@@ -30,7 +37,7 @@ tailChain(const DiscreteDistribution &s0, const DiscreteDistribution &s,
             tail = std::max(tail, tails.back());
         tails.push_back(tail);
         if (i + 1 < cfg.positions)
-            cur = cur.convolveWith(s, cfg.useFft);
+            cur = cur.convolveWith(s, opts, &plan);
     }
     return tails;
 }
@@ -40,9 +47,10 @@ tailChain(const DiscreteDistribution &s0, const DiscreteDistribution &s,
 TargetTailTable
 TargetTailTable::build(const DiscreteDistribution &compute,
                        const DiscreteDistribution &memory,
-                       const TailTableConfig &config)
+                       const TailTableConfig &config,
+                       ConvolutionPlan *plan)
 {
-    return build(compute, memory, compute, memory, config);
+    return build(compute, memory, compute, memory, config, plan);
 }
 
 TargetTailTable
@@ -50,8 +58,11 @@ TargetTailTable::build(const DiscreteDistribution &s0_compute,
                        const DiscreteDistribution &s0_memory,
                        const DiscreteDistribution &mix_compute,
                        const DiscreteDistribution &mix_memory,
-                       const TailTableConfig &config)
+                       const TailTableConfig &config,
+                       ConvolutionPlan *plan)
 {
+    ConvolutionPlan local_plan;
+    ConvolutionPlan &ws = plan ? *plan : local_plan;
     const DiscreteDistribution &compute = mix_compute;
     const DiscreteDistribution &memory = mix_memory;
     RUBIK_ASSERT(config.rows >= 1, "need at least one row");
@@ -104,8 +115,8 @@ TargetTailTable::build(const DiscreteDistribution &s0_compute,
         const double m = b == 0 ? 0.0 : s0_memory.quantile(q);
         const DiscreteDistribution s0 = s0_compute.conditionalOnElapsed(w);
         const DiscreteDistribution m0 = s0_memory.conditionalOnElapsed(m);
-        bounds[b].cyc = tailChain(s0, compute, config);
-        bounds[b].mem = tailChain(m0, memory, config);
+        bounds[b].cyc = tailChain(s0, compute, config, ws);
+        bounds[b].mem = tailChain(m0, memory, config, ws);
         bounds[b].meanC = s0.mean();
         bounds[b].varC = s0.variance();
         bounds[b].meanM = m0.mean();
@@ -135,17 +146,24 @@ TargetTailTable::build(const DiscreteDistribution &s0_compute,
 }
 
 std::size_t
+TargetTailTable::rowForBounds(const std::vector<double> &bounds,
+                              double omega)
+{
+    // Last row whose lower bound is <= omega. The bounds are
+    // non-decreasing (quantiles of increasing q), so the first bound
+    // strictly above omega ends the run of rows the old linear scan
+    // would have accepted; on duplicate bounds this picks the last of
+    // the run, exactly as the scan did.
+    const auto it = std::upper_bound(bounds.begin(), bounds.end(), omega);
+    if (it == bounds.begin())
+        return 0;
+    return static_cast<std::size_t>(it - bounds.begin()) - 1;
+}
+
+std::size_t
 TargetTailTable::rowForElapsed(double omega) const
 {
-    // Last row whose lower bound is <= omega.
-    std::size_t row = 0;
-    for (std::size_t r = 1; r < rowBounds_.size(); ++r) {
-        if (omega >= rowBounds_[r])
-            row = r;
-        else
-            break;
-    }
-    return row;
+    return rowForBounds(rowBounds_, omega);
 }
 
 double

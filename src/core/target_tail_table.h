@@ -27,6 +27,8 @@
 
 namespace rubik {
 
+class ConvolutionPlan;
+
 /// Table shape and numerical options.
 struct TailTableConfig
 {
@@ -35,6 +37,10 @@ struct TailTableConfig
     double percentile = 0.95;    ///< Target tail percentile.
     std::size_t buckets = 128;   ///< Distribution resolution.
     bool useFft = true;          ///< FFT-accelerated convolutions.
+    /// Pack each convolution's two real operands into a single forward
+    /// transform. Off by default: it agrees with the exact FFT path only
+    /// to ~1e-12, and every golden CSV pins the exact path's bits.
+    bool packedRealFft = false;
     /// Evaluate each row's conditional at both row boundaries and keep the
     /// larger tail (guards against rows where conditioning on more elapsed
     /// work lengthens the remaining-work tail, e.g. heavy-tailed apps).
@@ -55,11 +61,14 @@ class TargetTailTable
     /**
      * Build the tables from the profiled compute-cycle distribution
      * (values in cycles) and memory-time distribution (values in
-     * seconds).
+     * seconds). Passing a ConvolutionPlan reuses its FFT scratch,
+     * temporaries, and cached mixing-distribution spectra across rows
+     * and across rebuilds; results are identical with or without one.
      */
     static TargetTailTable build(const DiscreteDistribution &compute,
                                  const DiscreteDistribution &memory,
-                                 const TailTableConfig &config);
+                                 const TailTableConfig &config,
+                                 ConvolutionPlan *plan = nullptr);
 
     /**
      * Class-aware build (the Rubik+Adrenaline hybrid, Sec. 5.2's
@@ -71,10 +80,20 @@ class TargetTailTable
                                  const DiscreteDistribution &s0_memory,
                                  const DiscreteDistribution &mix_compute,
                                  const DiscreteDistribution &mix_memory,
-                                 const TailTableConfig &config);
+                                 const TailTableConfig &config,
+                                 ConvolutionPlan *plan = nullptr);
 
     /// Row for a request that has executed `omega` cycles so far.
     std::size_t rowForElapsed(double omega) const;
+
+    /**
+     * The row search on an explicit non-decreasing bounds vector: index
+     * of the last bound <= omega (0 when omega precedes every bound).
+     * Exposed so tests can pin boundary and duplicate-bound behavior on
+     * handcrafted inputs; rowForElapsed() delegates to it.
+     */
+    static std::size_t rowForBounds(const std::vector<double> &bounds,
+                                    double omega);
 
     /**
      * Tail compute cycles c_i until completion of the request at queue

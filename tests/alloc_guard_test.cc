@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Guards the per-event decision path against silent perf regressions:
+ * RubikController::selectFrequency must perform no heap allocation in
+ * steady state (the paper's "updates take negligible time", Sec. 4.2 —
+ * a handful of table lookups and divides). A counting global operator
+ * new catches any allocation sneaking into the hot path.
+ */
+
+#include <cstdlib>
+#include <new>
+
+#include <gtest/gtest.h>
+
+#include "core/rubik_controller.h"
+#include "power/dvfs_model.h"
+#include "power/power_model.h"
+#include "sim/core_engine.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define RUBIK_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define RUBIK_ASAN 1
+#endif
+#endif
+#ifndef RUBIK_ASAN
+#define RUBIK_ASAN 0
+#endif
+
+#if !RUBIK_ASAN
+// Counting allocator: every global allocation bumps the counter. Not
+// compiled under ASan, whose interceptors own operator new.
+namespace {
+unsigned long long g_allocations = 0;
+}
+
+void *
+operator new(std::size_t size)
+{
+    ++g_allocations;
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    ++g_allocations;
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+#endif // !RUBIK_ASAN
+
+namespace rubik {
+namespace {
+
+TEST(AllocGuard, SelectFrequencyAllocatesNothingInSteadyState)
+{
+#if RUBIK_ASAN
+    GTEST_SKIP() << "allocation counting disabled under ASan";
+#else
+    const DvfsModel dvfs = DvfsModel::haswell();
+    const PowerModel pm(dvfs);
+    RubikConfig cfg;
+    cfg.latencyBound = 1.0 * kMs;
+    cfg.warmupSamples = 16;
+    RubikController rubik(dvfs, cfg);
+
+    CoreEngine core(dvfs, pm);
+    Rng rng(3);
+    for (int i = 0; i < 64; ++i) {
+        CompletedRequest done;
+        done.computeCycles = rng.lognormal(13.0, 0.3);
+        done.memoryTime = rng.lognormal(-9.0, 0.3);
+        done.completionTime = i * 1e-4;
+        rubik.onCompletion(done, core);
+    }
+    rubik.periodicUpdate(core); // builds the table
+    ASSERT_TRUE(rubik.warm());
+
+    // Deep queue: positions both inside the exact table and out in the
+    // Gaussian extension.
+    for (int i = 0; i < 40; ++i) {
+        Request r;
+        r.arrivalTime = core.now();
+        r.computeCycles = 5e5;
+        r.memoryTime = 1e-4;
+        core.enqueue(r);
+    }
+    ASSERT_NE(core.running(), nullptr);
+
+    // Warm any lazy one-time state, then count.
+    (void)rubik.selectFrequency(core);
+
+    const unsigned long long before = g_allocations;
+    double freq = 0.0;
+    for (int i = 0; i < 100; ++i)
+        freq = rubik.selectFrequency(core);
+    const unsigned long long after = g_allocations;
+
+    EXPECT_GT(freq, 0.0);
+    EXPECT_EQ(after - before, 0ull)
+        << "selectFrequency allocated on the decision path";
+#endif
+}
+
+} // namespace
+} // namespace rubik

@@ -5,6 +5,7 @@
  * extension), the online profiler, and the PI controller.
  */
 
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -76,6 +77,100 @@ TEST(DiscreteDistribution, QuantileUpperIsConservative)
     const auto d = fromSamples(samples);
     for (double q : {0.25, 0.5, 0.75, 0.95})
         EXPECT_GE(d.quantileUpper(q), d.quantile(q));
+}
+
+TEST(DiscreteDistribution, QuantileBinarySearchMatchesLinearScan)
+{
+    // quantile()/quantileUpper() are binary searches over the cached
+    // CDF; they must return exactly what the original linear scans
+    // returned, including on zero-mass runs and at exact CDF values.
+    const auto scan_quantile = [](const DiscreteDistribution &d,
+                                  double q) {
+        q = std::clamp(q, 0.0, 1.0);
+        double cum = 0.0;
+        for (std::size_t i = 0; i < d.numBuckets(); ++i) {
+            if (cum + d.mass(i) >= q) {
+                const double frac =
+                    d.mass(i) > 0.0 ? (q - cum) / d.mass(i) : 0.0;
+                return (static_cast<double>(i) + frac) * d.bucketWidth();
+            }
+            cum += d.mass(i);
+        }
+        return d.max();
+    };
+    const auto scan_upper = [](const DiscreteDistribution &d, double q) {
+        q = std::clamp(q, 0.0, 1.0);
+        double cum = 0.0;
+        for (std::size_t i = 0; i < d.numBuckets(); ++i) {
+            cum += d.mass(i);
+            if (cum >= q - 1e-12)
+                return (static_cast<double>(i) + 1.0) * d.bucketWidth();
+        }
+        return d.max();
+    };
+
+    Rng rng(17);
+    std::vector<DiscreteDistribution> dists;
+    dists.push_back(DiscreteDistribution::pointMass(42.0));
+    {
+        // Zero-mass runs: only a few occupied buckets.
+        std::vector<double> masses(128, 0.0);
+        masses[0] = 0.25;
+        masses[63] = 0.5;
+        masses[127] = 0.25;
+        dists.emplace_back(std::move(masses), 2.0);
+    }
+    {
+        // Long 4096-bucket distribution.
+        std::vector<double> samples;
+        for (int i = 0; i < 20000; ++i)
+            samples.push_back(rng.lognormal(1.0, 0.8));
+        dists.push_back(fromSamples(samples, 4096));
+    }
+
+    for (const auto &d : dists) {
+        std::vector<double> qs = {0.0,  1e-15, 0.1, 0.25, 0.5,
+                                  0.75, 0.95,  0.999, 1.0};
+        // Exact cumulative values stress the >= boundaries.
+        double cum = 0.0;
+        for (std::size_t i = 0; i < d.numBuckets(); i += 17) {
+            cum += d.mass(i);
+            qs.push_back(cum);
+        }
+        for (double q : qs) {
+            EXPECT_EQ(d.quantile(q), scan_quantile(d, q)) << "q=" << q;
+            EXPECT_EQ(d.quantileUpper(q), scan_upper(d, q)) << "q=" << q;
+        }
+    }
+}
+
+TEST(DiscreteDistribution, NormalizeSumAccuracyOnLongDistributions)
+{
+    // normalize() uses a plain running sum. On a 4096-bucket
+    // distribution with ~7 decades of dynamic range the result must
+    // still agree with a Kahan-compensated reference at ~1 ulp, and
+    // totalMass() (the cached CDF tail) must report the same sum a
+    // fresh scan would.
+    std::vector<double> masses(4096);
+    Rng rng(18);
+    for (std::size_t i = 0; i < masses.size(); ++i)
+        masses[i] = std::exp(-static_cast<double>(i % 1000) / 60.0) *
+                    rng.uniform(0.5, 1.5);
+    const DiscreteDistribution d(std::move(masses), 0.5);
+
+    double kahan = 0.0, comp = 0.0;
+    double plain = 0.0;
+    for (std::size_t i = 0; i < d.numBuckets(); ++i) {
+        const double m = d.mass(i);
+        plain += m;
+        const double y = m - comp;
+        const double t = kahan + y;
+        comp = (t - kahan) - y;
+        kahan = t;
+    }
+    EXPECT_NEAR(kahan, 1.0, 1e-12);
+    EXPECT_NEAR(d.totalMass(), kahan, 1e-14);
+    EXPECT_EQ(d.totalMass(), plain);
 }
 
 TEST(DiscreteDistribution, ConditionalShiftsSupport)
@@ -253,6 +348,79 @@ TEST(TargetTailTable, RowSelection)
         EXPECT_GE(r, prev);
         prev = r;
     }
+}
+
+/// Reference implementation: the linear scan rowForElapsed replaced.
+std::size_t
+scanRowForBounds(const std::vector<double> &bounds, double omega)
+{
+    std::size_t row = 0;
+    for (std::size_t r = 1; r < bounds.size(); ++r) {
+        if (omega >= bounds[r])
+            row = r;
+        else
+            break;
+    }
+    return row;
+}
+
+TEST(TargetTailTable, RowForElapsedMatchesLinearScanOnRealTable)
+{
+    // Equivalence at and around every real row boundary, probed one ulp
+    // to each side.
+    Rng rng(19);
+    std::vector<double> cycles;
+    for (int i = 0; i < 20000; ++i)
+        cycles.push_back(rng.lognormal(13.0, 0.4));
+    TailTableConfig cfg;
+    cfg.positions = 4;
+    const auto table = TargetTailTable::build(
+        fromSamples(cycles), DiscreteDistribution::pointMass(0.0), cfg);
+    const std::vector<double> &bounds = table.rowBounds();
+
+    std::vector<double> omegas = {-1.0, 0.0, 1e-9, 1e12};
+    for (double b : bounds) {
+        omegas.push_back(b);
+        omegas.push_back(std::nextafter(b, 0.0));
+        omegas.push_back(std::nextafter(b, 1e18));
+    }
+    for (double w : omegas) {
+        EXPECT_EQ(table.rowForElapsed(w), scanRowForBounds(bounds, w))
+            << "omega " << w;
+    }
+}
+
+TEST(TargetTailTable, RowForBoundsHandlesDuplicateBounds)
+{
+    // Row quantiles are strictly increasing, so duplicate bounds cannot
+    // come out of build(); pin the scan-equivalent semantics (a tie
+    // selects the LAST row of the duplicate run) on handcrafted vectors
+    // through the same search rowForElapsed uses.
+    const std::vector<std::vector<double>> cases = {
+        {0.0, 5.0, 5.0, 7.0},
+        {0.0, 5.0, 5.0, 5.0, 7.0, 7.0},
+        {0.0, 0.0, 0.0},
+        {0.0},
+        {0.0, 1.0, 2.0, 3.0},
+    };
+    for (const auto &bounds : cases) {
+        std::vector<double> omegas = {-1.0, 0.0, 4.999, 5.0, 5.001,
+                                      6.999, 7.0, 7.5, 1e12};
+        for (double b : bounds) {
+            omegas.push_back(std::nextafter(b, -1e18));
+            omegas.push_back(b);
+            omegas.push_back(std::nextafter(b, 1e18));
+        }
+        for (double w : omegas) {
+            EXPECT_EQ(TargetTailTable::rowForBounds(bounds, w),
+                      scanRowForBounds(bounds, w))
+                << "omega " << w;
+        }
+    }
+    // The duplicate-run tie lands on the last duplicate, as the old
+    // linear scan did.
+    EXPECT_EQ(TargetTailTable::rowForBounds({0.0, 5.0, 5.0, 7.0}, 5.0),
+              2u);
 }
 
 TEST(TargetTailTable, ElapsedWorkShortensRemainingTail)

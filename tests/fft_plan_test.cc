@@ -1,0 +1,333 @@
+/**
+ * @file
+ * FFT plan-cache tests: bitwise identity of planned transforms and
+ * planned/spectrum-cached convolutions against the unplanned reference,
+ * packed real-input accuracy, edge sizes, and thread safety of the
+ * global plan table (sweeps run convolutions from many ExperimentRunner
+ * jobs concurrently).
+ */
+
+#include <complex>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/convolution_plan.h"
+#include "core/distribution.h"
+#include "core/target_tail_table.h"
+#include "stats/histogram.h"
+#include "util/fft.h"
+#include "util/rng.h"
+
+namespace rubik {
+namespace {
+
+std::vector<std::complex<double>>
+randomComplex(std::size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::complex<double>> v(n);
+    for (auto &x : v)
+        x = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    return v;
+}
+
+std::vector<double>
+randomReal(std::size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> v(n);
+    for (auto &x : v)
+        x = rng.uniform();
+    return v;
+}
+
+/// Bitwise equality of two double sequences (stricter than ==: also
+/// distinguishes -0.0 from +0.0 and would catch NaNs).
+template <typename T>
+bool
+bitwiseEqual(const std::vector<T> &a, const std::vector<T> &b)
+{
+    return a.size() == b.size() &&
+           (a.empty() ||
+            std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0);
+}
+
+TEST(FftPlan, BitwiseIdenticalToUnplannedAllSizes)
+{
+    for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                          std::size_t{8}, std::size_t{64},
+                          std::size_t{128}, std::size_t{256},
+                          std::size_t{4096}}) {
+        const auto data = randomComplex(n, 100 + n);
+        for (bool invert : {false, true}) {
+            auto unplanned = data;
+            fft(unplanned, invert);
+            auto planned = data;
+            FftPlan::forSize(n).run(planned, invert);
+            EXPECT_TRUE(bitwiseEqual(unplanned, planned))
+                << "size " << n << " invert " << invert;
+        }
+    }
+}
+
+TEST(FftPlan, RoundTripRestoresInput)
+{
+    const auto data = randomComplex(512, 7);
+    auto copy = data;
+    const FftPlan &plan = FftPlan::forSize(512);
+    plan.run(copy, false);
+    plan.run(copy, true);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        EXPECT_NEAR(copy[i].real(), data[i].real(), 1e-9);
+        EXPECT_NEAR(copy[i].imag(), data[i].imag(), 1e-9);
+    }
+}
+
+TEST(FftPlan, ConvolvePlannedBitwiseIdentical)
+{
+    FftScratch scratch;
+    std::vector<double> out;
+    // Sizes chosen so out_size hits 1, powers of two, and
+    // non-powers-of-two (forcing zero-padding up to the next plan size).
+    const std::pair<std::size_t, std::size_t> shapes[] = {
+        {1, 1}, {1, 2}, {2, 2}, {3, 5}, {128, 128},
+        {128, 37}, {100, 29}, {4096, 4096}, {4096, 3}};
+    for (const auto &[na, nb] : shapes) {
+        const auto a = randomReal(na, na * 7 + 1);
+        const auto b = randomReal(nb, nb * 13 + 2);
+        const auto reference = fftConvolve(a, b);
+        fftConvolvePlanned(a, b, scratch, out);
+        EXPECT_TRUE(bitwiseEqual(reference, out))
+            << "sizes " << na << "x" << nb;
+    }
+}
+
+TEST(FftPlan, ConvolveWithSpectrumBitwiseIdentical)
+{
+    FftScratch scratch;
+    std::vector<double> out;
+    const auto a = randomReal(128, 3);
+    const auto b = randomReal(77, 4);
+    const std::size_t out_size = a.size() + b.size() - 1;
+
+    std::vector<std::complex<double>> b_spec;
+    fftRealSpectrum(b, fftConvolveSize(out_size), b_spec);
+    fftConvolveSpectrum(a, b_spec, out_size, scratch, out);
+
+    EXPECT_TRUE(bitwiseEqual(fftConvolve(a, b), out));
+}
+
+TEST(FftPlan, ConvolvePackedMatchesExactClosely)
+{
+    FftScratch scratch;
+    std::vector<double> out;
+    for (const auto &[na, nb] :
+         {std::pair<std::size_t, std::size_t>{1, 1},
+          std::pair<std::size_t, std::size_t>{128, 128},
+          std::pair<std::size_t, std::size_t>{200, 33}}) {
+        const auto a = randomReal(na, na + 11);
+        const auto b = randomReal(nb, nb + 12);
+        const auto reference = fftConvolve(a, b);
+        fftConvolvePacked(a, b, scratch, out);
+        ASSERT_EQ(reference.size(), out.size());
+        for (std::size_t i = 0; i < out.size(); ++i)
+            EXPECT_NEAR(out[i], reference[i], 1e-9);
+    }
+}
+
+TEST(FftPlan, PointMassConvolution)
+{
+    // delta * delta = delta, at the summed offset.
+    FftScratch scratch;
+    std::vector<double> out;
+    std::vector<double> da(5, 0.0), db(9, 0.0);
+    da[3] = 1.0;
+    db[6] = 1.0;
+    fftConvolvePlanned(da, db, scratch, out);
+    ASSERT_EQ(out.size(), da.size() + db.size() - 1);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        if (i == 9)
+            EXPECT_NEAR(out[i], 1.0, 1e-12);
+        else
+            EXPECT_NEAR(out[i], 0.0, 1e-12);
+    }
+}
+
+TEST(FftPlan, ConcurrentForSizeAndRunAreSafeAndExact)
+{
+    // Precompute serial references.
+    const std::size_t sizes[] = {2, 8, 64, 256, 1024, 4096};
+    std::vector<std::vector<std::complex<double>>> inputs, expected;
+    for (std::size_t n : sizes) {
+        inputs.push_back(randomComplex(n, 1000 + n));
+        auto ref = inputs.back();
+        fft(ref, false);
+        expected.push_back(std::move(ref));
+    }
+
+    constexpr int kThreads = 8;
+    constexpr int kIters = 50;
+    std::vector<int> mismatches(kThreads, 0);
+    {
+        std::vector<std::thread> threads;
+        threads.reserve(kThreads);
+        for (int t = 0; t < kThreads; ++t) {
+            threads.emplace_back([&, t] {
+                for (int it = 0; it < kIters; ++it) {
+                    for (std::size_t s = 0; s < std::size(sizes); ++s) {
+                        auto data = inputs[s];
+                        FftPlan::forSize(sizes[s]).run(data, false);
+                        if (!bitwiseEqual(data, expected[s]))
+                            ++mismatches[t];
+                    }
+                }
+            });
+        }
+        for (auto &th : threads)
+            th.join();
+    }
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+}
+
+DiscreteDistribution
+lognormalDist(double mu, double sigma, uint64_t seed)
+{
+    Rng rng(seed);
+    Histogram h(128, 1.0);
+    for (int i = 0; i < 2048; ++i)
+        h.add(rng.lognormal(mu, sigma));
+    return DiscreteDistribution::fromHistogram(h, 128);
+}
+
+TEST(ConvolutionPlan, PlanAndNoPlanProduceIdenticalDistributions)
+{
+    const auto a = lognormalDist(13.0, 0.3, 1);
+    const auto b = lognormalDist(13.0, 0.4, 2);
+
+    const auto no_plan = a.convolveWith(b);
+
+    ConvolutionPlan plan;
+    ConvolveOptions opts;
+    for (int rep = 0; rep < 3; ++rep) {
+        const auto with_plan = a.convolveWith(b, opts, &plan);
+        ASSERT_EQ(no_plan.numBuckets(), with_plan.numBuckets());
+        EXPECT_EQ(no_plan.bucketWidth(), with_plan.bucketWidth());
+        for (std::size_t i = 0; i < no_plan.numBuckets(); ++i)
+            EXPECT_EQ(no_plan.mass(i), with_plan.mass(i)) << "bucket " << i;
+    }
+    // Three identical convolutions: the rhs spectrum is computed once.
+    EXPECT_EQ(plan.stats().spectrumMisses, 1u);
+    EXPECT_EQ(plan.stats().spectrumHits, 2u);
+}
+
+TEST(ConvolutionPlan, ChainReusesMixingSpectrumAcrossSteps)
+{
+    const auto s0 = lognormalDist(13.0, 0.3, 3);
+    const auto s = lognormalDist(13.0, 0.35, 4);
+
+    ConvolutionPlan plan;
+    ConvolveOptions opts;
+    DiscreteDistribution cur = s0;
+    for (int i = 0; i < 8; ++i)
+        cur = cur.convolveWith(s, opts, &plan);
+    const auto first = plan.stats();
+
+    // Re-running the same chain hits the cache on every step.
+    cur = s0;
+    for (int i = 0; i < 8; ++i)
+        cur = cur.convolveWith(s, opts, &plan);
+    EXPECT_EQ(plan.stats().spectrumMisses, first.spectrumMisses);
+    EXPECT_EQ(plan.stats().spectrumHits, first.spectrumHits + 8);
+}
+
+TEST(ConvolutionPlan, TableBuildIdenticalWithSharedPlanAcrossBuilds)
+{
+    const auto compute = lognormalDist(13.0, 0.3, 5);
+    const auto memory = lognormalDist(-9.0, 0.3, 6);
+    TailTableConfig cfg;
+    cfg.rows = 4;
+    cfg.positions = 8;
+
+    const auto reference = TargetTailTable::build(compute, memory, cfg);
+    ConvolutionPlan plan;
+    for (int rep = 0; rep < 2; ++rep) {
+        const auto t = TargetTailTable::build(compute, memory, cfg, &plan);
+        for (std::size_t r = 0; r < cfg.rows; ++r) {
+            for (std::size_t i = 0; i < cfg.positions + 4; ++i) {
+                EXPECT_EQ(reference.tailCycles(r, i), t.tailCycles(r, i));
+                EXPECT_EQ(reference.tailMemTime(r, i),
+                          t.tailMemTime(r, i));
+            }
+        }
+    }
+}
+
+TEST(ConvolutionPlan, PackedRealFftStaysWithinDiscretizationNoise)
+{
+    const auto compute = lognormalDist(13.0, 0.3, 7);
+    const auto memory = lognormalDist(-9.0, 0.3, 8);
+    TailTableConfig exact_cfg;
+    exact_cfg.rows = 4;
+    exact_cfg.positions = 8;
+    TailTableConfig packed_cfg = exact_cfg;
+    packed_cfg.packedRealFft = true;
+
+    const auto exact = TargetTailTable::build(compute, memory, exact_cfg);
+    const auto packed =
+        TargetTailTable::build(compute, memory, packed_cfg);
+    for (std::size_t r = 0; r < exact_cfg.rows; ++r) {
+        for (std::size_t i = 0; i < exact_cfg.positions; ++i) {
+            // Tails are bucket edges; packed rounding can move a value
+            // by at most one bucket.
+            const double c = exact.tailCycles(r, i);
+            EXPECT_NEAR(packed.tailCycles(r, i), c, c * 0.05 + 1e-9);
+        }
+    }
+}
+
+TEST(ConvolutionPlan, ConcurrentTableBuildsMatchSerial)
+{
+    const auto compute = lognormalDist(13.0, 0.3, 9);
+    const auto memory = lognormalDist(-9.0, 0.3, 10);
+    TailTableConfig cfg;
+    cfg.rows = 4;
+    cfg.positions = 8;
+    const auto reference = TargetTailTable::build(compute, memory, cfg);
+
+    constexpr int kThreads = 8;
+    std::vector<int> mismatches(kThreads, 0);
+    {
+        std::vector<std::thread> threads;
+        threads.reserve(kThreads);
+        for (int t = 0; t < kThreads; ++t) {
+            threads.emplace_back([&, t] {
+                ConvolutionPlan plan;
+                for (int rep = 0; rep < 3; ++rep) {
+                    const auto table = TargetTailTable::build(
+                        compute, memory, cfg, &plan);
+                    for (std::size_t r = 0; r < cfg.rows; ++r) {
+                        for (std::size_t i = 0; i < cfg.positions; ++i) {
+                            if (table.tailCycles(r, i) !=
+                                    reference.tailCycles(r, i) ||
+                                table.tailMemTime(r, i) !=
+                                    reference.tailMemTime(r, i)) {
+                                ++mismatches[t];
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        for (auto &th : threads)
+            th.join();
+    }
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+}
+
+} // namespace
+} // namespace rubik

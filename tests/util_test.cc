@@ -228,6 +228,47 @@ TEST(Fft, MatchesDirectConvolution)
     }
 }
 
+TEST(Fft, MatchesDirectConvolutionAtEdgeSizes)
+{
+    // Explicit size coverage: 1, 2, non-power-of-two output sizes, the
+    // model's native 128, and a long 4096 (tolerance scaled: FFT error
+    // grows ~log n with values O(n) for uniform inputs).
+    Rng rng(22);
+    const std::pair<std::size_t, std::size_t> shapes[] = {
+        {1, 1}, {1, 2}, {2, 2}, {3, 5}, {7, 100}, {128, 128},
+        {128, 37}, {4096, 4096}};
+    for (const auto &[na, nb] : shapes) {
+        std::vector<double> a(na), b(nb);
+        for (auto &x : a)
+            x = rng.uniform();
+        for (auto &x : b)
+            x = rng.uniform();
+        const auto f = fftConvolve(a, b);
+        const auto d = directConvolve(a, b);
+        ASSERT_EQ(f.size(), d.size());
+        ASSERT_EQ(f.size(), na + nb - 1);
+        const double tol = 1e-12 * static_cast<double>(na + nb);
+        for (std::size_t i = 0; i < f.size(); ++i)
+            EXPECT_NEAR(f[i], d[i], tol) << na << "x" << nb << " @" << i;
+    }
+}
+
+TEST(Fft, PointMassTimesPointMass)
+{
+    // delta_i * delta_j = delta_{i+j}, exactly a single output spike.
+    std::vector<double> a(16, 0.0), b(11, 0.0);
+    a[5] = 1.0;
+    b[7] = 1.0;
+    const auto c = fftConvolve(a, b);
+    ASSERT_EQ(c.size(), a.size() + b.size() - 1);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        if (i == 12)
+            EXPECT_NEAR(c[i], 1.0, 1e-12);
+        else
+            EXPECT_NEAR(c[i], 0.0, 1e-12);
+    }
+}
+
 TEST(Fft, ConvolutionPreservesMass)
 {
     // Probability mass functions convolve to a PMF: total mass 1.
