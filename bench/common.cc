@@ -3,10 +3,53 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 
+#include "runner/backend.h"
 #include "runner/sweep_spec.h"
+#include "workloads/trace_store.h"
 
 namespace rubik::bench {
+
+namespace {
+
+/**
+ * Re-run this binary once per shard through the chosen backend and
+ * merge the shard CSVs onto stdout. `argv` is the original command
+ * line; the child argument vector keeps every flag except the
+ * backend/dispatch ones (each child runs `--backend local`
+ * implicitly) and gets `--shard I/N` appended by the backend.
+ */
+[[noreturn]] void
+dispatchSelf(int argc, char **argv, const Options &opts)
+{
+    std::vector<std::string> child_argv;
+    child_argv.push_back(rubik::selfExePath(argv[0]));
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--backend") ||
+            !std::strcmp(argv[i], "--shards")) {
+            ++i; // skip the flag's value too
+            continue;
+        }
+        child_argv.push_back(argv[i]);
+    }
+
+    rubik::BackendConfig cfg;
+    cfg.numShards = opts.shards;
+    cfg.jobs = opts.jobs;
+    cfg.traceCacheDir = opts.traceCache;
+    cfg.selfExe = child_argv.front();
+    try {
+        const auto backend = rubik::makeBackend(opts.backend, cfg);
+        backend->dispatchArgv(child_argv, stdout);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "backend dispatch failed: %s\n", e.what());
+        std::exit(1);
+    }
+    std::exit(0);
+}
+
+} // anonymous namespace
 
 int
 Options::numRequests(int bench_default) const
@@ -41,9 +84,20 @@ parseOptions(int argc, char **argv, bool allow_shard)
                              "--shard wants I/N with 0 <= I < N\n");
                 std::exit(1);
             }
+        } else if (std::strcmp(argv[i], "--backend") == 0 &&
+                   i + 1 < argc) {
+            opts.backend = argv[++i];
+        } else if (std::strcmp(argv[i], "--shards") == 0 &&
+                   i + 1 < argc) {
+            opts.shards = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--trace-cache") == 0 &&
+                   i + 1 < argc) {
+            opts.traceCache = argv[++i];
         } else if (std::strcmp(argv[i], "--help") == 0) {
             std::printf("usage: %s [--csv] [--fast] [--requests N] "
-                        "[--seed S] [--jobs N] [--shard I/N]\n",
+                        "[--seed S] [--jobs N] [--shard I/N] "
+                        "[--backend local|subprocess|command:<tmpl>] "
+                        "[--shards N] [--trace-cache DIR]\n",
                         argv[0]);
             std::exit(0);
         } else {
@@ -62,6 +116,35 @@ parseOptions(int argc, char **argv, bool allow_shard)
         // concatenate exactly.
         std::fprintf(stderr, "--shard requires --csv\n");
         std::exit(1);
+    }
+    if (!opts.traceCache.empty()) {
+        try {
+            globalTraceStore().setCacheDir(opts.traceCache);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            std::exit(1);
+        }
+    }
+    if (opts.backend != "local") {
+        if (opts.shards > 1 && !allow_shard) {
+            std::fprintf(stderr,
+                         "this bench does not support sharded "
+                         "dispatch (--shards)\n");
+            std::exit(1);
+        }
+        if (opts.shards > 1 && !opts.csv) {
+            std::fprintf(stderr,
+                         "--backend with --shards > 1 requires "
+                         "--csv\n");
+            std::exit(1);
+        }
+        if (opts.numShards > 1) {
+            std::fprintf(stderr,
+                         "--shard cannot be combined with "
+                         "--backend\n");
+            std::exit(1);
+        }
+        dispatchSelf(argc, argv, opts);
     }
     return opts;
 }

@@ -30,6 +30,9 @@ struct Options
     int jobs = 0;        ///< Worker threads; 0: hardware default.
     int shard = 0;       ///< --shard I/N: emit only shard I's cells.
     int numShards = 1;
+    std::string backend = "local"; ///< --backend execution backend.
+    int shards = 1;                ///< --shards: dispatch width.
+    std::string traceCache;        ///< --trace-cache directory.
 
     /// Effective request count given a bench default.
     int numRequests(int bench_default) const;
@@ -39,6 +42,15 @@ struct Options
  * Parse argv; prints usage and exits on unknown flags. `allow_shard`
  * marks benches that implement `--shard I/N` cell partitioning; the
  * others reject the flag instead of silently emitting full output.
+ *
+ * Backend dispatch: `--backend subprocess|command:<tmpl> --shards N`
+ * makes parseOptions re-run this binary once per shard (appending
+ * `--shard I/N` to the original arguments, minus the backend flags),
+ * merge the shard CSVs in order onto stdout, and exit — so every
+ * shard-capable bench is backend-agnostic with no per-bench code.
+ * `--trace-cache DIR` enables the shared on-disk trace cache (also
+ * honoured by each child, which inherits the flag), so concurrent
+ * shard processes generate each common trace exactly once.
  */
 Options parseOptions(int argc, char **argv, bool allow_shard = false);
 

@@ -21,6 +21,11 @@
  * recomputes the latency bounds of the apps it touches (bounds depend
  * only on (app, seed)), so concatenating the N shard outputs in order
  * (`rubik_cli merge`) is byte-identical to the unsharded run.
+ *
+ * Traces come from the process-wide TraceStore, so `--backend
+ * subprocess --shards N --trace-cache DIR` dispatches the shards as
+ * concurrent child processes that generate each shared trace (the
+ * bound traces especially) exactly once between them.
  */
 
 #include <map>
@@ -34,7 +39,7 @@
 #include "runner/sweep_spec.h"
 #include "sim/simulation.h"
 #include "util/units.h"
-#include "workloads/trace_gen.h"
+#include "workloads/trace_store.h"
 
 using namespace rubik;
 using namespace rubik::bench;
@@ -89,9 +94,9 @@ main(int argc, char **argv)
             AppContext ctx;
             ctx.app = makeApp(id);
             ctx.n = opts.numRequests(std::max(ctx.app.paperRequests, 5000));
-            const Trace t50 = generateLoadTrace(ctx.app, 0.5, ctx.n,
-                                                nominal, opts.seed);
-            ctx.bound = replayFixed(t50, nominal, plat.power)
+            const auto t50 = globalTraceStore().loadTrace(
+                ctx.app, 0.5, ctx.n, nominal, opts.seed);
+            ctx.bound = replayFixed(*t50, nominal, plat.power)
                             .tailLatency(0.95);
             return ctx;
         });
@@ -112,9 +117,9 @@ main(int argc, char **argv)
         const std::size_t li = ci % loads.size();
         cell_jobs.push_back([&, ai, li] {
             const AppContext &ctx = ctxs.at(ai);
-            const Trace t = generateLoadTrace(ctx.app, loads[li],
-                                              ctx.n, nominal,
-                                              opts.seed + 1);
+            const auto trace = globalTraceStore().loadTrace(
+                ctx.app, loads[li], ctx.n, nominal, opts.seed + 1);
+            const Trace &t = *trace;
 
             const ReplayResult fixed =
                 replayFixed(t, nominal, plat.power);

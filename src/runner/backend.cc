@@ -1,0 +1,480 @@
+#include "runner/backend.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "runner/experiment_runner.h"
+#include "runner/sweep_runner.h"
+
+namespace rubik {
+
+namespace {
+
+/// mkdtemp-backed scratch directory, recursively removed on scope
+/// exit. Lives under $TMPDIR (default /tmp).
+class TempDir
+{
+  public:
+    TempDir()
+    {
+        const char *base = std::getenv("TMPDIR");
+        std::string tmpl = (base && *base) ? base : "/tmp";
+        tmpl += "/rubik-backend-XXXXXX";
+        std::vector<char> buf(tmpl.begin(), tmpl.end());
+        buf.push_back('\0');
+        if (!mkdtemp(buf.data())) {
+            throw std::runtime_error(
+                "backend: cannot create temp directory under " + tmpl);
+        }
+        path_ = buf.data();
+    }
+
+    ~TempDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path_, ec);
+    }
+
+    TempDir(const TempDir &) = delete;
+    TempDir &operator=(const TempDir &) = delete;
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return {};
+    std::string text;
+    char buf[1 << 16];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, got);
+    std::fclose(f);
+    return text;
+}
+
+std::string
+describeWaitStatus(int rc)
+{
+    if (rc == -1)
+        return "could not spawn /bin/sh";
+    if (WIFEXITED(rc)) {
+        return "exited with status " +
+               std::to_string(WEXITSTATUS(rc));
+    }
+    if (WIFSIGNALED(rc))
+        return "killed by signal " + std::to_string(WTERMSIG(rc));
+    return "returned unknown wait status";
+}
+
+bool
+commandSucceeded(int rc)
+{
+    return rc != -1 && WIFEXITED(rc) && WEXITSTATUS(rc) == 0;
+}
+
+std::string
+stderrTail(const std::string &err_path)
+{
+    std::string text = readFile(err_path);
+    constexpr std::size_t kMax = 4096;
+    if (text.size() > kMax)
+        text = "..." + text.substr(text.size() - kMax);
+    while (!text.empty() && text.back() == '\n')
+        text.pop_back();
+    return text;
+}
+
+std::string
+joinQuoted(const std::vector<std::string> &argv)
+{
+    std::string cmd;
+    for (const std::string &arg : argv) {
+        if (!cmd.empty())
+            cmd += ' ';
+        cmd += shellQuote(arg);
+    }
+    return cmd;
+}
+
+std::string
+shardArg(int shard, int num_shards)
+{
+    return std::to_string(shard) + "/" + std::to_string(num_shards);
+}
+
+/**
+ * Child argument vector for one sweep dispatch (the backend appends
+ * `--shard i/N`): binary, subcommand, spec path, plus the forwarded
+ * --jobs / --trace-cache / --trace-stats flags. Shared by the
+ * subprocess backend and the command backend's {argv} placeholder so
+ * the two dispatch routes forward identically.
+ */
+std::vector<std::string>
+sweepChildArgv(const BackendConfig &config,
+               const std::string &spec_path)
+{
+    std::vector<std::string> argv = {config.selfExe, "sweep",
+                                     "--spec", spec_path};
+    if (config.jobs > 0) {
+        argv.push_back("--jobs");
+        argv.push_back(std::to_string(config.jobs));
+    }
+    if (!config.traceCacheDir.empty()) {
+        argv.push_back("--trace-cache");
+        argv.push_back(config.traceCacheDir);
+    }
+    if (config.traceStats)
+        argv.push_back("--trace-stats");
+    return argv;
+}
+
+/// Write a spec into `dir` for children to read.
+std::string
+writeSpecFile(const TempDir &dir, const SweepSpec &spec)
+{
+    const std::string path = dir.path() + "/sweep.spec";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        throw std::runtime_error("backend: cannot write " + path);
+    const std::string text = spec.serialize();
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    if (std::fclose(f) != 0 || !ok)
+        throw std::runtime_error("backend: short write to " + path);
+    return path;
+}
+
+class LocalThreadBackend final : public ExecutionBackend
+{
+  public:
+    explicit LocalThreadBackend(const BackendConfig &config)
+        : config_(config)
+    {
+    }
+
+    const char *name() const override { return "local"; }
+    bool inProcess() const override { return true; }
+
+    void runSweepSpec(const SweepSpec &spec, std::FILE *out) override
+    {
+        // Shard-by-shard on the in-process pool; the shard-determinism
+        // invariant makes this byte-identical to the unsharded run.
+        for (int i = 0; i < config_.numShards; ++i)
+            runSweep(spec, i, config_.numShards, config_.jobs, out);
+    }
+
+    void dispatchArgv(const std::vector<std::string> &,
+                      std::FILE *) override
+    {
+        throw std::runtime_error(
+            "local backend executes in-process; nothing to dispatch");
+    }
+
+  private:
+    BackendConfig config_;
+};
+
+class SubprocessBackend final : public ExecutionBackend
+{
+  public:
+    explicit SubprocessBackend(const BackendConfig &config)
+        : config_(config)
+    {
+        if (config_.selfExe.empty())
+            config_.selfExe = selfExePath(nullptr);
+        if (config_.maxAttempts <= 0)
+            config_.maxAttempts = 1;
+    }
+
+    const char *name() const override { return "subprocess"; }
+
+    void runSweepSpec(const SweepSpec &spec, std::FILE *out) override
+    {
+        spec.validate();
+        TempDir dir;
+        const std::string spec_path = writeSpecFile(dir, spec);
+        runShardCommands(
+            config_.numShards,
+            [&](int i) { return sweepCommand(spec_path, i); },
+            config_.maxAttempts, out);
+    }
+
+    void dispatchArgv(const std::vector<std::string> &argv,
+                      std::FILE *out) override
+    {
+        runShardCommands(
+            config_.numShards,
+            [&](int i) {
+                return joinQuoted(argv) + " --shard " +
+                       shardArg(i, config_.numShards);
+            },
+            config_.maxAttempts, out);
+    }
+
+  private:
+    std::string sweepCommand(const std::string &spec_path,
+                             int shard) const
+    {
+        return joinQuoted(sweepChildArgv(config_, spec_path)) +
+               " --shard " + shardArg(shard, config_.numShards);
+    }
+
+    BackendConfig config_;
+};
+
+class CommandBackend final : public ExecutionBackend
+{
+  public:
+    CommandBackend(std::string command_template,
+                   const BackendConfig &config)
+        : template_(std::move(command_template)), config_(config)
+    {
+        if (template_.empty()) {
+            throw std::runtime_error(
+                "command backend: empty command template");
+        }
+        if (template_.find("{argv}") == std::string::npos &&
+            template_.find("{shard}") == std::string::npos &&
+            template_.find("{index}") == std::string::npos) {
+            throw std::runtime_error(
+                "command backend: template must reference {argv}, "
+                "{shard}, or {index} so shards run distinct commands");
+        }
+        if (config_.selfExe.empty())
+            config_.selfExe = selfExePath(nullptr);
+        if (config_.maxAttempts <= 0)
+            config_.maxAttempts = 3;
+    }
+
+    const char *name() const override { return "command"; }
+
+    void runSweepSpec(const SweepSpec &spec, std::FILE *out) override
+    {
+        spec.validate();
+        TempDir dir;
+        const std::string spec_path = writeSpecFile(dir, spec);
+        // The canonical {argv} command carries the same forwarded
+        // flags SubprocessBackend passes its children, so
+        // `command:{argv}` and `subprocess` honour --trace-cache /
+        // --trace-stats / --jobs identically.
+        const std::vector<std::string> argv =
+            sweepChildArgv(config_, spec_path);
+        runShardCommands(
+            config_.numShards,
+            [&](int i) { return instantiate(argv, i, &spec_path); },
+            config_.maxAttempts, out);
+    }
+
+    void dispatchArgv(const std::vector<std::string> &argv,
+                      std::FILE *out) override
+    {
+        runShardCommands(
+            config_.numShards,
+            [&](int i) { return instantiate(argv, i, nullptr); },
+            config_.maxAttempts, out);
+    }
+
+  private:
+    std::string instantiate(const std::vector<std::string> &argv,
+                            int shard,
+                            const std::string *spec_path) const
+    {
+        const std::string shard_arg =
+            shardArg(shard, config_.numShards);
+        std::map<std::string, std::string> fields = {
+            {"argv", joinQuoted(argv) + " --shard " + shard_arg},
+            {"shard", shard_arg},
+            {"index", std::to_string(shard)},
+            {"nshards", std::to_string(config_.numShards)},
+            {"jobs", std::to_string(config_.jobs)},
+        };
+        if (spec_path)
+            fields.emplace("spec", *spec_path);
+        return instantiateCommandTemplate(template_, fields);
+    }
+
+    std::string template_;
+    BackendConfig config_;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<ExecutionBackend>
+makeBackend(const std::string &desc, const BackendConfig &config)
+{
+    if (config.numShards < 1)
+        throw std::runtime_error("backend: --shards must be >= 1");
+    if (desc == "local" || desc.empty())
+        return std::make_unique<LocalThreadBackend>(config);
+    if (desc == "subprocess")
+        return std::make_unique<SubprocessBackend>(config);
+    constexpr const char kCommandPrefix[] = "command:";
+    if (desc.rfind(kCommandPrefix, 0) == 0) {
+        return std::make_unique<CommandBackend>(
+            desc.substr(sizeof(kCommandPrefix) - 1), config);
+    }
+    throw std::runtime_error(
+        "unknown backend '" + desc +
+        "' (want local, subprocess, or command:<template>)");
+}
+
+std::string
+shellQuote(const std::string &arg)
+{
+    std::string quoted = "'";
+    for (const char c : arg) {
+        if (c == '\'')
+            quoted += "'\\''";
+        else
+            quoted.push_back(c);
+    }
+    quoted.push_back('\'');
+    return quoted;
+}
+
+std::string
+instantiateCommandTemplate(const std::string &tmpl,
+                           const std::map<std::string, std::string>
+                               &fields)
+{
+    std::string out;
+    out.reserve(tmpl.size());
+    std::size_t pos = 0;
+    while (pos < tmpl.size()) {
+        const std::size_t open = tmpl.find('{', pos);
+        if (open == std::string::npos) {
+            out.append(tmpl, pos, std::string::npos);
+            break;
+        }
+        out.append(tmpl, pos, open - pos);
+        const std::size_t close = tmpl.find('}', open);
+        if (close == std::string::npos) {
+            out.append(tmpl, open, std::string::npos);
+            break;
+        }
+        const std::string key = tmpl.substr(open + 1, close - open - 1);
+        const auto it = fields.find(key);
+        if (it != fields.end()) {
+            out += it->second;
+        } else {
+            // Unknown placeholder: keep the braces verbatim, so shell
+            // constructs like ${VAR} pass through untouched.
+            out.append(tmpl, open, close - open + 1);
+        }
+        pos = close + 1;
+    }
+    return out;
+}
+
+std::string
+selfExePath(const char *argv0)
+{
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+    return argv0 ? argv0 : "";
+}
+
+void
+runShardCommands(int num_shards,
+                 const std::function<std::string(int)> &command_for,
+                 int max_attempts, std::FILE *out)
+{
+    if (num_shards < 1)
+        throw std::runtime_error("backend: shard count must be >= 1");
+    if (max_attempts < 1)
+        max_attempts = 1;
+
+    TempDir dir;
+    struct Shard
+    {
+        std::string command;
+        std::string csvPath;
+        std::string errPath;
+    };
+    std::vector<Shard> shards(num_shards);
+    for (int i = 0; i < num_shards; ++i) {
+        shards[i].command = command_for(i);
+        shards[i].csvPath =
+            dir.path() + "/shard" + std::to_string(i) + ".csv";
+        shards[i].errPath =
+            dir.path() + "/shard" + std::to_string(i) + ".err";
+    }
+
+    // One dispatcher thread per shard: each blocks in system() while
+    // its child runs, so all shards are in flight simultaneously (the
+    // point of dispatching — children may live on other machines).
+    ExperimentRunner runner(num_shards);
+    std::vector<std::function<void()>> jobs;
+    for (int i = 0; i < num_shards; ++i) {
+        const Shard &shard = shards[i];
+        jobs.push_back([&shard, i, num_shards, max_attempts] {
+            // Subshell so templates with `;` redirect as a whole.
+            const std::string full = "( " + shard.command + " ) > " +
+                                     shellQuote(shard.csvPath) +
+                                     " 2> " +
+                                     shellQuote(shard.errPath);
+            for (int attempt = 1;; ++attempt) {
+                const int rc = std::system(full.c_str());
+                if (commandSucceeded(rc))
+                    return;
+                const std::string status = describeWaitStatus(rc);
+                if (attempt < max_attempts) {
+                    std::fprintf(stderr,
+                                 "backend: shard %d/%d attempt %d "
+                                 "failed (%s); retrying\n",
+                                 i, num_shards, attempt,
+                                 status.c_str());
+                    continue;
+                }
+                std::string msg =
+                    "shard " + std::to_string(i) + "/" +
+                    std::to_string(num_shards) + " failed after " +
+                    std::to_string(attempt) + " attempt(s): command `" +
+                    shard.command + "` " + status;
+                const std::string err = stderrTail(shard.errPath);
+                if (!err.empty())
+                    msg += "; stderr:\n" + err;
+                throw std::runtime_error(msg);
+            }
+        });
+    }
+    // Rethrows the lowest-indexed shard's failure after every child
+    // has finished; out is never touched on failure, so a failed
+    // shard cannot silently merge a partial CSV.
+    runner.runBatch(std::move(jobs));
+
+    std::vector<std::string> csvs;
+    csvs.reserve(shards.size());
+    for (const Shard &shard : shards) {
+        // Child diagnostics (trace-store stats, warnings) surface on
+        // our stderr in deterministic shard order.
+        const std::string err = readFile(shard.errPath);
+        if (!err.empty())
+            std::fwrite(err.data(), 1, err.size(), stderr);
+        csvs.push_back(readFile(shard.csvPath));
+    }
+    const std::string merged = mergeCsvShards(csvs);
+    if (!merged.empty() &&
+        std::fwrite(merged.data(), 1, merged.size(), out) !=
+            merged.size())
+        throw std::runtime_error("backend: short write of merged CSV");
+}
+
+} // namespace rubik

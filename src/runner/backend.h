@@ -1,0 +1,136 @@
+#ifndef RUBIK_RUNNER_BACKEND_H
+#define RUBIK_RUNNER_BACKEND_H
+
+/**
+ * @file
+ * Pluggable execution backends: how a SweepSpec grid's shards get run.
+ *
+ * The SweepSpec shard format (sweep_spec.h) makes a sweep dispatchable:
+ * shard i of N is a self-contained `sweep --spec F --shard i/N`
+ * invocation whose CSV concatenates byte-exactly with its siblings. An
+ * ExecutionBackend decides where those shards execute:
+ *
+ *  - LocalThreadBackend  — in this process, on the existing
+ *    ExperimentRunner thread pool (the default; byte-identical to the
+ *    pre-backend runSweep path).
+ *  - SubprocessBackend   — self-spawns one `rubik_cli sweep --spec F
+ *    --shard i/N` child per shard on this machine and merges their
+ *    CSVs. Pair with a shared --trace-cache so the children generate
+ *    each common trace exactly once.
+ *  - CommandBackend      — instantiates a user-supplied command
+ *    template per shard (e.g. `ssh host {argv}` or a job-queue submit
+ *    wrapper), with per-shard failure retry. The command's stdout is
+ *    the shard CSV.
+ *
+ * All dispatching backends merge shard outputs deterministically in
+ * shard-index order (sweep_spec.h mergeCsvShards), replay child stderr
+ * in the same order, and propagate a child's nonzero exit status plus
+ * its captured stderr in the thrown std::runtime_error — a failed
+ * shard can never silently truncate a merged CSV.
+ *
+ * Command template contract (CommandBackend): the template is a POSIX
+ * shell command in which these placeholders are substituted per shard:
+ *
+ *   {argv}     the canonical local command for this shard, quoted
+ *              (e.g. `.../rubik_cli sweep --spec F --shard 1/3`);
+ *              templates like `ssh host {argv}` wrap it verbatim
+ *   {spec}     path to the serialized spec file (sweep dispatch only)
+ *   {shard}    "i/N"      {index} "i"      {nshards} "N"
+ *   {jobs}     the per-shard --jobs value (0 = hardware default)
+ *
+ * A template must reference {argv}, {shard}, or {index}; otherwise
+ * every shard would run the identical command and the merge could not
+ * be a partition. Commands run with stdout redirected to the shard's
+ * CSV file and stderr captured for error reporting.
+ */
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runner/sweep_spec.h"
+
+namespace rubik {
+
+/// Dispatch parameters shared by every backend.
+struct BackendConfig
+{
+    int numShards = 1;   ///< Shards to split the work into.
+    int jobs = 0;        ///< Worker threads per shard (0 = hardware).
+    int maxAttempts = 0; ///< Per-shard attempts; 0 = backend default
+                         ///< (subprocess 1, command 3).
+    std::string traceCacheDir; ///< Forwarded as --trace-cache.
+    bool traceStats = false;   ///< Forward --trace-stats to children.
+    std::string selfExe;       ///< Binary SubprocessBackend spawns.
+};
+
+class ExecutionBackend
+{
+  public:
+    virtual ~ExecutionBackend() = default;
+
+    virtual const char *name() const = 0;
+
+    /// True when work should simply proceed in this process (local
+    /// backend): callers skip dispatch entirely.
+    virtual bool inProcess() const { return false; }
+
+    /**
+     * Run every shard of `spec` and write the merged CSV (bytes
+     * identical to an unsharded runSweep) to `out`. Throws
+     * std::runtime_error on an invalid spec or any shard failure.
+     */
+    virtual void runSweepSpec(const SweepSpec &spec, std::FILE *out) = 0;
+
+    /**
+     * Generic self-dispatch for shard-capable binaries (the benches):
+     * run `argv` (binary + arguments, shard flag excluded) once per
+     * shard with `--shard i/N` appended, merging shard stdout in order
+     * into `out`. Throws std::runtime_error on failure, and for the
+     * local backend, which executes in-process (see inProcess()).
+     */
+    virtual void dispatchArgv(const std::vector<std::string> &argv,
+                              std::FILE *out) = 0;
+};
+
+/**
+ * Build a backend from its command-line description:
+ * "local", "subprocess", or "command:<template>". Throws
+ * std::runtime_error on an unknown description or an invalid template.
+ */
+std::unique_ptr<ExecutionBackend>
+makeBackend(const std::string &desc, const BackendConfig &config);
+
+/// POSIX shell single-quote `arg` (embedded quotes escaped).
+std::string shellQuote(const std::string &arg);
+
+/// Replace every `{key}` from `fields` in `tmpl` (unknown braces kept).
+std::string
+instantiateCommandTemplate(const std::string &tmpl,
+                           const std::map<std::string, std::string>
+                               &fields);
+
+/// This executable's path (/proc/self/exe when available, else argv0).
+std::string selfExePath(const char *argv0);
+
+/**
+ * Dispatch machinery shared by the non-local backends: run the shell
+ * command `command_for(i)` for each shard with stdout captured as that
+ * shard's CSV and stderr captured for diagnostics, retrying each shard
+ * up to `max_attempts` times. When every shard has succeeded, child
+ * stderr is replayed to this process's stderr and the shard CSVs are
+ * merged in shard order into `out`. A shard that still fails after its
+ * last attempt throws std::runtime_error naming the shard, the
+ * command, the decoded exit status, and the captured stderr; nothing
+ * is written to `out` in that case.
+ */
+void runShardCommands(int num_shards,
+                      const std::function<std::string(int)> &command_for,
+                      int max_attempts, std::FILE *out);
+
+} // namespace rubik
+
+#endif // RUBIK_RUNNER_BACKEND_H

@@ -192,7 +192,7 @@ runSweep(const SweepSpec &spec, int shard, int num_shards, int jobs,
     const int n = spec.effectiveRequests();
 
     ExperimentRunner runner(jobs);
-    TraceStore store;
+    TraceStore &store = globalTraceStore();
 
     // Phase 1: latency bounds for the (app, seed) pairs this shard
     // touches. Bounds depend only on (app, seed), so every shard that
@@ -296,6 +296,22 @@ runSweep(const SweepSpec &spec, int shard, int num_shards, int jobs,
     for (const Row &row : rows)
         std::fputs(sweepCsvRow(row.cell, row.bound, row.outcome).c_str(),
                    out);
+}
+
+void
+printSweepCells(const SweepSpec &spec, int shard, int num_shards,
+                std::FILE *out)
+{
+    spec.validate();
+    const ShardRange range =
+        shardRange(spec.numCells(), shard, num_shards);
+    std::fprintf(out, "cell,app,load,policy,seed\n");
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+        const SweepCell cell = spec.cell(i);
+        std::fprintf(out, "%zu,%s,%.2f,%s,%llu\n", cell.index,
+                     cell.app.c_str(), cell.load, cell.policy.c_str(),
+                     static_cast<unsigned long long>(cell.seed));
+    }
 }
 
 } // namespace rubik

@@ -73,11 +73,22 @@ std::string sweepCsvRow(const SweepCell &cell, double bound,
  * Execute shard `shard` of `num_shards` of the spec's grid on `jobs`
  * workers (0 = hardware default) and write CSV to `out`. The header is
  * emitted only by shard 0 (header-once); rows follow cell-index order.
- * Throws std::runtime_error on an invalid spec, unknown app or policy,
- * or an out-of-range shard.
+ * Traces come from globalTraceStore(), so an enabled --trace-cache is
+ * shared with every other shard process on the machine. Throws
+ * std::runtime_error on an invalid spec, unknown app or policy, or an
+ * out-of-range shard.
  */
 void runSweep(const SweepSpec &spec, int shard, int num_shards,
               int jobs, std::FILE *out);
+
+/**
+ * List shard `shard`/`num_shards`'s cells without running anything:
+ * a `cell,app,load,policy,seed` header, then one line per owned cell
+ * in index order. Backs `rubik_cli sweep --dry-run`, making backend
+ * dispatch debuggable. Throws like runSweep on invalid input.
+ */
+void printSweepCells(const SweepSpec &spec, int shard, int num_shards,
+                     std::FILE *out);
 
 } // namespace rubik
 

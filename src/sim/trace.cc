@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <stdexcept>
 #include <vector>
 
 #include "util/error.h"
@@ -58,6 +60,140 @@ saveTrace(const Trace &trace, const std::string &path)
                      r.computeCycles, r.memoryTime);
     }
     std::fclose(f);
+}
+
+namespace {
+
+constexpr char kTraceMagic[4] = {'R', 'T', 'R', 'B'};
+constexpr std::size_t kHeaderBytes = 24;
+constexpr std::size_t kRecordBytes = 3 * sizeof(double) + sizeof(int32_t);
+
+template <typename T>
+void
+appendRaw(std::string &out, const T &value)
+{
+    char buf[sizeof(T)];
+    std::memcpy(buf, &value, sizeof(T));
+    out.append(buf, sizeof(T));
+}
+
+template <typename T>
+T
+readRaw(const char *data)
+{
+    T value;
+    std::memcpy(&value, data, sizeof(T));
+    return value;
+}
+
+} // anonymous namespace
+
+uint64_t
+fnv1a64(const void *data, std::size_t size)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    uint64_t hash = 14695981039346656037ull;
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+std::string
+serializeTraceBinary(const Trace &trace)
+{
+    std::string payload;
+    payload.reserve(trace.size() * kRecordBytes);
+    for (const TraceRecord &r : trace) {
+        appendRaw(payload, r.arrivalTime);
+        appendRaw(payload, r.computeCycles);
+        appendRaw(payload, r.memoryTime);
+        appendRaw(payload, static_cast<int32_t>(r.classHint));
+    }
+
+    std::string out;
+    out.reserve(kHeaderBytes + payload.size());
+    out.append(kTraceMagic, sizeof(kTraceMagic));
+    appendRaw(out, kTraceBinaryVersion);
+    appendRaw(out, static_cast<uint64_t>(trace.size()));
+    appendRaw(out, fnv1a64(payload.data(), payload.size()));
+    out += payload;
+    return out;
+}
+
+Trace
+deserializeTraceBinary(const std::string &bytes)
+{
+    if (bytes.size() < kHeaderBytes)
+        throw std::runtime_error("binary trace: truncated header");
+    if (std::memcmp(bytes.data(), kTraceMagic, sizeof(kTraceMagic)) != 0)
+        throw std::runtime_error("binary trace: bad magic");
+    const auto version = readRaw<uint32_t>(bytes.data() + 4);
+    if (version != kTraceBinaryVersion) {
+        throw std::runtime_error("binary trace: unsupported version " +
+                                 std::to_string(version));
+    }
+    const auto count = readRaw<uint64_t>(bytes.data() + 8);
+    const auto checksum = readRaw<uint64_t>(bytes.data() + 16);
+    // Size check precedes any allocation, so a garbage count cannot
+    // trigger a huge reserve.
+    if (bytes.size() != kHeaderBytes + count * kRecordBytes)
+        throw std::runtime_error("binary trace: size mismatch");
+    if (fnv1a64(bytes.data() + kHeaderBytes,
+                bytes.size() - kHeaderBytes) != checksum)
+        throw std::runtime_error("binary trace: checksum mismatch");
+
+    Trace trace;
+    trace.reserve(count);
+    const char *p = bytes.data() + kHeaderBytes;
+    for (uint64_t i = 0; i < count; ++i) {
+        TraceRecord r;
+        r.arrivalTime = readRaw<double>(p);
+        r.computeCycles = readRaw<double>(p + 8);
+        r.memoryTime = readRaw<double>(p + 16);
+        r.classHint = readRaw<int32_t>(p + 24);
+        trace.push_back(r);
+        p += kRecordBytes;
+    }
+    return trace;
+}
+
+void
+saveTraceBinary(const Trace &trace, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        throw std::runtime_error("binary trace: cannot open " + path +
+                                 " for writing");
+    }
+    const std::string bytes = serializeTraceBinary(trace);
+    const bool ok =
+        std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+    if (std::fclose(f) != 0 || !ok) {
+        std::remove(path.c_str());
+        throw std::runtime_error("binary trace: short write to " + path);
+    }
+}
+
+Trace
+loadTraceBinary(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        throw std::runtime_error("binary trace: cannot open " + path +
+                                 " for reading");
+    }
+    std::string bytes;
+    char buf[1 << 16];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.append(buf, got);
+    const bool read_err = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_err)
+        throw std::runtime_error("binary trace: read error on " + path);
+    return deserializeTraceBinary(bytes);
 }
 
 Trace

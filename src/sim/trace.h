@@ -13,6 +13,7 @@
  * schemes.
  */
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,42 @@ void saveTrace(const Trace &trace, const std::string &path);
 
 /// Load a trace saved by saveTrace.
 Trace loadTrace(const std::string &path);
+
+/**
+ * Versioned binary trace format, used by the on-disk trace cache
+ * (workloads/trace_store.h) so out-of-process shard invocations can
+ * exchange traces cheaply and detect corruption.
+ *
+ * Layout: a 24-byte header — magic "RTRB", format version, record
+ * count, FNV-1a checksum of the payload — followed by one packed
+ * record (arrivalTime, computeCycles, memoryTime, classHint) per
+ * request. Doubles are stored bit-exact, so serialize/deserialize
+ * round-trips traces identically, including class hints and
+ * non-finite values.
+ *
+ * Unlike saveTrace/loadTrace (which fatal() on IO), the binary API
+ * throws std::runtime_error on short, mis-tagged, or checksum-failing
+ * input so callers (the cache) can fall back to regeneration.
+ */
+inline constexpr uint32_t kTraceBinaryVersion = 1;
+
+/// FNV-1a 64-bit hash — the binary format's payload checksum, also
+/// used for trace-cache file naming (workloads/trace_store.h).
+uint64_t fnv1a64(const void *data, std::size_t size);
+
+/// Encode `trace` into the versioned binary format.
+std::string serializeTraceBinary(const Trace &trace);
+
+/// Decode serializeTraceBinary output; throws std::runtime_error on a
+/// bad magic/version, a size mismatch, or a checksum failure.
+Trace deserializeTraceBinary(const std::string &bytes);
+
+/// Write the binary format to `path`; throws std::runtime_error on IO.
+void saveTraceBinary(const Trace &trace, const std::string &path);
+
+/// Read a saveTraceBinary file; throws std::runtime_error on IO or
+/// corruption (any deserializeTraceBinary failure).
+Trace loadTraceBinary(const std::string &path);
 
 } // namespace rubik
 

@@ -1,8 +1,55 @@
 #include "workloads/trace_store.h"
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include "util/error.h"
 #include "workloads/trace_gen.h"
 
 namespace rubik {
+
+namespace {
+
+/**
+ * Exclusive advisory lock on `path` (created on demand), held for the
+ * object's lifetime. Serializes cross-process generation of one cache
+ * entry. If the lock file cannot be opened the lock degrades to a
+ * no-op: correctness is unaffected (atomic rename still yields a valid
+ * file), only the generate-exactly-once guarantee is lost.
+ */
+class FileLock
+{
+  public:
+    explicit FileLock(const std::string &path)
+        : fd_(::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644))
+    {
+        if (fd_ >= 0)
+            ::flock(fd_, LOCK_EX);
+    }
+
+    ~FileLock()
+    {
+        if (fd_ >= 0) {
+            ::flock(fd_, LOCK_UN);
+            ::close(fd_);
+        }
+    }
+
+    FileLock(const FileLock &) = delete;
+    FileLock &operator=(const FileLock &) = delete;
+
+  private:
+    int fd_;
+};
+
+} // anonymous namespace
 
 std::shared_ptr<const Trace>
 TraceStore::get(const TraceKey &key,
@@ -26,8 +73,7 @@ TraceStore::get(const TraceKey &key,
     }
     if (producer) {
         try {
-            promise.set_value(
-                std::make_shared<const Trace>(generate()));
+            promise.set_value(produce(key, generate));
         } catch (...) {
             // Uncache the failed entry first so a later request
             // retries instead of re-observing this exception.
@@ -39,6 +85,87 @@ TraceStore::get(const TraceKey &key,
         }
     }
     return future.get();
+}
+
+std::shared_ptr<const Trace>
+TraceStore::produce(const TraceKey &key,
+                    const std::function<Trace()> &generate)
+{
+    std::string dir;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        dir = cacheDir_;
+    }
+    if (dir.empty()) {
+        auto value = std::make_shared<const Trace>(generate());
+        bump(&Stats::generated);
+        return value;
+    }
+
+    const std::string path = dir + "/" + cacheFileName(key);
+    if (auto cached = tryLoadCached(path)) {
+        bump(&Stats::diskHits);
+        return cached;
+    }
+    // Not on disk (or corrupt): take the per-key lock and re-probe, so
+    // of all concurrent processes racing here exactly one generates.
+    FileLock lock(path + ".lock");
+    if (auto cached = tryLoadCached(path)) {
+        bump(&Stats::diskHits);
+        return cached;
+    }
+    auto value = std::make_shared<const Trace>(generate());
+    bump(&Stats::generated);
+    writeCacheFile(path, *value);
+    return value;
+}
+
+std::shared_ptr<const Trace>
+TraceStore::tryLoadCached(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return nullptr;
+    std::fclose(f);
+    try {
+        return std::make_shared<const Trace>(loadTraceBinary(path));
+    } catch (const std::exception &e) {
+        bump(&Stats::corruptions);
+        std::fprintf(stderr,
+                     "trace-store: discarding corrupt cache entry %s "
+                     "(%s)\n",
+                     path.c_str(), e.what());
+        return nullptr;
+    }
+}
+
+void
+TraceStore::writeCacheFile(const std::string &path, const Trace &trace)
+{
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    try {
+        saveTraceBinary(trace, tmp);
+        if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+            std::remove(tmp.c_str());
+            throw std::runtime_error("rename failed");
+        }
+    } catch (const std::exception &e) {
+        // The in-memory result is valid either way; losing the disk
+        // copy only costs a regeneration in some later process.
+        std::fprintf(stderr,
+                     "trace-store: cannot persist %s (%s)\n",
+                     path.c_str(), e.what());
+        return;
+    }
+    bump(&Stats::diskWrites);
+}
+
+void
+TraceStore::bump(uint64_t Stats::*counter)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++(stats_.*counter);
 }
 
 std::shared_ptr<const Trace>
@@ -76,10 +203,83 @@ TraceStore::clear()
     stats_ = Stats{};
 }
 
+void
+TraceStore::setCacheDir(const std::string &dir)
+{
+    if (!dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+        if (ec) {
+            throw std::runtime_error(
+                "trace-store: cannot create cache directory " + dir +
+                ": " + ec.message());
+        }
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    cacheDir_ = dir;
+}
+
+std::string
+TraceStore::cacheDir() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cacheDir_;
+}
+
+std::string
+TraceStore::cacheFileName(const TraceKey &key)
+{
+    // Hash every field bit-exactly (doubles via their bit patterns) so
+    // any component change names a different file, in every process.
+    std::string blob = key.app;
+    blob.push_back('\0');
+    const auto append = [&blob](const void *p, std::size_t n) {
+        blob.append(static_cast<const char *>(p), n);
+    };
+    append(&key.load, sizeof(key.load));
+    append(&key.numRequests, sizeof(key.numRequests));
+    append(&key.nominalFreq, sizeof(key.nominalFreq));
+    append(&key.seed, sizeof(key.seed));
+
+    std::string prefix;
+    for (const char c : key.app) {
+        if (prefix.size() >= 32)
+            break;
+        const bool safe = (c >= 'a' && c <= 'z') ||
+                          (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '-' || c == '_';
+        prefix.push_back(safe ? c : '_');
+    }
+    if (prefix.empty())
+        prefix = "trace";
+
+    char hash[17];
+    std::snprintf(hash, sizeof(hash), "%016llx",
+                  static_cast<unsigned long long>(
+                      fnv1a64(blob.data(), blob.size())));
+    return prefix + "-" + hash + ".rtrace";
+}
+
 TraceStore &
 globalTraceStore()
 {
     static TraceStore store;
+    static const bool env_applied = [] {
+        const char *dir = std::getenv("RUBIK_TRACE_CACHE");
+        if (dir && *dir) {
+            try {
+                store.setCacheDir(dir);
+            } catch (const std::exception &e) {
+                // First use can be inside a worker job with no
+                // handler (the benches); a bad environment variable
+                // is a user error, not a reason to std::terminate.
+                std::fprintf(stderr, "%s\n", e.what());
+                fatal("RUBIK_TRACE_CACHE is unusable");
+            }
+        }
+        return true;
+    }();
+    (void)env_applied;
     return store;
 }
 

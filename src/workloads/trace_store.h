@@ -22,6 +22,18 @@
  * deterministic in its arguments, so a cache hit returns bit-identical
  * data to a fresh generation, and results cannot depend on which job
  * happened to populate the entry first.
+ *
+ * On-disk cache: setCacheDir() (or the RUBIK_TRACE_CACHE environment
+ * variable, for the global store) adds a persistent layer below the
+ * in-memory map, so *separate processes* — e.g. SubprocessBackend
+ * shard children on one machine — generate each shared trace exactly
+ * once. Entries are key-hashed files in the versioned binary format
+ * (sim/trace.h), written to a temp name and atomically renamed, with a
+ * per-key flock()ed lock file serializing cross-process generation:
+ * every producer re-probes the file under the lock before generating.
+ * A file that fails to deserialize (corruption) is treated as a miss
+ * and regenerated — the rewrite replaces it atomically. Failures to
+ * *write* the cache only warn: the in-memory result is still valid.
  */
 
 #include <cstdint>
@@ -76,12 +88,30 @@ class TraceStore
 
     struct Stats
     {
-        uint64_t hits = 0;
-        uint64_t misses = 0;
+        uint64_t hits = 0;        ///< Served from the in-memory map.
+        uint64_t misses = 0;      ///< Not in memory (disk or generate).
+        uint64_t generated = 0;   ///< Generator actually ran.
+        uint64_t diskHits = 0;    ///< Loaded from the on-disk cache.
+        uint64_t diskWrites = 0;  ///< Cache files written.
+        uint64_t corruptions = 0; ///< Cache files that failed to load.
     };
 
-    /// Cumulative hit/miss counts (a miss is a generation).
+    /// Cumulative counters. Without a cache dir, misses == generated.
     Stats stats() const;
+
+    /**
+     * Enable the on-disk cache under `dir` (created if missing; ""
+     * disables). Throws std::runtime_error if the directory cannot be
+     * created.
+     */
+    void setCacheDir(const std::string &dir);
+
+    /// Active cache directory ("" when disabled).
+    std::string cacheDir() const;
+
+    /// The cache file name for `key` (deterministic across processes):
+    /// a sanitized app prefix plus a 64-bit hash of every key field.
+    static std::string cacheFileName(const TraceKey &key);
 
     /// Number of cached traces.
     std::size_t size() const;
@@ -92,12 +122,27 @@ class TraceStore
   private:
     using Future = std::shared_future<std::shared_ptr<const Trace>>;
 
+    /// Producer path: disk probe -> locked re-probe -> generate+write.
+    std::shared_ptr<const Trace>
+    produce(const TraceKey &key, const std::function<Trace()> &generate);
+
+    /// Load `path` if present and valid; counts corruption on failure.
+    std::shared_ptr<const Trace> tryLoadCached(const std::string &path);
+
+    /// Atomic (temp + rename) cache write; warns instead of throwing.
+    void writeCacheFile(const std::string &path, const Trace &trace);
+
+    void bump(uint64_t Stats::*counter);
+
     mutable std::mutex mutex_;
     std::map<TraceKey, Future> entries_;
     Stats stats_;
+    std::string cacheDir_;
 };
 
-/// Process-wide store used by the benches and the sweep runner.
+/// Process-wide store used by the benches and the sweep runner. On
+/// first use, a non-empty RUBIK_TRACE_CACHE environment variable
+/// enables its on-disk cache.
 TraceStore &globalTraceStore();
 
 } // namespace rubik

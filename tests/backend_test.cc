@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Tests for the pluggable execution backends (runner/backend.h):
+ * backend-description parsing, shell quoting, command-template
+ * instantiation and validation, deterministic in-order shard merging
+ * under adversarial completion order, per-shard retry, nonzero-exit +
+ * stderr propagation (a failed shard must throw, never silently merge
+ * a partial CSV), and — when the RUBIK_CLI environment variable points
+ * at the built rubik_cli — end-to-end byte identity of SubprocessBackend
+ * against LocalThreadBackend with a shared on-disk trace cache.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runner/backend.h"
+#include "runner/sweep_spec.h"
+
+namespace rubik {
+namespace {
+
+/// Run `body(out)` against a tmpfile and return what it wrote.
+template <typename F>
+std::string
+captureOutput(F &&body)
+{
+    std::FILE *f = std::tmpfile();
+    EXPECT_NE(f, nullptr);
+    body(f);
+    std::rewind(f);
+    std::string text;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, got);
+    std::fclose(f);
+    return text;
+}
+
+/// Scratch directory under /tmp, removed at scope exit.
+struct ScratchDir
+{
+    ScratchDir()
+    {
+        char tmpl[] = "/tmp/rubik_backend_test_XXXXXX";
+        if (mkdtemp(tmpl))
+            path = tmpl;
+    }
+    ~ScratchDir()
+    {
+        if (!path.empty()) {
+            std::error_code ec;
+            std::filesystem::remove_all(path, ec);
+        }
+    }
+    std::string path;
+};
+
+SweepSpec
+tinySpec()
+{
+    SweepSpec spec;
+    spec.apps = {"masstree"};
+    spec.loads = {0.3, 0.5};
+    spec.policies = {"fixed", "static"};
+    spec.seeds = {42};
+    spec.requests = 300;
+    spec.boundMs = 2.0; // explicit bound: no 50%-load bound traces
+    return spec;
+}
+
+int
+countTraceFiles(const std::string &dir)
+{
+    int n = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() == ".rtrace")
+            ++n;
+    }
+    return n;
+}
+
+TEST(ShellQuote, QuotesArguments)
+{
+    EXPECT_EQ(shellQuote("plain"), "'plain'");
+    EXPECT_EQ(shellQuote(""), "''");
+    EXPECT_EQ(shellQuote("two words"), "'two words'");
+    EXPECT_EQ(shellQuote("don't"), "'don'\\''t'");
+    EXPECT_EQ(shellQuote("$HOME;rm"), "'$HOME;rm'");
+}
+
+TEST(CommandTemplate, SubstitutesAllOccurrences)
+{
+    const std::string out = instantiateCommandTemplate(
+        "run {shard} of {nshards}: {shard}",
+        {{"shard", "1/3"}, {"nshards", "3"}});
+    EXPECT_EQ(out, "run 1/3 of 3: 1/3");
+}
+
+TEST(CommandTemplate, KeepsUnknownPlaceholdersAndBraces)
+{
+    EXPECT_EQ(instantiateCommandTemplate("echo ${VAR} {nope} {",
+                                         {{"shard", "0/1"}}),
+              "echo ${VAR} {nope} {");
+}
+
+TEST(MakeBackend, ParsesDescriptions)
+{
+    BackendConfig cfg;
+    EXPECT_STREQ(makeBackend("local", cfg)->name(), "local");
+    EXPECT_TRUE(makeBackend("local", cfg)->inProcess());
+    EXPECT_STREQ(makeBackend("subprocess", cfg)->name(), "subprocess");
+    EXPECT_FALSE(makeBackend("subprocess", cfg)->inProcess());
+    EXPECT_STREQ(makeBackend("command:echo {shard}", cfg)->name(),
+                 "command");
+
+    EXPECT_THROW(makeBackend("ssh", cfg), std::runtime_error);
+    EXPECT_THROW(makeBackend("command:", cfg), std::runtime_error);
+    // A template with no shard placeholder would run N identical
+    // commands — rejected at construction.
+    EXPECT_THROW(makeBackend("command:echo hello", cfg),
+                 std::runtime_error);
+
+    cfg.numShards = 0;
+    EXPECT_THROW(makeBackend("local", cfg), std::runtime_error);
+}
+
+TEST(RunShardCommands, MergesInShardOrderDespiteCompletionOrder)
+{
+    // Later shards finish first (inverse sleeps); the merge must still
+    // be in shard-index order, with the header-once convention intact.
+    const std::string out = captureOutput([&](std::FILE *f) {
+        runShardCommands(
+            3,
+            [](int i) {
+                std::string cmd = "sleep 0." +
+                                  std::to_string(2 * (2 - i)) + "; ";
+                if (i == 0)
+                    cmd += "echo h; ";
+                return cmd + "echo row" + std::to_string(i);
+            },
+            1, f);
+    });
+    EXPECT_EQ(out, "h\nrow0\nrow1\nrow2\n");
+}
+
+TEST(RunShardCommands, PropagatesExitStatusAndStderr)
+{
+    try {
+        captureOutput([&](std::FILE *f) {
+            runShardCommands(
+                3,
+                [](int i) {
+                    return "echo boom-" + std::to_string(i) +
+                           " >&2; exit 3";
+                },
+                1, f);
+        });
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        const std::string msg = e.what();
+        // Lowest-indexed failure wins; its stderr and status surface.
+        EXPECT_NE(msg.find("shard 0/3"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("exited with status 3"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("boom-0"), std::string::npos) << msg;
+    }
+}
+
+TEST(RunShardCommands, FailedShardWritesNothing)
+{
+    // One bad shard out of three: the output stream must stay empty —
+    // no partially merged CSV.
+    std::string out;
+    EXPECT_THROW(out = captureOutput([&](std::FILE *f) {
+                     runShardCommands(
+                         3,
+                         [](int i) {
+                             if (i == 1)
+                                 return std::string("exit 7");
+                             return "echo row" + std::to_string(i);
+                         },
+                         1, f);
+                 }),
+                 std::runtime_error);
+    EXPECT_EQ(out, "");
+}
+
+TEST(RunShardCommands, RetriesTransientFailures)
+{
+    ScratchDir dir;
+    ASSERT_FALSE(dir.path.empty());
+    // Each shard fails its first attempt (no flag file yet), then
+    // succeeds on the retry.
+    const std::string out = captureOutput([&](std::FILE *f) {
+        runShardCommands(
+            2,
+            [&](int i) {
+                const std::string flag =
+                    dir.path + "/flag" + std::to_string(i);
+                return "if [ -e " + flag + " ]; then echo row" +
+                       std::to_string(i) + "; else touch " + flag +
+                       "; echo transient >&2; exit 9; fi";
+            },
+            2, f);
+    });
+    EXPECT_EQ(out, "row0\nrow1\n");
+}
+
+TEST(CommandBackend, RunsSweepThroughTemplate)
+{
+    // A fake "remote" command: emits a recognizable CSV per shard
+    // instead of simulating. Shard 0 carries the header.
+    BackendConfig cfg;
+    cfg.numShards = 3;
+    const auto backend = makeBackend(
+        "command:test -f {spec} || exit 4; "
+        "test {index} -eq 0 && echo h; echo row{index}",
+        cfg);
+    const std::string out = captureOutput([&](std::FILE *f) {
+        backend->runSweepSpec(tinySpec(), f);
+    });
+    EXPECT_EQ(out, "h\nrow0\nrow1\nrow2\n");
+}
+
+TEST(CommandBackend, ArgvForwardsTraceFlagsLikeSubprocess)
+{
+    // {argv} must carry the same forwarded flags SubprocessBackend
+    // passes its children — a command-dispatched sweep with a trace
+    // cache would otherwise silently regenerate every shared trace
+    // once per shard.
+    BackendConfig cfg;
+    cfg.numShards = 2;
+    cfg.jobs = 3;
+    cfg.traceCacheDir = "/tmp/tc";
+    cfg.traceStats = true;
+    const auto backend = makeBackend("command:echo {argv}", cfg);
+    const std::string out = captureOutput([&](std::FILE *f) {
+        backend->runSweepSpec(tinySpec(), f);
+    });
+    EXPECT_NE(out.find("--trace-cache /tmp/tc"), std::string::npos)
+        << out;
+    EXPECT_NE(out.find("--trace-stats"), std::string::npos) << out;
+    EXPECT_NE(out.find("--jobs 3"), std::string::npos) << out;
+    EXPECT_NE(out.find("--shard 0/2"), std::string::npos) << out;
+    EXPECT_NE(out.find("--shard 1/2"), std::string::npos) << out;
+}
+
+TEST(CommandBackend, DispatchArgvSubstitutesArgv)
+{
+    BackendConfig cfg;
+    cfg.numShards = 2;
+    const auto backend = makeBackend("command:echo {argv}", cfg);
+    const std::string out = captureOutput([&](std::FILE *f) {
+        backend->dispatchArgv({"mybench", "--csv"}, f);
+    });
+    // {argv} carries shell-quoted words; echo strips the quotes.
+    EXPECT_EQ(out, "mybench --csv --shard 0/2\n"
+                   "mybench --csv --shard 1/2\n");
+}
+
+TEST(SubprocessBackend, PropagatesChildFailure)
+{
+    BackendConfig cfg;
+    cfg.numShards = 2;
+    cfg.selfExe = "/bin/false"; // every "child" exits 1 immediately
+    const auto backend = makeBackend("subprocess", cfg);
+    try {
+        captureOutput([&](std::FILE *f) {
+            backend->runSweepSpec(tinySpec(), f);
+        });
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("shard 0/2"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("exited with status 1"), std::string::npos)
+            << msg;
+    }
+}
+
+TEST(LocalThreadBackend, ShardedRunMatchesUnsharded)
+{
+    const SweepSpec spec = tinySpec();
+    BackendConfig cfg;
+    cfg.jobs = 2;
+    const auto local = makeBackend("local", cfg);
+    const std::string unsharded = captureOutput(
+        [&](std::FILE *f) { local->runSweepSpec(spec, f); });
+    EXPECT_NE(unsharded.find("app,policy,load,seed"),
+              std::string::npos);
+
+    cfg.numShards = 3;
+    const auto sharded = makeBackend("local", cfg);
+    const std::string merged = captureOutput(
+        [&](std::FILE *f) { sharded->runSweepSpec(spec, f); });
+    EXPECT_EQ(merged, unsharded);
+}
+
+TEST(LocalThreadBackend, RefusesDispatchArgv)
+{
+    BackendConfig cfg;
+    EXPECT_THROW(makeBackend("local", cfg)->dispatchArgv({"x"}, stdout),
+                 std::runtime_error);
+}
+
+// End-to-end: the real rubik_cli, three shard children, a shared
+// on-disk trace cache — bytes must match the local backend and the
+// cache must hold each trace exactly once. Needs the built CLI, whose
+// path CMake passes via the RUBIK_CLI test environment variable.
+TEST(SubprocessBackend, MatchesLocalBackendByteForByte)
+{
+    const char *cli = std::getenv("RUBIK_CLI");
+    if (!cli || !*cli || !std::filesystem::exists(cli))
+        GTEST_SKIP() << "RUBIK_CLI not set or missing";
+
+    const SweepSpec spec = tinySpec();
+    BackendConfig local_cfg;
+    const std::string local = captureOutput([&](std::FILE *f) {
+        makeBackend("local", local_cfg)->runSweepSpec(spec, f);
+    });
+
+    ScratchDir cache;
+    ASSERT_FALSE(cache.path.empty());
+    BackendConfig cfg;
+    cfg.numShards = 3;
+    cfg.selfExe = cli;
+    cfg.traceCacheDir = cache.path;
+    const auto backend = makeBackend("subprocess", cfg);
+
+    const std::string cold = captureOutput(
+        [&](std::FILE *f) { backend->runSweepSpec(spec, f); });
+    EXPECT_EQ(cold, local);
+    // tinySpec uses a fixed bound, so the only traces are the two
+    // (app, load, seed) grid combinations — each cached exactly once
+    // even though concurrent children shared them.
+    EXPECT_EQ(countTraceFiles(cache.path), 2);
+
+    const std::string warm = captureOutput(
+        [&](std::FILE *f) { backend->runSweepSpec(spec, f); });
+    EXPECT_EQ(warm, local);
+    EXPECT_EQ(countTraceFiles(cache.path), 2);
+}
+
+} // namespace
+} // namespace rubik

@@ -3,14 +3,18 @@
  * Tests for the sweep-spec subsystem: spec parsing/serialization,
  * shard partitioning edge cases (N=1, N > cells, empty shards), the
  * header-once CSV merge, end-to-end shard/merge round-trips through
- * runSweep, and the memoized TraceStore (hit/miss accounting and
- * compute-once behaviour under concurrent access).
+ * runSweep, the dry-run cell listing, and the memoized TraceStore —
+ * hit/miss accounting, compute-once behaviour under concurrent
+ * access, failure propagation to concurrent waiters, and the on-disk
+ * cache (cross-store exactly-once generation, corruption fallback).
  */
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <limits>
 #include <memory>
 #include <stdexcept>
@@ -435,9 +439,239 @@ TEST(TraceStore, FailedGenerationIsRetried)
                            }),
                  std::runtime_error);
     EXPECT_EQ(store.size(), 0u);
+    EXPECT_EQ(store.stats().generated, 0u);
 
     const auto trace = store.get(key, [] { return Trace(3); });
     EXPECT_EQ(trace->size(), 3u);
+    EXPECT_EQ(store.stats().generated, 1u);
+}
+
+// Concurrent waiters on a failing producer all observe the error, the
+// entry is not cached, and the next request regenerates successfully.
+TEST(TraceStore, ConcurrentWaitersSeeGenerationFailure)
+{
+    TraceStore store;
+    const TraceKey key{"flaky", 0.5, 10, 1e9, 4};
+    constexpr int kThreads = 8;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&] {
+            try {
+                store.get(key, [&]() -> Trace {
+                    // Widen the window so waiters really block.
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(20));
+                    throw std::runtime_error("boom");
+                });
+            } catch (const std::runtime_error &) {
+                ++failures;
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    // Every thread saw the error: the single producer's waiters share
+    // its exception, and threads arriving after the uncache retried
+    // the (still failing) generation themselves.
+    EXPECT_EQ(failures.load(), kThreads);
+    EXPECT_EQ(store.size(), 0u);
+
+    const auto trace = store.get(key, [] { return Trace(5); });
+    EXPECT_EQ(trace->size(), 5u);
+}
+
+/// Scratch directory under /tmp, removed at scope exit.
+struct ScratchDir
+{
+    ScratchDir()
+    {
+        char tmpl[] = "/tmp/rubik_sweep_test_XXXXXX";
+        if (mkdtemp(tmpl))
+            path = tmpl;
+    }
+    ~ScratchDir()
+    {
+        if (!path.empty()) {
+            std::error_code ec;
+            std::filesystem::remove_all(path, ec);
+        }
+    }
+    std::string path;
+};
+
+TEST(TraceStoreDisk, CacheFileNameIsDeterministicAndKeyed)
+{
+    const TraceKey key{"masstree", 0.4, 300, 2.4e9, 1};
+    const std::string name = TraceStore::cacheFileName(key);
+    EXPECT_EQ(name, TraceStore::cacheFileName(key));
+    EXPECT_NE(name.find("masstree-"), std::string::npos);
+    EXPECT_NE(name.find(".rtrace"), std::string::npos);
+
+    // Every key component participates in the name.
+    for (const TraceKey &other :
+         {TraceKey{"xapian", 0.4, 300, 2.4e9, 1},
+          TraceKey{"masstree", 0.5, 300, 2.4e9, 1},
+          TraceKey{"masstree", 0.4, 301, 2.4e9, 1},
+          TraceKey{"masstree", 0.4, 300, 2.0e9, 1},
+          TraceKey{"masstree", 0.4, 300, 2.4e9, 2}}) {
+        EXPECT_NE(name, TraceStore::cacheFileName(other));
+    }
+
+    // Path-hostile app names sanitize but stay distinct via the hash.
+    const TraceKey evil{"../../etc/passwd", 0.4, 300, 2.4e9, 1};
+    const std::string evil_name = TraceStore::cacheFileName(evil);
+    EXPECT_EQ(evil_name.find('/'), std::string::npos);
+}
+
+TEST(TraceStoreDisk, SecondStoreLoadsFromDiskWithoutGenerating)
+{
+    ScratchDir dir;
+    ASSERT_FALSE(dir.path.empty());
+    const TraceKey key{"disk", 0.4, 50, 1e9, 7};
+    const Trace canonical{TraceRecord{0.25, 500.0, 1e-5, 1},
+                          TraceRecord{0.5, 900.0, 0.0, 0}};
+
+    TraceStore first;
+    first.setCacheDir(dir.path);
+    EXPECT_EQ(first.cacheDir(), dir.path);
+    const auto produced =
+        first.get(key, [&] { return canonical; });
+    EXPECT_EQ(first.stats().generated, 1u);
+    EXPECT_EQ(first.stats().diskWrites, 1u);
+
+    // A second store (a new process, in spirit) finds it on disk.
+    TraceStore second;
+    second.setCacheDir(dir.path);
+    const auto loaded = second.get(key, [&]() -> Trace {
+        throw std::runtime_error("must not regenerate");
+    });
+    EXPECT_EQ(second.stats().generated, 0u);
+    EXPECT_EQ(second.stats().diskHits, 1u);
+    ASSERT_EQ(loaded->size(), canonical.size());
+    for (std::size_t i = 0; i < canonical.size(); ++i) {
+        EXPECT_EQ((*loaded)[i].arrivalTime, canonical[i].arrivalTime);
+        EXPECT_EQ((*loaded)[i].computeCycles,
+                  canonical[i].computeCycles);
+        EXPECT_EQ((*loaded)[i].memoryTime, canonical[i].memoryTime);
+        EXPECT_EQ((*loaded)[i].classHint, canonical[i].classHint);
+    }
+}
+
+TEST(TraceStoreDisk, CorruptCacheEntryIsRegenerated)
+{
+    ScratchDir dir;
+    ASSERT_FALSE(dir.path.empty());
+    const TraceKey key{"corrupt", 0.4, 50, 1e9, 9};
+
+    TraceStore first;
+    first.setCacheDir(dir.path);
+    first.get(key, [] { return Trace(4); });
+
+    // Corrupt the cached bytes in place.
+    const std::string path =
+        dir.path + "/" + TraceStore::cacheFileName(key);
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("garbage", f);
+    std::fclose(f);
+
+    TraceStore second;
+    second.setCacheDir(dir.path);
+    const auto regenerated =
+        second.get(key, [] { return Trace(4); });
+    EXPECT_EQ(regenerated->size(), 4u);
+    EXPECT_EQ(second.stats().generated, 1u);
+    EXPECT_GE(second.stats().corruptions, 1u);
+    EXPECT_EQ(second.stats().diskHits, 0u);
+
+    // The rewrite replaced the corrupt file: a third store disk-hits.
+    TraceStore third;
+    third.setCacheDir(dir.path);
+    third.get(key, []() -> Trace {
+        throw std::runtime_error("must not regenerate");
+    });
+    EXPECT_EQ(third.stats().diskHits, 1u);
+}
+
+// Two stores (standing in for two shard processes) racing on the same
+// key: the per-key file lock means exactly one generator runs.
+TEST(TraceStoreDisk, CrossStoreRaceGeneratesOnce)
+{
+    ScratchDir dir;
+    ASSERT_FALSE(dir.path.empty());
+    const TraceKey key{"race", 0.4, 50, 1e9, 11};
+    std::atomic<int> generated{0};
+
+    constexpr int kStores = 4;
+    std::vector<TraceStore> stores(kStores);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kStores; ++i) {
+        stores[i].setCacheDir(dir.path);
+        threads.emplace_back([&, i] {
+            stores[i].get(key, [&] {
+                ++generated;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+                return Trace(2);
+            });
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_EQ(generated.load(), 1);
+    uint64_t disk_hits = 0;
+    for (const auto &store : stores)
+        disk_hits += store.stats().diskHits;
+    EXPECT_EQ(disk_hits, static_cast<uint64_t>(kStores - 1));
+}
+
+TEST(TraceStoreDisk, RejectsUncreatableCacheDir)
+{
+    TraceStore store;
+    EXPECT_THROW(store.setCacheDir("/proc/nope/cache"),
+                 std::runtime_error);
+    // Disabled store still works purely in memory.
+    store.setCacheDir("");
+    const auto t = store.get({"mem", 0.1, 5, 1e9, 0},
+                             [] { return Trace(1); });
+    EXPECT_EQ(t->size(), 1u);
+}
+
+TEST(PrintSweepCells, ListsShardCells)
+{
+    SweepSpec spec;
+    spec.apps = {"masstree"};
+    spec.loads = {0.3, 0.5};
+    spec.policies = {"fixed", "static"};
+    spec.seeds = {42};
+    spec.requests = 300;
+
+    auto dryRun = [&](int shard, int num_shards) {
+        std::FILE *f = std::tmpfile();
+        EXPECT_NE(f, nullptr);
+        printSweepCells(spec, shard, num_shards, f);
+        std::rewind(f);
+        std::string text;
+        char buf[4096];
+        std::size_t got;
+        while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            text.append(buf, got);
+        std::fclose(f);
+        return text;
+    };
+
+    EXPECT_EQ(dryRun(0, 1), "cell,app,load,policy,seed\n"
+                            "0,masstree,0.30,fixed,42\n"
+                            "1,masstree,0.30,static,42\n"
+                            "2,masstree,0.50,fixed,42\n"
+                            "3,masstree,0.50,static,42\n");
+    // A shard lists only its cells, with global indices.
+    EXPECT_EQ(dryRun(1, 2), "cell,app,load,policy,seed\n"
+                            "2,masstree,0.50,fixed,42\n"
+                            "3,masstree,0.50,static,42\n");
 }
 
 } // namespace

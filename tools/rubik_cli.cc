@@ -14,11 +14,21 @@
  * Subcommands for batch experiment grids (src/runner/sweep_spec.h):
  *   rubik_cli sweep --spec grid.spec                # whole grid as CSV
  *   rubik_cli sweep --spec grid.spec --shard 1/3    # one shard's rows
+ *   rubik_cli sweep --spec grid.spec --dry-run      # list cells only
  *   rubik_cli merge merged.csv shard0.csv shard1.csv shard2.csv
  *
  * Sharded sweeps write the CSV header only on shard 0, so concatenating
  * the shard outputs in order (`merge`) is byte-identical to the
  * unsharded run.
+ *
+ * Execution backends (src/runner/backend.h) dispatch a sweep's shards
+ * instead of running them on this process's thread pool:
+ *   rubik_cli sweep --spec grid.spec --backend subprocess --shards 3
+ *   rubik_cli sweep --spec grid.spec --shards 4 \
+ *       --backend 'command:ssh host {argv}'
+ * Pair with --trace-cache DIR (or RUBIK_TRACE_CACHE) so concurrent
+ * shard processes on one machine generate each shared trace exactly
+ * once; --trace-stats reports generated/hit counts on stderr.
  *
  * Multi-load sweeps (--loads) run every load as an independent job on
  * an ExperimentRunner thread pool; each job derives its trace from the
@@ -35,12 +45,14 @@
 #include <vector>
 
 #include "policies/replay.h"
+#include "runner/backend.h"
 #include "runner/experiment_runner.h"
 #include "runner/sweep_runner.h"
 #include "runner/sweep_spec.h"
 #include "util/error.h"
 #include "util/units.h"
 #include "workloads/trace_gen.h"
+#include "workloads/trace_store.h"
 
 using namespace rubik;
 
@@ -82,8 +94,15 @@ usage(const char *argv0)
         "  --csv              machine-readable output\n"
         "subcommands:\n"
         "  %s sweep --spec FILE [--shard I/N] [--jobs N]\n"
+        "       [--backend local|subprocess|command:<tmpl>] "
+        "[--shards N]\n"
+        "       [--retries N] [--trace-cache DIR] [--trace-stats] "
+        "[--dry-run]\n"
         "                     run a sweep-spec grid (or one shard) as "
-        "CSV on stdout\n"
+        "CSV on stdout;\n"
+        "                     non-local backends dispatch N shard "
+        "invocations and\n"
+        "                     merge their CSVs byte-identically\n"
         "  %s merge OUT SHARD0 [SHARD1 ...]\n"
         "                     concatenate shard CSVs into OUT "
         "(byte-identical to the unsharded run)\n",
@@ -162,12 +181,16 @@ appByName(const std::string &name)
     return *id;
 }
 
-/// `rubik_cli sweep --spec FILE [--shard I/N] [--jobs N]`.
+/// `rubik_cli sweep --spec FILE [--shard I/N | --backend B --shards N]`.
 int
 sweepMain(int argc, char **argv)
 {
     std::string spec_path;
+    std::string backend_desc = "local";
+    std::string trace_cache;
     int shard = 0, num_shards = 1, jobs = 0;
+    int dispatch_shards = 1, retries = -1;
+    bool shard_given = false, dry_run = false, trace_stats = false;
     for (int i = 2; i < argc; ++i) {
         auto need = [&](const char *flag) -> const char * {
             if (i + 1 >= argc) {
@@ -184,8 +207,21 @@ sweepMain(int argc, char **argv)
                              "--shard wants I/N with 0 <= I < N\n");
                 return 1;
             }
+            shard_given = true;
         } else if (!std::strcmp(argv[i], "--jobs"))
             jobs = std::atoi(need("--jobs"));
+        else if (!std::strcmp(argv[i], "--backend"))
+            backend_desc = need("--backend");
+        else if (!std::strcmp(argv[i], "--shards"))
+            dispatch_shards = std::atoi(need("--shards"));
+        else if (!std::strcmp(argv[i], "--retries"))
+            retries = std::atoi(need("--retries"));
+        else if (!std::strcmp(argv[i], "--trace-cache"))
+            trace_cache = need("--trace-cache");
+        else if (!std::strcmp(argv[i], "--trace-stats"))
+            trace_stats = true;
+        else if (!std::strcmp(argv[i], "--dry-run"))
+            dry_run = true;
         else {
             // Not usage(): that exits 0 on stdout, which would let a
             // typo'd flag corrupt a redirected shard CSV silently.
@@ -197,9 +233,52 @@ sweepMain(int argc, char **argv)
         std::fprintf(stderr, "sweep needs --spec FILE\n");
         return 1;
     }
+    if (shard_given && (backend_desc != "local" || dispatch_shards > 1)) {
+        // --shard selects one shard of someone else's dispatch;
+        // --backend/--shards IS the dispatch. Mixing them is a
+        // contradiction, not a composition.
+        std::fprintf(stderr,
+                     "sweep: --shard cannot be combined with "
+                     "--backend/--shards\n");
+        return 1;
+    }
     try {
+        if (!trace_cache.empty())
+            globalTraceStore().setCacheDir(trace_cache);
         const SweepSpec spec = SweepSpec::parseFile(spec_path);
-        runSweep(spec, shard, num_shards, jobs, stdout);
+        if (dry_run) {
+            printSweepCells(spec, shard, num_shards, stdout);
+            return 0;
+        }
+        if (backend_desc == "local" && dispatch_shards == 1) {
+            runSweep(spec, shard, num_shards, jobs, stdout);
+        } else {
+            BackendConfig cfg;
+            cfg.numShards = dispatch_shards;
+            cfg.jobs = jobs;
+            cfg.maxAttempts = retries >= 0 ? retries + 1 : 0;
+            cfg.traceCacheDir = trace_cache;
+            cfg.traceStats = trace_stats;
+            cfg.selfExe = selfExePath(argv[0]);
+            const auto backend = makeBackend(backend_desc, cfg);
+            backend->runSweepSpec(spec, stdout);
+        }
+        // Dispatching backends forward --trace-stats to their
+        // children, whose stderr (one stats line each) is replayed in
+        // shard order; only in-process execution reports its own.
+        if (trace_stats && backend_desc == "local") {
+            const TraceStore::Stats s = globalTraceStore().stats();
+            std::fprintf(stderr,
+                         "trace-store: generated=%llu mem_hits=%llu "
+                         "disk_hits=%llu disk_writes=%llu "
+                         "corrupt=%llu entries=%zu\n",
+                         static_cast<unsigned long long>(s.generated),
+                         static_cast<unsigned long long>(s.hits),
+                         static_cast<unsigned long long>(s.diskHits),
+                         static_cast<unsigned long long>(s.diskWrites),
+                         static_cast<unsigned long long>(s.corruptions),
+                         globalTraceStore().size());
+        }
     } catch (const std::exception &e) {
         std::fprintf(stderr, "sweep: %s\n", e.what());
         return 1;
