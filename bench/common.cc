@@ -7,11 +7,20 @@
 
 #include "runner/backend.h"
 #include "runner/sweep_spec.h"
+#include "workloads/cache_manager.h"
 #include "workloads/trace_store.h"
 
 namespace rubik::bench {
 
 namespace {
+
+/// atexit hook so a capped bench converges the cache even when its
+/// run was all-hits (no writes, hence no write-triggered enforcement).
+void
+enforceCacheCapAtExit()
+{
+    rubik::globalTraceStore().enforceCacheCap();
+}
 
 /**
  * Re-run this binary once per shard through the chosen backend and
@@ -93,11 +102,15 @@ parseOptions(int argc, char **argv, bool allow_shard)
         } else if (std::strcmp(argv[i], "--trace-cache") == 0 &&
                    i + 1 < argc) {
             opts.traceCache = argv[++i];
+        } else if (std::strcmp(argv[i], "--cache-cap") == 0 &&
+                   i + 1 < argc) {
+            opts.cacheCap = argv[++i];
         } else if (std::strcmp(argv[i], "--help") == 0) {
             std::printf("usage: %s [--csv] [--fast] [--requests N] "
                         "[--seed S] [--jobs N] [--shard I/N] "
                         "[--backend local|subprocess|command:<tmpl>] "
-                        "[--shards N] [--trace-cache DIR]\n",
+                        "[--shards N] [--trace-cache DIR] "
+                        "[--cache-cap SIZE]\n",
                         argv[0]);
             std::exit(0);
         } else {
@@ -124,6 +137,16 @@ parseOptions(int argc, char **argv, bool allow_shard)
             std::fprintf(stderr, "%s\n", e.what());
             std::exit(1);
         }
+    }
+    if (!opts.cacheCap.empty()) {
+        try {
+            globalTraceStore().setCacheCap(
+                rubik::parseSizeBytes(opts.cacheCap));
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "--cache-cap: %s\n", e.what());
+            std::exit(1);
+        }
+        std::atexit(enforceCacheCapAtExit);
     }
     if (opts.backend != "local") {
         if (opts.shards > 1 && !allow_shard) {

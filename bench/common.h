@@ -33,6 +33,7 @@ struct Options
     std::string backend = "local"; ///< --backend execution backend.
     int shards = 1;                ///< --shards: dispatch width.
     std::string traceCache;        ///< --trace-cache directory.
+    std::string cacheCap;          ///< --cache-cap size (LRU cap).
 
     /// Effective request count given a bench default.
     int numRequests(int bench_default) const;
@@ -51,6 +52,9 @@ struct Options
  * `--trace-cache DIR` enables the shared on-disk trace cache (also
  * honoured by each child, which inherits the flag), so concurrent
  * shard processes generate each common trace exactly once.
+ * `--cache-cap SIZE` bounds that cache with LRU eviction (enforced
+ * after writes and again when the bench exits, so a warm run still
+ * converges an over-cap store).
  */
 Options parseOptions(int argc, char **argv, bool allow_shard = false);
 

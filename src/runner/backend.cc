@@ -136,6 +136,10 @@ sweepChildArgv(const BackendConfig &config,
         argv.push_back("--trace-cache");
         argv.push_back(config.traceCacheDir);
     }
+    if (!config.traceCacheCap.empty()) {
+        argv.push_back("--cache-cap");
+        argv.push_back(config.traceCacheCap);
+    }
     if (config.traceStats)
         argv.push_back("--trace-stats");
     return argv;

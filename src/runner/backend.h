@@ -63,6 +63,7 @@ struct BackendConfig
     int maxAttempts = 0; ///< Per-shard attempts; 0 = backend default
                          ///< (subprocess 1, command 3).
     std::string traceCacheDir; ///< Forwarded as --trace-cache.
+    std::string traceCacheCap; ///< Forwarded as --cache-cap (size text).
     bool traceStats = false;   ///< Forward --trace-stats to children.
     std::string selfExe;       ///< Binary SubprocessBackend spawns.
 };

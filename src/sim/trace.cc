@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -65,8 +66,11 @@ saveTrace(const Trace &trace, const std::string &path)
 namespace {
 
 constexpr char kTraceMagic[4] = {'R', 'T', 'R', 'B'};
-constexpr std::size_t kHeaderBytes = 24;
+constexpr std::size_t kHeaderBytes = 28;
 constexpr std::size_t kRecordBytes = 3 * sizeof(double) + sizeof(int32_t);
+// Meta is a short human-readable key description; a length beyond this
+// in a header means corruption, not a legitimately huge meta.
+constexpr std::size_t kMaxMetaBytes = 1 << 16;
 
 template <typename T>
 void
@@ -89,10 +93,10 @@ readRaw(const char *data)
 } // anonymous namespace
 
 uint64_t
-fnv1a64(const void *data, std::size_t size)
+fnv1a64(const void *data, std::size_t size, uint64_t seed)
 {
     const auto *bytes = static_cast<const unsigned char *>(data);
-    uint64_t hash = 14695981039346656037ull;
+    uint64_t hash = seed;
     for (std::size_t i = 0; i < size; ++i) {
         hash ^= bytes[i];
         hash *= 1099511628211ull;
@@ -101,8 +105,10 @@ fnv1a64(const void *data, std::size_t size)
 }
 
 std::string
-serializeTraceBinary(const Trace &trace)
+serializeTraceBinary(const Trace &trace, const std::string &meta)
 {
+    if (meta.size() > kMaxMetaBytes)
+        throw std::runtime_error("binary trace: meta too long");
     std::string payload;
     payload.reserve(trace.size() * kRecordBytes);
     for (const TraceRecord &r : trace) {
@@ -112,42 +118,72 @@ serializeTraceBinary(const Trace &trace)
         appendRaw(payload, static_cast<int32_t>(r.classHint));
     }
 
+    // The checksum covers meta + payload as one continued FNV chain —
+    // identical to hashing their concatenation, without building it.
+    const uint64_t checksum =
+        fnv1a64(payload.data(), payload.size(),
+                fnv1a64(meta.data(), meta.size()));
+
     std::string out;
-    out.reserve(kHeaderBytes + payload.size());
+    out.reserve(kHeaderBytes + meta.size() + payload.size());
     out.append(kTraceMagic, sizeof(kTraceMagic));
     appendRaw(out, kTraceBinaryVersion);
     appendRaw(out, static_cast<uint64_t>(trace.size()));
-    appendRaw(out, fnv1a64(payload.data(), payload.size()));
+    appendRaw(out, checksum);
+    appendRaw(out, static_cast<uint32_t>(meta.size()));
+    out += meta;
     out += payload;
     return out;
 }
 
-Trace
-deserializeTraceBinary(const std::string &bytes)
+TraceBinaryHeader
+parseTraceBinaryHeader(const std::string &bytes)
 {
     if (bytes.size() < kHeaderBytes)
         throw std::runtime_error("binary trace: truncated header");
     if (std::memcmp(bytes.data(), kTraceMagic, sizeof(kTraceMagic)) != 0)
         throw std::runtime_error("binary trace: bad magic");
-    const auto version = readRaw<uint32_t>(bytes.data() + 4);
-    if (version != kTraceBinaryVersion) {
+    TraceBinaryHeader h;
+    h.version = readRaw<uint32_t>(bytes.data() + 4);
+    if (h.version != kTraceBinaryVersion) {
         throw std::runtime_error("binary trace: unsupported version " +
-                                 std::to_string(version));
+                                 std::to_string(h.version));
     }
-    const auto count = readRaw<uint64_t>(bytes.data() + 8);
-    const auto checksum = readRaw<uint64_t>(bytes.data() + 16);
+    h.records = readRaw<uint64_t>(bytes.data() + 8);
+    h.checksum = readRaw<uint64_t>(bytes.data() + 16);
+    const auto meta_len = readRaw<uint32_t>(bytes.data() + 24);
+    if (meta_len > kMaxMetaBytes)
+        throw std::runtime_error("binary trace: meta length corrupt");
+    if (bytes.size() < kHeaderBytes + meta_len)
+        throw std::runtime_error("binary trace: truncated meta");
+    h.meta.assign(bytes, kHeaderBytes, meta_len);
+    // Overflow guard: a garbage count must not wrap totalBytes into a
+    // plausible size.
+    if (h.records >
+        (std::numeric_limits<uint64_t>::max() - kHeaderBytes - meta_len) /
+            kRecordBytes)
+        throw std::runtime_error("binary trace: record count corrupt");
+    h.totalBytes = kHeaderBytes + meta_len + h.records * kRecordBytes;
+    return h;
+}
+
+Trace
+deserializeTraceBinary(const std::string &bytes)
+{
+    const TraceBinaryHeader h = parseTraceBinaryHeader(bytes);
     // Size check precedes any allocation, so a garbage count cannot
     // trigger a huge reserve.
-    if (bytes.size() != kHeaderBytes + count * kRecordBytes)
+    if (bytes.size() != h.totalBytes)
         throw std::runtime_error("binary trace: size mismatch");
-    if (fnv1a64(bytes.data() + kHeaderBytes,
-                bytes.size() - kHeaderBytes) != checksum)
+    const std::size_t checked_off = kHeaderBytes;
+    if (fnv1a64(bytes.data() + checked_off,
+                bytes.size() - checked_off) != h.checksum)
         throw std::runtime_error("binary trace: checksum mismatch");
 
     Trace trace;
-    trace.reserve(count);
-    const char *p = bytes.data() + kHeaderBytes;
-    for (uint64_t i = 0; i < count; ++i) {
+    trace.reserve(h.records);
+    const char *p = bytes.data() + kHeaderBytes + h.meta.size();
+    for (uint64_t i = 0; i < h.records; ++i) {
         TraceRecord r;
         r.arrivalTime = readRaw<double>(p);
         r.computeCycles = readRaw<double>(p + 8);
@@ -159,15 +195,46 @@ deserializeTraceBinary(const std::string &bytes)
     return trace;
 }
 
+TraceBinaryHeader
+readTraceBinaryHeader(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        throw std::runtime_error("binary trace: cannot open " + path +
+                                 " for reading");
+    }
+    // Fixed header first, then exactly the meta it advertises — so
+    // enumerating a big cache stays a small read per entry, not a
+    // kMaxMetaBytes one. parseTraceBinaryHeader re-validates
+    // everything, including a short second read (truncated meta).
+    std::string bytes(kHeaderBytes, '\0');
+    std::size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+    bytes.resize(got);
+    if (got == kHeaderBytes) {
+        const auto meta_len = readRaw<uint32_t>(bytes.data() + 24);
+        if (meta_len > 0 && meta_len <= kMaxMetaBytes) {
+            std::string meta(meta_len, '\0');
+            got = std::fread(meta.data(), 1, meta.size(), f);
+            bytes.append(meta, 0, got);
+        }
+    }
+    const bool read_err = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_err)
+        throw std::runtime_error("binary trace: read error on " + path);
+    return parseTraceBinaryHeader(bytes);
+}
+
 void
-saveTraceBinary(const Trace &trace, const std::string &path)
+saveTraceBinary(const Trace &trace, const std::string &path,
+                const std::string &meta)
 {
     std::FILE *f = std::fopen(path.c_str(), "wb");
     if (!f) {
         throw std::runtime_error("binary trace: cannot open " + path +
                                  " for writing");
     }
-    const std::string bytes = serializeTraceBinary(trace);
+    const std::string bytes = serializeTraceBinary(trace, meta);
     const bool ok =
         std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
     if (std::fclose(f) != 0 || !ok) {

@@ -61,32 +61,69 @@ Trace loadTrace(const std::string &path);
  * (workloads/trace_store.h) so out-of-process shard invocations can
  * exchange traces cheaply and detect corruption.
  *
- * Layout: a 24-byte header — magic "RTRB", format version, record
- * count, FNV-1a checksum of the payload — followed by one packed
- * record (arrivalTime, computeCycles, memoryTime, classHint) per
- * request. Doubles are stored bit-exact, so serialize/deserialize
- * round-trips traces identically, including class hints and
- * non-finite values.
+ * Layout: a 28-byte fixed header — magic "RTRB", format version,
+ * record count, FNV-1a checksum, meta length — followed by a
+ * self-describing meta string (free text; the trace cache records the
+ * generation key, e.g. `app=masstree load=0.4 ...`, so `rubik_cli
+ * cache ls` can print what each entry holds without the producer),
+ * then one packed record (arrivalTime, computeCycles, memoryTime,
+ * classHint) per request. The checksum covers meta + payload, so
+ * `cache verify` detects corruption in either. Doubles are stored
+ * bit-exact, so serialize/deserialize round-trips traces identically,
+ * including class hints and non-finite values.
  *
  * Unlike saveTrace/loadTrace (which fatal() on IO), the binary API
  * throws std::runtime_error on short, mis-tagged, or checksum-failing
  * input so callers (the cache) can fall back to regeneration.
  */
-inline constexpr uint32_t kTraceBinaryVersion = 1;
+inline constexpr uint32_t kTraceBinaryVersion = 2;
 
 /// FNV-1a 64-bit hash — the binary format's payload checksum, also
 /// used for trace-cache file naming (workloads/trace_store.h).
-uint64_t fnv1a64(const void *data, std::size_t size);
+/// Passing a previous result as `seed` continues the chain:
+/// fnv1a64(a+b) == fnv1a64(b, n, fnv1a64(a, m)).
+uint64_t fnv1a64(const void *data, std::size_t size,
+                 uint64_t seed = 14695981039346656037ull);
 
-/// Encode `trace` into the versioned binary format.
-std::string serializeTraceBinary(const Trace &trace);
+/// Encode `trace` into the versioned binary format; `meta` is an
+/// arbitrary self-describing string stored in the header (readable by
+/// parseTraceBinaryHeader without decoding the payload).
+std::string serializeTraceBinary(const Trace &trace,
+                                 const std::string &meta = "");
 
 /// Decode serializeTraceBinary output; throws std::runtime_error on a
 /// bad magic/version, a size mismatch, or a checksum failure.
 Trace deserializeTraceBinary(const std::string &bytes);
 
+/**
+ * Header fields of a binary trace, decodable from a file prefix —
+ * what `rubik_cli cache ls` prints per entry without reading payloads.
+ */
+struct TraceBinaryHeader
+{
+    uint32_t version = 0;
+    uint64_t records = 0;      ///< Payload record count.
+    uint64_t checksum = 0;     ///< FNV-1a over meta + payload.
+    std::string meta;          ///< Producer's self-description.
+    uint64_t totalBytes = 0;   ///< Full encoded size header+meta+payload.
+};
+
+/**
+ * Parse the header + meta of a binary trace from `bytes`, which may be
+ * just a prefix of the full encoding (the payload is not required and
+ * not checksummed here — use deserializeTraceBinary for that). Throws
+ * std::runtime_error on a truncated/mis-tagged header or a meta that
+ * extends past the provided bytes.
+ */
+TraceBinaryHeader parseTraceBinaryHeader(const std::string &bytes);
+
+/// Read just the header + meta of a saveTraceBinary file; throws
+/// std::runtime_error on IO or a malformed header.
+TraceBinaryHeader readTraceBinaryHeader(const std::string &path);
+
 /// Write the binary format to `path`; throws std::runtime_error on IO.
-void saveTraceBinary(const Trace &trace, const std::string &path);
+void saveTraceBinary(const Trace &trace, const std::string &path,
+                     const std::string &meta = "");
 
 /// Read a saveTraceBinary file; throws std::runtime_error on IO or
 /// corruption (any deserializeTraceBinary failure).

@@ -1,0 +1,149 @@
+#ifndef RUBIK_WORKLOADS_CACHE_MANAGER_H
+#define RUBIK_WORKLOADS_CACHE_MANAGER_H
+
+/**
+ * @file
+ * Management layer over a persistent trace-cache directory
+ * (workloads/trace_store.h): enumerate entries with their recorded
+ * metadata, verify checksums, and evict — the machinery behind
+ * `rubik_cli cache ls|verify|vacuum|stats` and the TraceStore's
+ * optional size cap (--cache-cap / RUBIK_TRACE_CACHE_CAP).
+ *
+ * A cache directory holds three kinds of files, all managed here:
+ *   *.rtrace         fully-written entries (atomic-rename products)
+ *   *.rtrace.lock    per-key generation locks (flock'd by producers)
+ *   *.rtrace.tmp.*   in-flight writes (atomic-rename sources)
+ *
+ * Concurrency contract: eviction operates only on fully-written
+ * entries and takes the entry's per-key flock (non-blocking) before
+ * unlinking, so an entry whose producer is mid-generation or mid-write
+ * is never removed — a concurrent shard writer can lose at most an
+ * entry it has not started using, and regeneration is deterministic,
+ * so capped runs stay byte-identical to uncapped ones. The manager
+ * itself is stateless (every call re-scans the directory); it never
+ * creates the directory.
+ *
+ * LRU: TraceStore bumps an entry's mtime on every disk hit, so mtime
+ * order is recency order and vacuum() evicts oldest-first (ties broken
+ * by name for determinism).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rubik {
+
+class CacheManager
+{
+  public:
+    /// Manage the trace cache under `dir` (not created, may not exist).
+    explicit CacheManager(std::string dir);
+
+    const std::string &dir() const { return dir_; }
+
+    /// True when the directory exists.
+    bool exists() const;
+
+    /// One enumerated cache entry. Header-level status only: Ok means
+    /// the header parses and the file size matches the recorded record
+    /// count; a payload bit flip is only caught by verify().
+    struct Entry
+    {
+        std::string name;      ///< File name within the cache dir.
+        std::string path;      ///< Full path.
+        uint64_t sizeBytes = 0;
+        int64_t mtimeSec = 0;  ///< Seconds since epoch (LRU key).
+        uint64_t records = 0;  ///< From the header (0 if unreadable).
+        std::string meta;      ///< Recorded generation key, may be "".
+        bool headerOk = false; ///< Header parsed + size consistent.
+        std::string error;     ///< Parse error when !headerOk.
+    };
+
+    /// Enumerate *.rtrace entries sorted by name. Missing directory ->
+    /// empty list. Reads only header + meta per entry (cheap).
+    std::vector<Entry> list() const;
+
+    struct Stats
+    {
+        uint64_t entries = 0;
+        uint64_t totalBytes = 0;   ///< Sum over *.rtrace files.
+        uint64_t badHeaders = 0;   ///< Entries whose header fails.
+        uint64_t lockFiles = 0;    ///< *.rtrace.lock files present.
+        uint64_t tmpFiles = 0;     ///< *.rtrace.tmp.* files present.
+        int64_t oldestMtimeSec = 0; ///< 0 when no entries.
+        int64_t newestMtimeSec = 0;
+    };
+
+    /// Aggregate the directory. Missing directory -> all zeros.
+    Stats stats() const;
+
+    struct VerifyResult
+    {
+        uint64_t checked = 0;
+        uint64_t removed = 0;              ///< Only with fix.
+        std::vector<Entry> corrupt;        ///< Failing entries.
+    };
+
+    /**
+     * Fully re-read and checksum every entry (deserializeTraceBinary).
+     * With `fix`, corrupt entries are unlinked under their per-key
+     * flock — exactly like eviction — so the next request regenerates
+     * them; an entry whose lock is held is reported but left in place.
+     */
+    VerifyResult verify(bool fix);
+
+    struct VacuumResult
+    {
+        uint64_t evicted = 0;
+        uint64_t evictedBytes = 0;
+        uint64_t skippedLocked = 0; ///< Kept: producer holds the lock.
+        uint64_t tmpRemoved = 0;    ///< Stale tmp files cleaned up.
+        uint64_t remainingBytes = 0;
+        uint64_t remainingEntries = 0;
+    };
+
+    /**
+     * Evict least-recently-used entries until the total size of
+     * *.rtrace files is <= `cap_bytes` (0 = no size cap), dropping
+     * entries older than `max_age_sec` first (0 = no age limit).
+     * Also removes *.rtrace.tmp.* files older than `kStaleTmpSec`
+     * (crashed writers) and lock files whose entry is gone and whose
+     * lock is free. Entries protected by a held flock are skipped —
+     * the cap is best-effort while producers are live and exact once
+     * they finish.
+     */
+    VacuumResult vacuum(uint64_t cap_bytes, int64_t max_age_sec = 0);
+
+    /// Tmp files older than this are considered crashed-writer debris.
+    static constexpr int64_t kStaleTmpSec = 600;
+
+  private:
+    /// Directory walk over *.rtrace entries filling name/path/size/
+    /// mtime; header fields (records, meta, status) only when
+    /// `with_headers` — vacuum() skips them, so cap enforcement after
+    /// every cache write stays a stat()-only pass.
+    std::vector<Entry> scan(bool with_headers) const;
+
+    std::string dir_;
+};
+
+/**
+ * Parse a human-readable size: plain bytes or a K/M/G/T suffixed value
+ * (binary multiples, case-insensitive, optional trailing B — "64K",
+ * "1.5G", "4096"). Throws std::runtime_error on malformed input.
+ */
+uint64_t parseSizeBytes(const std::string &text);
+
+/// "1.5 GiB"-style rendering for tables and stats output.
+std::string formatSizeBytes(uint64_t bytes);
+
+/**
+ * Parse a duration in seconds with an optional s/m/h/d suffix ("90",
+ * "15m", "2h", "7d"). Throws std::runtime_error on malformed input.
+ */
+int64_t parseDurationSeconds(const std::string &text);
+
+} // namespace rubik
+
+#endif // RUBIK_WORKLOADS_CACHE_MANAGER_H

@@ -1,0 +1,66 @@
+#ifndef RUBIK_WORKLOADS_FILE_LOCK_H
+#define RUBIK_WORKLOADS_FILE_LOCK_H
+
+/**
+ * @file
+ * The trace cache's per-key advisory lock, shared by producers
+ * (workloads/trace_store.cc, blocking: serialize cross-process
+ * generation of one entry) and the eviction side
+ * (workloads/cache_manager.cc, non-blocking: holding an entry's lock
+ * proves no producer is mid-generation, so it is safe to unlink).
+ * Keeping both on one implementation keeps the protocol — lock path =
+ * entry path + ".lock", open flags, flock semantics — from drifting
+ * apart, which would silently break the "in-generation entry is never
+ * evicted" guarantee.
+ */
+
+#include <string>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+namespace rubik {
+
+/**
+ * Exclusive advisory flock on `path` (created on demand), held for the
+ * object's lifetime. Blocking mode waits for the holder and degrades
+ * to a no-op when the lock file cannot be opened — correctness is
+ * unaffected (atomic rename still yields a valid file), only the
+ * generate-exactly-once guarantee is lost. Non-blocking mode reports
+ * failure via acquired() instead of waiting.
+ */
+class FileLock
+{
+  public:
+    explicit FileLock(const std::string &path, bool blocking = true)
+        : fd_(::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644))
+    {
+        acquired_ =
+            fd_ >= 0 &&
+            ::flock(fd_, blocking ? LOCK_EX : LOCK_EX | LOCK_NB) == 0;
+    }
+
+    ~FileLock()
+    {
+        if (fd_ >= 0) {
+            if (acquired_)
+                ::flock(fd_, LOCK_UN);
+            ::close(fd_);
+        }
+    }
+
+    FileLock(const FileLock &) = delete;
+    FileLock &operator=(const FileLock &) = delete;
+
+    /// True when the lock is actually held.
+    bool acquired() const { return acquired_; }
+
+  private:
+    int fd_;
+    bool acquired_ = false;
+};
+
+} // namespace rubik
+
+#endif // RUBIK_WORKLOADS_FILE_LOCK_H

@@ -7,49 +7,26 @@
 #include <stdexcept>
 
 #include <fcntl.h>
-#include <sys/file.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include "util/error.h"
+#include "workloads/cache_manager.h"
+#include "workloads/file_lock.h"
 #include "workloads/trace_gen.h"
 
 namespace rubik {
 
-namespace {
-
-/**
- * Exclusive advisory lock on `path` (created on demand), held for the
- * object's lifetime. Serializes cross-process generation of one cache
- * entry. If the lock file cannot be opened the lock degrades to a
- * no-op: correctness is unaffected (atomic rename still yields a valid
- * file), only the generate-exactly-once guarantee is lost.
- */
-class FileLock
+std::string
+TraceKey::describe() const
 {
-  public:
-    explicit FileLock(const std::string &path)
-        : fd_(::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644))
-    {
-        if (fd_ >= 0)
-            ::flock(fd_, LOCK_EX);
-    }
-
-    ~FileLock()
-    {
-        if (fd_ >= 0) {
-            ::flock(fd_, LOCK_UN);
-            ::close(fd_);
-        }
-    }
-
-    FileLock(const FileLock &) = delete;
-    FileLock &operator=(const FileLock &) = delete;
-
-  private:
-    int fd_;
-};
-
-} // anonymous namespace
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  " load=%.17g requests=%d nominal=%.17g seed=%llu",
+                  load, numRequests, nominalFreq,
+                  static_cast<unsigned long long>(seed));
+    return "app=" + app + buf;
+}
 
 std::shared_ptr<const Trace>
 TraceStore::get(const TraceKey &key,
@@ -116,19 +93,37 @@ TraceStore::produce(const TraceKey &key,
     }
     auto value = std::make_shared<const Trace>(generate());
     bump(&Stats::generated);
-    writeCacheFile(path, *value);
+    writeCacheFile(path, *value, key.describe());
     return value;
 }
 
 std::shared_ptr<const Trace>
 TraceStore::tryLoadCached(const std::string &path)
 {
+    // One open decides hit vs miss: a concurrent eviction (cache cap)
+    // racing us either wins before this open (a clean miss) or loses —
+    // the open fd keeps the unlinked inode readable. A second
+    // open-by-path could land in between and miscount eviction as
+    // corruption.
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
         return nullptr;
+    std::string bytes;
+    char buf[1 << 16];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.append(buf, got);
+    const bool read_err = std::ferror(f) != 0;
     std::fclose(f);
     try {
-        return std::make_shared<const Trace>(loadTraceBinary(path));
+        if (read_err)
+            throw std::runtime_error("read error");
+        auto trace = std::make_shared<const Trace>(
+            deserializeTraceBinary(bytes));
+        // Mark the entry most-recently-used: the cap's LRU eviction
+        // (cache_manager.h) orders by mtime. Best effort.
+        ::utimensat(AT_FDCWD, path.c_str(), nullptr, 0);
+        return trace;
     } catch (const std::exception &e) {
         bump(&Stats::corruptions);
         std::fprintf(stderr,
@@ -140,12 +135,13 @@ TraceStore::tryLoadCached(const std::string &path)
 }
 
 void
-TraceStore::writeCacheFile(const std::string &path, const Trace &trace)
+TraceStore::writeCacheFile(const std::string &path, const Trace &trace,
+                           const std::string &meta)
 {
     const std::string tmp =
         path + ".tmp." + std::to_string(::getpid());
     try {
-        saveTraceBinary(trace, tmp);
+        saveTraceBinary(trace, tmp, meta);
         if (std::rename(tmp.c_str(), path.c_str()) != 0) {
             std::remove(tmp.c_str());
             throw std::runtime_error("rename failed");
@@ -159,6 +155,51 @@ TraceStore::writeCacheFile(const std::string &path, const Trace &trace)
         return;
     }
     bump(&Stats::diskWrites);
+    enforceCacheCap();
+}
+
+void
+TraceStore::setCacheCap(uint64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cacheCap_ = bytes;
+}
+
+uint64_t
+TraceStore::cacheCap() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cacheCap_;
+}
+
+uint64_t
+TraceStore::enforceCacheCap()
+{
+    std::string dir;
+    uint64_t cap;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        dir = cacheDir_;
+        cap = cacheCap_;
+    }
+    if (dir.empty() || cap == 0)
+        return 0;
+    uint64_t evicted = 0;
+    try {
+        CacheManager manager(dir);
+        evicted = manager.vacuum(cap).evicted;
+    } catch (const std::exception &e) {
+        // Enforcement is hygiene, not correctness: never fail a run
+        // over it.
+        std::fprintf(stderr, "trace-store: cap enforcement failed: %s\n",
+                     e.what());
+        return 0;
+    }
+    if (evicted > 0) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.evictions += evicted;
+    }
+    return evicted;
 }
 
 void
@@ -275,6 +316,15 @@ globalTraceStore()
                 // is a user error, not a reason to std::terminate.
                 std::fprintf(stderr, "%s\n", e.what());
                 fatal("RUBIK_TRACE_CACHE is unusable");
+            }
+        }
+        const char *cap = std::getenv("RUBIK_TRACE_CACHE_CAP");
+        if (cap && *cap) {
+            try {
+                store.setCacheCap(parseSizeBytes(cap));
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "%s\n", e.what());
+                fatal("RUBIK_TRACE_CACHE_CAP is unusable");
             }
         }
         return true;

@@ -60,6 +60,11 @@ struct TraceKey
     uint64_t seed = 0;
 
     auto operator<=>(const TraceKey &) const = default;
+
+    /// Self-describing `field=value` rendering, recorded in each cache
+    /// file's header meta so `rubik_cli cache ls` can print what an
+    /// entry holds. Doubles use %.17g, so the text is lossless.
+    std::string describe() const;
 };
 
 class TraceStore
@@ -94,6 +99,7 @@ class TraceStore
         uint64_t diskHits = 0;    ///< Loaded from the on-disk cache.
         uint64_t diskWrites = 0;  ///< Cache files written.
         uint64_t corruptions = 0; ///< Cache files that failed to load.
+        uint64_t evictions = 0;   ///< Entries evicted enforcing the cap.
     };
 
     /// Cumulative counters. Without a cache dir, misses == generated.
@@ -108,6 +114,28 @@ class TraceStore
 
     /// Active cache directory ("" when disabled).
     std::string cacheDir() const;
+
+    /**
+     * Cap the on-disk cache at `bytes` (0 = unlimited, the default).
+     * Enforced by LRU eviction (workloads/cache_manager.h) after every
+     * cache write and on enforceCacheCap(); entries whose per-key
+     * flock is held by a live producer are never evicted, so a capped
+     * run's output is byte-identical to an uncapped one — a lost entry
+     * only costs a deterministic regeneration.
+     */
+    void setCacheCap(uint64_t bytes);
+
+    /// Active size cap in bytes (0 when uncapped).
+    uint64_t cacheCap() const;
+
+    /**
+     * Evict least-recently-used unlocked cache entries now until the
+     * directory is within the cap. No-op without a cache dir or cap.
+     * Returns the number of entries evicted. Called automatically
+     * after cache writes; call explicitly at end of a run so a warm
+     * (all-hits, no-writes) run still converges an over-cap store.
+     */
+    uint64_t enforceCacheCap();
 
     /// The cache file name for `key` (deterministic across processes):
     /// a sanitized app prefix plus a 64-bit hash of every key field.
@@ -127,10 +155,12 @@ class TraceStore
     produce(const TraceKey &key, const std::function<Trace()> &generate);
 
     /// Load `path` if present and valid; counts corruption on failure.
+    /// A hit bumps the file's mtime, so mtime order is LRU order.
     std::shared_ptr<const Trace> tryLoadCached(const std::string &path);
 
     /// Atomic (temp + rename) cache write; warns instead of throwing.
-    void writeCacheFile(const std::string &path, const Trace &trace);
+    void writeCacheFile(const std::string &path, const Trace &trace,
+                        const std::string &meta);
 
     void bump(uint64_t Stats::*counter);
 
@@ -138,11 +168,13 @@ class TraceStore
     std::map<TraceKey, Future> entries_;
     Stats stats_;
     std::string cacheDir_;
+    uint64_t cacheCap_ = 0;
 };
 
 /// Process-wide store used by the benches and the sweep runner. On
 /// first use, a non-empty RUBIK_TRACE_CACHE environment variable
-/// enables its on-disk cache.
+/// enables its on-disk cache, and a non-empty RUBIK_TRACE_CACHE_CAP
+/// (a parseSizeBytes value, e.g. "256M") sets its size cap.
 TraceStore &globalTraceStore();
 
 } // namespace rubik

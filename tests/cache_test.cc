@@ -1,0 +1,526 @@
+/**
+ * @file
+ * Tests for the trace-cache management subsystem: the binary format's
+ * self-describing meta header, CacheManager enumeration / verify /
+ * vacuum (LRU order, size cap, age limit, flock'd-writer safety,
+ * cap-smaller-than-one-entry), TraceStore cap enforcement and LRU
+ * mtime bumping, size/duration parsing, and — when RUBIK_CLI points at
+ * the built binary — the `rubik_cli cache` subcommand plus the
+ * no-side-effect guarantees of `sweep --dry-run` and `cache` on a
+ * missing directory.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "sim/trace.h"
+#include "workloads/cache_manager.h"
+#include "workloads/trace_store.h"
+
+namespace rubik {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Scratch directory under /tmp, removed at scope exit.
+struct ScratchDir
+{
+    ScratchDir()
+    {
+        char tmpl[] = "/tmp/rubik_cache_test_XXXXXX";
+        if (mkdtemp(tmpl))
+            path = tmpl;
+    }
+    ~ScratchDir()
+    {
+        if (!path.empty()) {
+            std::error_code ec;
+            fs::remove_all(path, ec);
+        }
+    }
+    std::string path;
+};
+
+Trace
+tinyTrace(int records, double scale)
+{
+    Trace trace;
+    for (int i = 0; i < records; ++i)
+        trace.push_back({i * scale, 1e6 + i, 1e-5, -1});
+    return trace;
+}
+
+/// Write one cache entry through the TraceStore producer path (meta
+/// recorded, atomic rename) and return its path.
+std::string
+putEntry(TraceStore &store, const std::string &dir,
+         const std::string &app, uint64_t seed, int records = 50)
+{
+    const TraceKey key{app, 0.4, records, 2.4e9, seed};
+    store.get(key, [&] {
+        return tinyTrace(records, static_cast<double>(seed));
+    });
+    return dir + "/" + TraceStore::cacheFileName(key);
+}
+
+void
+setMtime(const std::string &path, int64_t seconds)
+{
+    struct timespec times[2];
+    times[0].tv_sec = times[1].tv_sec = seconds;
+    times[0].tv_nsec = times[1].tv_nsec = 0;
+    ASSERT_EQ(utimensat(AT_FDCWD, path.c_str(), times, 0), 0);
+}
+
+int64_t
+mtimeOf(const std::string &path)
+{
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0)
+        return -1;
+    return static_cast<int64_t>(st.st_mtime);
+}
+
+uint64_t
+dirEntryBytes(const std::string &dir)
+{
+    uint64_t total = 0;
+    for (const auto &de : fs::directory_iterator(dir)) {
+        if (de.path().extension() == ".rtrace")
+            total += de.file_size();
+    }
+    return total;
+}
+
+TEST(ParseSizeBytes, ParsesSuffixes)
+{
+    EXPECT_EQ(parseSizeBytes("0"), 0u);
+    EXPECT_EQ(parseSizeBytes("4096"), 4096u);
+    EXPECT_EQ(parseSizeBytes("64K"), 64u * 1024);
+    EXPECT_EQ(parseSizeBytes("64k"), 64u * 1024);
+    EXPECT_EQ(parseSizeBytes("64KB"), 64u * 1024);
+    EXPECT_EQ(parseSizeBytes("2M"), 2u * 1024 * 1024);
+    EXPECT_EQ(parseSizeBytes("1G"), 1024u * 1024 * 1024);
+    EXPECT_EQ(parseSizeBytes("1.5K"), 1536u);
+    EXPECT_THROW(parseSizeBytes(""), std::runtime_error);
+    EXPECT_THROW(parseSizeBytes("abc"), std::runtime_error);
+    EXPECT_THROW(parseSizeBytes("12Q"), std::runtime_error);
+    EXPECT_THROW(parseSizeBytes("-4"), std::runtime_error);
+    // Out-of-range and non-finite values must be rejected, not
+    // silently become 0 (= uncapped) through an undefined cast.
+    EXPECT_THROW(parseSizeBytes("1e30"), std::runtime_error);
+    EXPECT_THROW(parseSizeBytes("inf"), std::runtime_error);
+    EXPECT_THROW(parseSizeBytes("nan"), std::runtime_error);
+    EXPECT_THROW(parseSizeBytes("1e400"), std::runtime_error);
+}
+
+TEST(ParseDurationSeconds, ParsesSuffixes)
+{
+    EXPECT_EQ(parseDurationSeconds("90"), 90);
+    EXPECT_EQ(parseDurationSeconds("90s"), 90);
+    EXPECT_EQ(parseDurationSeconds("15m"), 900);
+    EXPECT_EQ(parseDurationSeconds("2h"), 7200);
+    EXPECT_EQ(parseDurationSeconds("7d"), 7 * 86400);
+    EXPECT_THROW(parseDurationSeconds("x"), std::runtime_error);
+    EXPECT_THROW(parseDurationSeconds("5w"), std::runtime_error);
+    EXPECT_THROW(parseDurationSeconds("1e30"), std::runtime_error);
+    EXPECT_THROW(parseDurationSeconds("nan"), std::runtime_error);
+}
+
+TEST(FormatSizeBytes, HumanReadable)
+{
+    EXPECT_EQ(formatSizeBytes(0), "0 B");
+    EXPECT_EQ(formatSizeBytes(512), "512 B");
+    EXPECT_EQ(formatSizeBytes(2048), "2.0 KiB");
+    EXPECT_EQ(formatSizeBytes(3u * 1024 * 1024), "3.0 MiB");
+}
+
+TEST(TraceBinaryMeta, RoundTripsAndChecksums)
+{
+    const Trace trace = tinyTrace(3, 1.0);
+    const std::string meta = "app=masstree load=0.4 seed=7";
+    const std::string bytes = serializeTraceBinary(trace, meta);
+
+    const TraceBinaryHeader h = parseTraceBinaryHeader(bytes);
+    EXPECT_EQ(h.version, kTraceBinaryVersion);
+    EXPECT_EQ(h.records, 3u);
+    EXPECT_EQ(h.meta, meta);
+    EXPECT_EQ(h.totalBytes, bytes.size());
+
+    // The header + meta parse from a prefix (what `cache ls` reads).
+    const TraceBinaryHeader prefix =
+        parseTraceBinaryHeader(bytes.substr(0, 28 + meta.size()));
+    EXPECT_EQ(prefix.meta, meta);
+
+    // Payload decodes unchanged.
+    const Trace back = deserializeTraceBinary(bytes);
+    ASSERT_EQ(back.size(), trace.size());
+    EXPECT_EQ(back[1].arrivalTime, trace[1].arrivalTime);
+
+    // The checksum covers the meta: a meta bit flip is corruption.
+    std::string corrupted = bytes;
+    corrupted[28] ^= 0x01; // first meta byte
+    EXPECT_THROW(deserializeTraceBinary(corrupted), std::runtime_error);
+}
+
+TEST(TraceBinaryMeta, StoreRecordsGenerationKey)
+{
+    ScratchDir dir;
+    TraceStore store;
+    store.setCacheDir(dir.path);
+    const std::string path = putEntry(store, dir.path, "masstree", 42);
+
+    const TraceBinaryHeader h = readTraceBinaryHeader(path);
+    EXPECT_NE(h.meta.find("app=masstree"), std::string::npos);
+    EXPECT_NE(h.meta.find("seed=42"), std::string::npos);
+    EXPECT_NE(h.meta.find("requests=50"), std::string::npos);
+}
+
+TEST(CacheManager, ListsEntriesWithMetadata)
+{
+    ScratchDir dir;
+    TraceStore store;
+    store.setCacheDir(dir.path);
+    putEntry(store, dir.path, "masstree", 1);
+    putEntry(store, dir.path, "xapian", 2);
+
+    CacheManager manager(dir.path);
+    EXPECT_TRUE(manager.exists());
+    const auto entries = manager.list();
+    ASSERT_EQ(entries.size(), 2u);
+    // Sorted by name; each carries header metadata.
+    EXPECT_LT(entries[0].name, entries[1].name);
+    for (const auto &e : entries) {
+        EXPECT_TRUE(e.headerOk) << e.error;
+        EXPECT_EQ(e.records, 50u);
+        EXPECT_GT(e.sizeBytes, 0u);
+        EXPECT_NE(e.meta.find("app="), std::string::npos);
+    }
+
+    const auto s = manager.stats();
+    EXPECT_EQ(s.entries, 2u);
+    EXPECT_EQ(s.totalBytes, dirEntryBytes(dir.path));
+    EXPECT_EQ(s.badHeaders, 0u);
+    EXPECT_EQ(s.lockFiles, 2u); // producers leave their lock files
+}
+
+TEST(CacheManager, MissingDirectoryIsEmptyAndNotCreated)
+{
+    const std::string missing = "/tmp/rubik_cache_test_missing_dir";
+    fs::remove_all(missing);
+    CacheManager manager(missing);
+    EXPECT_FALSE(manager.exists());
+    EXPECT_TRUE(manager.list().empty());
+    EXPECT_EQ(manager.stats().entries, 0u);
+    EXPECT_EQ(manager.verify(true).checked, 0u);
+    EXPECT_EQ(manager.vacuum(1, 1).evicted, 0u);
+    // Management never creates the directory as a side effect.
+    EXPECT_FALSE(fs::exists(missing));
+}
+
+TEST(CacheManager, VacuumEvictsLruFirst)
+{
+    ScratchDir dir;
+    TraceStore store;
+    store.setCacheDir(dir.path);
+    const std::string oldest = putEntry(store, dir.path, "a", 1);
+    const std::string middle = putEntry(store, dir.path, "b", 2);
+    const std::string newest = putEntry(store, dir.path, "c", 3);
+    setMtime(oldest, 1000);
+    setMtime(middle, 2000);
+    setMtime(newest, 3000);
+
+    const uint64_t entry_bytes = fs::file_size(oldest);
+    CacheManager manager(dir.path);
+    const auto r = manager.vacuum(2 * entry_bytes + 1);
+    EXPECT_EQ(r.evicted, 1u);
+    EXPECT_EQ(r.evictedBytes, entry_bytes);
+    EXPECT_EQ(r.remainingEntries, 2u);
+    EXPECT_FALSE(fs::exists(oldest)); // LRU went first
+    EXPECT_TRUE(fs::exists(middle));
+    EXPECT_TRUE(fs::exists(newest));
+    // Its lock file went with it.
+    EXPECT_FALSE(fs::exists(oldest + ".lock"));
+}
+
+TEST(CacheManager, CapSmallerThanOneEntryEvictsEverything)
+{
+    ScratchDir dir;
+    TraceStore store;
+    store.setCacheDir(dir.path);
+    putEntry(store, dir.path, "a", 1);
+    putEntry(store, dir.path, "b", 2);
+
+    CacheManager manager(dir.path);
+    const auto r = manager.vacuum(1); // below any single entry
+    EXPECT_EQ(r.evicted, 2u);
+    EXPECT_EQ(r.remainingEntries, 0u);
+    EXPECT_EQ(dirEntryBytes(dir.path), 0u);
+
+    // The cache still works afterwards: the next request regenerates.
+    TraceStore fresh;
+    fresh.setCacheDir(dir.path);
+    putEntry(fresh, dir.path, "a", 1);
+    EXPECT_EQ(fresh.stats().generated, 1u);
+}
+
+TEST(CacheManager, VacuumSkipsFlockedEntry)
+{
+    ScratchDir dir;
+    TraceStore store;
+    store.setCacheDir(dir.path);
+    const std::string locked = putEntry(store, dir.path, "a", 1);
+    const std::string plain = putEntry(store, dir.path, "b", 2);
+    setMtime(locked, 1000); // locked entry is ALSO the LRU victim
+    setMtime(plain, 2000);
+
+    // Simulate a concurrent shard writer mid-generation: it holds the
+    // per-key flock for the whole generate+write critical section.
+    const int fd = ::open((locked + ".lock").c_str(),
+                          O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::flock(fd, LOCK_EX), 0);
+
+    CacheManager manager(dir.path);
+    const auto r = manager.vacuum(1); // wants to evict everything
+    EXPECT_EQ(r.skippedLocked, 1u);
+    EXPECT_TRUE(fs::exists(locked)); // in-generation entry survives
+    EXPECT_FALSE(fs::exists(plain));
+
+    ::flock(fd, LOCK_UN);
+    ::close(fd);
+
+    // Writer done: the entry is a normal eviction candidate again.
+    const auto r2 = manager.vacuum(1);
+    EXPECT_EQ(r2.evicted, 1u);
+    EXPECT_FALSE(fs::exists(locked));
+}
+
+TEST(CacheManager, VacuumMaxAgeAndStaleTmp)
+{
+    ScratchDir dir;
+    TraceStore store;
+    store.setCacheDir(dir.path);
+    const std::string old_entry = putEntry(store, dir.path, "a", 1);
+    const std::string new_entry = putEntry(store, dir.path, "b", 2);
+    setMtime(old_entry, 1000); // epoch 1970: ancient
+
+    // A crashed writer's tmp file, old enough to be debris.
+    const std::string tmp = dir.path + "/x.rtrace.tmp.999";
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("partial", f);
+    std::fclose(f);
+    setMtime(tmp, 1000);
+
+    CacheManager manager(dir.path);
+    const auto r = manager.vacuum(0, 3600); // age limit only, no cap
+    EXPECT_EQ(r.evicted, 1u);
+    EXPECT_FALSE(fs::exists(old_entry));
+    EXPECT_TRUE(fs::exists(new_entry));
+    EXPECT_EQ(r.tmpRemoved, 1u);
+    EXPECT_FALSE(fs::exists(tmp));
+}
+
+TEST(CacheManager, VerifyDetectsAndFixesTruncatedEntry)
+{
+    ScratchDir dir;
+    TraceStore store;
+    store.setCacheDir(dir.path);
+    const std::string good = putEntry(store, dir.path, "a", 1);
+    const std::string bad = putEntry(store, dir.path, "b", 2);
+    ASSERT_EQ(truncate(bad.c_str(), 40), 0);
+
+    CacheManager manager(dir.path);
+    auto r = manager.verify(false);
+    EXPECT_EQ(r.checked, 2u);
+    ASSERT_EQ(r.corrupt.size(), 1u);
+    EXPECT_EQ(r.corrupt[0].path, bad);
+    EXPECT_EQ(r.removed, 0u);
+    EXPECT_TRUE(fs::exists(bad)); // report-only without fix
+
+    r = manager.verify(true);
+    EXPECT_EQ(r.corrupt.size(), 1u);
+    EXPECT_EQ(r.removed, 1u);
+    EXPECT_FALSE(fs::exists(bad));
+    EXPECT_TRUE(fs::exists(good));
+
+    EXPECT_TRUE(manager.verify(false).corrupt.empty());
+
+    // The next request regenerates the removed entry.
+    TraceStore fresh;
+    fresh.setCacheDir(dir.path);
+    putEntry(fresh, dir.path, "b", 2);
+    EXPECT_EQ(fresh.stats().generated, 1u);
+    EXPECT_TRUE(manager.verify(false).corrupt.empty());
+}
+
+TEST(TraceStore, WriteTriggeredCapEnforcement)
+{
+    ScratchDir dir;
+    TraceStore store;
+    store.setCacheDir(dir.path);
+    // Learn the entry size, then cap at two entries.
+    const std::string probe = putEntry(store, dir.path, "probe", 1);
+    const uint64_t entry_bytes = fs::file_size(probe);
+    store.setCacheCap(2 * entry_bytes + 1);
+    EXPECT_EQ(store.cacheCap(), 2 * entry_bytes + 1);
+
+    for (uint64_t seed = 2; seed <= 6; ++seed)
+        putEntry(store, dir.path, "app", seed);
+
+    EXPECT_LE(dirEntryBytes(dir.path), store.cacheCap());
+    EXPECT_GT(store.stats().evictions, 0u);
+}
+
+TEST(TraceStore, ExplicitEnforcementConvergesWarmStore)
+{
+    ScratchDir dir;
+    {
+        TraceStore writer;
+        writer.setCacheDir(dir.path);
+        for (uint64_t seed = 1; seed <= 5; ++seed)
+            putEntry(writer, dir.path, "app", seed);
+    }
+    // A warm store over cap: reads only, no writes — the explicit
+    // end-of-run hook must still converge it.
+    TraceStore reader;
+    reader.setCacheDir(dir.path);
+    putEntry(reader, dir.path, "app", 1);
+    EXPECT_EQ(reader.stats().diskHits, 1u);
+    EXPECT_EQ(reader.stats().generated, 0u);
+
+    const uint64_t entry_bytes =
+        dirEntryBytes(dir.path) / 5; // all entries same size
+    reader.setCacheCap(2 * entry_bytes + 1);
+    EXPECT_GT(reader.enforceCacheCap(), 0u);
+    EXPECT_LE(dirEntryBytes(dir.path), reader.cacheCap());
+}
+
+TEST(TraceStore, DiskHitBumpsMtimeForLru)
+{
+    ScratchDir dir;
+    std::string path;
+    {
+        TraceStore writer;
+        writer.setCacheDir(dir.path);
+        path = putEntry(writer, dir.path, "app", 1);
+    }
+    setMtime(path, 1000);
+    ASSERT_EQ(mtimeOf(path), 1000);
+
+    TraceStore reader;
+    reader.setCacheDir(dir.path);
+    putEntry(reader, dir.path, "app", 1);
+    EXPECT_EQ(reader.stats().diskHits, 1u);
+    // The hit marked the entry most-recently-used.
+    EXPECT_GT(mtimeOf(path), 1000);
+}
+
+// --- rubik_cli cache / --dry-run side-effect regressions -------------
+
+/// Run `cmd`, returning its exit status (-1 when it could not run).
+int
+runCommand(const std::string &cmd)
+{
+    const int rc = std::system(cmd.c_str());
+    return rc == -1 ? -1 : WEXITSTATUS(rc);
+}
+
+std::string
+cliPathOrSkip()
+{
+    const char *cli = std::getenv("RUBIK_CLI");
+    if (!cli || !fs::exists(cli))
+        return "";
+    return cli;
+}
+
+TEST(CacheCli, DryRunDoesNotCreateTraceCacheDir)
+{
+    const std::string cli = cliPathOrSkip();
+    if (cli.empty())
+        GTEST_SKIP() << "RUBIK_CLI not set or missing";
+
+    ScratchDir scratch;
+    const std::string spec_path = scratch.path + "/grid.spec";
+    std::FILE *f = std::fopen(spec_path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("apps = masstree\nloads = 0.4\npolicies = fixed\n"
+               "requests = 300\nbound_ms = 2\n",
+               f);
+    std::fclose(f);
+
+    const std::string cache_dir = scratch.path + "/never_created";
+    const int rc = runCommand(
+        "'" + cli + "' sweep --spec '" + spec_path +
+        "' --dry-run --trace-cache '" + cache_dir + "' > /dev/null");
+    EXPECT_EQ(rc, 0);
+    EXPECT_FALSE(fs::exists(cache_dir))
+        << "sweep --dry-run created the trace-cache directory";
+}
+
+TEST(CacheCli, CacheSubcommandDoesNotCreateDir)
+{
+    const std::string cli = cliPathOrSkip();
+    if (cli.empty())
+        GTEST_SKIP() << "RUBIK_CLI not set or missing";
+
+    ScratchDir scratch;
+    const std::string cache_dir = scratch.path + "/never_created";
+    for (const char *sub :
+         {"ls", "stats", "verify", "vacuum --cap 1K"}) {
+        const int rc = runCommand("'" + cli + "' cache " + sub +
+                                  " --dir '" + cache_dir +
+                                  "' > /dev/null");
+        EXPECT_EQ(rc, 0) << "cache " << sub;
+        EXPECT_FALSE(fs::exists(cache_dir)) << "cache " << sub;
+    }
+}
+
+TEST(CacheCli, LsAndVerifyOnRealStore)
+{
+    const std::string cli = cliPathOrSkip();
+    if (cli.empty())
+        GTEST_SKIP() << "RUBIK_CLI not set or missing";
+
+    ScratchDir dir;
+    TraceStore store;
+    store.setCacheDir(dir.path);
+    const std::string entry = putEntry(store, dir.path, "masstree", 7);
+
+    EXPECT_EQ(runCommand("'" + cli + "' cache ls --dir '" + dir.path +
+                         "' | grep -q 'app=masstree'"),
+              0);
+    EXPECT_EQ(runCommand("'" + cli + "' cache ls --json --dir '" +
+                         dir.path + "' | grep -q '\"records\": 50'"),
+              0);
+    EXPECT_EQ(runCommand("'" + cli + "' cache verify --dir '" +
+                         dir.path + "' > /dev/null"),
+              0);
+
+    // Truncation flips verify to a nonzero exit; --fix repairs.
+    ASSERT_EQ(truncate(entry.c_str(), 30), 0);
+    EXPECT_NE(runCommand("'" + cli + "' cache verify --dir '" +
+                         dir.path + "' > /dev/null"),
+              0);
+    EXPECT_EQ(runCommand("'" + cli + "' cache verify --fix --dir '" +
+                         dir.path + "' > /dev/null"),
+              0);
+    EXPECT_FALSE(fs::exists(entry));
+}
+
+} // namespace
+} // namespace rubik

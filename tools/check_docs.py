@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Documentation lint for the docs/ tree and README.
+
+Checks, in order:
+  1. every intra-repo markdown link in docs/*.md and README.md
+     resolves to an existing file or directory;
+  2. every ```mermaid block parses structurally (known diagram type,
+     balanced brackets outside quoted strings, no stray tabs);
+  3. every `rubik_cli <subcommand>` named in the docs exists in the
+     built binary's --help output (pass the binary via --cli; skipped
+     otherwise so the script can run without a build).
+
+Exit status: 0 when clean, 1 with one line per problem on stderr.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+MERMAID_TYPES = (
+    "flowchart",
+    "graph",
+    "sequenceDiagram",
+    "classDiagram",
+    "stateDiagram",
+    "erDiagram",
+    "gantt",
+    "pie",
+    "timeline",
+)
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+# `rubik_cli <word>` in prose or code; flags and paths don't match.
+SUBCOMMAND_RE = re.compile(r"rubik_cli\s+([a-z][a-z0-9_-]*)")
+
+
+def doc_files():
+    files = [os.path.join(REPO, "README.md")]
+    docs = os.path.join(REPO, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md"):
+                files.append(os.path.join(docs, name))
+    return files
+
+
+def check_links(path, text, problems):
+    base = os.path.dirname(path)
+    for lineno, line in enumerate(text.splitlines(), 1):
+        for target in LINK_RE.findall(line):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue  # pure in-page anchor
+            resolved = os.path.normpath(os.path.join(base, target))
+            if not os.path.exists(resolved):
+                problems.append(
+                    f"{os.path.relpath(path, REPO)}:{lineno}: broken "
+                    f"link {target!r}"
+                )
+
+
+def balanced(block):
+    """Bracket balance, ignoring characters inside quoted strings."""
+    depth = {"[": 0, "(": 0, "{": 0}
+    closing = {"]": "[", ")": "(", "}": "{"}
+    in_quote = False
+    for ch in block:
+        if ch == '"':
+            in_quote = not in_quote
+            continue
+        if in_quote:
+            continue
+        if ch in depth:
+            depth[ch] += 1
+        elif ch in closing:
+            depth[closing[ch]] -= 1
+            if depth[closing[ch]] < 0:
+                return False
+    return not in_quote and all(v == 0 for v in depth.values())
+
+
+def check_mermaid(path, text, problems):
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        match = FENCE_RE.match(lines[i])
+        if not match or match.group(1) != "mermaid":
+            i += 1
+            continue
+        start = i + 1
+        i = start
+        while i < len(lines) and not lines[i].startswith("```"):
+            i += 1
+        block = lines[start:i]
+        where = f"{os.path.relpath(path, REPO)}:{start + 1}"
+        body = [ln for ln in block if ln.strip()]
+        if not body:
+            problems.append(f"{where}: empty mermaid block")
+        else:
+            first = body[0].strip()
+            if not first.startswith(MERMAID_TYPES):
+                problems.append(
+                    f"{where}: mermaid block starts with {first!r}, "
+                    f"not a known diagram type"
+                )
+            if any("\t" in ln for ln in block):
+                problems.append(f"{where}: mermaid block contains tabs")
+            if not balanced("\n".join(block)):
+                problems.append(
+                    f"{where}: unbalanced brackets in mermaid block"
+                )
+        i += 1  # past the closing fence
+
+
+def check_cli_surface(cli, texts, problems):
+    try:
+        out = subprocess.run(
+            [cli, "--help"], capture_output=True, text=True, timeout=30
+        ).stdout
+    except OSError as exc:
+        problems.append(f"cannot run {cli} --help: {exc}")
+        return
+    named = set()
+    for text in texts.values():
+        named.update(SUBCOMMAND_RE.findall(text))
+    # Words following `rubik_cli` that are prose, not subcommands.
+    named -= {"gains", "sweeps", "byte", "execute"}
+    for sub in sorted(named):
+        if not re.search(rf"\b{re.escape(sub)}\b", out):
+            problems.append(
+                f"docs name `rubik_cli {sub}` but --help does not "
+                f"mention {sub!r}"
+            )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--cli",
+        help="path to the built rubik_cli (enables the subcommand "
+        "surface check)",
+    )
+    args = parser.parse_args()
+
+    problems = []
+    texts = {}
+    for path in doc_files():
+        with open(path, encoding="utf-8") as f:
+            texts[path] = f.read()
+        check_links(path, texts[path], problems)
+        check_mermaid(path, texts[path], problems)
+    if args.cli:
+        check_cli_surface(args.cli, texts, problems)
+
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print(
+        f"check_docs: {len(texts)} files clean"
+        + (" (CLI surface checked)" if args.cli else "")
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

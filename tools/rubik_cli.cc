@@ -21,6 +21,14 @@
  * the shard outputs in order (`merge`) is byte-identical to the
  * unsharded run.
  *
+ * Trace-cache management (workloads/cache_manager.h):
+ *   rubik_cli cache ls --dir DIR [--json]     # entries + recorded keys
+ *   rubik_cli cache verify --dir DIR [--fix]  # checksum every entry
+ *   rubik_cli cache vacuum --dir DIR --cap 256M [--max-age 7d]
+ *   rubik_cli cache stats --dir DIR [--json]
+ * --dir defaults to $RUBIK_TRACE_CACHE. None of these create the
+ * directory or any files in it (vacuum/verify only remove).
+ *
  * Execution backends (src/runner/backend.h) dispatch a sweep's shards
  * instead of running them on this process's thread pool:
  *   rubik_cli sweep --spec grid.spec --backend subprocess --shards 3
@@ -35,9 +43,11 @@
  * same seed, so results match a serial sweep exactly.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <exception>
 #include <functional>
 #include <optional>
@@ -51,6 +61,7 @@
 #include "runner/sweep_spec.h"
 #include "util/error.h"
 #include "util/units.h"
+#include "workloads/cache_manager.h"
 #include "workloads/trace_gen.h"
 #include "workloads/trace_store.h"
 
@@ -96,8 +107,8 @@ usage(const char *argv0)
         "  %s sweep --spec FILE [--shard I/N] [--jobs N]\n"
         "       [--backend local|subprocess|command:<tmpl>] "
         "[--shards N]\n"
-        "       [--retries N] [--trace-cache DIR] [--trace-stats] "
-        "[--dry-run]\n"
+        "       [--retries N] [--trace-cache DIR] [--cache-cap SIZE]\n"
+        "       [--trace-stats] [--dry-run]\n"
         "                     run a sweep-spec grid (or one shard) as "
         "CSV on stdout;\n"
         "                     non-local backends dispatch N shard "
@@ -105,8 +116,18 @@ usage(const char *argv0)
         "                     merge their CSVs byte-identically\n"
         "  %s merge OUT SHARD0 [SHARD1 ...]\n"
         "                     concatenate shard CSVs into OUT "
-        "(byte-identical to the unsharded run)\n",
-        argv0, argv0, argv0);
+        "(byte-identical to the unsharded run)\n"
+        "  %s cache ls|verify|vacuum|stats [--dir DIR] ...\n"
+        "                     manage a trace-cache directory (default "
+        "--dir: $RUBIK_TRACE_CACHE):\n"
+        "                       ls      [--json]  entries with size, "
+        "mtime, recorded key\n"
+        "                       verify  [--fix]   checksum every entry;"
+        " --fix removes corrupt ones\n"
+        "                       vacuum  [--cap SIZE] [--max-age DUR]  "
+        "LRU-evict to the cap\n"
+        "                       stats   [--json]  aggregate totals\n",
+        argv0, argv0, argv0, argv0);
     std::exit(0);
 }
 
@@ -187,7 +208,7 @@ sweepMain(int argc, char **argv)
 {
     std::string spec_path;
     std::string backend_desc = "local";
-    std::string trace_cache;
+    std::string trace_cache, cache_cap;
     int shard = 0, num_shards = 1, jobs = 0;
     int dispatch_shards = 1, retries = -1;
     bool shard_given = false, dry_run = false, trace_stats = false;
@@ -218,6 +239,8 @@ sweepMain(int argc, char **argv)
             retries = std::atoi(need("--retries"));
         else if (!std::strcmp(argv[i], "--trace-cache"))
             trace_cache = need("--trace-cache");
+        else if (!std::strcmp(argv[i], "--cache-cap"))
+            cache_cap = need("--cache-cap");
         else if (!std::strcmp(argv[i], "--trace-stats"))
             trace_stats = true;
         else if (!std::strcmp(argv[i], "--dry-run"))
@@ -243,13 +266,17 @@ sweepMain(int argc, char **argv)
         return 1;
     }
     try {
-        if (!trace_cache.empty())
-            globalTraceStore().setCacheDir(trace_cache);
         const SweepSpec spec = SweepSpec::parseFile(spec_path);
         if (dry_run) {
+            // Listing cells touches no traces: do not create (or even
+            // require) the trace-cache directory as a side effect.
             printSweepCells(spec, shard, num_shards, stdout);
             return 0;
         }
+        if (!trace_cache.empty())
+            globalTraceStore().setCacheDir(trace_cache);
+        if (!cache_cap.empty())
+            globalTraceStore().setCacheCap(parseSizeBytes(cache_cap));
         if (backend_desc == "local" && dispatch_shards == 1) {
             runSweep(spec, shard, num_shards, jobs, stdout);
         } else {
@@ -258,11 +285,15 @@ sweepMain(int argc, char **argv)
             cfg.jobs = jobs;
             cfg.maxAttempts = retries >= 0 ? retries + 1 : 0;
             cfg.traceCacheDir = trace_cache;
+            cfg.traceCacheCap = cache_cap;
             cfg.traceStats = trace_stats;
             cfg.selfExe = selfExePath(argv[0]);
             const auto backend = makeBackend(backend_desc, cfg);
             backend->runSweepSpec(spec, stdout);
         }
+        // A warm run performs no cache writes, so the write-triggered
+        // enforcement never fires; converge an over-cap store here.
+        globalTraceStore().enforceCacheCap();
         // Dispatching backends forward --trace-stats to their
         // children, whose stderr (one stats line each) is replayed in
         // shard order; only in-process execution reports its own.
@@ -271,12 +302,13 @@ sweepMain(int argc, char **argv)
             std::fprintf(stderr,
                          "trace-store: generated=%llu mem_hits=%llu "
                          "disk_hits=%llu disk_writes=%llu "
-                         "corrupt=%llu entries=%zu\n",
+                         "corrupt=%llu evicted=%llu entries=%zu\n",
                          static_cast<unsigned long long>(s.generated),
                          static_cast<unsigned long long>(s.hits),
                          static_cast<unsigned long long>(s.diskHits),
                          static_cast<unsigned long long>(s.diskWrites),
                          static_cast<unsigned long long>(s.corruptions),
+                         static_cast<unsigned long long>(s.evictions),
                          globalTraceStore().size());
         }
     } catch (const std::exception &e) {
@@ -284,6 +316,232 @@ sweepMain(int argc, char **argv)
         return 1;
     }
     return 0;
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+isoUtc(int64_t seconds)
+{
+    const std::time_t t = static_cast<std::time_t>(seconds);
+    std::tm tm{};
+    gmtime_r(&t, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+/// Shared flag parsing for the `cache` sub-subcommands.
+struct CacheOptions
+{
+    std::string dir;
+    std::string cap;
+    std::string maxAge;
+    bool json = false;
+    bool fix = false;
+};
+
+/// `rubik_cli cache ls|verify|vacuum|stats [--dir DIR] ...`. Never
+/// creates the directory (a missing one is just an empty cache).
+int
+cacheMain(int argc, char **argv)
+{
+    const std::string action = argc > 2 ? argv[2] : "";
+    if (action != "ls" && action != "verify" && action != "vacuum" &&
+        action != "stats") {
+        std::fprintf(stderr,
+                     "cache wants one of: ls, verify, vacuum, stats\n");
+        return 1;
+    }
+    CacheOptions o;
+    if (const char *env = std::getenv("RUBIK_TRACE_CACHE"))
+        o.dir = env;
+    for (int i = 3; i < argc; ++i) {
+        auto need = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--dir"))
+            o.dir = need("--dir");
+        else if (!std::strcmp(argv[i], "--json"))
+            o.json = true;
+        else if (!std::strcmp(argv[i], "--fix") && action == "verify")
+            o.fix = true;
+        else if (!std::strcmp(argv[i], "--cap") && action == "vacuum")
+            o.cap = need("--cap");
+        else if (!std::strcmp(argv[i], "--max-age") &&
+                 action == "vacuum")
+            o.maxAge = need("--max-age");
+        else {
+            std::fprintf(stderr, "cache %s: unknown flag %s\n",
+                         action.c_str(), argv[i]);
+            return 1;
+        }
+    }
+    if (o.dir.empty()) {
+        std::fprintf(stderr,
+                     "cache: no directory (use --dir or set "
+                     "RUBIK_TRACE_CACHE)\n");
+        return 1;
+    }
+
+    try {
+        CacheManager manager(o.dir);
+
+        if (action == "ls") {
+            const auto entries = manager.list();
+            if (o.json) {
+                std::printf("[");
+                for (std::size_t i = 0; i < entries.size(); ++i) {
+                    const auto &e = entries[i];
+                    std::printf(
+                        "%s\n  {\"file\": \"%s\", \"bytes\": %llu, "
+                        "\"mtime\": \"%s\", \"records\": %llu, "
+                        "\"status\": \"%s\", \"meta\": \"%s\", "
+                        "\"error\": \"%s\"}",
+                        i ? "," : "", jsonEscape(e.name).c_str(),
+                        static_cast<unsigned long long>(e.sizeBytes),
+                        isoUtc(e.mtimeSec).c_str(),
+                        static_cast<unsigned long long>(e.records),
+                        e.headerOk ? "ok" : "corrupt",
+                        jsonEscape(e.meta).c_str(),
+                        jsonEscape(e.error).c_str());
+                }
+                std::printf("%s]\n", entries.empty() ? "" : "\n");
+                return 0;
+            }
+            std::size_t name_w = 4;
+            for (const auto &e : entries)
+                name_w = std::max(name_w, e.name.size());
+            std::printf("%-*s  %10s  %-20s  %8s  %-7s  %s\n",
+                        static_cast<int>(name_w), "FILE", "SIZE",
+                        "MTIME", "RECORDS", "STATUS", "META");
+            for (const auto &e : entries) {
+                std::printf("%-*s  %10s  %-20s  %8llu  %-7s  %s\n",
+                            static_cast<int>(name_w), e.name.c_str(),
+                            formatSizeBytes(e.sizeBytes).c_str(),
+                            isoUtc(e.mtimeSec).c_str(),
+                            static_cast<unsigned long long>(e.records),
+                            e.headerOk ? "ok" : "corrupt",
+                            (e.headerOk ? e.meta : e.error).c_str());
+            }
+            std::printf("%zu entries\n", entries.size());
+            return 0;
+        }
+
+        if (action == "stats") {
+            const auto s = manager.stats();
+            if (o.json) {
+                std::printf(
+                    "{\"dir\": \"%s\", \"entries\": %llu, "
+                    "\"bytes\": %llu, \"bad_headers\": %llu, "
+                    "\"lock_files\": %llu, \"tmp_files\": %llu, "
+                    "\"oldest\": \"%s\", \"newest\": \"%s\"}\n",
+                    jsonEscape(o.dir).c_str(),
+                    static_cast<unsigned long long>(s.entries),
+                    static_cast<unsigned long long>(s.totalBytes),
+                    static_cast<unsigned long long>(s.badHeaders),
+                    static_cast<unsigned long long>(s.lockFiles),
+                    static_cast<unsigned long long>(s.tmpFiles),
+                    s.entries ? isoUtc(s.oldestMtimeSec).c_str() : "",
+                    s.entries ? isoUtc(s.newestMtimeSec).c_str() : "");
+                return 0;
+            }
+            std::printf("directory   %s%s\n", o.dir.c_str(),
+                        manager.exists() ? "" : " (does not exist)");
+            std::printf("entries     %llu (%s)\n",
+                        static_cast<unsigned long long>(s.entries),
+                        formatSizeBytes(s.totalBytes).c_str());
+            std::printf("bad headers %llu\n",
+                        static_cast<unsigned long long>(s.badHeaders));
+            std::printf("lock files  %llu\n",
+                        static_cast<unsigned long long>(s.lockFiles));
+            std::printf("tmp files   %llu\n",
+                        static_cast<unsigned long long>(s.tmpFiles));
+            if (s.entries > 0) {
+                std::printf("oldest      %s\n",
+                            isoUtc(s.oldestMtimeSec).c_str());
+                std::printf("newest      %s\n",
+                            isoUtc(s.newestMtimeSec).c_str());
+            }
+            return 0;
+        }
+
+        if (action == "verify") {
+            const auto r = manager.verify(o.fix);
+            for (const auto &e : r.corrupt) {
+                std::printf("corrupt: %s (%s)\n", e.name.c_str(),
+                            e.error.c_str());
+            }
+            std::printf("%llu checked, %zu corrupt, %llu removed\n",
+                        static_cast<unsigned long long>(r.checked),
+                        r.corrupt.size(),
+                        static_cast<unsigned long long>(r.removed));
+            // Nonzero when corruption survives the run, so scripts
+            // can gate on a clean store.
+            return r.corrupt.size() > r.removed ? 1 : 0;
+        }
+
+        // vacuum
+        const uint64_t cap =
+            o.cap.empty() ? 0 : parseSizeBytes(o.cap);
+        const int64_t max_age =
+            o.maxAge.empty() ? 0 : parseDurationSeconds(o.maxAge);
+        if (cap == 0 && max_age == 0) {
+            std::fprintf(stderr,
+                         "cache vacuum: need --cap SIZE and/or "
+                         "--max-age DURATION\n");
+            return 1;
+        }
+        const auto r = manager.vacuum(cap, max_age);
+        std::printf("evicted %llu (%s), skipped %llu locked, "
+                    "removed %llu stale files; %llu entries (%s) "
+                    "remain\n",
+                    static_cast<unsigned long long>(r.evicted),
+                    formatSizeBytes(r.evictedBytes).c_str(),
+                    static_cast<unsigned long long>(r.skippedLocked),
+                    static_cast<unsigned long long>(r.tmpRemoved),
+                    static_cast<unsigned long long>(r.remainingEntries),
+                    formatSizeBytes(r.remainingBytes).c_str());
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "cache %s: %s\n", action.c_str(),
+                     e.what());
+        return 1;
+    }
 }
 
 /// `rubik_cli merge OUT SHARD0 [SHARD1 ...]`.
@@ -315,6 +573,8 @@ main(int argc, char **argv)
         return sweepMain(argc, argv);
     if (argc > 1 && !std::strcmp(argv[1], "merge"))
         return mergeMain(argc, argv);
+    if (argc > 1 && !std::strcmp(argv[1], "cache"))
+        return cacheMain(argc, argv);
 
     const CliOptions o = parse(argc, argv);
     const DvfsModel dvfs = DvfsModel::haswell(o.transitionUs * kUs);
