@@ -58,10 +58,13 @@ RubikBoostController::tableFor(int class_hint) const
 double
 RubikBoostController::selectFrequency(const CoreEngine &core)
 {
+    // Same cap semantics as RubikController: the coordinator's power
+    // cap outranks the latency bound on every path.
+    const double ceiling = capCeiling(core);
     if (!core.running())
-        return core.currentFrequency();
+        return std::min(core.currentFrequency(), ceiling);
     if (!mixTable_)
-        return dvfs_.maxFrequency();
+        return std::min(dvfs_.maxFrequency(), ceiling);
 
     const TargetTailTable *table = tableFor(core.running()->classHint);
     const double now = core.now();
@@ -88,7 +91,9 @@ RubikBoostController::selectFrequency(const CoreEngine &core)
             break;
         add_constraint(r.arrivalTime);
     }
-    return saturated ? dvfs_.maxFrequency() : dvfs_.quantizeUp(needed);
+    return std::min(saturated ? dvfs_.maxFrequency()
+                              : dvfs_.quantizeUp(needed),
+                    ceiling);
 }
 
 void

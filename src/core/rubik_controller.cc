@@ -74,13 +74,19 @@ RubikController::analyticalFloor(const CoreEngine &core) const
 double
 RubikController::selectFrequency(const CoreEngine &core)
 {
-    if (!core.running())
-        return core.currentFrequency(); // idle: frequency is moot
+    // A coordinator-assigned power cap bounds every choice below,
+    // including the warmup and saturated max-frequency paths: meeting
+    // the global budget outranks the latency bound (Sec. 7 of FastCap;
+    // the tail cost shows up in the fleet results instead).
+    const double ceiling = capCeiling(core);
 
-    if (!table_)
-        return dvfs_.maxFrequency(); // warming up: be conservative
+    if (!core.running()) // idle: frequency is moot
+        return std::min(core.currentFrequency(), ceiling);
 
-    return dvfs_.quantizeUp(analyticalFloor(core));
+    if (!table_) // warming up: be conservative
+        return std::min(dvfs_.maxFrequency(), ceiling);
+
+    return std::min(dvfs_.quantizeUp(analyticalFloor(core)), ceiling);
 }
 
 void

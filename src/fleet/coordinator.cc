@@ -1,0 +1,43 @@
+#include "fleet/coordinator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rubik {
+
+PowerCoordinator::PowerCoordinator(const PowerModel &power,
+                                   double budget_watts)
+    : power_(power), budget_(budget_watts),
+      floor_(power.coreActivePower(power.dvfs().minFrequency(), 0.0))
+{
+    if (budget_watts <= 0.0)
+        throw std::runtime_error("coordinator budget must be positive");
+}
+
+double
+PowerCoordinator::demandPower(double load) const
+{
+    const DvfsModel &dvfs = power_.dvfs();
+    const double rho = std::clamp(load, 0.0, 1.0);
+    const double f = dvfs.quantizeUp(
+        dvfs.minFrequency() +
+        rho * (dvfs.maxFrequency() - dvfs.minFrequency()));
+    return power_.coreActivePower(f, 0.0);
+}
+
+double
+PowerCoordinator::floorPower() const
+{
+    return floor_;
+}
+
+WaterFillResult
+PowerCoordinator::assignCaps(const std::vector<double> &core_loads) const
+{
+    std::vector<double> demands(core_loads.size());
+    for (std::size_t i = 0; i < core_loads.size(); ++i)
+        demands[i] = demandPower(core_loads[i]);
+    return waterFill(demands, budget_, floor_);
+}
+
+} // namespace rubik

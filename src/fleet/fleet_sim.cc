@@ -1,0 +1,267 @@
+#include "fleet/fleet_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "fleet/coordinator.h"
+#include "policies/replay.h"
+#include "runner/experiment_runner.h"
+#include "runner/sweep_runner.h"
+#include "stats/percentile.h"
+#include "util/units.h"
+#include "workloads/apps.h"
+#include "workloads/trace_store.h"
+
+namespace rubik {
+
+namespace {
+
+AppProfile
+appByNameOrThrow(const std::string &name)
+{
+    const std::optional<AppId> id = appIdByName(name);
+    if (!id)
+        throw std::runtime_error("unknown app: " + name);
+    return makeApp(*id);
+}
+
+/// A core group: every core with the same quantized load and cap
+/// ceiling runs the identical simulation.
+struct GroupKey
+{
+    long qload = 0;          ///< round(load / loadQuantum).
+    std::size_t ceiling = 0; ///< Grid index of the cap ceiling.
+
+    bool operator<(const GroupKey &o) const
+    {
+        return qload != o.qload ? qload < o.qload : ceiling < o.ceiling;
+    }
+};
+
+struct GroupInfo
+{
+    int cores = 0;          ///< Cores in the group this epoch.
+    double capWatts = 0.0;  ///< Representative per-core cap (W).
+};
+
+/// Pooled weighted nearest-rank percentile: each group's latency
+/// samples enter with the group's core count as weight.
+double
+pooledPercentile(const std::vector<std::pair<double, double>> &samples,
+                 double q)
+{
+    if (samples.empty())
+        return 0.0;
+    std::vector<std::pair<double, double>> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    double total = 0.0;
+    for (const auto &[value, weight] : sorted)
+        total += weight;
+    const double target = q * total;
+    double cum = 0.0;
+    for (const auto &[value, weight] : sorted) {
+        cum += weight;
+        if (cum >= target)
+            return value;
+    }
+    return sorted.back().first;
+}
+
+} // namespace
+
+void
+FleetConfig::validate() const
+{
+    if (machines < 1)
+        throw std::runtime_error("fleet needs >= 1 machine");
+    if (coresPerMachine < 1)
+        throw std::runtime_error("fleet needs >= 1 core per machine");
+    if (epochs < 1)
+        throw std::runtime_error("fleet needs >= 1 epoch");
+    if (requestsPerEpoch < 1)
+        throw std::runtime_error("fleet needs >= 1 request per epoch");
+    if (maxCoreLoad <= 0.0 || maxCoreLoad > 1.0)
+        throw std::runtime_error("max core load must be in (0, 1]");
+    if (loadQuantum <= 0.0 || loadQuantum > 0.5)
+        throw std::runtime_error("load quantum must be in (0, 0.5]");
+    if (!isKnownPolicy(policy))
+        throw std::runtime_error("unknown policy: " + policy);
+    appByNameOrThrow(app); // Throws on an unknown app.
+}
+
+FleetResult
+runFleet(const FleetConfig &config, int jobs)
+{
+    config.validate();
+    const AppProfile app = appByNameOrThrow(config.app);
+    const DvfsModel dvfs = DvfsModel::haswell(config.transitionUs * kUs);
+    const PowerModel power(dvfs);
+    const double nominal = dvfs.nominalFrequency();
+    const std::size_t max_ceiling = dvfs.numFrequencies() - 1;
+    const int cores = config.totalCores();
+    const bool capped = config.budgetWatts > 0.0;
+
+    TraceStore &store = globalTraceStore();
+    ExperimentRunner runner(jobs);
+
+    FleetResult result;
+    result.budgetWatts = capped ? config.budgetWatts : 0.0;
+
+    // Tail bound: explicit, or the sweep runner's auto rule (p95 of
+    // the app's 50%-load fixed-nominal replay).
+    if (config.boundMs > 0.0) {
+        result.bound = config.boundMs * kMs;
+    } else {
+        const auto t50 =
+            store.loadTrace(app, 0.5, config.requestsPerEpoch, nominal,
+                            config.seed);
+        result.bound = replayFixed(*t50, nominal, power).tailLatency(0.95);
+    }
+
+    LoadModelConfig lm = config.loadModel;
+    lm.seed = config.seed;
+    const CorrelatedLoadModel load_model(lm, config.machines);
+    std::optional<PowerCoordinator> coordinator;
+    if (capped)
+        coordinator.emplace(power, config.budgetWatts);
+
+    // Group simulations are memoized across epochs: the trace seed
+    // depends on the quantized load, not the epoch, so a load level
+    // revisited in a later epoch reuses its simulation.
+    std::map<GroupKey, PolicyOutcome> simulated;
+
+    double demand_total = 0.0;
+    double shed_total = 0.0;
+    for (int epoch = 0; epoch < config.epochs; ++epoch) {
+        const std::vector<double> demands = load_model.epochDemand(epoch);
+        const RouteResult routed =
+            routeLoad(demands, config.maxCoreLoad);
+
+        FleetEpochResult er;
+        er.epoch = epoch;
+        er.offeredLoad = mean(demands);
+        er.meanLoad = mean(routed.load);
+        const double offered_sum =
+            std::accumulate(demands.begin(), demands.end(), 0.0);
+        er.shedFraction =
+            offered_sum > 0.0 ? routed.shed / offered_sum : 0.0;
+        demand_total += offered_sum;
+        shed_total += routed.shed;
+
+        // Per-core caps: every core of a machine shares its load, so
+        // the demand vector repeats each machine's entry
+        // coresPerMachine times; water-filling fairness then grants
+        // equal caps to equal loads.
+        WaterFillResult wf;
+        if (capped) {
+            std::vector<double> core_loads;
+            core_loads.reserve(static_cast<std::size_t>(cores));
+            for (const double load : routed.load) {
+                for (int c = 0; c < config.coresPerMachine; ++c)
+                    core_loads.push_back(load);
+            }
+            wf = coordinator->assignCaps(core_loads);
+            er.feasible = wf.feasible;
+            er.capPower = wf.total();
+            std::vector<double> wanted(core_loads.size());
+            for (std::size_t i = 0; i < core_loads.size(); ++i)
+                wanted[i] = coordinator->demandPower(core_loads[i]);
+            er.cappedFraction =
+                static_cast<double>(wf.numCapped(wanted)) /
+                static_cast<double>(cores);
+        }
+
+        // Exact grouping: (quantized load, cap ceiling) determines
+        // the simulation. Machine order is fixed, so the
+        // representative cap of a group is deterministic.
+        std::map<GroupKey, GroupInfo> groups;
+        for (int m = 0; m < config.machines; ++m) {
+            GroupKey key;
+            key.qload = std::max<long>(
+                1, std::lround(routed.load[m] / config.loadQuantum));
+            double cap = 0.0;
+            key.ceiling = max_ceiling;
+            if (capped) {
+                cap = wf.caps[static_cast<std::size_t>(m) *
+                              config.coresPerMachine];
+                key.ceiling =
+                    dvfs.indexOf(capFrequencyCeiling(power, cap));
+            }
+            GroupInfo &info = groups[key];
+            if (info.cores == 0)
+                info.capWatts = cap;
+            info.cores += config.coresPerMachine;
+        }
+        er.groups = static_cast<int>(groups.size());
+
+        // Simulate the groups this epoch introduces, fanned out on
+        // the pool; sorted-key order + in-order results keep the
+        // cache contents independent of the worker count.
+        std::vector<GroupKey> fresh;
+        std::vector<std::function<PolicyOutcome()>> sim_jobs;
+        for (const auto &[key, info] : groups) {
+            if (simulated.count(key))
+                continue;
+            fresh.push_back(key);
+            const double qload =
+                static_cast<double>(key.qload) * config.loadQuantum;
+            const double cap = info.capWatts;
+            sim_jobs.push_back([&, qload, cap] {
+                const auto base = store.loadTrace(
+                    app, qload, config.requestsPerEpoch, nominal,
+                    config.seed);
+                Trace annotated = *base;
+                annotateClasses(annotated, 0.85, nominal);
+                PolicyRunRequest req;
+                req.trace = &annotated;
+                req.bound = result.bound;
+                req.dvfs = &dvfs;
+                req.power = &power;
+                req.powerCapWatts = cap;
+                req.collectLatencies = true;
+                return runPolicy(config.policy, req);
+            });
+        }
+        std::vector<PolicyOutcome> outcomes =
+            runner.runBatch(std::move(sim_jobs));
+        for (std::size_t i = 0; i < fresh.size(); ++i)
+            simulated.emplace(fresh[i], std::move(outcomes[i]));
+
+        // Core-count-weighted fleet aggregation.
+        std::vector<std::pair<double, double>> pooled;
+        double energy_weighted = 0.0;
+        for (const auto &[key, info] : groups) {
+            const PolicyOutcome &o = simulated.at(key);
+            const double weight = static_cast<double>(info.cores);
+            er.meanPower += weight * o.meanPower;
+            energy_weighted += weight * o.energyPerRequest;
+            for (const double lat : o.latencies)
+                pooled.emplace_back(lat, weight);
+        }
+        er.energyPerRequest = energy_weighted / cores;
+        er.tailLatency = pooledPercentile(pooled, 0.95);
+        result.epochs.push_back(er);
+    }
+
+    result.feasible = true;
+    for (const FleetEpochResult &er : result.epochs) {
+        result.feasible = result.feasible && er.feasible;
+        result.worstTail = std::max(result.worstTail, er.tailLatency);
+        result.peakPower = std::max(result.peakPower, er.meanPower);
+        result.energyPerRequest += er.energyPerRequest;
+    }
+    result.energyPerRequest /= static_cast<double>(config.epochs);
+    result.shedFraction =
+        demand_total > 0.0 ? shed_total / demand_total : 0.0;
+    result.groupsSimulated = static_cast<int>(simulated.size());
+    return result;
+}
+
+} // namespace rubik

@@ -1,0 +1,127 @@
+#include "fleet/load_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace rubik {
+
+namespace {
+
+constexpr double kMinDemand = 0.02;
+constexpr double kMaxDemand = 1.25;
+constexpr double kTwoPi = 6.283185307179586;
+
+/// One independent jitter stream per (seed, epoch, machine) cell, so
+/// any cell is computable without generating its predecessors.
+uint64_t
+cellSeed(uint64_t seed, int epoch, int machine)
+{
+    uint64_t s = seed;
+    s = s * 0x9e3779b97f4a7c15ull + static_cast<uint64_t>(epoch) + 1;
+    s = s * 0x9e3779b97f4a7c15ull + static_cast<uint64_t>(machine) + 1;
+    return s;
+}
+
+} // namespace
+
+CorrelatedLoadModel::CorrelatedLoadModel(const LoadModelConfig &config,
+                                         int num_machines)
+    : config_(config), machines_(num_machines)
+{
+    if (num_machines <= 0)
+        throw std::runtime_error("load model needs >= 1 machine");
+    if (config.diurnalPeriodEpochs <= 0)
+        throw std::runtime_error("diurnal period must be >= 1 epoch");
+}
+
+bool
+CorrelatedLoadModel::inSurge(int epoch) const
+{
+    return epoch >= config_.surgeStartEpoch &&
+           epoch < config_.surgeEndEpoch;
+}
+
+int
+CorrelatedLoadModel::numSurged() const
+{
+    const double fraction =
+        std::clamp(config_.surgeFraction, 0.0, 1.0);
+    return static_cast<int>(fraction * machines_);
+}
+
+std::vector<double>
+CorrelatedLoadModel::epochDemand(int epoch) const
+{
+    const double phase = kTwoPi * static_cast<double>(epoch) /
+                         static_cast<double>(config_.diurnalPeriodEpochs);
+    const double diurnal =
+        config_.baseLoad *
+        (1.0 + config_.diurnalAmplitude * std::sin(phase));
+    const bool surging = inSurge(epoch);
+    const int surged = numSurged();
+
+    std::vector<double> demand(machines_);
+    for (int m = 0; m < machines_; ++m) {
+        Rng rng(cellSeed(config_.seed, epoch, m));
+        double d = diurnal * (1.0 + rng.normal(0.0, config_.jitterStddev));
+        if (surging && m < surged)
+            d *= config_.surgeFactor;
+        demand[m] = std::clamp(d, kMinDemand, kMaxDemand);
+    }
+    return demand;
+}
+
+RouteResult
+routeLoad(const std::vector<double> &demands, double max_core_load)
+{
+    if (max_core_load <= 0.0)
+        throw std::runtime_error("max core load must be positive");
+    RouteResult result;
+    const std::size_t n = demands.size();
+    result.load.resize(n);
+    if (n == 0)
+        return result;
+
+    // Every machine keeps what fits of its own demand.
+    double overflow = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double d = std::max(demands[i], 0.0);
+        result.load[i] = std::min(d, max_core_load);
+        overflow += d - result.load[i];
+    }
+    if (overflow <= 0.0)
+        return result;
+
+    double headroom = 0.0;
+    for (const double a : result.load)
+        headroom += max_core_load - a;
+    const double place = std::min(overflow, headroom);
+    result.shed = overflow - place;
+    if (place <= 0.0)
+        return result;
+
+    // Spill the overflow by raising the least-loaded machines to a
+    // common level T: sum_i max(0, T - load_i) = place. Since
+    // place <= headroom, T never exceeds max_core_load.
+    std::vector<double> sorted = result.load;
+    std::sort(sorted.begin(), sorted.end());
+    double level = max_core_load;
+    double prefix = 0.0; // sum of the k lowest loads
+    for (std::size_t k = 1; k <= n; ++k) {
+        prefix += sorted[k - 1];
+        const double candidate =
+            (place + prefix) / static_cast<double>(k);
+        if (k == n || candidate <= sorted[k]) {
+            level = candidate;
+            break;
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        result.load[i] = std::max(result.load[i], level);
+    return result;
+}
+
+} // namespace rubik

@@ -1,0 +1,98 @@
+#ifndef RUBIK_FLEET_LOAD_MODEL_H
+#define RUBIK_FLEET_LOAD_MODEL_H
+
+/**
+ * @file
+ * Correlated fleet load: per-machine offered load over coordinator
+ * epochs, plus the request router that turns offered load into
+ * assigned load.
+ *
+ * The model composes three deterministic terms: a fleet-wide diurnal
+ * swing (sinusoid over epochs), per-machine jitter (normal, seeded
+ * from (seed, epoch, machine) so any epoch/machine cell is computable
+ * in isolation), and a correlated regional surge that multiplies the
+ * demand of a contiguous prefix of machines for a window of epochs —
+ * the scenario that makes a shared power budget interesting, because
+ * many cores heat up at once instead of independently.
+ *
+ * The router (routeLoad) is deliberately minimal-disruption rather
+ * than perfectly balancing: every machine keeps min(demand, cap) of
+ * its own demand, and only the overflow spills into other machines'
+ * headroom, water-filling the least-loaded machines up to a common
+ * level. Overflow that fits nowhere is shed (reported, not silently
+ * dropped). Perfect rebalancing would erase exactly the surge
+ * correlation the model exists to produce.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace rubik {
+
+/// Knobs of the correlated load generator.
+struct LoadModelConfig
+{
+    double baseLoad = 0.45;        ///< Fleet-mean per-core load.
+    double diurnalAmplitude = 0.25; ///< Relative sinusoid amplitude.
+    int diurnalPeriodEpochs = 8;    ///< Epochs per diurnal cycle.
+    double jitterStddev = 0.05;     ///< Relative per-machine jitter.
+    /// Surge: machines [0, surgeFraction * n) see their demand
+    /// multiplied by surgeFactor during [surgeStartEpoch,
+    /// surgeEndEpoch).
+    double surgeFactor = 1.8;
+    double surgeFraction = 0.3;
+    int surgeStartEpoch = 2;
+    int surgeEndEpoch = 4;
+    uint64_t seed = 1;
+};
+
+/**
+ * Deterministic per-machine offered load over epochs. Stateless
+ * between calls: epochDemand(e) depends only on the config, the
+ * machine count, and e, never on call order.
+ */
+class CorrelatedLoadModel
+{
+  public:
+    CorrelatedLoadModel(const LoadModelConfig &config, int num_machines);
+
+    /// Offered per-core load of every machine at `epoch`, in
+    /// [0.02, 1.25] — above-1 demand models a machine asked for more
+    /// than it can serve, which the router spills or sheds.
+    std::vector<double> epochDemand(int epoch) const;
+
+    /// True while the regional surge window is active.
+    bool inSurge(int epoch) const;
+
+    /// Machines hit by the surge (the prefix [0, numSurged())).
+    int numSurged() const;
+
+    int numMachines() const { return machines_; }
+    const LoadModelConfig &config() const { return config_; }
+
+  private:
+    LoadModelConfig config_;
+    int machines_;
+};
+
+/// routeLoad's outcome: assigned load plus what could not be placed.
+struct RouteResult
+{
+    /// Per-machine assigned per-core load, each <= max_core_load.
+    std::vector<double> load;
+    /// Total demand (load units) that fit on no machine.
+    double shed = 0.0;
+};
+
+/**
+ * Minimal-disruption routing: machine i keeps min(demand[i], cap) of
+ * its own demand; the overflow spills into the remaining headroom by
+ * raising the least-loaded machines to a common level (never above
+ * cap); what still does not fit is shed. Deterministic, O(n log n).
+ */
+RouteResult routeLoad(const std::vector<double> &demands,
+                      double max_core_load);
+
+} // namespace rubik
+
+#endif // RUBIK_FLEET_LOAD_MODEL_H

@@ -1,0 +1,91 @@
+#include "fleet/water_fill.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rubik {
+
+double
+WaterFillResult::total() const
+{
+    return std::accumulate(caps.begin(), caps.end(), 0.0);
+}
+
+std::size_t
+WaterFillResult::numCapped(const std::vector<double> &demands) const
+{
+    std::size_t capped = 0;
+    const std::size_t n = std::min(caps.size(), demands.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (caps[i] < demands[i])
+            ++capped;
+    }
+    return capped;
+}
+
+WaterFillResult
+waterFill(const std::vector<double> &demands, double budget,
+          double floor)
+{
+    WaterFillResult result;
+    const std::size_t n = demands.size();
+    floor = std::max(floor, 0.0);
+    if (n == 0) {
+        result.level = floor;
+        return result;
+    }
+
+    // Effective demand: even an idle core draws its floor.
+    std::vector<double> effective(n);
+    for (std::size_t i = 0; i < n; ++i)
+        effective[i] = std::max(floor, std::max(demands[i], 0.0));
+
+    const double floors = floor * static_cast<double>(n);
+    if (budget < floors) {
+        // The floors alone overrun the budget: no feasible allocation.
+        result.caps.assign(n, floor);
+        result.level = floor;
+        result.feasible = false;
+        return result;
+    }
+
+    const double wanted =
+        std::accumulate(effective.begin(), effective.end(), 0.0);
+    if (wanted <= budget) {
+        // Slack budget: everyone gets their demand, nothing is capped.
+        result.caps = std::move(effective);
+        result.level =
+            *std::max_element(result.caps.begin(), result.caps.end());
+        return result;
+    }
+
+    // Binding budget. Spend the budget above the floors on the sorted
+    // demand gaps g_i = effective_i - floor: the level T above floor
+    // satisfies sum_i min(g_i, T) = spend, found by walking the sorted
+    // gaps until raising everyone further would overrun.
+    std::vector<double> gaps(n);
+    for (std::size_t i = 0; i < n; ++i)
+        gaps[i] = effective[i] - floor;
+    std::vector<double> sorted = gaps;
+    std::sort(sorted.begin(), sorted.end());
+
+    const double spend = budget - floors;
+    double level_above = sorted.back(); // overwritten below
+    double prefix = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        const double m = static_cast<double>(n - k);
+        if (prefix + sorted[k] * m >= spend) {
+            level_above = (spend - prefix) / m;
+            break;
+        }
+        prefix += sorted[k];
+    }
+
+    result.caps.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        result.caps[i] = floor + std::min(gaps[i], level_above);
+    result.level = floor + level_above;
+    return result;
+}
+
+} // namespace rubik

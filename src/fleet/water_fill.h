@@ -1,0 +1,61 @@
+#ifndef RUBIK_FLEET_WATER_FILL_H
+#define RUBIK_FLEET_WATER_FILL_H
+
+/**
+ * @file
+ * Fair water-filling allocation (FastCap-style, Liu et al.).
+ *
+ * Given per-core power demands and a global budget, the allocator
+ * grants every core min(demand, L) for the highest common water level
+ * L that keeps the total within budget, with a per-core floor (a core
+ * cannot be capped below its minimum-frequency power). The same
+ * primitive balances the request router's overflow into machine
+ * headroom (fleet/load_model.h).
+ *
+ * Invariants (pinned by tests/fleet_test.cc):
+ *  - conservation: sum(caps) <= budget, with equality whenever the
+ *    budget actually binds (some demand is cut);
+ *  - fairness: every capped entry (cap < demand) receives the same
+ *    water level L;
+ *  - floor: caps[i] >= floor always; a budget below n*floor is
+ *    infeasible and reported as such (caps degrade to the floor);
+ *  - monotonicity: raising the budget never lowers any cap;
+ *  - no waste: an entry is never granted more than max(floor, demand).
+ */
+
+#include <vector>
+
+namespace rubik {
+
+/// One water-filling allocation.
+struct WaterFillResult
+{
+    std::vector<double> caps; ///< Per-entry grant, demand order.
+    /// Water level L: every capped entry is granted exactly L. When
+    /// nothing is capped (slack budget) this is the largest effective
+    /// demand; when infeasible it is the floor.
+    double level = 0.0;
+    /// False when budget < n * floor: the floors alone overrun the
+    /// budget, so conservation is impossible. Caps degrade to the
+    /// floor and the caller must treat the epoch as over budget.
+    bool feasible = true;
+
+    /// Total granted power (sum of caps).
+    double total() const;
+
+    /// Entries granted less than their demand.
+    std::size_t numCapped(const std::vector<double> &demands) const;
+};
+
+/**
+ * Water-fill `budget` over `demands` with a uniform per-entry floor.
+ * Deterministic and order-independent: permuting demands permutes caps
+ * the same way. Negative demands are treated as zero; floor < 0 is
+ * treated as 0.
+ */
+WaterFillResult waterFill(const std::vector<double> &demands,
+                          double budget, double floor = 0.0);
+
+} // namespace rubik
+
+#endif // RUBIK_FLEET_WATER_FILL_H

@@ -1,5 +1,7 @@
 #include "policies/pegasus.h"
 
+#include <algorithm>
+
 #include "util/error.h"
 
 namespace rubik {
@@ -23,8 +25,10 @@ PegasusPolicy::reset()
 double
 PegasusPolicy::selectFrequency(const CoreEngine &core)
 {
-    (void)core;
-    return freq_;
+    // Feedback can ask for any grid point; a coordinator-assigned
+    // power cap clips it (the epoch state still tracks the uncapped
+    // choice, so lifting the cap restores normal operation).
+    return std::min(freq_, capCeiling(core));
 }
 
 void

@@ -88,4 +88,18 @@ PowerModel::packagePower(const std::vector<double> &core_freqs,
     return power;
 }
 
+double
+capFrequencyCeiling(const PowerModel &power, double cap_watts)
+{
+    const DvfsModel &dvfs = power.dvfs();
+    if (cap_watts <= 0.0)
+        return dvfs.maxFrequency();
+    double ceiling = dvfs.minFrequency();
+    for (const double f : dvfs.frequencies()) {
+        if (power.coreActivePower(f, 0.0) <= cap_watts)
+            ceiling = f;
+    }
+    return ceiling;
+}
+
 } // namespace rubik

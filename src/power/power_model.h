@@ -145,6 +145,18 @@ class PowerModel
     Params params_;
 };
 
+/**
+ * Highest grid frequency whose worst-case active-core power fits under
+ * `cap_watts` (the grid minimum when none does). coreActivePower is
+ * monotone in frequency and maximal at stall_frac = 0 (stalled cycles
+ * toggle less logic), so a core that never runs above the returned
+ * frequency draws at most `cap_watts` of active power at every instant
+ * — the translation cap-aware DVFS policies and the fleet coordinator
+ * share. A non-positive cap means "uncapped" and returns the grid
+ * maximum.
+ */
+double capFrequencyCeiling(const PowerModel &power, double cap_watts);
+
 } // namespace rubik
 
 #endif // RUBIK_POWER_POWER_MODEL_H

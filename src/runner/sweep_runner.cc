@@ -45,8 +45,24 @@ fromSim(const SimResult &r, const DvfsModel &dvfs)
         weighted += r.core.freqResidency[i] * dvfs.frequencies()[i];
     o.meanFrequency =
         r.core.busyTime > 0 ? weighted / r.core.busyTime : 0.0;
+    o.meanPower = r.meanActiveCorePower();
     o.transitions = r.core.numTransitions;
     return o;
+}
+
+/// Mean active core power of an analytic replay (W).
+double
+replayMeanPower(const ReplayResult &r)
+{
+    return r.makespan > 0.0 ? r.coreActiveEnergy / r.makespan : 0.0;
+}
+
+void
+fillFromReplay(PolicyOutcome &out, const ReplayResult &r)
+{
+    out.tailLatency = r.tailLatency();
+    out.energyPerRequest = r.energyPerRequest();
+    out.meanPower = replayMeanPower(r);
 }
 
 } // anonymous namespace
@@ -71,72 +87,115 @@ isKnownPolicy(const std::string &name)
 }
 
 PolicyOutcome
-runPolicy(const std::string &policy, const Trace &trace, double bound,
-          const DvfsModel &dvfs, const PowerModel &power)
+runPolicy(const std::string &policy, const PolicyRunRequest &request)
 {
-    return runPolicy(policy, trace, bound, dvfs, power,
-                     replayFixed(trace, dvfs.nominalFrequency(),
-                                 power));
-}
-
-PolicyOutcome
-runPolicy(const std::string &policy, const Trace &trace, double bound,
-          const DvfsModel &dvfs, const PowerModel &power,
-          const ReplayResult &fixed)
-{
+    if (!request.trace || !request.dvfs || !request.power)
+        throw std::runtime_error(
+            "PolicyRunRequest needs trace, dvfs, and power");
+    const Trace &trace = *request.trace;
+    const DvfsModel &dvfs = *request.dvfs;
+    const PowerModel &power = *request.power;
+    const double bound = request.bound;
+    const double cap = request.powerCapWatts;
     const double nominal = dvfs.nominalFrequency();
+
+    // Shared fixed-nominal baseline: supplied by grid callers so the
+    // cells of one trace replay it once, recomputed here otherwise.
+    ReplayResult local_fixed;
+    if (!request.fixedBaseline)
+        local_fixed = replayFixed(trace, nominal, power);
+    const ReplayResult &fixed =
+        request.fixedBaseline ? *request.fixedBaseline : local_fixed;
+
+    // Simulate an online DvfsPolicy under the requested cap and keep
+    // the outcome's sim-only fields.
+    auto run_capped = [&](DvfsPolicy &scheme) {
+        scheme.setPowerCap(cap);
+        const SimResult r = simulate(trace, scheme, dvfs, power);
+        PolicyOutcome o = fromSim(r, dvfs);
+        if (request.collectLatencies)
+            o.latencies = r.latencies();
+        return o;
+    };
+    auto reject_cap = [&] {
+        if (cap > 0.0)
+            throw std::runtime_error(
+                "power cap unsupported for offline policy: " + policy);
+    };
 
     PolicyOutcome out;
     out.fixedEnergyPerRequest = fixed.energyPerRequest();
     if (policy == "fixed") {
-        out.tailLatency = fixed.tailLatency();
-        out.energyPerRequest = fixed.energyPerRequest();
-        out.meanFrequency = nominal;
+        // A capped fixed baseline runs at the cap's frequency ceiling
+        // instead of nominal (the baseline replay stays uncapped).
+        const double ceiling = capFrequencyCeiling(power, cap);
+        if (cap > 0.0 && ceiling < nominal) {
+            const ReplayResult capped =
+                replayFixed(trace, ceiling, power);
+            fillFromReplay(out, capped);
+            out.meanFrequency = ceiling;
+            if (request.collectLatencies)
+                out.latencies = capped.latencies;
+        } else {
+            fillFromReplay(out, fixed);
+            out.meanFrequency = nominal;
+            if (request.collectLatencies)
+                out.latencies = fixed.latencies;
+        }
     } else if (policy == "static") {
+        reject_cap();
         const auto sr = staticOracle(trace, bound, 0.95, dvfs, power);
-        out.tailLatency = sr.replay.tailLatency();
-        out.energyPerRequest = sr.replay.energyPerRequest();
+        fillFromReplay(out, sr.replay);
         out.meanFrequency = sr.frequency;
+        if (request.collectLatencies)
+            out.latencies = sr.replay.latencies;
     } else if (policy == "dynamic") {
+        reject_cap();
         const auto dr = dynamicOracle(trace, bound, 0.95, dvfs, power);
-        out.tailLatency = dr.replay.tailLatency();
-        out.energyPerRequest = dr.replay.energyPerRequest();
+        fillFromReplay(out, dr.replay);
+        if (request.collectLatencies)
+            out.latencies = dr.replay.latencies;
     } else if (policy == "adrenaline") {
+        reject_cap();
         const auto ar =
             adrenalineOracle(trace, bound, dvfs, power, nominal);
-        out.tailLatency = ar.replay.tailLatency();
-        out.energyPerRequest = ar.replay.energyPerRequest();
+        fillFromReplay(out, ar.replay);
+        if (request.collectLatencies)
+            out.latencies = ar.replay.latencies;
     } else if (policy == "pegasus") {
         PegasusConfig cfg;
         cfg.latencyBound = bound;
         PegasusPolicy scheme(dvfs, cfg);
-        const PolicyOutcome sim =
-            fromSim(simulate(trace, scheme, dvfs, power), dvfs);
+        const PolicyOutcome sim = run_capped(scheme);
         out.tailLatency = sim.tailLatency;
         out.energyPerRequest = sim.energyPerRequest;
         out.meanFrequency = sim.meanFrequency;
+        out.meanPower = sim.meanPower;
         out.transitions = sim.transitions;
+        out.latencies = sim.latencies;
     } else if (policy == "rubik" || policy == "rubik-nofb") {
         RubikConfig cfg;
         cfg.latencyBound = bound;
         cfg.feedback = policy == "rubik";
         RubikController scheme(dvfs, cfg);
-        const PolicyOutcome sim =
-            fromSim(simulate(trace, scheme, dvfs, power), dvfs);
+        const PolicyOutcome sim = run_capped(scheme);
         out.tailLatency = sim.tailLatency;
         out.energyPerRequest = sim.energyPerRequest;
         out.meanFrequency = sim.meanFrequency;
+        out.meanPower = sim.meanPower;
         out.transitions = sim.transitions;
+        out.latencies = sim.latencies;
     } else if (policy == "boost") {
         RubikBoostConfig cfg;
         cfg.base.latencyBound = bound;
         RubikBoostController scheme(dvfs, cfg);
-        const PolicyOutcome sim =
-            fromSim(simulate(trace, scheme, dvfs, power), dvfs);
+        const PolicyOutcome sim = run_capped(scheme);
         out.tailLatency = sim.tailLatency;
         out.energyPerRequest = sim.energyPerRequest;
         out.meanFrequency = sim.meanFrequency;
+        out.meanPower = sim.meanPower;
         out.transitions = sim.transitions;
+        out.latencies = sim.latencies;
     } else {
         throw std::runtime_error("unknown policy: " + policy);
     }
@@ -148,7 +207,7 @@ sweepCsvHeader()
 {
     return "app,policy,load,seed,bound_ms,tail_ms,tail_over_bound,"
            "energy_mj_per_req,savings_vs_fixed,mean_freq_ghz,"
-           "transitions";
+           "mean_power_w,transitions";
 }
 
 std::string
@@ -159,14 +218,14 @@ sweepCsvRow(const SweepCell &cell, double bound,
         1.0 - outcome.energyPerRequest / outcome.fixedEnergyPerRequest;
     char buf[256];
     std::snprintf(buf, sizeof(buf),
-                  "%s,%s,%.2f,%llu,%.4f,%.4f,%.3f,%.4f,%.4f,%.2f,"
+                  "%s,%s,%.2f,%llu,%.4f,%.4f,%.3f,%.4f,%.4f,%.2f,%.4f,"
                   "%llu\n",
                   cell.app.c_str(), cell.policy.c_str(), cell.load,
                   static_cast<unsigned long long>(cell.seed),
                   bound / kMs, outcome.tailLatency / kMs,
                   outcome.tailLatency / bound,
                   outcome.energyPerRequest / kMj, savings,
-                  outcome.meanFrequency / kGHz,
+                  outcome.meanFrequency / kGHz, outcome.meanPower,
                   static_cast<unsigned long long>(outcome.transitions));
     return buf;
 }
@@ -284,8 +343,13 @@ runSweep(const SweepSpec &spec, int shard, int num_shards, int jobs,
             row.bound = bounds.at({cell.app, cell.seed});
             const Prepared &prep =
                 prepared.at({cell.app, cell.load, cell.seed});
-            row.outcome = runPolicy(cell.policy, *prep.trace, row.bound,
-                                    dvfs, power, prep.fixed);
+            PolicyRunRequest req;
+            req.trace = prep.trace.get();
+            req.bound = row.bound;
+            req.dvfs = &dvfs;
+            req.power = &power;
+            req.fixedBaseline = &prep.fixed;
+            row.outcome = runPolicy(cell.policy, req);
             return row;
         });
     }

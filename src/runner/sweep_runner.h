@@ -36,8 +36,13 @@ struct PolicyOutcome
     double tailLatency = 0.0;      ///< 95th percentile (s).
     double energyPerRequest = 0.0; ///< Core energy (J/request).
     double meanFrequency = 0.0;    ///< Busy-weighted (0 for replays).
+    double meanPower = 0.0;        ///< Mean active core power (W).
     uint64_t transitions = 0;
     double fixedEnergyPerRequest = 0.0; ///< Fixed-nominal baseline.
+    /// Per-request latencies (s), filled only when the request asked
+    /// for them (PolicyRunRequest::collectLatencies); the fleet layer
+    /// pools them across core groups for fleet-wide percentiles.
+    std::vector<double> latencies;
 };
 
 /// Policy names runPolicy dispatches on.
@@ -45,22 +50,42 @@ const std::vector<std::string> &knownPolicyNames();
 bool isKnownPolicy(const std::string &name);
 
 /**
- * Run `policy` over `trace` (already class-annotated for the
- * hint-driven schemes) against `bound`. Throws std::runtime_error on
- * an unknown policy name.
+ * Everything one policy run needs — the single call shape shared by
+ * sweep cells, the fleet coordinator, and rubik_cli's one-shot mode,
+ * grown by field instead of by overload.
  */
-PolicyOutcome runPolicy(const std::string &policy, const Trace &trace,
-                        double bound, const DvfsModel &dvfs,
-                        const PowerModel &power);
+struct PolicyRunRequest
+{
+    /// Request trace, already class-annotated (sim/trace.h
+    /// annotateClasses) for the hint-driven schemes. Required.
+    const Trace *trace = nullptr;
+    /// Tail latency bound L in seconds. Required (> 0).
+    double bound = 0.0;
+    const DvfsModel *dvfs = nullptr;   ///< Required.
+    const PowerModel *power = nullptr; ///< Required.
+    /// Fixed-nominal baseline replay shared across the cells of one
+    /// trace; null makes runPolicy replay it internally.
+    const ReplayResult *fixedBaseline = nullptr;
+    /**
+     * Per-core power cap in watts (<= 0: uncapped). The online
+     * schemes enforce it through DvfsPolicy::setPowerCap; `fixed`
+     * replays at the cap's frequency ceiling when that is below
+     * nominal. The offline oracles (static, dynamic, adrenaline)
+     * optimize with bound-only knowledge and reject a cap with
+     * std::runtime_error rather than silently exceeding a budget.
+     */
+    double powerCapWatts = 0.0;
+    /// Fill PolicyOutcome::latencies with the per-request latencies.
+    bool collectLatencies = false;
+};
 
 /**
- * Same, with the fixed-nominal baseline replay supplied by the caller
- * so grids sharing one trace across policies replay it only once.
+ * Run one policy over one trace. Throws std::runtime_error on an
+ * unknown policy name, a missing required field, or a power cap with a
+ * policy that cannot honor one.
  */
-PolicyOutcome runPolicy(const std::string &policy, const Trace &trace,
-                        double bound, const DvfsModel &dvfs,
-                        const PowerModel &power,
-                        const ReplayResult &fixed);
+PolicyOutcome runPolicy(const std::string &policy,
+                        const PolicyRunRequest &request);
 
 /// The sweep CSV header (no trailing newline).
 const char *sweepCsvHeader();

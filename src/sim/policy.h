@@ -62,6 +62,46 @@ class DvfsPolicy
 
     /// Periodic hook (table rebuilds, feedback adjustment, ...).
     virtual void periodicUpdate(const CoreEngine &core) { (void)core; }
+
+    /**
+     * Optional per-core power cap in watts (a fleet coordinator's
+     * water-filled allocation). The base class only records the value —
+     * a policy that does not override its frequency choice is
+     * unaffected. Cap-aware policies (Rubik, RubikBoost, Pegasus) clamp
+     * selectFrequency to capCeiling() so worst-case active-core power
+     * never exceeds the cap. Non-positive watts clears the cap.
+     */
+    virtual void setPowerCap(double watts)
+    {
+        powerCap_ = watts > 0.0 ? watts : 0.0;
+    }
+
+    /// Active cap in watts (0 = uncapped).
+    double powerCap() const { return powerCap_; }
+
+  protected:
+    /**
+     * Grid frequency ceiling implied by the active cap: the highest
+     * grid frequency whose stall-free active power fits under
+     * powerCap() (power/power_model.h capFrequencyCeiling), the grid
+     * maximum when uncapped. Cached per cap value; the grid scan only
+     * reruns when the coordinator moves the cap.
+     */
+    double capCeiling(const CoreEngine &core) const
+    {
+        if (powerCap_ <= 0.0)
+            return core.dvfs().maxFrequency();
+        if (powerCap_ != ceilingWatts_) {
+            ceilingFreq_ = capFrequencyCeiling(core.power(), powerCap_);
+            ceilingWatts_ = powerCap_;
+        }
+        return ceilingFreq_;
+    }
+
+  private:
+    double powerCap_ = 0.0;
+    mutable double ceilingWatts_ = -1.0;
+    mutable double ceilingFreq_ = 0.0;
 };
 
 /// Trivial policy: always run at one frequency (the paper's baseline).

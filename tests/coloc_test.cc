@@ -296,6 +296,59 @@ TEST(Datacenter, SavingsGrowAsLoadDrops)
     EXPECT_LT(lo.colocated.batchServers, hi.colocated.batchServers);
 }
 
+TEST(Datacenter, TallyArithmeticIsInternallyConsistent)
+{
+    // Pin the tally identities of evaluate() (fed by fig16 and its
+    // golden): server counts decompose into LC + batch-only, the
+    // segregated side's counts come straight from the config, and
+    // each tally's batch split never exceeds its total.
+    Harness s;
+    DatacenterConfig cfg;
+    cfg.lcRequestsPerSim = 1500;
+    DatacenterModel dc(s.dvfs, s.pm, cfg);
+    const DatacenterEval eval = dc.evaluate(0.3);
+
+    const double num_apps = static_cast<double>(allApps().size());
+    const double lc_servers = cfg.lcServersPerApp * num_apps;
+    EXPECT_DOUBLE_EQ(eval.segregated.servers,
+                     lc_servers + cfg.serversPerMix *
+                                      static_cast<double>(cfg.numMixes));
+    EXPECT_DOUBLE_EQ(eval.segregated.batchServers,
+                     cfg.serversPerMix *
+                         static_cast<double>(cfg.numMixes));
+    // Colocated: the LC fleet is unchanged; only the batch top-up
+    // (fractional servers allowed) varies with load.
+    EXPECT_DOUBLE_EQ(eval.colocated.servers,
+                     lc_servers + eval.colocated.batchServers);
+    EXPECT_GE(eval.colocated.batchServers, 0.0);
+
+    // Power splits: batch share positive and strictly inside total.
+    EXPECT_GT(eval.segregated.batchPower, 0.0);
+    EXPECT_LT(eval.segregated.batchPower, eval.segregated.power);
+    EXPECT_GE(eval.colocated.batchPower, 0.0);
+    EXPECT_LT(eval.colocated.batchPower, eval.colocated.power);
+    EXPECT_DOUBLE_EQ(eval.lcLoad, 0.3);
+}
+
+TEST(Datacenter, FixedWorkComparisonKeepsLcFleetConstant)
+{
+    // The fixed-work comparison varies only batch provisioning: across
+    // loads, both datacenters keep the same 1000-server LC fleet and
+    // the segregated batch fleet never moves.
+    Harness s;
+    DatacenterConfig cfg;
+    cfg.lcRequestsPerSim = 1500;
+    DatacenterModel dc(s.dvfs, s.pm, cfg);
+    const DatacenterEval lo = dc.evaluate(0.2);
+    const DatacenterEval hi = dc.evaluate(0.5);
+    EXPECT_DOUBLE_EQ(lo.segregated.servers, hi.segregated.servers);
+    EXPECT_DOUBLE_EQ(lo.segregated.batchServers,
+                     hi.segregated.batchServers);
+    EXPECT_DOUBLE_EQ(
+        lo.colocated.servers - lo.colocated.batchServers,
+        hi.colocated.servers - hi.colocated.batchServers);
+}
+
 TEST(Datacenter, BoundsAreCachedAndPositive)
 {
     Harness s;

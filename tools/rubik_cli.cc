@@ -41,6 +41,14 @@
  * Multi-load sweeps (--loads) run every load as an independent job on
  * an ExperimentRunner thread pool; each job derives its trace from the
  * same seed, so results match a serial sweep exactly.
+ *
+ * Fleet mode (src/fleet/fleet_sim.h) sweeps fleet size x power budget
+ * under the cluster coordinator:
+ *   rubik_cli fleet --cores 96,960 --budget-frac 0.6,1.0 --csv
+ *   rubik_cli fleet --cores 10080 --budget-watts 40000 --json
+ *   rubik_cli fleet --cores 960 --budget-frac 0.6 --shard 1/3 --csv
+ * One cell per (cores, budget) pair; sharded cells concatenate
+ * byte-identically to the unsharded run, exactly like sweep shards.
  */
 
 #include <algorithm>
@@ -54,6 +62,7 @@
 #include <string>
 #include <vector>
 
+#include "fleet/fleet_sim.h"
 #include "policies/replay.h"
 #include "runner/backend.h"
 #include "runner/experiment_runner.h"
@@ -79,6 +88,7 @@ struct CliOptions
     double transitionUs = 4.0;
     uint64_t seed = 42;
     bool csv = false;
+    bool json = false;
     bool bursty = false;
     int jobs = 0;               ///< Sweep workers; 0: hardware default.
 };
@@ -103,6 +113,7 @@ usage(const char *argv0)
         "  --bursty           MMPP-2 arrivals instead of Poisson\n"
         "  --seed S           RNG seed (default 42)\n"
         "  --csv              machine-readable output\n"
+        "  --json             JSON array output (one object per load)\n"
         "subcommands:\n"
         "  %s sweep --spec FILE [--shard I/N] [--jobs N]\n"
         "       [--backend local|subprocess|command:<tmpl>] "
@@ -117,6 +128,22 @@ usage(const char *argv0)
         "  %s merge OUT SHARD0 [SHARD1 ...]\n"
         "                     concatenate shard CSVs into OUT "
         "(byte-identical to the unsharded run)\n"
+        "  %s fleet [--cores N1,N2,...] [--budget-frac F1,F2,... | "
+        "--budget-watts W]\n"
+        "       [--app NAME] [--policy NAME] [--cores-per-machine N]\n"
+        "       [--epochs N] [--requests N] [--bound-ms MS] [--seed S]\n"
+        "       [--base-load F] [--surge-factor F] "
+        "[--surge-fraction F]\n"
+        "       [--max-core-load F] [--load-quantum F] "
+        "[--transition-us US]\n"
+        "       [--jobs N] [--shard I/N] [--csv | --json]\n"
+        "                     sweep fleet size x global power budget "
+        "under the\n"
+        "                     cluster coordinator; budget-frac scales "
+        "cores x nominal\n"
+        "                     core power (0 = uncapped); shard CSVs "
+        "concatenate\n"
+        "                     byte-identically to the unsharded run\n"
         "  %s cache ls|verify|vacuum|stats [--dir DIR] ...\n"
         "                     manage a trace-cache directory (default "
         "--dir: $RUBIK_TRACE_CACHE):\n"
@@ -127,7 +154,7 @@ usage(const char *argv0)
         "                       vacuum  [--cap SIZE] [--max-age DUR]  "
         "LRU-evict to the cap\n"
         "                       stats   [--json]  aggregate totals\n",
-        argv0, argv0, argv0, argv0);
+        argv0, argv0, argv0, argv0, argv0);
     std::exit(0);
 }
 
@@ -185,10 +212,16 @@ parse(int argc, char **argv)
             o.seed = static_cast<uint64_t>(std::atoll(need("--seed")));
         else if (!std::strcmp(argv[i], "--csv"))
             o.csv = true;
+        else if (!std::strcmp(argv[i], "--json"))
+            o.json = true;
         else if (!std::strcmp(argv[i], "--bursty"))
             o.bursty = true;
         else
             usage(argv[0]);
+    }
+    if (o.csv && o.json) {
+        std::fprintf(stderr, "--csv and --json are mutually exclusive\n");
+        std::exit(1);
     }
     return o;
 }
@@ -564,6 +597,291 @@ mergeMain(int argc, char **argv)
     return 0;
 }
 
+/// `rubik_cli fleet [--cores ...] [--budget-frac ... | --budget-watts W]`:
+/// one fleet run per (cores, budget) grid cell, sharded like sweep.
+int
+fleetMain(int argc, char **argv)
+{
+    FleetConfig base;
+    std::vector<int> cores_list = {96};
+    std::vector<double> fracs = {0.0};
+    double budget_watts = 0.0;
+    int shard = 0, num_shards = 1, jobs = 0;
+    bool shard_given = false, csv = false, json = false;
+    bool fracs_given = false;
+
+    auto parse_list = [](const std::string &list,
+                         const std::function<void(const std::string &)>
+                             &item) {
+        std::size_t pos = 0;
+        while (pos < list.size()) {
+            std::size_t comma = list.find(',', pos);
+            if (comma == std::string::npos)
+                comma = list.size();
+            item(list.substr(pos, comma - pos));
+            pos = comma + 1;
+        }
+    };
+    for (int i = 2; i < argc; ++i) {
+        auto need = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--app"))
+            base.app = need("--app");
+        else if (!std::strcmp(argv[i], "--policy"))
+            base.policy = need("--policy");
+        else if (!std::strcmp(argv[i], "--cores")) {
+            cores_list.clear();
+            parse_list(need("--cores"), [&](const std::string &s) {
+                cores_list.push_back(std::atoi(s.c_str()));
+            });
+        } else if (!std::strcmp(argv[i], "--budget-frac")) {
+            fracs.clear();
+            fracs_given = true;
+            parse_list(need("--budget-frac"), [&](const std::string &s) {
+                fracs.push_back(std::atof(s.c_str()));
+            });
+        } else if (!std::strcmp(argv[i], "--budget-watts"))
+            budget_watts = std::atof(need("--budget-watts"));
+        else if (!std::strcmp(argv[i], "--cores-per-machine"))
+            base.coresPerMachine = std::atoi(need("--cores-per-machine"));
+        else if (!std::strcmp(argv[i], "--epochs"))
+            base.epochs = std::atoi(need("--epochs"));
+        else if (!std::strcmp(argv[i], "--requests"))
+            base.requestsPerEpoch = std::atoi(need("--requests"));
+        else if (!std::strcmp(argv[i], "--bound-ms"))
+            base.boundMs = std::atof(need("--bound-ms"));
+        else if (!std::strcmp(argv[i], "--seed"))
+            base.seed =
+                static_cast<uint64_t>(std::atoll(need("--seed")));
+        else if (!std::strcmp(argv[i], "--base-load"))
+            base.loadModel.baseLoad = std::atof(need("--base-load"));
+        else if (!std::strcmp(argv[i], "--surge-factor"))
+            base.loadModel.surgeFactor =
+                std::atof(need("--surge-factor"));
+        else if (!std::strcmp(argv[i], "--surge-fraction"))
+            base.loadModel.surgeFraction =
+                std::atof(need("--surge-fraction"));
+        else if (!std::strcmp(argv[i], "--max-core-load"))
+            base.maxCoreLoad = std::atof(need("--max-core-load"));
+        else if (!std::strcmp(argv[i], "--load-quantum"))
+            base.loadQuantum = std::atof(need("--load-quantum"));
+        else if (!std::strcmp(argv[i], "--transition-us"))
+            base.transitionUs = std::atof(need("--transition-us"));
+        else if (!std::strcmp(argv[i], "--jobs"))
+            jobs = std::atoi(need("--jobs"));
+        else if (!std::strcmp(argv[i], "--shard")) {
+            if (!parseShardArg(need("--shard"), &shard, &num_shards)) {
+                std::fprintf(stderr,
+                             "--shard wants I/N with 0 <= I < N\n");
+                return 1;
+            }
+            shard_given = true;
+        } else if (!std::strcmp(argv[i], "--csv"))
+            csv = true;
+        else if (!std::strcmp(argv[i], "--json"))
+            json = true;
+        else {
+            // Not usage(): that exits 0 on stdout, which would let a
+            // typo'd flag corrupt a redirected shard CSV silently.
+            std::fprintf(stderr, "fleet: unknown flag %s\n", argv[i]);
+            return 1;
+        }
+    }
+    if (csv && json) {
+        std::fprintf(stderr,
+                     "--csv and --json are mutually exclusive\n");
+        return 1;
+    }
+    if (json && shard_given) {
+        // A JSON array cannot be concatenated from shard outputs.
+        std::fprintf(stderr,
+                     "fleet: --json cannot be combined with --shard "
+                     "(use --csv)\n");
+        return 1;
+    }
+    if (budget_watts > 0.0 && fracs_given) {
+        std::fprintf(stderr,
+                     "fleet: --budget-watts and --budget-frac are "
+                     "mutually exclusive\n");
+        return 1;
+    }
+    if (cores_list.empty()) {
+        std::fprintf(stderr, "fleet: --cores needs a comma list\n");
+        return 1;
+    }
+
+    const DvfsModel dvfs = DvfsModel::haswell(base.transitionUs * kUs);
+    const PowerModel power(dvfs);
+    const double nominal_w =
+        power.coreActivePower(dvfs.nominalFrequency(), 0.0);
+
+    // The grid: cores-major, budget-minor, like a sweep spec's cell
+    // order. A fractional budget scales with the fleet (frac x cores x
+    // nominal core power); an absolute budget is one cell per size.
+    struct Cell
+    {
+        int cores = 0;
+        double frac = 0.0;
+        double watts = 0.0;
+    };
+    std::vector<Cell> cells;
+    for (const int cores : cores_list) {
+        if (cores < base.coresPerMachine ||
+            cores % base.coresPerMachine != 0) {
+            std::fprintf(stderr,
+                         "fleet: --cores %d is not a positive multiple "
+                         "of --cores-per-machine %d\n",
+                         cores, base.coresPerMachine);
+            return 1;
+        }
+        if (budget_watts > 0.0) {
+            Cell cell;
+            cell.cores = cores;
+            cell.watts = budget_watts;
+            cell.frac = budget_watts / (cores * nominal_w);
+            cells.push_back(cell);
+        } else {
+            for (const double frac : fracs) {
+                Cell cell;
+                cell.cores = cores;
+                cell.frac = frac;
+                cell.watts = frac > 0.0 ? frac * cores * nominal_w : 0.0;
+                cells.push_back(cell);
+            }
+        }
+    }
+
+    try {
+        const ShardRange range =
+            shardRange(cells.size(), shard, num_shards);
+        if (csv && shard == 0) {
+            std::printf(
+                "app,policy,cores,budget_frac,budget_w,epoch,"
+                "offered_load,mean_load,shed_frac,tail_ms,"
+                "tail_over_bound,energy_mj_per_req,fleet_power_w,"
+                "cap_power_w,capped_frac,groups,feasible\n");
+        }
+        if (json)
+            std::printf("[");
+        for (std::size_t ci = range.begin; ci < range.end; ++ci) {
+            const Cell &cell = cells[ci];
+            FleetConfig cfg = base;
+            cfg.machines = cell.cores / base.coresPerMachine;
+            cfg.budgetWatts = cell.watts;
+            const FleetResult r = runFleet(cfg, jobs);
+
+            if (json) {
+                double capped_max = 0.0;
+                for (const FleetEpochResult &er : r.epochs)
+                    capped_max =
+                        std::max(capped_max, er.cappedFraction);
+                std::printf(
+                    "%s\n  {\"app\": \"%s\", \"policy\": \"%s\", "
+                    "\"cores\": %d, \"budget_frac\": %.4f, "
+                    "\"budget_w\": %.2f, \"bound_ms\": %.4f, "
+                    "\"feasible\": %s, \"epochs\": %zu, "
+                    "\"worst_tail_ms\": %.4f, "
+                    "\"tail_over_bound\": %.3f, "
+                    "\"energy_mj_per_req\": %.4f, "
+                    "\"peak_power_w\": %.2f, "
+                    "\"peak_over_budget\": %.4f, \"shed_frac\": %.4f, "
+                    "\"capped_frac\": %.4f, \"groups\": %d}",
+                    ci > range.begin ? "," : "",
+                    jsonEscape(cfg.app).c_str(),
+                    jsonEscape(cfg.policy).c_str(), cell.cores,
+                    cell.frac, cell.watts, r.bound / kMs,
+                    r.feasible ? "true" : "false", r.epochs.size(),
+                    r.worstTail / kMs, r.worstTail / r.bound,
+                    r.energyPerRequest / kMj, r.peakPower,
+                    r.budgetWatts > 0.0 ? r.peakPower / r.budgetWatts
+                                        : 0.0,
+                    r.shedFraction, capped_max, r.groupsSimulated);
+                continue;
+            }
+
+            double offered = 0.0, assigned = 0.0, cap_max = 0.0;
+            double capped_max = 0.0;
+            for (const FleetEpochResult &er : r.epochs) {
+                offered += er.offeredLoad;
+                assigned += er.meanLoad;
+                cap_max = std::max(cap_max, er.capPower);
+                capped_max = std::max(capped_max, er.cappedFraction);
+                if (csv) {
+                    std::printf(
+                        "%s,%s,%d,%.4f,%.2f,%d,%.4f,%.4f,%.4f,%.4f,"
+                        "%.3f,%.4f,%.2f,%.2f,%.4f,%d,%d\n",
+                        cfg.app.c_str(), cfg.policy.c_str(),
+                        cell.cores, cell.frac, cell.watts, er.epoch,
+                        er.offeredLoad, er.meanLoad, er.shedFraction,
+                        er.tailLatency / kMs,
+                        er.tailLatency / r.bound,
+                        er.energyPerRequest / kMj, er.meanPower,
+                        er.capPower, er.cappedFraction, er.groups,
+                        er.feasible ? 1 : 0);
+                }
+            }
+            offered /= static_cast<double>(r.epochs.size());
+            assigned /= static_cast<double>(r.epochs.size());
+            if (csv) {
+                // Cell summary row: worst tail, peak power, overall
+                // shed, total simulations.
+                std::printf(
+                    "%s,%s,%d,%.4f,%.2f,all,%.4f,%.4f,%.4f,%.4f,"
+                    "%.3f,%.4f,%.2f,%.2f,%.4f,%d,%d\n",
+                    cfg.app.c_str(), cfg.policy.c_str(), cell.cores,
+                    cell.frac, cell.watts, offered, assigned,
+                    r.shedFraction, r.worstTail / kMs,
+                    r.worstTail / r.bound, r.energyPerRequest / kMj,
+                    r.peakPower, cap_max, capped_max,
+                    r.groupsSimulated, r.feasible ? 1 : 0);
+                continue;
+            }
+
+            if (ci > range.begin)
+                std::printf("\n");
+            std::printf("fleet          %d cores (%d machines x %d), "
+                        "%s/%s\n",
+                        cell.cores, cfg.machines, cfg.coresPerMachine,
+                        cfg.app.c_str(), cfg.policy.c_str());
+            if (cell.watts > 0.0)
+                std::printf("budget         %.1f W (%.0f%% of nominal"
+                            ")%s\n",
+                            cell.watts, cell.frac * 100,
+                            r.feasible ? "" : "  [INFEASIBLE]");
+            else
+                std::printf("budget         uncapped\n");
+            std::printf("bound          %.3f ms (95th pct)\n",
+                        r.bound / kMs);
+            std::printf("worst tail     %.3f ms (%.2fx bound)\n",
+                        r.worstTail / kMs, r.worstTail / r.bound);
+            std::printf("peak power     %.1f W%s\n", r.peakPower,
+                        cell.watts > 0.0
+                            ? (r.peakPower <= cell.watts
+                                   ? "  (within budget)"
+                                   : "  (OVER budget)")
+                            : "");
+            std::printf("core energy    %.3f mJ/req\n",
+                        r.energyPerRequest / kMj);
+            std::printf("shed demand    %.2f%%\n",
+                        r.shedFraction * 100);
+            std::printf("simulations    %d core groups over %zu "
+                        "epochs\n",
+                        r.groupsSimulated, r.epochs.size());
+        }
+        if (json)
+            std::printf("%s]\n", range.empty() ? "" : "\n");
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "fleet: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
+
 } // anonymous namespace
 
 int
@@ -575,6 +893,8 @@ main(int argc, char **argv)
         return mergeMain(argc, argv);
     if (argc > 1 && !std::strcmp(argv[1], "cache"))
         return cacheMain(argc, argv);
+    if (argc > 1 && !std::strcmp(argv[1], "fleet"))
+        return fleetMain(argc, argv);
 
     const CliOptions o = parse(argc, argv);
     const DvfsModel dvfs = DvfsModel::haswell(o.transitionUs * kUs);
@@ -607,7 +927,12 @@ main(int argc, char **argv)
                           : generateLoadTrace(app, load, o.requests,
                                               nominal, o.seed);
         annotateClasses(trace, 0.85, nominal);
-        return runPolicy(o.policy, trace, bound, dvfs, power);
+        PolicyRunRequest req;
+        req.trace = &trace;
+        req.bound = bound;
+        req.dvfs = &dvfs;
+        req.power = &power;
+        return runPolicy(o.policy, req);
     };
 
     ExperimentRunner runner(o.jobs);
@@ -620,20 +945,41 @@ main(int argc, char **argv)
     if (o.csv) {
         std::printf("app,policy,load,bound_ms,tail_ms,tail_over_bound,"
                     "energy_mj_per_req,savings_vs_fixed,mean_freq_ghz,"
-                    "transitions\n");
+                    "mean_power_w,transitions\n");
     }
+    if (o.json)
+        std::printf("[");
     for (std::size_t li = 0; li < o.loads.size(); ++li) {
         const double load = o.loads[li];
         const PolicyOutcome &out = results[li];
         const double savings =
             1.0 - out.energyPerRequest / out.fixedEnergyPerRequest;
+        if (o.json) {
+            // One object per load, cache ls-style: key order matches
+            // the CSV columns (docs/fleet.md documents the schema).
+            std::printf(
+                "%s\n  {\"app\": \"%s\", \"policy\": \"%s\", "
+                "\"load\": %.2f, \"bound_ms\": %.4f, "
+                "\"tail_ms\": %.4f, \"tail_over_bound\": %.3f, "
+                "\"energy_mj_per_req\": %.4f, "
+                "\"savings_vs_fixed\": %.4f, \"mean_freq_ghz\": %.2f, "
+                "\"mean_power_w\": %.4f, \"transitions\": %llu}",
+                li ? "," : "", jsonEscape(o.app).c_str(),
+                jsonEscape(o.policy).c_str(), load, bound / kMs,
+                out.tailLatency / kMs, out.tailLatency / bound,
+                out.energyPerRequest / kMj, savings,
+                out.meanFrequency / kGHz, out.meanPower,
+                static_cast<unsigned long long>(out.transitions));
+            continue;
+        }
         if (o.csv) {
-            std::printf("%s,%s,%.2f,%.4f,%.4f,%.3f,%.4f,%.4f,%.2f,%llu\n",
+            std::printf("%s,%s,%.2f,%.4f,%.4f,%.3f,%.4f,%.4f,%.2f,"
+                        "%.4f,%llu\n",
                         o.app.c_str(), o.policy.c_str(), load,
                         bound / kMs, out.tailLatency / kMs,
                         out.tailLatency / bound,
                         out.energyPerRequest / kMj, savings,
-                        out.meanFrequency / kGHz,
+                        out.meanFrequency / kGHz, out.meanPower,
                         static_cast<unsigned long long>(out.transitions));
             continue;
         }
@@ -650,6 +996,8 @@ main(int argc, char **argv)
         std::printf("core energy    %.3f mJ/req (%.1f%% vs fixed "
                     "2.4 GHz)\n",
                     out.energyPerRequest / kMj, savings * 100);
+        std::printf("mean power     %.3f W (active core)\n",
+                    out.meanPower);
         if (out.meanFrequency > 0)
             std::printf("mean frequency %.2f GHz (busy-time weighted)\n",
                         out.meanFrequency / kGHz);
@@ -657,5 +1005,7 @@ main(int argc, char **argv)
             std::printf("transitions    %llu\n",
                         static_cast<unsigned long long>(out.transitions));
     }
+    if (o.json)
+        std::printf("%s]\n", o.loads.empty() ? "" : "\n");
     return 0;
 }
