@@ -6,7 +6,7 @@
 #include <exception>
 
 #include "runner/backend.h"
-#include "runner/sweep_spec.h"
+#include "runner/options_parser.h"
 #include "workloads/cache_manager.h"
 #include "workloads/trace_store.h"
 
@@ -40,6 +40,9 @@ dispatchSelf(int argc, char **argv, const Options &opts)
             ++i; // skip the flag's value too
             continue;
         }
+        if (!std::strncmp(argv[i], "--backend=", 10) ||
+            !std::strncmp(argv[i], "--shards=", 9))
+            continue;
         child_argv.push_back(argv[i]);
     }
 
@@ -73,52 +76,44 @@ Options
 parseOptions(int argc, char **argv, bool allow_shard)
 {
     Options opts;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--csv") == 0) {
-            opts.csv = true;
-        } else if (std::strcmp(argv[i], "--fast") == 0) {
-            opts.fast = true;
-        } else if (std::strcmp(argv[i], "--requests") == 0 &&
-                   i + 1 < argc) {
-            opts.requests = std::atoi(argv[++i]);
-        } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-            opts.seed = static_cast<uint64_t>(std::atoll(argv[++i]));
-        } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-            opts.jobs = std::atoi(argv[++i]);
-        } else if (std::strcmp(argv[i], "--shard") == 0 &&
-                   i + 1 < argc) {
-            if (!rubik::parseShardArg(argv[++i], &opts.shard,
-                                      &opts.numShards)) {
-                std::fprintf(stderr,
-                             "--shard wants I/N with 0 <= I < N\n");
-                std::exit(1);
-            }
-        } else if (std::strcmp(argv[i], "--backend") == 0 &&
-                   i + 1 < argc) {
-            opts.backend = argv[++i];
-        } else if (std::strcmp(argv[i], "--shards") == 0 &&
-                   i + 1 < argc) {
-            opts.shards = std::atoi(argv[++i]);
-        } else if (std::strcmp(argv[i], "--trace-cache") == 0 &&
-                   i + 1 < argc) {
-            opts.traceCache = argv[++i];
-        } else if (std::strcmp(argv[i], "--cache-cap") == 0 &&
-                   i + 1 < argc) {
-            opts.cacheCap = argv[++i];
-        } else if (std::strcmp(argv[i], "--help") == 0) {
-            std::printf("usage: %s [--csv] [--fast] [--requests N] "
-                        "[--seed S] [--jobs N] [--shard I/N] "
-                        "[--backend local|subprocess|command:<tmpl>] "
-                        "[--shards N] [--trace-cache DIR] "
-                        "[--cache-cap SIZE]\n",
-                        argv[0]);
-            std::exit(0);
-        } else {
-            std::fprintf(stderr, "unknown flag: %s (try --help)\n",
-                         argv[i]);
-            std::exit(1);
-        }
-    }
+    rubik::CommonRunOptions run;
+    rubik::ShardOption shard;
+    rubik::OptionsParser parser(argc, argv);
+    parser.flag("--csv", [&opts] { opts.csv = true; });
+    parser.flag("--fast", [&opts] { opts.fast = true; });
+    rubik::addRunFlags(parser, &run);
+    rubik::addSimdFlag(parser, &run);
+    rubik::addShardFlag(parser, &shard);
+    parser.value("--backend",
+                 [&opts](const char *v) { opts.backend = v; });
+    parser.value("--shards",
+                 [&opts](const char *v) { opts.shards = std::atoi(v); });
+    parser.value("--trace-cache",
+                 [&opts](const char *v) { opts.traceCache = v; });
+    parser.value("--cache-cap",
+                 [&opts](const char *v) { opts.cacheCap = v; });
+    parser.flag("--help", [argv] {
+        std::printf("usage: %s [--csv] [--fast] [--requests N] "
+                    "[--seed S] [--jobs N] [--shard I/N] "
+                    "[--simd auto|scalar|avx2|neon] "
+                    "[--backend local|subprocess|command:<tmpl>] "
+                    "[--shards N] [--trace-cache DIR] "
+                    "[--cache-cap SIZE]\n",
+                    argv[0]);
+        std::exit(0);
+    });
+    parser.run();
+
+    opts.seed = run.seed;
+    opts.requests = run.requests;
+    opts.jobs = run.jobs;
+    opts.sim = run.sim;
+    opts.shard = shard.shard;
+    opts.numShards = shard.numShards;
+    // Only a given --simd overrides RUBIK_SIMD; the Auto default
+    // would otherwise clobber the environment selection CI pins.
+    if (run.simdGiven)
+        rubik::applySimdSelection(run);
     if (opts.numShards > 1 && !allow_shard) {
         std::fprintf(stderr, "this bench does not support --shard\n");
         std::exit(1);

@@ -16,6 +16,7 @@
 
 #include "power/dvfs_model.h"
 #include "power/power_model.h"
+#include "sim/sim_options.h"
 #include "workloads/apps.h"
 
 namespace rubik::bench {
@@ -34,6 +35,10 @@ struct Options
     int shards = 1;                ///< --shards: dispatch width.
     std::string traceCache;        ///< --trace-cache directory.
     std::string cacheCap;          ///< --cache-cap size (LRU cap).
+    /// Simulation options for PolicyRunRequest::options; --simd lands
+    /// in sim.numerics.simd and is applied process-wide by
+    /// parseOptions when given (defaults leave RUBIK_SIMD in charge).
+    SimOptions sim;
 
     /// Effective request count given a bench default.
     int numRequests(int bench_default) const;

@@ -121,9 +121,9 @@ BM_FrequencyDecision(benchmark::State &state)
         done.computeCycles = rng.lognormal(13.0, 0.3);
         done.memoryTime = rng.lognormal(-9.0, 0.3);
         done.completionTime = i * 1e-4;
-        rubik.onCompletion(done, core);
+        rubik.onCompletion(done, core.view());
     }
-    rubik.periodicUpdate(core); // builds the table
+    rubik.periodicUpdate(core.view()); // builds the table
 
     const auto depth = static_cast<int>(state.range(0));
     for (int i = 0; i < depth; ++i) {
@@ -134,7 +134,7 @@ BM_FrequencyDecision(benchmark::State &state)
         core.enqueue(r);
     }
     for (auto _ : state)
-        benchmark::DoNotOptimize(rubik.selectFrequency(core));
+        benchmark::DoNotOptimize(rubik.selectFrequency(core.view()));
 }
 BENCHMARK(BM_FrequencyDecision)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 
@@ -143,8 +143,10 @@ BM_ConvolveFft(benchmark::State &state)
 {
     const auto a = lognormalDist(13.0, 0.3, 4);
     const auto b = lognormalDist(13.0, 0.4, 5);
+    ConvolveOptions opts;
+    opts.useFft = true;
     for (auto _ : state)
-        benchmark::DoNotOptimize(a.convolveWith(b, /*use_fft=*/true));
+        benchmark::DoNotOptimize(a.convolveWith(b, opts));
 }
 BENCHMARK(BM_ConvolveFft);
 
@@ -153,8 +155,10 @@ BM_ConvolveDirect(benchmark::State &state)
 {
     const auto a = lognormalDist(13.0, 0.3, 4);
     const auto b = lognormalDist(13.0, 0.4, 5);
+    ConvolveOptions opts;
+    opts.useFft = false;
     for (auto _ : state)
-        benchmark::DoNotOptimize(a.convolveWith(b, /*use_fft=*/false));
+        benchmark::DoNotOptimize(a.convolveWith(b, opts));
 }
 BENCHMARK(BM_ConvolveDirect);
 

@@ -85,7 +85,7 @@ simulateColoc(const Trace &lc_trace, DvfsPolicy &lc_policy,
         if (t_engine <= t_next + 1e-12) {
             auto done = core.processEvents();
             if (done) {
-                lc_policy.onCompletion(*done, core);
+                lc_policy.onCompletion(*done, core.view());
                 result.lc.completed.push_back(*done);
                 consult_policy = true;
                 if (!core.busy()) {
@@ -117,12 +117,12 @@ simulateColoc(const Trace &lc_trace, DvfsPolicy &lc_policy,
         }
 
         if (t_policy <= t_next + 1e-12) {
-            lc_policy.periodicUpdate(core);
+            lc_policy.periodicUpdate(core.view());
             consult_policy = true;
         }
 
         if (consult_policy)
-            core.requestFrequency(lc_policy.selectFrequency(core));
+            core.requestFrequency(lc_policy.selectFrequency(core.view()));
     }
 
     result.lc.core = core.stats();

@@ -56,11 +56,60 @@ ConvolutionPlan::SpectrumKeyHash::operator()(const SpectrumKeyView &k) const
     return hashSpectrumKey(k.srcWidth, k.common, k.len, k.fftSize, *k.src);
 }
 
+namespace {
+
+std::size_t
+hashResultKey(double lhs_width, double rhs_width, bool use_fft,
+              bool packed_real, const std::vector<double> &lhs,
+              const std::vector<double> &rhs)
+{
+    std::size_t h = mixHash(0, std::bit_cast<std::uint64_t>(lhs_width));
+    h = mixHash(h, std::bit_cast<std::uint64_t>(rhs_width));
+    h = mixHash(h, (use_fft ? 2u : 0u) | (packed_real ? 1u : 0u));
+    h = mixHash(h, lhs.size());
+    h = mixHash(h, rhs.size());
+    // Sample a few masses instead of hashing all of them; equality still
+    // compares the full vectors.
+    for (const std::vector<double> *v : {&lhs, &rhs}) {
+        if (v->empty())
+            continue;
+        const std::size_t n = v->size();
+        h = mixHash(h, std::bit_cast<std::uint64_t>((*v)[0]));
+        h = mixHash(h, std::bit_cast<std::uint64_t>((*v)[n / 2]));
+        h = mixHash(h, std::bit_cast<std::uint64_t>((*v)[n - 1]));
+    }
+    return h;
+}
+
+} // anonymous namespace
+
+std::size_t
+ConvolutionPlan::ResultKeyHash::operator()(const ResultKey &k) const
+{
+    return hashResultKey(k.lhsWidth, k.rhsWidth, k.useFft, k.packedReal,
+                         k.lhs, k.rhs);
+}
+
+std::size_t
+ConvolutionPlan::ResultKeyHash::operator()(const ResultKeyView &k) const
+{
+    return hashResultKey(k.lhsWidth, k.rhsWidth, k.useFft, k.packedReal,
+                         *k.lhs, *k.rhs);
+}
+
 void
 ConvolutionPlan::clear()
 {
     spectra_.clear();
+    results_.clear();
     stats_ = Stats();
+}
+
+ConvolutionPlan &
+ConvolutionPlan::threadLocal()
+{
+    static thread_local ConvolutionPlan plan;
+    return plan;
 }
 
 const std::vector<std::complex<double>> &
@@ -93,6 +142,40 @@ ConvolutionPlan::spectrumFor(const DiscreteDistribution &src, double common,
     key.src = src.p_;
     return spectra_.emplace(std::move(key), std::move(spec))
         .first->second;
+}
+
+const ConvolutionPlan::ConvResult *
+ConvolutionPlan::findResult(const DiscreteDistribution &lhs,
+                            const DiscreteDistribution &rhs, bool use_fft,
+                            bool packed_real)
+{
+    const ResultKeyView view{lhs.width_, rhs.width_, use_fft,
+                             packed_real, &lhs.p_, &rhs.p_};
+    const auto it = results_.find(view);
+    if (it == results_.end()) {
+        ++stats_.resultMisses;
+        return nullptr;
+    }
+    ++stats_.resultHits;
+    return &it->second;
+}
+
+void
+ConvolutionPlan::storeResult(const DiscreteDistribution &lhs,
+                             const DiscreteDistribution &rhs,
+                             bool use_fft, bool packed_real,
+                             const ConvResult &result)
+{
+    if (results_.size() >= kMaxResults)
+        results_.clear();
+    ResultKey key;
+    key.lhsWidth = lhs.width_;
+    key.rhsWidth = rhs.width_;
+    key.useFft = use_fft;
+    key.packedReal = packed_real;
+    key.lhs = lhs.p_;
+    key.rhs = rhs.p_;
+    results_.emplace(std::move(key), result);
 }
 
 } // namespace rubik

@@ -9,9 +9,13 @@
  * each, and every step used to re-transform the same mixing distribution,
  * re-derive FFT tables, and allocate half a dozen temporaries. A
  * ConvolutionPlan owns (1) the FFT scratch buffers and the
- * edge-split/trim arena, reused across calls, and (2) a content-keyed
+ * edge-split/trim arena, reused across calls, (2) a content-keyed
  * cache of right-operand spectra, so a chain against a fixed mixing
- * distribution pays one forward transform per step instead of two.
+ * distribution pays one forward transform per step instead of two, and
+ * (3) a content-keyed cache of whole convolution results, so the
+ * periodic rebuild case — profiled distributions that have converged
+ * and stopped changing between rebuilds — replays each chain step
+ * instead of re-transforming it.
  *
  * Results are bitwise identical with or without a plan, and on hits as
  * well as misses: cache entries are keyed by the exact source masses and
@@ -42,12 +46,24 @@ class ConvolutionPlan
     {
         std::uint64_t spectrumHits = 0;
         std::uint64_t spectrumMisses = 0;
+        std::uint64_t resultHits = 0;
+        std::uint64_t resultMisses = 0;
     };
 
     const Stats &stats() const { return stats_; }
 
     /// Drop cached spectra and counters (arena capacity is kept).
     void clear();
+
+    /**
+     * The calling thread's fallback plan: what convolveWith and
+     * TargetTailTable::build use when the caller passes none, so
+     * repeated plan-less calls on one thread still reuse scratch
+     * buffers and cached spectra (results are bitwise identical either
+     * way). Thread-local so ExperimentRunner jobs never share mutable
+     * state.
+     */
+    static ConvolutionPlan &threadLocal();
 
   private:
     friend class DiscreteDistribution;
@@ -119,10 +135,86 @@ class ConvolutionPlan
     spectrumFor(const DiscreteDistribution &src, double common,
                 std::size_t len, std::size_t fft_n);
 
-    /// Cache size cap; reaching it flushes the cache wholesale (an
+    /// One memoized convolveWith output (the result's exact masses and
+    /// bucket width).
+    struct ConvResult
+    {
+        std::vector<double> masses;
+        double width = 0.0;
+    };
+
+    /// Exact result-cache key: both operands' masses and widths plus
+    /// the numeric-path flags, so a hit can only replay a convolution
+    /// of bitwise-identical inputs along the same code path.
+    struct ResultKey
+    {
+        double lhsWidth = 0.0;
+        double rhsWidth = 0.0;
+        bool useFft = false;
+        bool packedReal = false;
+        std::vector<double> lhs;
+        std::vector<double> rhs;
+    };
+
+    /// Borrowed-key twin of ResultKey (probes never copy the masses).
+    struct ResultKeyView
+    {
+        double lhsWidth;
+        double rhsWidth;
+        bool useFft;
+        bool packedReal;
+        const std::vector<double> *lhs;
+        const std::vector<double> *rhs;
+    };
+
+    struct ResultKeyHash
+    {
+        using is_transparent = void;
+        std::size_t operator()(const ResultKey &k) const;
+        std::size_t operator()(const ResultKeyView &k) const;
+    };
+
+    struct ResultKeyEq
+    {
+        using is_transparent = void;
+        static bool eq(const ResultKey &a, const ResultKeyView &b)
+        {
+            return a.lhsWidth == b.lhsWidth && a.rhsWidth == b.rhsWidth &&
+                   a.useFft == b.useFft && a.packedReal == b.packedReal &&
+                   a.lhs == *b.lhs && a.rhs == *b.rhs;
+        }
+        bool operator()(const ResultKey &a, const ResultKey &b) const
+        {
+            return a.lhsWidth == b.lhsWidth && a.rhsWidth == b.rhsWidth &&
+                   a.useFft == b.useFft && a.packedReal == b.packedReal &&
+                   a.lhs == b.lhs && a.rhs == b.rhs;
+        }
+        bool operator()(const ResultKey &a, const ResultKeyView &b) const
+        {
+            return eq(a, b);
+        }
+        bool operator()(const ResultKeyView &a, const ResultKey &b) const
+        {
+            return eq(b, a);
+        }
+    };
+
+    /// Cached result for (lhs ⊛ rhs, flags), or nullptr on a miss. The
+    /// pointer is valid until the next storeResult() call.
+    const ConvResult *findResult(const DiscreteDistribution &lhs,
+                                 const DiscreteDistribution &rhs,
+                                 bool use_fft, bool packed_real);
+
+    /// Memoize a just-computed convolveWith output.
+    void storeResult(const DiscreteDistribution &lhs,
+                     const DiscreteDistribution &rhs, bool use_fft,
+                     bool packed_real, const ConvResult &result);
+
+    /// Cache size caps; reaching one flushes that cache wholesale (an
     /// epoch flush: by then the profiled distributions have drifted and
-    /// old spectra would not be asked for again).
+    /// old entries would not be asked for again).
     static constexpr std::size_t kMaxSpectra = 1024;
+    static constexpr std::size_t kMaxResults = 2048;
 
     FftScratch scratch_;
     std::vector<double> raw_;  ///< Convolution output arena.
@@ -130,6 +222,8 @@ class ConvolutionPlan
     std::unordered_map<SpectrumKey, std::vector<std::complex<double>>,
                        SpectrumKeyHash, SpectrumKeyEq>
         spectra_;
+    std::unordered_map<ResultKey, ConvResult, ResultKeyHash, ResultKeyEq>
+        results_;
     Stats stats_;
 };
 

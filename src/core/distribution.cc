@@ -6,22 +6,9 @@
 #include "core/convolution_plan.h"
 #include "util/error.h"
 #include "util/fft.h"
+#include "util/simd.h"
 
 namespace rubik {
-
-namespace {
-
-/// Fallback workspace for callers that don't thread a plan through.
-/// Thread-local so sweeps running convolutions from many
-/// ExperimentRunner jobs never share mutable state.
-ConvolutionPlan &
-threadLocalPlan()
-{
-    static thread_local ConvolutionPlan plan;
-    return plan;
-}
-
-} // anonymous namespace
 
 DiscreteDistribution
 DiscreteDistribution::pointMass(double value, std::size_t buckets)
@@ -83,13 +70,11 @@ DiscreteDistribution::normalize()
         rebuildCdf();
         return;
     }
-    cdf_.resize(p_.size());
-    double cum = 0.0;
-    for (std::size_t i = 0; i < p_.size(); ++i) {
-        p_[i] /= total;
-        cum += p_[i];
-        cdf_[i] = cum;
-    }
+    // The divides vectorize exactly (per-lane IEEE division); the CDF
+    // accumulation stays a sequential prefix sum over the identical
+    // quotients, so the bits match the old fused loop.
+    simdKernels().divideAll(p_.data(), p_.size(), total);
+    rebuildCdf();
 }
 
 void
@@ -129,12 +114,14 @@ DiscreteDistribution::quantile(double q) const
 {
     q = std::clamp(q, 0.0, 1.0);
     // First bucket whose inclusive CDF reaches q. The CDF entries are
-    // the same sums the old linear scan compared against, so the binary
-    // search picks the same bucket and returns the same bits.
-    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), q);
-    if (it == cdf_.end())
+    // the same sums the old linear scan compared against, and the
+    // dispatched countBelow kernel returns the lower_bound index on
+    // the sorted CDF, so the scan picks the same bucket and returns
+    // the same bits.
+    const std::size_t i =
+        simdKernels().countBelow(cdf_.data(), cdf_.size(), q);
+    if (i == cdf_.size())
         return max();
-    const auto i = static_cast<std::size_t>(it - cdf_.begin());
     const double below = i == 0 ? 0.0 : cdf_[i - 1];
     const double frac = p_[i] > 0.0 ? (q - below) / p_[i] : 0.0;
     return (static_cast<double>(i) + frac) * width_;
@@ -144,10 +131,10 @@ double
 DiscreteDistribution::quantileUpper(double q) const
 {
     q = std::clamp(q, 0.0, 1.0);
-    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), q - 1e-12);
-    if (it == cdf_.end())
+    const std::size_t i =
+        simdKernels().countBelow(cdf_.data(), cdf_.size(), q - 1e-12);
+    if (i == cdf_.size())
         return max();
-    const auto i = static_cast<std::size_t>(it - cdf_.begin());
     return (static_cast<double>(i) + 1.0) * width_;
 }
 
@@ -190,14 +177,20 @@ DiscreteDistribution::rebinMasses(const double *src, std::size_t src_len,
                                   std::size_t new_buckets)
 {
     std::vector<double> out(new_buckets, 0.0);
+    // Batch the per-bucket edge divides (each source bucket [a, b)
+    // maps to fractional target coordinates [a, b)/new_width); the
+    // vector kernel computes the identical per-element expressions.
+    static thread_local std::vector<double> lo_edges, hi_edges;
+    lo_edges.resize(src_len);
+    hi_edges.resize(src_len);
+    simdKernels().rebinEdgesAll(lo_edges.data(), hi_edges.data(), src_len,
+                                src_width, new_width);
     for (std::size_t i = 0; i < src_len; ++i) {
         if (src[i] == 0.0)
             continue;
         // Source bucket [a, b) spreads its mass uniformly over the target.
-        const double a = static_cast<double>(i) * src_width;
-        const double b = a + src_width;
-        const double lo_f = a / new_width;
-        const double hi_f = b / new_width;
+        const double lo_f = lo_edges[i];
+        const double hi_f = hi_edges[i];
         auto lo = static_cast<std::size_t>(lo_f);
         auto hi = static_cast<std::size_t>(hi_f);
         lo = std::min(lo, new_buckets - 1);
@@ -207,6 +200,23 @@ DiscreteDistribution::rebinMasses(const double *src, std::size_t src_len,
             continue;
         }
         const double span = hi_f - lo_f;
+        if (hi == lo + 1) {
+            // Two-target straddle (every source bucket, whenever the
+            // source width does not exceed the target width): the
+            // general loop's segment expressions with j resolved, so
+            // the weights round identically. lo is unclamped here
+            // (clamping forces lo == hi), hence seg_lo == lo_f for
+            // j == lo and seg_lo == hi for j == hi.
+            const double bound = static_cast<double>(hi);
+            const double w1 =
+                std::max(0.0, std::min(hi_f, bound) - lo_f) / span;
+            const double w2 =
+                std::max(0.0, std::min(hi_f, bound + 1.0) - bound) /
+                span;
+            out[lo] += src[i] * w1;
+            out[hi] += src[i] * w2;
+            continue;
+        }
         for (std::size_t j = lo; j <= hi; ++j) {
             const double seg_lo = std::max(lo_f, static_cast<double>(j));
             const double seg_hi =
@@ -228,6 +238,12 @@ DiscreteDistribution::rebin(double new_width, std::size_t new_buckets) const
 }
 
 DiscreteDistribution
+DiscreteDistribution::convolveWith(const DiscreteDistribution &other) const
+{
+    return convolveWith(other, ConvolveOptions(), nullptr);
+}
+
+DiscreteDistribution
 DiscreteDistribution::convolveWith(const DiscreteDistribution &other,
                                    bool use_fft) const
 {
@@ -241,7 +257,16 @@ DiscreteDistribution::convolveWith(const DiscreteDistribution &other,
                                    const ConvolveOptions &opts,
                                    ConvolutionPlan *plan) const
 {
-    ConvolutionPlan &ws = plan ? *plan : threadLocalPlan();
+    ConvolutionPlan &ws = plan ? *plan : ConvolutionPlan::threadLocal();
+
+    // Whole-result memoization: periodic table rebuilds re-convolve the
+    // same chains whenever the profiled distributions have stopped
+    // changing between rebuilds. A hit replays a result computed from
+    // bitwise-identical inputs on the same numeric path, so it cannot
+    // change a single bit of output.
+    if (const ConvolutionPlan::ConvResult *hit =
+            ws.findResult(*this, other, opts.useFft, opts.packedReal))
+        return DiscreteDistribution(hit->masses, hit->width);
 
     // Bring both operands to a common bucket width. Crucially, rebin the
     // narrower operand into only as many buckets as its support needs:
@@ -295,8 +320,7 @@ DiscreteDistribution::convolveWith(const DiscreteDistribution &other,
     std::vector<double> &conv = ws.conv_;
     conv.resize(raw.size() + 1);
     conv[0] = 0.5 * raw[0];
-    for (std::size_t k = 1; k < raw.size(); ++k)
-        conv[k] = 0.5 * raw[k - 1] + 0.5 * raw[k];
+    simdKernels().edgeSplitAll(raw.data(), conv.data(), raw.size());
     conv[raw.size()] = 0.5 * raw[raw.size() - 1];
 
     // Trim trailing (near-)zero mass so the support only reflects real
@@ -309,9 +333,11 @@ DiscreteDistribution::convolveWith(const DiscreteDistribution &other,
     const std::size_t n = p_.size();
     const double support = common * static_cast<double>(conv_len);
     const double new_width = support / static_cast<double>(n);
-    return DiscreteDistribution(
-        rebinMasses(conv.data(), conv_len, common, new_width, n),
-        new_width);
+    ConvolutionPlan::ConvResult result;
+    result.masses = rebinMasses(conv.data(), conv_len, common, new_width, n);
+    result.width = new_width;
+    ws.storeResult(*this, other, opts.useFft, opts.packedReal, result);
+    return DiscreteDistribution(std::move(result.masses), result.width);
 }
 
 } // namespace rubik

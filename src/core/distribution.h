@@ -106,13 +106,23 @@ class DiscreteDistribution
 
     /**
      * Convolution with another distribution (sum of independent draws),
-     * rebinned back to this distribution's bucket count.
-     *
-     * @param use_fft Use the FFT path (paper's choice); the direct path
-     *                is exact and used for testing.
+     * rebinned back to this distribution's bucket count. Uses the
+     * default (exact FFT) path; equivalent to passing a
+     * default-constructed ConvolveOptions.
      */
+    DiscreteDistribution convolveWith(
+        const DiscreteDistribution &other) const;
+
+    /**
+     * @deprecated Loose boolean overload; numerics knobs are collected
+     * in ConvolveOptions (and surfaced through SimOptions::numerics at
+     * the API level) so every deviation from the default path is named
+     * at the call site. Use convolveWith(other, opts, plan).
+     */
+    [[deprecated("pass ConvolveOptions (see sim/sim_options.h) instead "
+                 "of a bare use_fft flag")]]
     DiscreteDistribution convolveWith(const DiscreteDistribution &other,
-                                      bool use_fft = true) const;
+                                      bool use_fft) const;
 
     /**
      * Convolution with explicit options and an optional reusable

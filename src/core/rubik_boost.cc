@@ -56,19 +56,19 @@ RubikBoostController::tableFor(int class_hint) const
 }
 
 double
-RubikBoostController::selectFrequency(const CoreEngine &core)
+RubikBoostController::selectFrequency(const CoreView &core)
 {
     // Same cap semantics as RubikController: the coordinator's power
     // cap outranks the latency bound on every path.
     const double ceiling = capCeiling(core);
-    if (!core.running())
-        return std::min(core.currentFrequency(), ceiling);
+    if (!core.busy)
+        return std::min(core.frequency, ceiling);
     if (!mixTable_)
         return std::min(dvfs_.maxFrequency(), ceiling);
 
-    const TargetTailTable *table = tableFor(core.running()->classHint);
-    const double now = core.now();
-    const std::size_t row = table->rowForElapsed(core.elapsedCycles());
+    const TargetTailTable *table = tableFor(core.classHints[0]);
+    const double now = core.now;
+    const std::size_t row = table->rowForElapsed(core.elapsedCycles);
 
     double needed = 0.0;
     std::size_t position = 0;
@@ -85,11 +85,10 @@ RubikBoostController::selectFrequency(const CoreEngine &core)
         ++position;
     };
 
-    add_constraint(core.running()->arrivalTime);
-    for (const auto &r : core.queue()) {
+    for (std::size_t i = 0; i < core.count; ++i) {
         if (saturated)
             break;
-        add_constraint(r.arrivalTime);
+        add_constraint(core.arrivals[i]);
     }
     return std::min(saturated ? dvfs_.maxFrequency()
                               : dvfs_.quantizeUp(needed),
@@ -98,7 +97,7 @@ RubikBoostController::selectFrequency(const CoreEngine &core)
 
 void
 RubikBoostController::onCompletion(const CompletedRequest &done,
-                                   const CoreEngine &core)
+                                   const CoreView &core)
 {
     (void)core;
     mixProfiler_.record(done.computeCycles, done.memoryTime);
@@ -112,9 +111,9 @@ RubikBoostController::onCompletion(const CompletedRequest &done,
 }
 
 void
-RubikBoostController::periodicUpdate(const CoreEngine &core)
+RubikBoostController::periodicUpdate(const CoreView &core)
 {
-    while (nextUpdate_ <= core.now() + 1e-12)
+    while (nextUpdate_ <= core.now + 1e-12)
         nextUpdate_ += cfg_.base.updatePeriod;
 
     const uint64_t fresh = completionsSeen_ - completionsAtLastBuild_;
@@ -126,23 +125,38 @@ RubikBoostController::periodicUpdate(const CoreEngine &core)
             mixProfiler_.computeDistribution();
         const DiscreteDistribution mix_m =
             mixProfiler_.memoryDistribution();
-        mixTable_ = TargetTailTable::build(mix_c, mix_m, cfg_.base.table,
-                                           &convPlan_);
+        // One fused pass builds the mixture table plus every warm
+        // class table, sharing the mixture moments and the plan's
+        // cached spectra across the whole batch.
+        std::vector<DiscreteDistribution> class_c, class_m;
+        std::vector<const DiscreteDistribution *> cc(cfg_.numClasses,
+                                                     nullptr);
+        std::vector<const DiscreteDistribution *> cm(cfg_.numClasses,
+                                                     nullptr);
+        class_c.reserve(cfg_.numClasses);
+        class_m.reserve(cfg_.numClasses);
         for (int k = 0; k < cfg_.numClasses; ++k) {
             if (classProfilers_[k].numSamples() <
                 cfg_.classWarmupSamples) {
                 continue;
             }
-            classTables_[k] = TargetTailTable::build(
-                classProfilers_[k].computeDistribution(),
-                classProfilers_[k].memoryDistribution(), mix_c, mix_m,
-                cfg_.base.table, &convPlan_);
+            class_c.push_back(classProfilers_[k].computeDistribution());
+            class_m.push_back(classProfilers_[k].memoryDistribution());
+            cc[k] = &class_c.back();
+            cm[k] = &class_m.back();
+        }
+        auto tables = TargetTailTable::buildBatch(
+            mix_c, mix_m, cc, cm, cfg_.base.table, &convPlan_);
+        mixTable_ = std::move(tables[0]);
+        for (int k = 0; k < cfg_.numClasses; ++k) {
+            if (tables[1 + k])
+                classTables_[k] = std::move(tables[1 + k]);
         }
         completionsAtLastBuild_ = completionsSeen_;
     }
 
     if (cfg_.base.feedback && mixTable_) {
-        measured_.expire(core.now());
+        measured_.expire(core.now);
         if (measured_.size() >= 32) {
             const double tail = measured_.tail(cfg_.base.percentile);
             const double error =

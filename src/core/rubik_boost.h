@@ -59,11 +59,11 @@ class RubikBoostController : public DvfsPolicy
                          const RubikBoostConfig &config);
 
     void reset() override;
-    double selectFrequency(const CoreEngine &core) override;
+    double selectFrequency(const CoreView &core) override;
     void onCompletion(const CompletedRequest &done,
-                      const CoreEngine &core) override;
+                      const CoreView &core) override;
     double nextPeriodicUpdate() const override { return nextUpdate_; }
-    void periodicUpdate(const CoreEngine &core) override;
+    void periodicUpdate(const CoreView &core) override;
 
     bool warm() const { return mixTable_.has_value(); }
     double internalTarget() const { return internalTarget_; }

@@ -36,10 +36,10 @@ RubikController::reset()
 }
 
 double
-RubikController::analyticalFloor(const CoreEngine &core) const
+RubikController::analyticalFloor(const CoreView &core) const
 {
-    const double now = core.now();
-    const std::size_t row = table_->rowForElapsed(core.elapsedCycles());
+    const double now = core.now;
+    const std::size_t row = table_->rowForElapsed(core.elapsedCycles);
 
     double needed = 0.0;
     std::size_t position = 0;
@@ -60,19 +60,19 @@ RubikController::analyticalFloor(const CoreEngine &core) const
         ++position;
     };
 
-    if (core.running())
-        add_constraint(core.running()->arrivalTime);
-    for (const auto &r : core.queue()) {
+    // Lane walk over the contiguous arrival-time window: position 0 is
+    // the in-service request, the rest the FIFO queue.
+    for (std::size_t i = 0; i < core.count; ++i) {
         if (saturated)
             break;
-        add_constraint(r.arrivalTime);
+        add_constraint(core.arrivals[i]);
     }
 
     return saturated ? dvfs_.maxFrequency() : needed;
 }
 
 double
-RubikController::selectFrequency(const CoreEngine &core)
+RubikController::selectFrequency(const CoreView &core)
 {
     // A coordinator-assigned power cap bounds every choice below,
     // including the warmup and saturated max-frequency paths: meeting
@@ -80,8 +80,8 @@ RubikController::selectFrequency(const CoreEngine &core)
     // the tail cost shows up in the fleet results instead).
     const double ceiling = capCeiling(core);
 
-    if (!core.running()) // idle: frequency is moot
-        return std::min(core.currentFrequency(), ceiling);
+    if (!core.busy) // idle: frequency is moot
+        return std::min(core.frequency, ceiling);
 
     if (!table_) // warming up: be conservative
         return std::min(dvfs_.maxFrequency(), ceiling);
@@ -91,7 +91,7 @@ RubikController::selectFrequency(const CoreEngine &core)
 
 void
 RubikController::onCompletion(const CompletedRequest &done,
-                              const CoreEngine &core)
+                              const CoreView &core)
 {
     (void)core;
     profiler_.record(done.computeCycles, done.memoryTime);
@@ -100,10 +100,10 @@ RubikController::onCompletion(const CompletedRequest &done,
 }
 
 void
-RubikController::periodicUpdate(const CoreEngine &core)
+RubikController::periodicUpdate(const CoreView &core)
 {
     // Keep the schedule strictly advancing even if the loop stalls.
-    while (nextUpdate_ <= core.now() + 1e-12)
+    while (nextUpdate_ <= core.now + 1e-12)
         nextUpdate_ += cfg_.updatePeriod;
 
     const uint64_t fresh = completionsSeen_ - completionsAtLastBuild_;
@@ -118,7 +118,7 @@ RubikController::periodicUpdate(const CoreEngine &core)
     }
 
     if (cfg_.feedback && table_) {
-        measured_.expire(core.now());
+        measured_.expire(core.now);
         if (measured_.size() >= 32) {
             const double tail = measured_.tail(cfg_.percentile);
             // Positive error: measured tail is below the bound, i.e. we

@@ -72,11 +72,11 @@ class RubikController : public DvfsPolicy
     RubikController(const DvfsModel &dvfs, const RubikConfig &config);
 
     void reset() override;
-    double selectFrequency(const CoreEngine &core) override;
+    double selectFrequency(const CoreView &core) override;
     void onCompletion(const CompletedRequest &done,
-                      const CoreEngine &core) override;
+                      const CoreView &core) override;
     double nextPeriodicUpdate() const override { return nextUpdate_; }
-    void periodicUpdate(const CoreEngine &core) override;
+    void periodicUpdate(const CoreView &core) override;
 
     /// @name Introspection (tests, benches)
     /// @{
@@ -93,7 +93,7 @@ class RubikController : public DvfsPolicy
 
   private:
     /// Frequency floor from Eq. 2 over all requests in the system.
-    double analyticalFloor(const CoreEngine &core) const;
+    double analyticalFloor(const CoreView &core) const;
 
     const DvfsModel &dvfs_;
     RubikConfig cfg_;

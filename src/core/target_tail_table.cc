@@ -53,6 +53,24 @@ TargetTailTable::build(const DiscreteDistribution &compute,
     return build(compute, memory, compute, memory, config, plan);
 }
 
+TargetTailTable::MixTerms
+TargetTailTable::mixTerms(const DiscreteDistribution &mix_compute,
+                          const DiscreteDistribution &mix_memory,
+                          const TailTableConfig &config)
+{
+    RUBIK_ASSERT(config.rows >= 1, "need at least one row");
+    RUBIK_ASSERT(config.positions >= 1, "need at least one position");
+    RUBIK_ASSERT(config.percentile > 0 && config.percentile < 1,
+                 "percentile must be in (0,1)");
+    MixTerms terms;
+    terms.zp = inverseNormalCdf(config.percentile);
+    terms.meanC = mix_compute.mean();
+    terms.varC = mix_compute.variance();
+    terms.meanM = mix_memory.mean();
+    terms.varM = mix_memory.variance();
+    return terms;
+}
+
 TargetTailTable
 TargetTailTable::build(const DiscreteDistribution &s0_compute,
                        const DiscreteDistribution &s0_memory,
@@ -61,22 +79,66 @@ TargetTailTable::build(const DiscreteDistribution &s0_compute,
                        const TailTableConfig &config,
                        ConvolutionPlan *plan)
 {
-    ConvolutionPlan local_plan;
-    ConvolutionPlan &ws = plan ? *plan : local_plan;
+    // Plan-less builds share the thread's fallback plan (the same one
+    // convolveWith uses), so periodic rebuilds against slowly-drifting
+    // profiles reuse cached spectra instead of re-transforming the
+    // mixing distribution cold on every build. Cached replays are
+    // bitwise identical by construction (exact-content keys).
+    ConvolutionPlan &ws = plan ? *plan : ConvolutionPlan::threadLocal();
+    return buildImpl(s0_compute, s0_memory, mix_compute, mix_memory,
+                     config, mixTerms(mix_compute, mix_memory, config),
+                     ws);
+}
+
+std::vector<std::optional<TargetTailTable>>
+TargetTailTable::buildBatch(
+    const DiscreteDistribution &mix_compute,
+    const DiscreteDistribution &mix_memory,
+    const std::vector<const DiscreteDistribution *> &class_compute,
+    const std::vector<const DiscreteDistribution *> &class_memory,
+    const TailTableConfig &config, ConvolutionPlan *plan)
+{
+    RUBIK_ASSERT(class_compute.size() == class_memory.size(),
+                 "class compute/memory lists must match");
+    ConvolutionPlan &ws = plan ? *plan : ConvolutionPlan::threadLocal();
+    const MixTerms terms = mixTerms(mix_compute, mix_memory, config);
+
+    std::vector<std::optional<TargetTailTable>> out;
+    out.reserve(1 + class_compute.size());
+    out.emplace_back(buildImpl(mix_compute, mix_memory, mix_compute,
+                               mix_memory, config, terms, ws));
+    for (std::size_t k = 0; k < class_compute.size(); ++k) {
+        if (!class_compute[k] && !class_memory[k]) {
+            out.emplace_back(std::nullopt);
+            continue;
+        }
+        RUBIK_ASSERT(class_compute[k] && class_memory[k],
+                     "class compute/memory must be paired");
+        out.emplace_back(buildImpl(*class_compute[k], *class_memory[k],
+                                   mix_compute, mix_memory, config,
+                                   terms, ws));
+    }
+    return out;
+}
+
+TargetTailTable
+TargetTailTable::buildImpl(const DiscreteDistribution &s0_compute,
+                           const DiscreteDistribution &s0_memory,
+                           const DiscreteDistribution &mix_compute,
+                           const DiscreteDistribution &mix_memory,
+                           const TailTableConfig &config,
+                           const MixTerms &terms, ConvolutionPlan &ws)
+{
     const DiscreteDistribution &compute = mix_compute;
     const DiscreteDistribution &memory = mix_memory;
-    RUBIK_ASSERT(config.rows >= 1, "need at least one row");
-    RUBIK_ASSERT(config.positions >= 1, "need at least one position");
-    RUBIK_ASSERT(config.percentile > 0 && config.percentile < 1,
-                 "percentile must be in (0,1)");
 
     TargetTailTable t;
     t.config_ = config;
-    t.zp_ = inverseNormalCdf(config.percentile);
-    t.meanC_ = compute.mean();
-    t.varC_ = compute.variance();
-    t.meanM_ = memory.mean();
-    t.varM_ = memory.variance();
+    t.zp_ = terms.zp;
+    t.meanC_ = terms.meanC;
+    t.varC_ = terms.varC;
+    t.meanM_ = terms.meanM;
+    t.varM_ = terms.varM;
 
     // Rows are quantiles of the S_0 source: the in-flight request's
     // elapsed work is compared against its own class's distribution.

@@ -21,6 +21,7 @@
  */
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "core/distribution.h"
@@ -83,6 +84,27 @@ class TargetTailTable
                                  const TailTableConfig &config,
                                  ConvolutionPlan *plan = nullptr);
 
+    /**
+     * Fused batch build: the mixture table plus one class-conditioned
+     * table per non-null (class_compute[k], class_memory[k]) pair, all
+     * in one pass. The mixture moments, the percentile quantile, and
+     * the convolution plan (and with it the mixing distribution's
+     * cached FFT spectra) are computed once and shared across every
+     * member instead of once per build() call. Slot 0 of the result is
+     * the mixture table; slot 1+k the class-k table, disengaged where
+     * the inputs were null. Each table is bitwise identical to the
+     * equivalent individual build() call.
+     */
+    static std::vector<std::optional<TargetTailTable>>
+    buildBatch(const DiscreteDistribution &mix_compute,
+               const DiscreteDistribution &mix_memory,
+               const std::vector<const DiscreteDistribution *>
+                   &class_compute,
+               const std::vector<const DiscreteDistribution *>
+                   &class_memory,
+               const TailTableConfig &config,
+               ConvolutionPlan *plan = nullptr);
+
     /// Row for a request that has executed `omega` cycles so far.
     std::size_t rowForElapsed(double omega) const;
 
@@ -112,6 +134,24 @@ class TargetTailTable
 
   private:
     TargetTailTable() = default;
+
+    /// Shared-mixture terms precomputed once per build or batch.
+    struct MixTerms
+    {
+        double zp, meanC, varC, meanM, varM;
+    };
+
+    static MixTerms mixTerms(const DiscreteDistribution &mix_compute,
+                             const DiscreteDistribution &mix_memory,
+                             const TailTableConfig &config);
+
+    static TargetTailTable
+    buildImpl(const DiscreteDistribution &s0_compute,
+              const DiscreteDistribution &s0_memory,
+              const DiscreteDistribution &mix_compute,
+              const DiscreteDistribution &mix_memory,
+              const TailTableConfig &config, const MixTerms &terms,
+              ConvolutionPlan &plan);
 
     TailTableConfig config_;
     std::vector<double> rowBounds_;

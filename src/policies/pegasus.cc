@@ -23,7 +23,7 @@ PegasusPolicy::reset()
 }
 
 double
-PegasusPolicy::selectFrequency(const CoreEngine &core)
+PegasusPolicy::selectFrequency(const CoreView &core)
 {
     // Feedback can ask for any grid point; a coordinator-assigned
     // power cap clips it (the epoch state still tracks the uncapped
@@ -33,19 +33,19 @@ PegasusPolicy::selectFrequency(const CoreEngine &core)
 
 void
 PegasusPolicy::onCompletion(const CompletedRequest &done,
-                            const CoreEngine &core)
+                            const CoreView &core)
 {
     (void)core;
     measured_.add(done.completionTime, done.latency());
 }
 
 void
-PegasusPolicy::periodicUpdate(const CoreEngine &core)
+PegasusPolicy::periodicUpdate(const CoreView &core)
 {
-    while (nextEpoch_ <= core.now() + 1e-12)
+    while (nextEpoch_ <= core.now + 1e-12)
         nextEpoch_ += cfg_.epoch;
 
-    measured_.expire(core.now());
+    measured_.expire(core.now);
     if (measured_.empty())
         return;
 

@@ -43,11 +43,11 @@ class PegasusPolicy : public DvfsPolicy
     PegasusPolicy(const DvfsModel &dvfs, const PegasusConfig &config);
 
     void reset() override;
-    double selectFrequency(const CoreEngine &core) override;
+    double selectFrequency(const CoreView &core) override;
     void onCompletion(const CompletedRequest &done,
-                      const CoreEngine &core) override;
+                      const CoreView &core) override;
     double nextPeriodicUpdate() const override { return nextEpoch_; }
-    void periodicUpdate(const CoreEngine &core) override;
+    void periodicUpdate(const CoreView &core) override;
 
   private:
     const DvfsModel &dvfs_;

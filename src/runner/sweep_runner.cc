@@ -92,6 +92,7 @@ runPolicy(const std::string &policy, const PolicyRunRequest &request)
     if (!request.trace || !request.dvfs || !request.power)
         throw std::runtime_error(
             "PolicyRunRequest needs trace, dvfs, and power");
+    request.options.validate();
     const Trace &trace = *request.trace;
     const DvfsModel &dvfs = *request.dvfs;
     const PowerModel &power = *request.power;
@@ -111,7 +112,8 @@ runPolicy(const std::string &policy, const PolicyRunRequest &request)
     // the outcome's sim-only fields.
     auto run_capped = [&](DvfsPolicy &scheme) {
         scheme.setPowerCap(cap);
-        const SimResult r = simulate(trace, scheme, dvfs, power);
+        const SimResult r =
+            simulate(trace, scheme, dvfs, power, request.options.engine);
         PolicyOutcome o = fromSim(r, dvfs);
         if (request.collectLatencies)
             o.latencies = r.latencies();
@@ -177,6 +179,7 @@ runPolicy(const std::string &policy, const PolicyRunRequest &request)
         RubikConfig cfg;
         cfg.latencyBound = bound;
         cfg.feedback = policy == "rubik";
+        cfg.table = request.options.tableConfig();
         RubikController scheme(dvfs, cfg);
         const PolicyOutcome sim = run_capped(scheme);
         out.tailLatency = sim.tailLatency;
@@ -188,6 +191,7 @@ runPolicy(const std::string &policy, const PolicyRunRequest &request)
     } else if (policy == "boost") {
         RubikBoostConfig cfg;
         cfg.base.latencyBound = bound;
+        cfg.base.table = request.options.tableConfig();
         RubikBoostController scheme(dvfs, cfg);
         const PolicyOutcome sim = run_capped(scheme);
         out.tailLatency = sim.tailLatency;

@@ -26,6 +26,7 @@
 #include "power/dvfs_model.h"
 #include "power/power_model.h"
 #include "runner/sweep_spec.h"
+#include "sim/sim_options.h"
 #include "sim/trace.h"
 
 namespace rubik {
@@ -77,6 +78,14 @@ struct PolicyRunRequest
     double powerCapWatts = 0.0;
     /// Fill PolicyOutcome::latencies with the per-request latencies.
     bool collectLatencies = false;
+    /**
+     * Simulation options (engine behavior, table shape, numerics
+     * opt-ins); validated at the top of runPolicy. Defaults reproduce
+     * the exact reference path the golden CSVs pin. Note that
+     * options.numerics.simd is process-global and applied by entry
+     * points (see SimOptions::applySimdMode), not per run.
+     */
+    SimOptions options;
 };
 
 /**

@@ -1,19 +1,8 @@
 #include "sim/core_engine.h"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-
 #include "util/error.h"
 
 namespace rubik {
-
-namespace {
-
-constexpr double kTimeEps = 1e-12;
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-} // anonymous namespace
 
 CoreEngine::CoreEngine(const DvfsModel &dvfs, const PowerModel &power,
                        const CoreEngineConfig &config)
@@ -22,233 +11,81 @@ CoreEngine::CoreEngine(const DvfsModel &dvfs, const PowerModel &power,
     freq_ = config.initialFrequency > 0.0 ? config.initialFrequency
                                           : dvfs.nominalFrequency();
     pendingFreq_ = freq_;
+    const PowerModel::Params &pp = power_.params();
+    stallActivity_ = pp.stallActivity;
+    c3Entry_ = pp.c3EntryThreshold;
+    c1Power_ = power_.corePower(CoreState::IdleC1, freq_);
+    c3Power_ = power_.corePower(CoreState::SleepC3, freq_);
+    refreshFreqDerived();
     stats_.freqResidency.assign(dvfs.numFrequencies(), 0.0);
     if (config_.recordTimeline)
         timeline_.emplace_back(0.0, freq_);
 }
 
-bool
-CoreEngine::inTransition() const
+void
+CoreEngine::refreshFreqDerived()
 {
-    return transitionEnd_ > now_ + kTimeEps;
-}
-
-double
-CoreEngine::elapsedCycles() const
-{
-    if (!running_)
-        return 0.0;
-    return running_->computeCycles - running_->remainingCycles;
-}
-
-double
-CoreEngine::elapsedMemTime() const
-{
-    if (!running_)
-        return 0.0;
-    return running_->memoryTime - running_->remainingMemTime;
-}
-
-double
-CoreEngine::remainingServiceTime(double freq) const
-{
-    if (!running_)
-        return kInf;
-    return wakeRemaining_ + running_->remainingCycles / freq +
-           running_->remainingMemTime;
+    // The exact factor grouping of PowerModel::coreActivePower
+    // (ceff * v * v * f * activity + kLeak * v), split at the
+    // frequency-dependent prefix so the per-event path multiplies and
+    // adds the same values in the same order.
+    const double v = dvfs_.voltage(freq_);
+    const PowerModel::Params &pp = power_.params();
+    dynBase_ = pp.ceff * v * v * freq_;
+    statPow_ = pp.kLeak * v;
+    freqIndex_ = dvfs_.indexOf(freq_);
+    svcLeftCache_ = -1.0;
 }
 
 void
-CoreEngine::enqueue(Request request)
+CoreEngine::growLanes()
 {
-    RUBIK_ASSERT(std::abs(request.arrivalTime - now_) < 1e-9,
-                 "enqueue must happen at the request's arrival time");
-    request.remainingCycles = request.computeCycles;
-    request.remainingMemTime = request.memoryTime;
-    request.queueLenAtArrival =
-        static_cast<int>(queue_.size()) + (busy() ? 1 : 0);
-
-    if (busy()) {
-        queue_.push_back(request);
-        return;
-    }
-
-    // Dispatching into an idle core: charge the wake latency if the core
-    // slept past the C3 threshold.
-    const double idle_span = now_ - idleStart_;
-    const bool slept = idle_span > power_.params().c3EntryThreshold;
-    queue_.push_back(request);
-    dispatchNext();
-    if (slept)
-        wakeRemaining_ = config_.wakeLatency;
+    const std::size_t cap = std::max<std::size_t>(64, 2 * tail_);
+    arrival_.resize(cap);
+    compute_.resize(cap);
+    memTime_.resize(cap);
+    remCycles_.resize(cap);
+    remMem_.resize(cap);
+    start_.resize(cap);
+    id_.resize(cap);
+    classHint_.resize(cap);
+    queueLen_.resize(cap);
 }
 
 void
-CoreEngine::dispatchNext()
+CoreEngine::compact()
 {
-    RUBIK_ASSERT(!busy(), "dispatch with a request in service");
-    RUBIK_ASSERT(!queue_.empty(), "dispatch from an empty queue");
-    running_ = queue_.front();
-    queue_.pop_front();
-    running_->startTime = now_;
-    runningEnergy_ = 0.0;
-    wakeRemaining_ = 0.0;
-}
-
-double
-CoreEngine::nextEventTime() const
-{
-    double next = kInf;
-    if (inTransition())
-        next = std::min(next, transitionEnd_);
-    if (busy()) {
-        const bool stalled = inTransition() &&
-                             config_.transitionMode == TransitionMode::Stalled;
-        if (!stalled)
-            next = std::min(next, now_ + remainingServiceTime(freq_));
-    }
-    return next;
-}
-
-void
-CoreEngine::advanceTo(double t)
-{
-    RUBIK_ASSERT(t >= now_ - 1e-9, "time must not go backwards");
-    double dt = t - now_;
-    if (dt <= 0.0) {
-        now_ = std::max(now_, t);
-        return;
-    }
-
-    if (!busy()) {
-        accountIdle(now_, t);
-        now_ = t;
-        return;
-    }
-
-    const bool stalled = inTransition() &&
-                         config_.transitionMode == TransitionMode::Stalled;
-    if (stalled) {
-        // Halted during the voltage ramp: static power only, no progress.
-        const double p = power_.coreStaticPower(freq_);
-        stats_.energy.coreActive += p * dt;
-        runningEnergy_ += p * dt;
-        stats_.busyTime += dt;
-        now_ = t;
-        return;
-    }
-
-    // Consume wake latency first (core refilling L1/L2 after C3).
-    if (wakeRemaining_ > 0.0) {
-        const double wake_dt = std::min(dt, wakeRemaining_);
-        const double p = power_.coreActivePower(freq_, 1.0);
-        stats_.energy.coreActive += p * wake_dt;
-        runningEnergy_ += p * wake_dt;
-        stats_.busyTime += wake_dt;
-        wakeRemaining_ -= wake_dt;
-        dt -= wake_dt;
-        if (dt <= 0.0) {
-            now_ = t;
-            return;
-        }
-    }
-
-    // Fluid depletion: compute and memory components shrink proportionally.
-    const double service_left = running_->remainingCycles / freq_ +
-                                running_->remainingMemTime;
-    double alpha;
-    if (service_left <= kTimeEps) {
-        alpha = 1.0;
-    } else {
-        alpha = std::min(1.0, dt / service_left);
-    }
-    const double stall_frac =
-        service_left > 0.0 ? running_->remainingMemTime / service_left : 0.0;
-
-    const double p = power_.coreActivePower(freq_, stall_frac);
-    stats_.energy.coreActive += p * dt;
-    runningEnergy_ += p * dt;
-    stats_.busyTime += dt;
-    stats_.stallTime += stall_frac * dt;
-    stats_.freqResidency[dvfs_.indexOf(freq_)] += dt;
-
-    running_->remainingCycles *= (1.0 - alpha);
-    running_->remainingMemTime *= (1.0 - alpha);
-    now_ = t;
+    const std::size_t n = tail_ - head_;
+    std::copy(arrival_.begin() + head_, arrival_.begin() + tail_,
+              arrival_.begin());
+    std::copy(compute_.begin() + head_, compute_.begin() + tail_,
+              compute_.begin());
+    std::copy(memTime_.begin() + head_, memTime_.begin() + tail_,
+              memTime_.begin());
+    std::copy(remCycles_.begin() + head_, remCycles_.begin() + tail_,
+              remCycles_.begin());
+    std::copy(remMem_.begin() + head_, remMem_.begin() + tail_,
+              remMem_.begin());
+    std::copy(start_.begin() + head_, start_.begin() + tail_,
+              start_.begin());
+    std::copy(id_.begin() + head_, id_.begin() + tail_, id_.begin());
+    std::copy(classHint_.begin() + head_, classHint_.begin() + tail_,
+              classHint_.begin());
+    std::copy(queueLen_.begin() + head_, queueLen_.begin() + tail_,
+              queueLen_.begin());
+    head_ = 0;
+    tail_ = n;
 }
 
 void
-CoreEngine::accountIdle(double t0, double t1)
+CoreEngine::applyFrequency(double freq)
 {
-    // Split the idle interval at the C3 entry threshold.
-    const double c3_at = idleStart_ + power_.params().c3EntryThreshold;
-    const double c1_end = std::clamp(c3_at, t0, t1);
-    const double c1_dt = c1_end - t0;
-    const double c3_dt = t1 - c1_end;
-    if (c1_dt > 0.0) {
-        stats_.energy.coreIdle +=
-            power_.corePower(CoreState::IdleC1, freq_) * c1_dt;
-        stats_.idleTime += c1_dt;
-    }
-    if (c3_dt > 0.0) {
-        stats_.energy.coreSleep +=
-            power_.corePower(CoreState::SleepC3, freq_) * c3_dt;
-        stats_.sleepTime += c3_dt;
-    }
-}
-
-std::optional<CompletedRequest>
-CoreEngine::processEvents()
-{
-    // Transition end first: a completion due at the same instant was
-    // computed under the old frequency and still fires below.
-    if (transitionEnd_ >= 0.0 && transitionEnd_ <= now_ + kTimeEps) {
-        transitionEnd_ = -1.0;
-        if (pendingFreq_ != freq_) {
-            freq_ = pendingFreq_;
-            ++stats_.numTransitions;
-            if (config_.recordTimeline)
-                timeline_.emplace_back(now_, freq_);
-        }
-    }
-
-    if (busy() && remainingServiceTime(freq_) <= kTimeEps) {
-        CompletedRequest done;
-        done.id = running_->id;
-        done.arrivalTime = running_->arrivalTime;
-        done.startTime = running_->startTime;
-        done.completionTime = now_;
-        done.computeCycles = running_->computeCycles;
-        done.memoryTime = running_->memoryTime;
-        done.coreEnergy = runningEnergy_;
-        done.queueLenAtArrival = running_->queueLenAtArrival;
-        done.classHint = running_->classHint;
-
-        running_.reset();
-        runningEnergy_ = 0.0;
-        if (!queue_.empty())
-            dispatchNext();
-        else
-            idleStart_ = now_;
-        return done;
-    }
-    return std::nullopt;
-}
-
-void
-CoreEngine::requestFrequency(double freq)
-{
-    RUBIK_ASSERT(freq >= dvfs_.minFrequency() - 1.0 &&
-                 freq <= dvfs_.maxFrequency() + 1.0,
-                 "frequency outside the DVFS range");
-    if (std::abs(freq - targetFrequency()) < 1.0)
-        return; // Already there or heading there.
-
     const double latency = dvfs_.transitionLatency();
     if (latency <= 0.0) {
         freq_ = freq;
         pendingFreq_ = freq;
         transitionEnd_ = -1.0;
+        refreshFreqDerived();
         ++stats_.numTransitions;
         if (config_.recordTimeline)
             timeline_.emplace_back(now_, freq_);

@@ -1,0 +1,53 @@
+#ifndef RUBIK_SIM_CORE_VIEW_H
+#define RUBIK_SIM_CORE_VIEW_H
+
+/**
+ * @file
+ * Read-only core snapshot handed to DVFS policies.
+ *
+ * The engine keeps requests in structure-of-arrays lanes (see
+ * sim/core_engine.h); a CoreView exposes the in-flight window of those
+ * lanes zero-copy, plus the scalar state policies consult. Policies get
+ * exactly what per-request hardware telemetry could provide — arrival
+ * timestamps, class hints, elapsed work of the running request — without
+ * reaching into engine internals, and a policy's constraint walk
+ * (Rubik's Eq. 2 over queue positions) becomes a linear scan over a
+ * contiguous arrival-time lane.
+ *
+ * The pointers alias engine storage and are invalidated by any
+ * mutation of the engine (enqueue/advanceTo/processEvents); views are
+ * meant to be consumed inside one policy callback, not stored.
+ */
+
+#include <cstddef>
+
+namespace rubik {
+
+class DvfsModel;
+class PowerModel;
+
+/// Snapshot of one core for policy decisions.
+struct CoreView
+{
+    double now = 0.0;           ///< Current simulated time (s).
+    double frequency = 0.0;     ///< Currently effective frequency (Hz).
+    double elapsedCycles = 0.0; ///< Compute cycles the running request
+                                ///< has executed (0 when idle).
+    bool busy = false;          ///< A request is in service.
+
+    /// Requests in the system: count == queued + (busy ? 1 : 0). When
+    /// busy, index 0 is the in-service request and [1, count) are the
+    /// FIFO queue; when idle the window is empty.
+    std::size_t count = 0;
+    const double *arrivals = nullptr; ///< Arrival times lane (s).
+    const int *classHints = nullptr;  ///< Class-hint lane (-1 = none).
+
+    const DvfsModel *dvfs = nullptr;
+    const PowerModel *power = nullptr;
+
+    std::size_t queueLength() const { return busy ? count - 1 : count; }
+};
+
+} // namespace rubik
+
+#endif // RUBIK_SIM_CORE_VIEW_H

@@ -8,14 +8,16 @@
  * The simulation driver consults the policy on every request arrival and
  * completion (the adaptation points in Fig. 3 of the paper) and at
  * policy-requested periodic instants (e.g., Rubik's 100 ms table rebuilds,
- * Pegasus's epoch adjustments). The policy reads queue state from the core
- * engine and returns the frequency it wants; the driver forwards it to the
- * engine, which models the transition latency.
+ * Pegasus's epoch adjustments). The policy reads queue state from a
+ * CoreView — a zero-copy snapshot of the engine's request lanes
+ * (sim/core_view.h) — and returns the frequency it wants; the driver
+ * forwards it to the engine, which models the transition latency.
  */
 
 #include <limits>
 
-#include "sim/core_engine.h"
+#include "power/power_model.h"
+#include "sim/core_view.h"
 #include "sim/request.h"
 
 namespace rubik {
@@ -43,7 +45,7 @@ class DvfsPolicy
      * every arrival and completion (and after periodic updates). Must
      * return a frequency on the DVFS grid.
      */
-    virtual double selectFrequency(const CoreEngine &core) = 0;
+    virtual double selectFrequency(const CoreView &core) = 0;
 
     /**
      * Completed-request feedback: measured compute cycles, memory time
@@ -51,7 +53,7 @@ class DvfsPolicy
      * provide in a real deployment (Sec. 4.2).
      */
     virtual void onCompletion(const CompletedRequest &done,
-                              const CoreEngine &core)
+                              const CoreView &core)
     {
         (void)done;
         (void)core;
@@ -61,7 +63,7 @@ class DvfsPolicy
     virtual double nextPeriodicUpdate() const { return kNever; }
 
     /// Periodic hook (table rebuilds, feedback adjustment, ...).
-    virtual void periodicUpdate(const CoreEngine &core) { (void)core; }
+    virtual void periodicUpdate(const CoreView &core) { (void)core; }
 
     /**
      * Optional per-core power cap in watts (a fleet coordinator's
@@ -87,12 +89,12 @@ class DvfsPolicy
      * maximum when uncapped. Cached per cap value; the grid scan only
      * reruns when the coordinator moves the cap.
      */
-    double capCeiling(const CoreEngine &core) const
+    double capCeiling(const CoreView &core) const
     {
         if (powerCap_ <= 0.0)
-            return core.dvfs().maxFrequency();
+            return core.dvfs->maxFrequency();
         if (powerCap_ != ceilingWatts_) {
-            ceilingFreq_ = capFrequencyCeiling(core.power(), powerCap_);
+            ceilingFreq_ = capFrequencyCeiling(*core.power, powerCap_);
             ceilingWatts_ = powerCap_;
         }
         return ceilingFreq_;
@@ -105,12 +107,14 @@ class DvfsPolicy
 };
 
 /// Trivial policy: always run at one frequency (the paper's baseline).
-class FixedFrequencyPolicy : public DvfsPolicy
+/// Final so the statically-dispatched simulation loop (sim/simulation.cc)
+/// can fold its no-op hooks away entirely.
+class FixedFrequencyPolicy final : public DvfsPolicy
 {
   public:
     explicit FixedFrequencyPolicy(double freq) : freq_(freq) {}
 
-    double selectFrequency(const CoreEngine &) override { return freq_; }
+    double selectFrequency(const CoreView &) override { return freq_; }
 
     double frequency() const { return freq_; }
 

@@ -17,7 +17,9 @@
 
 namespace rubik {
 
-/// A request in flight through the server.
+/// A request as admitted to the server. Pure admission data: runtime
+/// state (remaining work, service start, occupancy at arrival) lives in
+/// the core engine's structure-of-arrays lanes, not on the request.
 struct Request
 {
     uint64_t id = 0;
@@ -27,13 +29,6 @@ struct Request
     /// Application-level request-class hint (Adrenaline-style), known at
     /// arrival; -1 when the application provides none.
     int classHint = -1;
-
-    // Runtime state, managed by the core engine.
-    double remainingCycles = 0.0;
-    double remainingMemTime = 0.0;
-    double startTime = -1.0;      ///< Service start (-1 until dispatched).
-    int queueLenAtArrival = 0;    ///< Requests in system on arrival (incl.
-                                  ///< the one in service), before this one.
 };
 
 /// Measured results for a finished request.

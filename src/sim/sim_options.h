@@ -1,0 +1,98 @@
+#ifndef RUBIK_SIM_SIM_OPTIONS_H
+#define RUBIK_SIM_SIM_OPTIONS_H
+
+/**
+ * @file
+ * Unified simulation options.
+ *
+ * The simulator grew knobs in several places — engine behavior in
+ * SimConfig/CoreEngineConfig, tail-table shape in TailTableConfig,
+ * convolution numerics in ConvolveOptions, SIMD dispatch in the
+ * RUBIK_SIMD environment variable — and callers (CLI one-shot, sweep
+ * cells, the fleet coordinator, benches) each assembled their own
+ * subset. SimOptions collects them into one validated hierarchy that
+ * PolicyRunRequest carries, so a new knob lands in exactly one struct
+ * and flows to every entry point.
+ *
+ * Numerics policy: everything in SimOptions defaults to the exact
+ * reference path — the one the golden CSVs pin byte-for-byte. The only
+ * opt-in deviations live in NumericsOptions, which is the single place
+ * such paths are declared:
+ *
+ *   - `simd`: runtime kernel dispatch (util/simd.h). All vector kernels
+ *     are pinned bitwise-identical to scalar, so this is a speed knob,
+ *     not an accuracy knob; it is grouped here because it selects
+ *     alternative arithmetic implementations.
+ *   - `packedRealFft`: UNSAFE — packs both real convolution operands
+ *     into one forward transform. Agrees with the exact path only to
+ *     ~1e-12, so outputs are no longer bitwise reproducible across the
+ *     packed/unpacked choice.
+ *
+ * The loose per-call overloads these structs replace (e.g. the bare
+ * `use_fft` boolean on DiscreteDistribution::convolveWith) are
+ * deprecated; new code names its numerics through this hierarchy.
+ */
+
+#include "core/target_tail_table.h"
+#include "sim/simulation.h"
+#include "util/simd.h"
+
+namespace rubik {
+
+struct ConvolveOptions;
+
+/**
+ * The single declaration point for numerics that select alternative
+ * arithmetic paths. Defaults reproduce the exact scalar-pinned
+ * reference behavior bit for bit.
+ */
+struct NumericsOptions
+{
+    /// Kernel dispatch (bitwise-pinned to scalar; Auto = best
+    /// supported). Applied process-wide via applySimdMode().
+    SimdMode simd = SimdMode::Auto;
+    /// UNSAFE opt-in: packed real-input FFT convolutions (~1e-12 from
+    /// the exact path; breaks byte-identity of outputs).
+    bool packedRealFft = false;
+};
+
+/// All options for one policy run, grouped by subsystem.
+struct SimOptions
+{
+    /// Event-engine behavior (initial frequency, transition handling,
+    /// wake latency, timeline recording).
+    SimConfig engine;
+    /// Tail-table shape (rows, positions, percentile, buckets,
+    /// conservative row bounds). The table's own numerics flags are
+    /// overridden from `numerics` — set them there, not here.
+    TailTableConfig table;
+    /// Opt-in numerics deviations; see NumericsOptions.
+    NumericsOptions numerics;
+
+    /**
+     * Check every field is in range (throws std::runtime_error with
+     * the offending knob named). Entry points validate once at the
+     * boundary so the hot path can trust the values.
+     */
+    void validate() const;
+
+    /// Table config with the numerics opt-ins folded in — what policy
+    /// constructors should consume instead of reading `table` raw.
+    TailTableConfig tableConfig() const;
+
+    /// Convolution options implied by `numerics` (for direct
+    /// DiscreteDistribution::convolveWith callers).
+    ConvolveOptions convolveOptions() const;
+
+    /**
+     * Apply `numerics.simd` process-wide (util/simd.h setSimdMode).
+     * Returns false if the host does not support the requested mode
+     * (the active mode is left unchanged). Intended for startup —
+     * dispatch is global, not per-run.
+     */
+    bool applySimdMode() const;
+};
+
+} // namespace rubik
+
+#endif // RUBIK_SIM_SIM_OPTIONS_H

@@ -53,9 +53,21 @@ SimResult::utilization() const
     return core.busyTime / simTime;
 }
 
+namespace {
+
+/**
+ * The event loop, parameterized on the concrete policy type. Called with
+ * Policy = DvfsPolicy in the general case; when the driver recognizes the
+ * dynamic type (FixedFrequencyPolicy below) the instantiation devirtualizes
+ * every hook, folds nextPeriodicUpdate() == kNever out of the min, and
+ * elides CoreView construction for hooks that ignore it. Static and
+ * dynamic dispatch execute identical arithmetic, so results are bitwise
+ * equal either way.
+ */
+template <class Policy>
 SimResult
-simulate(const Trace &trace, DvfsPolicy &policy, const DvfsModel &dvfs,
-         const PowerModel &power, const SimConfig &config)
+simulateLoop(const Trace &trace, Policy &policy, const DvfsModel &dvfs,
+             const PowerModel &power, const SimConfig &config)
 {
     CoreEngineConfig ecfg;
     ecfg.initialFrequency = config.initialFrequency;
@@ -69,13 +81,16 @@ simulate(const Trace &trace, DvfsPolicy &policy, const DvfsModel &dvfs,
     SimResult result;
     result.completed.reserve(trace.size());
 
-    std::size_t next_arrival = 0;
+    // Pointer-walk the (time-sorted) trace: the driver touches only the
+    // next pending record, and the end test stays in registers.
+    const TraceRecord *next_arrival = trace.data();
+    const TraceRecord *const trace_end = next_arrival + trace.size();
     uint64_t next_id = 0;
 
-    while (next_arrival < trace.size() || core.busy()) {
-        double t_arrival = next_arrival < trace.size()
-                               ? trace[next_arrival].arrivalTime
-                               : DvfsPolicy::kNever;
+    while (next_arrival != trace_end || core.busy()) {
+        const double t_arrival = next_arrival != trace_end
+                                     ? next_arrival->arrivalTime
+                                     : DvfsPolicy::kNever;
         const double t_engine = core.nextEventTime();
         const double t_policy = policy.nextPeriodicUpdate();
         const double t_next = std::min({t_arrival, t_engine, t_policy});
@@ -90,7 +105,7 @@ simulate(const Trace &trace, DvfsPolicy &policy, const DvfsModel &dvfs,
         if (t_engine <= t_next + 1e-12) {
             auto done = core.processEvents();
             if (done) {
-                policy.onCompletion(*done, core);
+                policy.onCompletion(*done, core.view());
                 result.completed.push_back(*done);
                 consult_policy = true;
             }
@@ -98,14 +113,14 @@ simulate(const Trace &trace, DvfsPolicy &policy, const DvfsModel &dvfs,
 
         // Arrivals due now (ties: admit before consulting the policy so
         // the policy sees the new queue state, per Fig. 3).
-        while (next_arrival < trace.size() &&
-               trace[next_arrival].arrivalTime <= t_next + 1e-12) {
+        while (next_arrival != trace_end &&
+               next_arrival->arrivalTime <= t_next + 1e-12) {
             Request r;
             r.id = next_id++;
             r.arrivalTime = core.now();
-            r.computeCycles = trace[next_arrival].computeCycles;
-            r.memoryTime = trace[next_arrival].memoryTime;
-            r.classHint = trace[next_arrival].classHint;
+            r.computeCycles = next_arrival->computeCycles;
+            r.memoryTime = next_arrival->memoryTime;
+            r.classHint = next_arrival->classHint;
             core.enqueue(r);
             ++next_arrival;
             consult_policy = true;
@@ -113,18 +128,32 @@ simulate(const Trace &trace, DvfsPolicy &policy, const DvfsModel &dvfs,
 
         // Periodic policy work (table rebuilds, feedback).
         if (t_policy <= t_next + 1e-12) {
-            policy.periodicUpdate(core);
+            policy.periodicUpdate(core.view());
             consult_policy = true;
         }
 
         if (consult_policy)
-            core.requestFrequency(policy.selectFrequency(core));
+            core.requestFrequency(policy.selectFrequency(core.view()));
     }
 
     result.core = core.stats();
     result.simTime = core.now();
     result.freqTimeline = core.timeline();
     return result;
+}
+
+} // anonymous namespace
+
+SimResult
+simulate(const Trace &trace, DvfsPolicy &policy, const DvfsModel &dvfs,
+         const PowerModel &power, const SimConfig &config)
+{
+    // Fixed-frequency baselines dominate the figure sweeps (every
+    // frequency point of the static curves runs one); dispatch them
+    // through the statically-typed loop.
+    if (auto *fixed = dynamic_cast<FixedFrequencyPolicy *>(&policy))
+        return simulateLoop(trace, *fixed, dvfs, power, config);
+    return simulateLoop(trace, policy, dvfs, power, config);
 }
 
 EnergyBreakdown

@@ -102,9 +102,9 @@ TEST(AllocGuard, SelectFrequencyAllocatesNothingInSteadyState)
         done.computeCycles = rng.lognormal(13.0, 0.3);
         done.memoryTime = rng.lognormal(-9.0, 0.3);
         done.completionTime = i * 1e-4;
-        rubik.onCompletion(done, core);
+        rubik.onCompletion(done, core.view());
     }
-    rubik.periodicUpdate(core); // builds the table
+    rubik.periodicUpdate(core.view()); // builds the table
     ASSERT_TRUE(rubik.warm());
 
     // Deep queue: positions both inside the exact table and out in the
@@ -116,15 +116,15 @@ TEST(AllocGuard, SelectFrequencyAllocatesNothingInSteadyState)
         r.memoryTime = 1e-4;
         core.enqueue(r);
     }
-    ASSERT_NE(core.running(), nullptr);
+    ASSERT_TRUE(core.busy());
 
     // Warm any lazy one-time state, then count.
-    (void)rubik.selectFrequency(core);
+    (void)rubik.selectFrequency(core.view());
 
     const unsigned long long before = g_allocations;
     double freq = 0.0;
     for (int i = 0; i < 100; ++i)
-        freq = rubik.selectFrequency(core);
+        freq = rubik.selectFrequency(core.view());
     const unsigned long long after = g_allocations;
 
     EXPECT_GT(freq, 0.0);

@@ -255,8 +255,11 @@ TEST(DiscreteDistribution, FftAndDirectConvolutionAgree)
     }
     const auto a = fromSamples(s1);
     const auto b = fromSamples(s2);
-    const auto f = a.convolveWith(b, /*use_fft=*/true);
-    const auto d = a.convolveWith(b, /*use_fft=*/false);
+    ConvolveOptions fft_opts, direct_opts;
+    fft_opts.useFft = true;
+    direct_opts.useFft = false;
+    const auto f = a.convolveWith(b, fft_opts);
+    const auto d = a.convolveWith(b, direct_opts);
     ASSERT_EQ(f.numBuckets(), d.numBuckets());
     EXPECT_NEAR(f.bucketWidth(), d.bucketWidth(), 1e-12);
     for (std::size_t i = 0; i < f.numBuckets(); ++i)

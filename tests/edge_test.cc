@@ -47,9 +47,9 @@ warmRubik(const DvfsModel &dvfs, double bound, double cycles, double mem,
         done.computeCycles = cycles;
         done.memoryTime = mem;
         done.completionTime = static_cast<double>(i) * 1e-4;
-        rubik.onCompletion(done, core);
+        rubik.onCompletion(done, core.view());
     }
-    rubik.periodicUpdate(core);
+    rubik.periodicUpdate(core.view());
     return rubik;
 }
 
@@ -66,7 +66,7 @@ TEST(Eq2Arithmetic, SingleRequestConstantWork)
     ASSERT_TRUE(rubik.warm());
 
     core.enqueue(makeRequest(0, 0.0, 2.4e6, 0.0));
-    const double f = rubik.selectFrequency(core);
+    const double f = rubik.selectFrequency(core.view());
     EXPECT_GE(f, 1.2 * kGHz);
     EXPECT_LE(f, 1.4 * kGHz);
 }
@@ -83,7 +83,7 @@ TEST(Eq2Arithmetic, QueuedRequestDoublesWork)
 
     core.enqueue(makeRequest(0, 0.0, 2.4e6, 0.0));
     core.enqueue(makeRequest(1, 0.0, 2.4e6, 0.0));
-    const double f = rubik.selectFrequency(core);
+    const double f = rubik.selectFrequency(core.view());
     EXPECT_GE(f, 2.4 * kGHz);
     EXPECT_LE(f, 2.8 * kGHz);
 }
@@ -99,14 +99,14 @@ TEST(Eq2Arithmetic, MemoryTimeShrinksSlack)
         warmRubik(dvfs, 2.0 * kMs, 1.2e6, 0.5 * kMs, core);
 
     core.enqueue(makeRequest(0, 0.0, 1.2e6, 0.5 * kMs));
-    const double f1 = rubik.selectFrequency(core);
+    const double f1 = rubik.selectFrequency(core.view());
     EXPECT_GE(f1, 0.8 * kGHz);
     EXPECT_LE(f1, 1.0 * kGHz);
 
     // With a 0.9 ms bound, slack ~0.4ms -> f >= 3 GHz.
     RubikController tight =
         warmRubik(dvfs, 0.9 * kMs, 1.2e6, 0.5 * kMs, core);
-    const double f2 = tight.selectFrequency(core);
+    const double f2 = tight.selectFrequency(core.view());
     EXPECT_GE(f2, 3.0 * kGHz);
 }
 
@@ -121,7 +121,7 @@ TEST(Eq2Arithmetic, ExhaustedSlackForcesMaxFrequency)
     // Request that has been waiting longer than the whole bound.
     core.enqueue(makeRequest(0, 0.0, 2.4e6, 0.0));
     core.advanceTo(1.5 * kMs);
-    EXPECT_DOUBLE_EQ(rubik.selectFrequency(core), dvfs.maxFrequency());
+    EXPECT_DOUBLE_EQ(rubik.selectFrequency(core.view()), dvfs.maxFrequency());
 }
 
 TEST(Eq2Arithmetic, OlderRequestsNeedHigherFrequency)
@@ -138,7 +138,7 @@ TEST(Eq2Arithmetic, OlderRequestsNeedHigherFrequency)
         // Pretend it arrived at t=0 by rebuilding the view: enqueue a
         // fresh request and advance so t_i grows.
         core.advanceTo(wait + 0.5 * kMs);
-        return rubik.selectFrequency(core);
+        return rubik.selectFrequency(core.view());
     };
     // 0.5 ms into a 2 ms budget (with ~1 ms of work left at 2.4 GHz):
     // needs more than the fresh-request frequency.
@@ -223,7 +223,7 @@ TEST(FailureInjection, RubikWithDegenerateProfile)
     CoreEngine core(dvfs, pm);
     RubikController rubik = warmRubik(dvfs, 1.0 * kMs, 1.0, 0.0, core);
     core.enqueue(makeRequest(0, 0.0, 1.0, 0.0));
-    const double f = rubik.selectFrequency(core);
+    const double f = rubik.selectFrequency(core.view());
     EXPECT_GE(f, dvfs.minFrequency());
     EXPECT_LE(f, dvfs.maxFrequency());
 }

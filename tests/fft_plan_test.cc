@@ -20,6 +20,7 @@
 #include "stats/histogram.h"
 #include "util/fft.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace rubik {
 namespace {
@@ -219,9 +220,13 @@ TEST(ConvolutionPlan, PlanAndNoPlanProduceIdenticalDistributions)
         for (std::size_t i = 0; i < no_plan.numBuckets(); ++i)
             EXPECT_EQ(no_plan.mass(i), with_plan.mass(i)) << "bucket " << i;
     }
-    // Three identical convolutions: the rhs spectrum is computed once.
+    // Three identical convolutions: the first computes (one rhs
+    // spectrum, one memoized result); the repeats replay the whole
+    // result without touching the spectrum cache.
     EXPECT_EQ(plan.stats().spectrumMisses, 1u);
-    EXPECT_EQ(plan.stats().spectrumHits, 2u);
+    EXPECT_EQ(plan.stats().spectrumHits, 0u);
+    EXPECT_EQ(plan.stats().resultMisses, 1u);
+    EXPECT_EQ(plan.stats().resultHits, 2u);
 }
 
 TEST(ConvolutionPlan, ChainReusesMixingSpectrumAcrossSteps)
@@ -235,13 +240,21 @@ TEST(ConvolutionPlan, ChainReusesMixingSpectrumAcrossSteps)
     for (int i = 0; i < 8; ++i)
         cur = cur.convolveWith(s, opts, &plan);
     const auto first = plan.stats();
+    // First pass: every step is new work — the common bucket width
+    // grows along the chain, so each step transforms the mixing
+    // distribution at fresh geometry and memoizes its result.
+    EXPECT_EQ(first.resultMisses, 8u);
+    EXPECT_EQ(first.resultHits, 0u);
 
-    // Re-running the same chain hits the cache on every step.
+    // Re-running the same chain replays every step from the result
+    // cache without recomputing any transforms.
     cur = s0;
     for (int i = 0; i < 8; ++i)
         cur = cur.convolveWith(s, opts, &plan);
     EXPECT_EQ(plan.stats().spectrumMisses, first.spectrumMisses);
-    EXPECT_EQ(plan.stats().spectrumHits, first.spectrumHits + 8);
+    EXPECT_EQ(plan.stats().spectrumHits, first.spectrumHits);
+    EXPECT_EQ(plan.stats().resultMisses, first.resultMisses);
+    EXPECT_EQ(plan.stats().resultHits, first.resultHits + 8);
 }
 
 TEST(ConvolutionPlan, TableBuildIdenticalWithSharedPlanAcrossBuilds)
@@ -327,6 +340,117 @@ TEST(ConvolutionPlan, ConcurrentTableBuildsMatchSerial)
     }
     for (int t = 0; t < kThreads; ++t)
         EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+}
+
+// ---------------------------------------------------------------------------
+// SIMD dispatch pins: everything the vector kernels touch must be
+// bitwise identical to the forced-scalar reference. On hosts without a
+// vector unit the dispatched mode resolves to Scalar and these compare
+// scalar against itself — still a valid (if vacuous) pin, so no skips.
+// ---------------------------------------------------------------------------
+
+/// Evaluate fn() under `mode`, restoring the previous mode after.
+template <typename Fn>
+auto
+underSimdMode(SimdMode mode, Fn &&fn)
+{
+    const SimdMode prev = activeSimdMode();
+    EXPECT_TRUE(setSimdMode(mode));
+    auto result = fn();
+    EXPECT_TRUE(setSimdMode(prev));
+    return result;
+}
+
+TEST(SimdDispatch, FftBitwiseMatchesScalarAllSizes)
+{
+    for (std::size_t n : {std::size_t{2}, std::size_t{8}, std::size_t{64},
+                          std::size_t{256}, std::size_t{1024},
+                          std::size_t{4096}}) {
+        const auto data = randomComplex(n, 500 + n);
+        for (bool invert : {false, true}) {
+            auto run = [&] {
+                auto d = data;
+                FftPlan::forSize(n).run(d, invert);
+                return d;
+            };
+            const auto scalar = underSimdMode(SimdMode::Scalar, run);
+            const auto dispatched = underSimdMode(SimdMode::Auto, run);
+            EXPECT_TRUE(bitwiseEqual(scalar, dispatched))
+                << "size " << n << " invert " << invert << " mode "
+                << simdModeName(activeSimdMode());
+        }
+    }
+}
+
+TEST(SimdDispatch, ConvolvePlannedBitwiseMatchesScalar)
+{
+    const std::pair<std::size_t, std::size_t> shapes[] = {
+        {1, 1}, {2, 2}, {3, 5}, {128, 128}, {128, 37},
+        {100, 29}, {4096, 4096}, {4096, 3}};
+    for (const auto &[na, nb] : shapes) {
+        const auto a = randomReal(na, na * 3 + 21);
+        const auto b = randomReal(nb, nb * 5 + 22);
+        auto run = [&] {
+            // Fresh scratch per mode: spectra cached under one mode must
+            // not leak into the other run.
+            FftScratch scratch;
+            std::vector<double> out;
+            fftConvolvePlanned(a, b, scratch, out);
+            return out;
+        };
+        const auto scalar = underSimdMode(SimdMode::Scalar, run);
+        const auto dispatched = underSimdMode(SimdMode::Auto, run);
+        EXPECT_TRUE(bitwiseEqual(scalar, dispatched))
+            << "sizes " << na << "x" << nb;
+    }
+}
+
+TEST(SimdDispatch, DistributionConvolveAndQuantilesMatchScalar)
+{
+    // End-to-end through DiscreteDistribution: convolution (clamp,
+    // edge-split, normalize, rebin kernels) and the CDF quantile scans
+    // (countBelow kernel) that the tail-table build leans on.
+    const auto a = lognormalDist(13.0, 0.3, 21);
+    const auto b = lognormalDist(13.0, 0.4, 22);
+    auto run = [&] {
+        ConvolutionPlan plan;
+        ConvolveOptions opts;
+        const auto c = a.convolveWith(b, opts, &plan);
+        std::vector<double> out;
+        out.reserve(c.numBuckets() + 4);
+        for (std::size_t i = 0; i < c.numBuckets(); ++i)
+            out.push_back(c.mass(i));
+        for (double q : {0.5, 0.9, 0.95, 0.99})
+            out.push_back(c.quantileUpper(q));
+        return out;
+    };
+    const auto scalar = underSimdMode(SimdMode::Scalar, run);
+    const auto dispatched = underSimdMode(SimdMode::Auto, run);
+    EXPECT_TRUE(bitwiseEqual(scalar, dispatched));
+}
+
+TEST(SimdDispatch, TableBuildBitwiseMatchesScalar)
+{
+    const auto compute = lognormalDist(13.0, 0.3, 23);
+    const auto memory = lognormalDist(-9.0, 0.3, 24);
+    TailTableConfig cfg;
+    cfg.rows = 4;
+    cfg.positions = 8;
+    auto run = [&] {
+        ConvolutionPlan plan;
+        const auto t = TargetTailTable::build(compute, memory, cfg, &plan);
+        std::vector<double> out;
+        for (std::size_t r = 0; r < cfg.rows; ++r) {
+            for (std::size_t i = 0; i < cfg.positions + 4; ++i) {
+                out.push_back(t.tailCycles(r, i));
+                out.push_back(t.tailMemTime(r, i));
+            }
+        }
+        return out;
+    };
+    const auto scalar = underSimdMode(SimdMode::Scalar, run);
+    const auto dispatched = underSimdMode(SimdMode::Auto, run);
+    EXPECT_TRUE(bitwiseEqual(scalar, dispatched));
 }
 
 } // namespace

@@ -143,7 +143,7 @@ TEST(RubikIntegration, WarmupRunsAtMaxFrequency)
     r.arrivalTime = 0.0;
     r.computeCycles = 1e6;
     core.enqueue(r);
-    EXPECT_DOUBLE_EQ(rubik.selectFrequency(core), b.dvfs.maxFrequency());
+    EXPECT_DOUBLE_EQ(rubik.selectFrequency(core.view()), b.dvfs.maxFrequency());
 }
 
 TEST(RubikIntegration, AdaptsToLoadStepWithinWindow)

@@ -1,0 +1,518 @@
+/**
+ * @file
+ * Bitwise equivalence of the structure-of-arrays CoreEngine against a
+ * reference per-request-object engine.
+ *
+ * The SoA engine (sim/core_engine.h) replaced an engine that kept the
+ * in-service request in an optional<Request> and the queue in a deque,
+ * and computed power through PowerModel calls on every event. The
+ * rewrite memoizes per-frequency power factors and the remaining
+ * service time, and the header documents the contract that every
+ * accumulated statistic and completion record is *bitwise* unchanged:
+ * the memoized factors multiply and add the same values in the same
+ * order as the original expressions. This suite enforces that contract
+ * by re-implementing the original engine verbatim (ReferenceEngine
+ * below) and driving both through identical event sequences.
+ *
+ * Any intentional change to the engine's arithmetic must update both
+ * implementations — that is the point: it makes numerical drift in the
+ * hot path a deliberate, reviewed decision instead of an accident.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rubik_controller.h"
+#include "sim/core_engine.h"
+#include "sim/policy.h"
+#include "sim/simulation.h"
+#include "workloads/apps.h"
+#include "workloads/trace_gen.h"
+
+namespace rubik {
+namespace {
+
+constexpr double kTimeEps = 1e-12;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// The pre-SoA request: admission data plus engine-managed runtime state.
+struct RefRequest
+{
+    uint64_t id = 0;
+    double arrivalTime = 0.0;
+    double computeCycles = 0.0;
+    double memoryTime = 0.0;
+    int classHint = -1;
+    double remainingCycles = 0.0;
+    double remainingMemTime = 0.0;
+    double startTime = -1.0;
+    int queueLenAtArrival = 0;
+};
+
+/**
+ * Verbatim re-implementation of the original pointer-heavy engine:
+ * optional running slot, deque queue, PowerModel calls in the event
+ * path. Kept deliberately naive — it is the semantic spec.
+ */
+class ReferenceEngine
+{
+  public:
+    ReferenceEngine(const DvfsModel &dvfs, const PowerModel &power,
+                    const CoreEngineConfig &config)
+        : dvfs_(dvfs), power_(power), config_(config)
+    {
+        freq_ = config.initialFrequency > 0.0 ? config.initialFrequency
+                                              : dvfs.nominalFrequency();
+        pendingFreq_ = freq_;
+        stats_.freqResidency.assign(dvfs.numFrequencies(), 0.0);
+    }
+
+    double now() const { return now_; }
+    bool busy() const { return running_.has_value(); }
+    double currentFrequency() const { return freq_; }
+    const CoreStats &stats() const { return stats_; }
+
+    double targetFrequency() const
+    {
+        return inTransition() ? pendingFreq_ : freq_;
+    }
+
+    bool inTransition() const { return transitionEnd_ > now_ + kTimeEps; }
+
+    double elapsedCycles() const
+    {
+        if (!running_)
+            return 0.0;
+        return running_->computeCycles - running_->remainingCycles;
+    }
+
+    /// Materialize the policy snapshot the SoA engine serves zero-copy.
+    CoreView view() const
+    {
+        scratchArrivals_.clear();
+        scratchHints_.clear();
+        if (running_) {
+            scratchArrivals_.push_back(running_->arrivalTime);
+            scratchHints_.push_back(running_->classHint);
+        }
+        for (const RefRequest &r : queue_) {
+            scratchArrivals_.push_back(r.arrivalTime);
+            scratchHints_.push_back(r.classHint);
+        }
+        CoreView v;
+        v.now = now_;
+        v.frequency = freq_;
+        v.elapsedCycles = elapsedCycles();
+        v.busy = busy();
+        v.count = scratchArrivals_.size();
+        v.arrivals = scratchArrivals_.data();
+        v.classHints = scratchHints_.data();
+        v.dvfs = &dvfs_;
+        v.power = &power_;
+        return v;
+    }
+
+    void enqueue(const Request &request)
+    {
+        RefRequest r;
+        r.id = request.id;
+        r.arrivalTime = request.arrivalTime;
+        r.computeCycles = request.computeCycles;
+        r.memoryTime = request.memoryTime;
+        r.classHint = request.classHint;
+        r.remainingCycles = request.computeCycles;
+        r.remainingMemTime = request.memoryTime;
+        r.queueLenAtArrival =
+            static_cast<int>(queue_.size()) + (busy() ? 1 : 0);
+
+        if (busy()) {
+            queue_.push_back(r);
+            return;
+        }
+        const double idle_span = now_ - idleStart_;
+        const bool slept = idle_span > power_.params().c3EntryThreshold;
+        queue_.push_back(r);
+        dispatchNext();
+        if (slept)
+            wakeRemaining_ = config_.wakeLatency;
+    }
+
+    double nextEventTime() const
+    {
+        double next = kInf;
+        if (inTransition())
+            next = std::min(next, transitionEnd_);
+        if (busy()) {
+            const bool stalled =
+                inTransition() &&
+                config_.transitionMode == TransitionMode::Stalled;
+            if (!stalled)
+                next =
+                    std::min(next, now_ + remainingServiceTime(freq_));
+        }
+        return next;
+    }
+
+    void advanceTo(double t)
+    {
+        double dt = t - now_;
+        if (dt <= 0.0) {
+            now_ = std::max(now_, t);
+            return;
+        }
+        if (!busy()) {
+            accountIdle(now_, t);
+            now_ = t;
+            return;
+        }
+        const bool stalled =
+            inTransition() &&
+            config_.transitionMode == TransitionMode::Stalled;
+        if (stalled) {
+            const double p = power_.coreStaticPower(freq_);
+            stats_.energy.coreActive += p * dt;
+            runningEnergy_ += p * dt;
+            stats_.busyTime += dt;
+            now_ = t;
+            return;
+        }
+        if (wakeRemaining_ > 0.0) {
+            const double wake_dt = std::min(dt, wakeRemaining_);
+            const double p = power_.coreActivePower(freq_, 1.0);
+            stats_.energy.coreActive += p * wake_dt;
+            runningEnergy_ += p * wake_dt;
+            stats_.busyTime += wake_dt;
+            wakeRemaining_ -= wake_dt;
+            dt -= wake_dt;
+            if (dt <= 0.0) {
+                now_ = t;
+                return;
+            }
+        }
+        const double service_left = running_->remainingCycles / freq_ +
+                                    running_->remainingMemTime;
+        double alpha;
+        if (service_left <= kTimeEps) {
+            alpha = 1.0;
+        } else {
+            alpha = std::min(1.0, dt / service_left);
+        }
+        const double stall_frac =
+            service_left > 0.0 ? running_->remainingMemTime / service_left
+                               : 0.0;
+
+        const double p = power_.coreActivePower(freq_, stall_frac);
+        stats_.energy.coreActive += p * dt;
+        runningEnergy_ += p * dt;
+        stats_.busyTime += dt;
+        stats_.stallTime += stall_frac * dt;
+        stats_.freqResidency[dvfs_.indexOf(freq_)] += dt;
+
+        running_->remainingCycles *= (1.0 - alpha);
+        running_->remainingMemTime *= (1.0 - alpha);
+        now_ = t;
+    }
+
+    std::optional<CompletedRequest> processEvents()
+    {
+        if (transitionEnd_ >= 0.0 && transitionEnd_ <= now_ + kTimeEps) {
+            transitionEnd_ = -1.0;
+            if (pendingFreq_ != freq_) {
+                freq_ = pendingFreq_;
+                ++stats_.numTransitions;
+            }
+        }
+        if (busy() && remainingServiceTime(freq_) <= kTimeEps) {
+            CompletedRequest done;
+            done.id = running_->id;
+            done.arrivalTime = running_->arrivalTime;
+            done.startTime = running_->startTime;
+            done.completionTime = now_;
+            done.computeCycles = running_->computeCycles;
+            done.memoryTime = running_->memoryTime;
+            done.coreEnergy = runningEnergy_;
+            done.queueLenAtArrival = running_->queueLenAtArrival;
+            done.classHint = running_->classHint;
+
+            running_.reset();
+            runningEnergy_ = 0.0;
+            if (!queue_.empty())
+                dispatchNext();
+            else
+                idleStart_ = now_;
+            return done;
+        }
+        return std::nullopt;
+    }
+
+    void requestFrequency(double freq)
+    {
+        if (std::abs(freq - targetFrequency()) < 1.0)
+            return;
+        const double latency = dvfs_.transitionLatency();
+        if (latency <= 0.0) {
+            freq_ = freq;
+            pendingFreq_ = freq;
+            transitionEnd_ = -1.0;
+            ++stats_.numTransitions;
+            return;
+        }
+        pendingFreq_ = freq;
+        transitionEnd_ = now_ + latency;
+    }
+
+  private:
+    double remainingServiceTime(double freq) const
+    {
+        if (!running_)
+            return kInf;
+        return wakeRemaining_ + running_->remainingCycles / freq +
+               running_->remainingMemTime;
+    }
+
+    void dispatchNext()
+    {
+        running_ = queue_.front();
+        queue_.pop_front();
+        running_->startTime = now_;
+        runningEnergy_ = 0.0;
+        wakeRemaining_ = 0.0;
+    }
+
+    void accountIdle(double t0, double t1)
+    {
+        const double c3_at =
+            idleStart_ + power_.params().c3EntryThreshold;
+        const double c1_end = std::clamp(c3_at, t0, t1);
+        const double c1_dt = c1_end - t0;
+        const double c3_dt = t1 - c1_end;
+        if (c1_dt > 0.0) {
+            stats_.energy.coreIdle +=
+                power_.corePower(CoreState::IdleC1, freq_) * c1_dt;
+            stats_.idleTime += c1_dt;
+        }
+        if (c3_dt > 0.0) {
+            stats_.energy.coreSleep +=
+                power_.corePower(CoreState::SleepC3, freq_) * c3_dt;
+            stats_.sleepTime += c3_dt;
+        }
+    }
+
+    const DvfsModel &dvfs_;
+    const PowerModel &power_;
+    CoreEngineConfig config_;
+
+    double now_ = 0.0;
+    double freq_ = 0.0;
+    double pendingFreq_ = 0.0;
+    double transitionEnd_ = -1.0;
+
+    std::optional<RefRequest> running_;
+    std::deque<RefRequest> queue_;
+
+    double runningEnergy_ = 0.0;
+    double wakeRemaining_ = 0.0;
+    double idleStart_ = 0.0;
+
+    mutable std::vector<double> scratchArrivals_;
+    mutable std::vector<int> scratchHints_;
+
+    CoreStats stats_;
+};
+
+/// The simulate() event loop over either engine type.
+template <class Engine>
+std::pair<CoreStats, std::vector<CompletedRequest>>
+drive(const Trace &trace, DvfsPolicy &policy, const DvfsModel &dvfs,
+      const PowerModel &power, const CoreEngineConfig &ecfg)
+{
+    Engine core(dvfs, power, ecfg);
+    policy.reset();
+    std::vector<CompletedRequest> completed;
+    completed.reserve(trace.size());
+
+    std::size_t next_arrival = 0;
+    uint64_t next_id = 0;
+    while (next_arrival < trace.size() || core.busy()) {
+        const double t_arrival = next_arrival < trace.size()
+                                     ? trace[next_arrival].arrivalTime
+                                     : DvfsPolicy::kNever;
+        const double t_engine = core.nextEventTime();
+        const double t_policy = policy.nextPeriodicUpdate();
+        const double t_next = std::min({t_arrival, t_engine, t_policy});
+
+        core.advanceTo(t_next);
+        bool consult = false;
+        if (t_engine <= t_next + 1e-12) {
+            auto done = core.processEvents();
+            if (done) {
+                policy.onCompletion(*done, core.view());
+                completed.push_back(*done);
+                consult = true;
+            }
+        }
+        while (next_arrival < trace.size() &&
+               trace[next_arrival].arrivalTime <= t_next + 1e-12) {
+            Request r;
+            r.id = next_id++;
+            r.arrivalTime = core.now();
+            r.computeCycles = trace[next_arrival].computeCycles;
+            r.memoryTime = trace[next_arrival].memoryTime;
+            r.classHint = trace[next_arrival].classHint;
+            core.enqueue(r);
+            ++next_arrival;
+            consult = true;
+        }
+        if (t_policy <= t_next + 1e-12) {
+            policy.periodicUpdate(core.view());
+            consult = true;
+        }
+        if (consult)
+            core.requestFrequency(policy.selectFrequency(core.view()));
+    }
+    return {core.stats(), std::move(completed)};
+}
+
+/// Bitwise comparison of everything both engines accumulate.
+void
+expectBitwiseEqual(const std::pair<CoreStats,
+                                   std::vector<CompletedRequest>> &ref,
+                   const std::pair<CoreStats,
+                                   std::vector<CompletedRequest>> &soa)
+{
+    const CoreStats &a = ref.first;
+    const CoreStats &b = soa.first;
+    EXPECT_EQ(a.busyTime, b.busyTime);
+    EXPECT_EQ(a.stallTime, b.stallTime);
+    EXPECT_EQ(a.idleTime, b.idleTime);
+    EXPECT_EQ(a.sleepTime, b.sleepTime);
+    EXPECT_EQ(a.numTransitions, b.numTransitions);
+    EXPECT_EQ(a.energy.coreActive, b.energy.coreActive);
+    EXPECT_EQ(a.energy.coreIdle, b.energy.coreIdle);
+    EXPECT_EQ(a.energy.coreSleep, b.energy.coreSleep);
+    ASSERT_EQ(a.freqResidency.size(), b.freqResidency.size());
+    for (std::size_t i = 0; i < a.freqResidency.size(); ++i)
+        EXPECT_EQ(a.freqResidency[i], b.freqResidency[i]);
+
+    ASSERT_EQ(ref.second.size(), soa.second.size());
+    for (std::size_t i = 0; i < ref.second.size(); ++i) {
+        const CompletedRequest &x = ref.second[i];
+        const CompletedRequest &y = soa.second[i];
+        EXPECT_EQ(x.id, y.id);
+        EXPECT_EQ(x.arrivalTime, y.arrivalTime);
+        EXPECT_EQ(x.startTime, y.startTime);
+        EXPECT_EQ(x.completionTime, y.completionTime);
+        EXPECT_EQ(x.computeCycles, y.computeCycles);
+        EXPECT_EQ(x.memoryTime, y.memoryTime);
+        EXPECT_EQ(x.coreEnergy, y.coreEnergy);
+        EXPECT_EQ(x.queueLenAtArrival, y.queueLenAtArrival);
+        EXPECT_EQ(x.classHint, y.classHint);
+        EXPECT_EQ(x.latency(), y.latency());
+    }
+}
+
+void
+compareOnTrace(const Trace &trace, const DvfsModel &dvfs,
+               const PowerModel &pm, const CoreEngineConfig &ecfg,
+               double fixed_freq)
+{
+    FixedFrequencyPolicy ref_policy(fixed_freq);
+    FixedFrequencyPolicy soa_policy(fixed_freq);
+    auto ref = drive<ReferenceEngine>(trace, ref_policy, dvfs, pm, ecfg);
+    auto soa = drive<CoreEngine>(trace, soa_policy, dvfs, pm, ecfg);
+    expectBitwiseEqual(ref, soa);
+}
+
+TEST(SoaEquivalence, FixedPolicyAcrossLoadsAppsSeeds)
+{
+    const DvfsModel dvfs = DvfsModel::haswell();
+    const PowerModel pm(dvfs);
+    for (AppId id : {AppId::Masstree, AppId::Xapian}) {
+        const AppProfile app = makeApp(id);
+        for (double load : {0.2, 0.5, 0.9}) {
+            for (uint64_t seed : {7u, 19u}) {
+                const Trace trace = generateLoadTrace(
+                    app, load, 400, dvfs.nominalFrequency(), seed);
+                compareOnTrace(trace, dvfs, pm, CoreEngineConfig(),
+                               dvfs.nominalFrequency());
+            }
+        }
+    }
+}
+
+TEST(SoaEquivalence, EdgeTraces)
+{
+    const DvfsModel dvfs = DvfsModel::haswell();
+    const PowerModel pm(dvfs);
+    const double f = dvfs.nominalFrequency();
+
+    // Zero-work requests, coincident arrivals, bursts into an idle
+    // core, and a long gap that crosses the C3 threshold — the shapes
+    // edge_test drives through the public simulate() API.
+    Trace trace;
+    trace.push_back({0.0, 0.0, 0.0, -1});        // zero service
+    trace.push_back({0.0, 1e5, 0.0, 0});         // coincident arrival
+    trace.push_back({0.0, 0.0, 1e-5, 1});        // memory-only
+    trace.push_back({1e-4, 1e6, 1e-4, -1});      // back to back
+    trace.push_back({5e-2, 1e5, 0.0, 2});        // after a long sleep gap
+    trace.push_back({5e-2 + 1e-9, 1e5, 1e-6, -1}); // near-tie arrival
+    compareOnTrace(trace, dvfs, pm, CoreEngineConfig(), f);
+
+    // Same shapes with a wake latency configured.
+    CoreEngineConfig wake;
+    wake.wakeLatency = 2e-5;
+    compareOnTrace(trace, dvfs, pm, wake, f);
+}
+
+TEST(SoaEquivalence, RubikPolicyEndToEnd)
+{
+    const DvfsModel dvfs = DvfsModel::haswell(/*transition_latency=*/10e-6);
+    const PowerModel pm(dvfs);
+    const AppProfile app = makeApp(AppId::Masstree);
+    const Trace trace =
+        generateLoadTrace(app, 0.6, 600, dvfs.nominalFrequency(), 11);
+    const double bound =
+        traceMeanServiceTime(trace, dvfs.nominalFrequency()) * 4.0;
+
+    for (TransitionMode mode :
+         {TransitionMode::OldFrequency, TransitionMode::Stalled}) {
+        CoreEngineConfig ecfg;
+        ecfg.transitionMode = mode;
+
+        RubikConfig cfg;
+        cfg.latencyBound = bound;
+        RubikController ref_policy(dvfs, cfg);
+        RubikController soa_policy(dvfs, cfg);
+        auto ref =
+            drive<ReferenceEngine>(trace, ref_policy, dvfs, pm, ecfg);
+        auto soa = drive<CoreEngine>(trace, soa_policy, dvfs, pm, ecfg);
+        expectBitwiseEqual(ref, soa);
+    }
+}
+
+TEST(SoaEquivalence, LaneCompactionPreservesState)
+{
+    // Enough same-instant arrivals to overflow the 64-slot initial
+    // lanes several times AND push the consumed prefix past the
+    // compaction threshold (4096) while the queue is still busy, so
+    // both growLanes() and compact() run; the ids, ordering, and
+    // queueLenAtArrival accounting must match the deque reference.
+    const DvfsModel dvfs = DvfsModel::haswell();
+    const PowerModel pm(dvfs);
+    Trace trace;
+    for (int i = 0; i < 5000; ++i)
+        trace.push_back({0.0, 2e4, 1e-7, i % 3});
+    compareOnTrace(trace, dvfs, pm, CoreEngineConfig(),
+                   dvfs.nominalFrequency());
+}
+
+} // namespace
+} // namespace rubik

@@ -66,6 +66,7 @@
 #include "policies/replay.h"
 #include "runner/backend.h"
 #include "runner/experiment_runner.h"
+#include "runner/options_parser.h"
 #include "runner/sweep_runner.h"
 #include "runner/sweep_spec.h"
 #include "util/error.h"
@@ -91,6 +92,7 @@ struct CliOptions
     bool json = false;
     bool bursty = false;
     int jobs = 0;               ///< Sweep workers; 0: hardware default.
+    SimOptions sim;             ///< PolicyRunRequest::options source.
 };
 
 [[noreturn]] void
@@ -112,6 +114,10 @@ usage(const char *argv0)
         "  --transition-us US DVFS transition latency (default 4)\n"
         "  --bursty           MMPP-2 arrivals instead of Poisson\n"
         "  --seed S           RNG seed (default 42)\n"
+        "  --simd MODE        auto|scalar|avx2|neon kernel dispatch "
+        "(default auto;\n"
+        "                     also --simd=MODE; every mode is bitwise-"
+        "identical)\n"
         "  --csv              machine-readable output\n"
         "  --json             JSON array output (one object per load)\n"
         "subcommands:\n"
@@ -119,7 +125,7 @@ usage(const char *argv0)
         "       [--backend local|subprocess|command:<tmpl>] "
         "[--shards N]\n"
         "       [--retries N] [--trace-cache DIR] [--cache-cap SIZE]\n"
-        "       [--trace-stats] [--dry-run]\n"
+        "       [--trace-stats] [--dry-run] [--simd MODE]\n"
         "                     run a sweep-spec grid (or one shard) as "
         "CSV on stdout;\n"
         "                     non-local backends dispatch N shard "
@@ -136,7 +142,8 @@ usage(const char *argv0)
         "[--surge-fraction F]\n"
         "       [--max-core-load F] [--load-quantum F] "
         "[--transition-us US]\n"
-        "       [--jobs N] [--shard I/N] [--csv | --json]\n"
+        "       [--jobs N] [--shard I/N] [--simd MODE] "
+        "[--csv | --json]\n"
         "                     sweep fleet size x global power budget "
         "under the\n"
         "                     cluster coordinator; budget-frac scales "
@@ -162,63 +169,57 @@ CliOptions
 parse(int argc, char **argv)
 {
     CliOptions o;
-    for (int i = 1; i < argc; ++i) {
-        auto need = [&](const char *flag) -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s needs a value\n", flag);
+    CommonRunOptions run;
+    run.requests = o.requests;
+    OptionsParser parser(argc, argv);
+    parser.value("--app", [&o](const char *v) { o.app = v; });
+    parser.value("--policy", [&o](const char *v) { o.policy = v; });
+    parser.value("--load",
+                 [&o](const char *v) { o.loads = {std::atof(v)}; });
+    parser.value("--loads", [&o](const char *v) {
+        o.loads.clear();
+        const std::string list = v;
+        std::size_t pos = 0;
+        while (pos < list.size()) {
+            std::size_t comma = list.find(',', pos);
+            if (comma == std::string::npos)
+                comma = list.size();
+            const std::string item = list.substr(pos, comma - pos);
+            const double load = std::atof(item.c_str());
+            if (load <= 0.0 || load >= 1.5) {
+                std::fprintf(stderr,
+                             "--loads: '%s' is not a load in "
+                             "(0, 1.5)\n",
+                             item.c_str());
                 std::exit(1);
             }
-            return argv[++i];
-        };
-        if (!std::strcmp(argv[i], "--app"))
-            o.app = need("--app");
-        else if (!std::strcmp(argv[i], "--policy"))
-            o.policy = need("--policy");
-        else if (!std::strcmp(argv[i], "--load"))
-            o.loads = {std::atof(need("--load"))};
-        else if (!std::strcmp(argv[i], "--loads")) {
-            o.loads.clear();
-            std::string list = need("--loads");
-            std::size_t pos = 0;
-            while (pos < list.size()) {
-                std::size_t comma = list.find(',', pos);
-                if (comma == std::string::npos)
-                    comma = list.size();
-                const std::string item = list.substr(pos, comma - pos);
-                const double load = std::atof(item.c_str());
-                if (load <= 0.0 || load >= 1.5) {
-                    std::fprintf(stderr,
-                                 "--loads: '%s' is not a load in "
-                                 "(0, 1.5)\n",
-                                 item.c_str());
-                    std::exit(1);
-                }
-                o.loads.push_back(load);
-                pos = comma + 1;
-            }
-            if (o.loads.empty()) {
-                std::fprintf(stderr, "--loads needs a comma list\n");
-                std::exit(1);
-            }
-        } else if (!std::strcmp(argv[i], "--jobs"))
-            o.jobs = std::atoi(need("--jobs"));
-        else if (!std::strcmp(argv[i], "--requests"))
-            o.requests = std::atoi(need("--requests"));
-        else if (!std::strcmp(argv[i], "--bound-ms"))
-            o.boundMs = std::atof(need("--bound-ms"));
-        else if (!std::strcmp(argv[i], "--transition-us"))
-            o.transitionUs = std::atof(need("--transition-us"));
-        else if (!std::strcmp(argv[i], "--seed"))
-            o.seed = static_cast<uint64_t>(std::atoll(need("--seed")));
-        else if (!std::strcmp(argv[i], "--csv"))
-            o.csv = true;
-        else if (!std::strcmp(argv[i], "--json"))
-            o.json = true;
-        else if (!std::strcmp(argv[i], "--bursty"))
-            o.bursty = true;
-        else
-            usage(argv[0]);
-    }
+            o.loads.push_back(load);
+            pos = comma + 1;
+        }
+        if (o.loads.empty()) {
+            std::fprintf(stderr, "--loads needs a comma list\n");
+            std::exit(1);
+        }
+    });
+    parser.value("--bound-ms",
+                 [&o](const char *v) { o.boundMs = std::atof(v); });
+    parser.value("--transition-us", [&o](const char *v) {
+        o.transitionUs = std::atof(v);
+    });
+    parser.flag("--csv", [&o] { o.csv = true; });
+    parser.flag("--json", [&o] { o.json = true; });
+    parser.flag("--bursty", [&o] { o.bursty = true; });
+    addRunFlags(parser, &run);
+    addSimdFlag(parser, &run);
+    parser.onUnknown([argv](const char *) { usage(argv[0]); });
+    parser.run();
+
+    o.requests = run.requests;
+    o.seed = run.seed;
+    o.jobs = run.jobs;
+    o.sim = run.sim;
+    if (run.simdGiven)
+        applySimdSelection(run);
     if (o.csv && o.json) {
         std::fprintf(stderr, "--csv and --json are mutually exclusive\n");
         std::exit(1);
@@ -242,54 +243,41 @@ sweepMain(int argc, char **argv)
     std::string spec_path;
     std::string backend_desc = "local";
     std::string trace_cache, cache_cap;
-    int shard = 0, num_shards = 1, jobs = 0;
+    int jobs = 0;
     int dispatch_shards = 1, retries = -1;
-    bool shard_given = false, dry_run = false, trace_stats = false;
-    for (int i = 2; i < argc; ++i) {
-        auto need = [&](const char *flag) -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s needs a value\n", flag);
-                std::exit(1);
-            }
-            return argv[++i];
-        };
-        if (!std::strcmp(argv[i], "--spec"))
-            spec_path = need("--spec");
-        else if (!std::strcmp(argv[i], "--shard")) {
-            if (!parseShardArg(need("--shard"), &shard, &num_shards)) {
-                std::fprintf(stderr,
-                             "--shard wants I/N with 0 <= I < N\n");
-                return 1;
-            }
-            shard_given = true;
-        } else if (!std::strcmp(argv[i], "--jobs"))
-            jobs = std::atoi(need("--jobs"));
-        else if (!std::strcmp(argv[i], "--backend"))
-            backend_desc = need("--backend");
-        else if (!std::strcmp(argv[i], "--shards"))
-            dispatch_shards = std::atoi(need("--shards"));
-        else if (!std::strcmp(argv[i], "--retries"))
-            retries = std::atoi(need("--retries"));
-        else if (!std::strcmp(argv[i], "--trace-cache"))
-            trace_cache = need("--trace-cache");
-        else if (!std::strcmp(argv[i], "--cache-cap"))
-            cache_cap = need("--cache-cap");
-        else if (!std::strcmp(argv[i], "--trace-stats"))
-            trace_stats = true;
-        else if (!std::strcmp(argv[i], "--dry-run"))
-            dry_run = true;
-        else {
-            // Not usage(): that exits 0 on stdout, which would let a
-            // typo'd flag corrupt a redirected shard CSV silently.
-            std::fprintf(stderr, "sweep: unknown flag %s\n", argv[i]);
-            return 1;
-        }
-    }
+    bool dry_run = false, trace_stats = false;
+    ShardOption shard;
+    CommonRunOptions run;
+    OptionsParser parser(argc, argv, 2);
+    parser.value("--spec", [&](const char *v) { spec_path = v; });
+    addShardFlag(parser, &shard);
+    parser.value("--jobs", [&](const char *v) { jobs = std::atoi(v); });
+    parser.value("--backend", [&](const char *v) { backend_desc = v; });
+    parser.value("--shards", [&](const char *v) {
+        dispatch_shards = std::atoi(v);
+    });
+    parser.value("--retries",
+                 [&](const char *v) { retries = std::atoi(v); });
+    parser.value("--trace-cache",
+                 [&](const char *v) { trace_cache = v; });
+    parser.value("--cache-cap", [&](const char *v) { cache_cap = v; });
+    parser.flag("--trace-stats", [&] { trace_stats = true; });
+    parser.flag("--dry-run", [&] { dry_run = true; });
+    addSimdFlag(parser, &run);
+    parser.onUnknown([](const char *token) {
+        // Not usage(): that exits 0 on stdout, which would let a
+        // typo'd flag corrupt a redirected shard CSV silently.
+        std::fprintf(stderr, "sweep: unknown flag %s\n", token);
+        std::exit(1);
+    });
+    parser.run();
+    if (run.simdGiven)
+        applySimdSelection(run);
     if (spec_path.empty()) {
         std::fprintf(stderr, "sweep needs --spec FILE\n");
         return 1;
     }
-    if (shard_given && (backend_desc != "local" || dispatch_shards > 1)) {
+    if (shard.given && (backend_desc != "local" || dispatch_shards > 1)) {
         // --shard selects one shard of someone else's dispatch;
         // --backend/--shards IS the dispatch. Mixing them is a
         // contradiction, not a composition.
@@ -303,7 +291,7 @@ sweepMain(int argc, char **argv)
         if (dry_run) {
             // Listing cells touches no traces: do not create (or even
             // require) the trace-cache directory as a side effect.
-            printSweepCells(spec, shard, num_shards, stdout);
+            printSweepCells(spec, shard.shard, shard.numShards, stdout);
             return 0;
         }
         if (!trace_cache.empty())
@@ -311,7 +299,7 @@ sweepMain(int argc, char **argv)
         if (!cache_cap.empty())
             globalTraceStore().setCacheCap(parseSizeBytes(cache_cap));
         if (backend_desc == "local" && dispatch_shards == 1) {
-            runSweep(spec, shard, num_shards, jobs, stdout);
+            runSweep(spec, shard.shard, shard.numShards, jobs, stdout);
         } else {
             BackendConfig cfg;
             cfg.numShards = dispatch_shards;
@@ -606,9 +594,11 @@ fleetMain(int argc, char **argv)
     std::vector<int> cores_list = {96};
     std::vector<double> fracs = {0.0};
     double budget_watts = 0.0;
-    int shard = 0, num_shards = 1, jobs = 0;
-    bool shard_given = false, csv = false, json = false;
+    int jobs = 0;
+    bool csv = false, json = false;
     bool fracs_given = false;
+    ShardOption shard;
+    CommonRunOptions run;
 
     auto parse_list = [](const std::string &list,
                          const std::function<void(const std::string &)>
@@ -622,82 +612,76 @@ fleetMain(int argc, char **argv)
             pos = comma + 1;
         }
     };
-    for (int i = 2; i < argc; ++i) {
-        auto need = [&](const char *flag) -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s needs a value\n", flag);
-                std::exit(1);
-            }
-            return argv[++i];
-        };
-        if (!std::strcmp(argv[i], "--app"))
-            base.app = need("--app");
-        else if (!std::strcmp(argv[i], "--policy"))
-            base.policy = need("--policy");
-        else if (!std::strcmp(argv[i], "--cores")) {
-            cores_list.clear();
-            parse_list(need("--cores"), [&](const std::string &s) {
-                cores_list.push_back(std::atoi(s.c_str()));
-            });
-        } else if (!std::strcmp(argv[i], "--budget-frac")) {
-            fracs.clear();
-            fracs_given = true;
-            parse_list(need("--budget-frac"), [&](const std::string &s) {
-                fracs.push_back(std::atof(s.c_str()));
-            });
-        } else if (!std::strcmp(argv[i], "--budget-watts"))
-            budget_watts = std::atof(need("--budget-watts"));
-        else if (!std::strcmp(argv[i], "--cores-per-machine"))
-            base.coresPerMachine = std::atoi(need("--cores-per-machine"));
-        else if (!std::strcmp(argv[i], "--epochs"))
-            base.epochs = std::atoi(need("--epochs"));
-        else if (!std::strcmp(argv[i], "--requests"))
-            base.requestsPerEpoch = std::atoi(need("--requests"));
-        else if (!std::strcmp(argv[i], "--bound-ms"))
-            base.boundMs = std::atof(need("--bound-ms"));
-        else if (!std::strcmp(argv[i], "--seed"))
-            base.seed =
-                static_cast<uint64_t>(std::atoll(need("--seed")));
-        else if (!std::strcmp(argv[i], "--base-load"))
-            base.loadModel.baseLoad = std::atof(need("--base-load"));
-        else if (!std::strcmp(argv[i], "--surge-factor"))
-            base.loadModel.surgeFactor =
-                std::atof(need("--surge-factor"));
-        else if (!std::strcmp(argv[i], "--surge-fraction"))
-            base.loadModel.surgeFraction =
-                std::atof(need("--surge-fraction"));
-        else if (!std::strcmp(argv[i], "--max-core-load"))
-            base.maxCoreLoad = std::atof(need("--max-core-load"));
-        else if (!std::strcmp(argv[i], "--load-quantum"))
-            base.loadQuantum = std::atof(need("--load-quantum"));
-        else if (!std::strcmp(argv[i], "--transition-us"))
-            base.transitionUs = std::atof(need("--transition-us"));
-        else if (!std::strcmp(argv[i], "--jobs"))
-            jobs = std::atoi(need("--jobs"));
-        else if (!std::strcmp(argv[i], "--shard")) {
-            if (!parseShardArg(need("--shard"), &shard, &num_shards)) {
-                std::fprintf(stderr,
-                             "--shard wants I/N with 0 <= I < N\n");
-                return 1;
-            }
-            shard_given = true;
-        } else if (!std::strcmp(argv[i], "--csv"))
-            csv = true;
-        else if (!std::strcmp(argv[i], "--json"))
-            json = true;
-        else {
-            // Not usage(): that exits 0 on stdout, which would let a
-            // typo'd flag corrupt a redirected shard CSV silently.
-            std::fprintf(stderr, "fleet: unknown flag %s\n", argv[i]);
-            return 1;
-        }
-    }
+    OptionsParser parser(argc, argv, 2);
+    parser.value("--app", [&](const char *v) { base.app = v; });
+    parser.value("--policy", [&](const char *v) { base.policy = v; });
+    parser.value("--cores", [&](const char *v) {
+        cores_list.clear();
+        parse_list(v, [&](const std::string &s) {
+            cores_list.push_back(std::atoi(s.c_str()));
+        });
+    });
+    parser.value("--budget-frac", [&](const char *v) {
+        fracs.clear();
+        fracs_given = true;
+        parse_list(v, [&](const std::string &s) {
+            fracs.push_back(std::atof(s.c_str()));
+        });
+    });
+    parser.value("--budget-watts", [&](const char *v) {
+        budget_watts = std::atof(v);
+    });
+    parser.value("--cores-per-machine", [&](const char *v) {
+        base.coresPerMachine = std::atoi(v);
+    });
+    parser.value("--epochs",
+                 [&](const char *v) { base.epochs = std::atoi(v); });
+    parser.value("--requests", [&](const char *v) {
+        base.requestsPerEpoch = std::atoi(v);
+    });
+    parser.value("--bound-ms",
+                 [&](const char *v) { base.boundMs = std::atof(v); });
+    parser.value("--seed", [&](const char *v) {
+        base.seed = static_cast<uint64_t>(std::atoll(v));
+    });
+    parser.value("--base-load", [&](const char *v) {
+        base.loadModel.baseLoad = std::atof(v);
+    });
+    parser.value("--surge-factor", [&](const char *v) {
+        base.loadModel.surgeFactor = std::atof(v);
+    });
+    parser.value("--surge-fraction", [&](const char *v) {
+        base.loadModel.surgeFraction = std::atof(v);
+    });
+    parser.value("--max-core-load", [&](const char *v) {
+        base.maxCoreLoad = std::atof(v);
+    });
+    parser.value("--load-quantum", [&](const char *v) {
+        base.loadQuantum = std::atof(v);
+    });
+    parser.value("--transition-us", [&](const char *v) {
+        base.transitionUs = std::atof(v);
+    });
+    parser.value("--jobs", [&](const char *v) { jobs = std::atoi(v); });
+    addShardFlag(parser, &shard);
+    addSimdFlag(parser, &run);
+    parser.flag("--csv", [&] { csv = true; });
+    parser.flag("--json", [&] { json = true; });
+    parser.onUnknown([](const char *token) {
+        // Not usage(): that exits 0 on stdout, which would let a
+        // typo'd flag corrupt a redirected shard CSV silently.
+        std::fprintf(stderr, "fleet: unknown flag %s\n", token);
+        std::exit(1);
+    });
+    parser.run();
+    if (run.simdGiven)
+        applySimdSelection(run);
     if (csv && json) {
         std::fprintf(stderr,
                      "--csv and --json are mutually exclusive\n");
         return 1;
     }
-    if (json && shard_given) {
+    if (json && shard.given) {
         // A JSON array cannot be concatenated from shard outputs.
         std::fprintf(stderr,
                      "fleet: --json cannot be combined with --shard "
@@ -758,8 +742,8 @@ fleetMain(int argc, char **argv)
 
     try {
         const ShardRange range =
-            shardRange(cells.size(), shard, num_shards);
-        if (csv && shard == 0) {
+            shardRange(cells.size(), shard.shard, shard.numShards);
+        if (csv && shard.shard == 0) {
             std::printf(
                 "app,policy,cores,budget_frac,budget_w,epoch,"
                 "offered_load,mean_load,shed_frac,tail_ms,"
@@ -932,6 +916,7 @@ main(int argc, char **argv)
         req.bound = bound;
         req.dvfs = &dvfs;
         req.power = &power;
+        req.options = o.sim;
         return runPolicy(o.policy, req);
     };
 
