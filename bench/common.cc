@@ -6,6 +6,7 @@
 #include <exception>
 
 #include "runner/backend.h"
+#include "runner/fault.h"
 #include "runner/options_parser.h"
 #include "workloads/cache_manager.h"
 #include "workloads/trace_store.h"
@@ -92,13 +93,14 @@ parseOptions(int argc, char **argv, bool allow_shard)
                  [&opts](const char *v) { opts.traceCache = v; });
     parser.value("--cache-cap",
                  [&opts](const char *v) { opts.cacheCap = v; });
+    parser.value("--fault", [&opts](const char *v) { opts.fault = v; });
     parser.flag("--help", [argv] {
         std::printf("usage: %s [--csv] [--fast] [--requests N] "
                     "[--seed S] [--jobs N] [--shard I/N] "
                     "[--simd auto|scalar|avx2|neon] "
                     "[--backend local|subprocess|command:<tmpl>] "
                     "[--shards N] [--trace-cache DIR] "
-                    "[--cache-cap SIZE]\n",
+                    "[--cache-cap SIZE] [--fault SPEC]\n",
                     argv[0]);
         std::exit(0);
     });
@@ -124,6 +126,19 @@ parseOptions(int argc, char **argv, bool allow_shard)
         // concatenate exactly.
         std::fprintf(stderr, "--shard requires --csv\n");
         std::exit(1);
+    }
+    if (!opts.fault.empty()) {
+        // Arm this process and export the spec so dispatched shard
+        // children inherit it (delay-trace-io is the useful kind
+        // here: it stretches the cache-contention window the per-key
+        // lock protects).
+        ::setenv("RUBIK_FAULT", opts.fault.c_str(), 1);
+        try {
+            rubik::FaultInjector::instance().configure(opts.fault);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "--fault: %s\n", e.what());
+            std::exit(1);
+        }
     }
     if (!opts.traceCache.empty()) {
         try {

@@ -35,6 +35,10 @@ struct Options
     int shards = 1;                ///< --shards: dispatch width.
     std::string traceCache;        ///< --trace-cache directory.
     std::string cacheCap;          ///< --cache-cap size (LRU cap).
+    /// --fault: deterministic fault-injection spec (runner/fault.h),
+    /// armed in this process and exported via RUBIK_FAULT so
+    /// dispatched shard children inherit it.
+    std::string fault;
     /// Simulation options for PolicyRunRequest::options; --simd lands
     /// in sim.numerics.simd and is applied process-wide by
     /// parseOptions when given (defaults leave RUBIK_SIMD in charge).

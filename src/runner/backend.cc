@@ -6,10 +6,10 @@
 #include <stdexcept>
 #include <utility>
 
-#include <sys/wait.h>
 #include <unistd.h>
 
 #include "runner/experiment_runner.h"
+#include "runner/subproc.h"
 #include "runner/sweep_runner.h"
 
 namespace rubik {
@@ -66,26 +66,6 @@ readFile(const std::string &path)
 }
 
 std::string
-describeWaitStatus(int rc)
-{
-    if (rc == -1)
-        return "could not spawn /bin/sh";
-    if (WIFEXITED(rc)) {
-        return "exited with status " +
-               std::to_string(WEXITSTATUS(rc));
-    }
-    if (WIFSIGNALED(rc))
-        return "killed by signal " + std::to_string(WTERMSIG(rc));
-    return "returned unknown wait status";
-}
-
-bool
-commandSucceeded(int rc)
-{
-    return rc != -1 && WIFEXITED(rc) && WEXITSTATUS(rc) == 0;
-}
-
-std::string
 stderrTail(const std::string &err_path)
 {
     std::string text = readFile(err_path);
@@ -113,6 +93,12 @@ std::string
 shardArg(int shard, int num_shards)
 {
     return std::to_string(shard) + "/" + std::to_string(num_shards);
+}
+
+std::string
+cellRangeArg(std::size_t begin, std::size_t end)
+{
+    return std::to_string(begin) + "-" + std::to_string(end);
 }
 
 /**
@@ -228,6 +214,16 @@ class SubprocessBackend final : public ExecutionBackend
             config_.maxAttempts, out);
     }
 
+    std::string cellsCommand(const std::string &spec_path,
+                             std::size_t begin, std::size_t end,
+                             int batch, int num_batches) const override
+    {
+        (void)batch;
+        (void)num_batches;
+        return joinQuoted(sweepChildArgv(config_, spec_path)) +
+               " --cells " + cellRangeArg(begin, end);
+    }
+
   private:
     std::string sweepCommand(const std::string &spec_path,
                              int shard) const
@@ -289,6 +285,24 @@ class CommandBackend final : public ExecutionBackend
             config_.numShards,
             [&](int i) { return instantiate(argv, i, nullptr); },
             config_.maxAttempts, out);
+    }
+
+    std::string cellsCommand(const std::string &spec_path,
+                             std::size_t begin, std::size_t end,
+                             int batch, int num_batches) const override
+    {
+        const std::string cells = cellRangeArg(begin, end);
+        std::map<std::string, std::string> fields = {
+            {"argv", joinQuoted(sweepChildArgv(config_, spec_path)) +
+                         " --cells " + cells},
+            {"cells", cells},
+            {"shard", shardArg(batch, num_batches)},
+            {"index", std::to_string(batch)},
+            {"nshards", std::to_string(num_batches)},
+            {"jobs", std::to_string(config_.jobs)},
+            {"spec", spec_path},
+        };
+        return instantiateCommandTemplate(template_, fields);
     }
 
   private:
@@ -421,23 +435,25 @@ runShardCommands(int num_shards,
             dir.path() + "/shard" + std::to_string(i) + ".err";
     }
 
-    // One dispatcher thread per shard: each blocks in system() while
-    // its child runs, so all shards are in flight simultaneously (the
-    // point of dispatching — children may live on other machines).
+    // One dispatcher thread per shard: each blocks on its child, so
+    // all shards are in flight simultaneously (the point of
+    // dispatching — children may live on other machines). Jobs report
+    // failure as a message instead of throwing so every shard runs to
+    // completion and every shard's stderr survives to the replay
+    // below; stdio redirection happens in the forked child (no
+    // subshell), so a signal-killed shard decodes as the signal.
     ExperimentRunner runner(num_shards);
-    std::vector<std::function<void()>> jobs;
+    std::vector<std::function<std::string()>> jobs;
     for (int i = 0; i < num_shards; ++i) {
         const Shard &shard = shards[i];
-        jobs.push_back([&shard, i, num_shards, max_attempts] {
-            // Subshell so templates with `;` redirect as a whole.
-            const std::string full = "( " + shard.command + " ) > " +
-                                     shellQuote(shard.csvPath) +
-                                     " 2> " +
-                                     shellQuote(shard.errPath);
+        jobs.push_back([&shard, i, num_shards,
+                        max_attempts]() -> std::string {
             for (int attempt = 1;; ++attempt) {
-                const int rc = std::system(full.c_str());
+                const pid_t pid = spawnShellCommand(
+                    shard.command, shard.csvPath, shard.errPath);
+                const int rc = waitCommand(pid);
                 if (commandSucceeded(rc))
-                    return;
+                    return "";
                 const std::string status = describeWaitStatus(rc);
                 if (attempt < max_attempts) {
                     std::fprintf(stderr,
@@ -455,25 +471,32 @@ runShardCommands(int num_shards,
                 const std::string err = stderrTail(shard.errPath);
                 if (!err.empty())
                     msg += "; stderr:\n" + err;
-                throw std::runtime_error(msg);
+                return msg;
             }
         });
     }
-    // Rethrows the lowest-indexed shard's failure after every child
-    // has finished; out is never touched on failure, so a failed
-    // shard cannot silently merge a partial CSV.
-    runner.runBatch(std::move(jobs));
+    const std::vector<std::string> failures =
+        runner.runBatch(std::move(jobs));
 
-    std::vector<std::string> csvs;
-    csvs.reserve(shards.size());
+    // Child diagnostics (trace-store stats, warnings, crash reports)
+    // surface on our stderr in deterministic shard order — success or
+    // not, so one failed shard cannot swallow its siblings' output.
     for (const Shard &shard : shards) {
-        // Child diagnostics (trace-store stats, warnings) surface on
-        // our stderr in deterministic shard order.
         const std::string err = readFile(shard.errPath);
         if (!err.empty())
             std::fwrite(err.data(), 1, err.size(), stderr);
-        csvs.push_back(readFile(shard.csvPath));
     }
+    // Lowest-indexed failure propagates; out is never touched on
+    // failure, so a failed shard cannot silently merge a partial CSV.
+    for (const std::string &failure : failures) {
+        if (!failure.empty())
+            throw std::runtime_error(failure);
+    }
+
+    std::vector<std::string> csvs;
+    csvs.reserve(shards.size());
+    for (const Shard &shard : shards)
+        csvs.push_back(readFile(shard.csvPath));
     const std::string merged = mergeCsvShards(csvs);
     if (!merged.empty() &&
         std::fwrite(merged.data(), 1, merged.size(), out) !=

@@ -44,10 +44,12 @@
  * CSV file and stderr captured for error reporting.
  */
 
+#include <cstddef>
 #include <cstdio>
 #include <functional>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -95,6 +97,29 @@ class ExecutionBackend
      */
     virtual void dispatchArgv(const std::vector<std::string> &argv,
                               std::FILE *out) = 0;
+
+    /**
+     * The shell command that runs cells [begin, end) of the spec at
+     * `spec_path` as one `sweep --cells` batch child — the unit the
+     * work-stealing orchestrator (runner/orchestrator.h) leases,
+     * re-dispatches, and steals. `batch`/`num_batches` fill a command
+     * template's {index}/{shard}/{nshards} placeholders. Throws for
+     * the local backend, which executes batches in-process.
+     */
+    virtual std::string cellsCommand(const std::string &spec_path,
+                                     std::size_t begin,
+                                     std::size_t end, int batch,
+                                     int num_batches) const
+    {
+        (void)spec_path;
+        (void)begin;
+        (void)end;
+        (void)batch;
+        (void)num_batches;
+        throw std::runtime_error(
+            std::string(name()) +
+            " backend does not dispatch cell batches");
+    }
 };
 
 /**
@@ -121,12 +146,15 @@ std::string selfExePath(const char *argv0);
  * Dispatch machinery shared by the non-local backends: run the shell
  * command `command_for(i)` for each shard with stdout captured as that
  * shard's CSV and stderr captured for diagnostics, retrying each shard
- * up to `max_attempts` times. When every shard has succeeded, child
- * stderr is replayed to this process's stderr and the shard CSVs are
- * merged in shard order into `out`. A shard that still fails after its
- * last attempt throws std::runtime_error naming the shard, the
- * command, the decoded exit status, and the captured stderr; nothing
- * is written to `out` in that case.
+ * up to `max_attempts` times. Whether the batch succeeds or not, every
+ * shard's captured stderr is replayed to this process's stderr in
+ * shard order once all shards have finished — a failure in one shard
+ * never swallows another shard's diagnostics. On success the shard
+ * CSVs are then merged in shard order into `out`; otherwise the
+ * lowest-indexed failure throws std::runtime_error naming the shard,
+ * the command, the decoded exit status (a signal-killed child reads
+ * "killed by signal N", not an exit code), and the captured stderr;
+ * nothing is written to `out` in that case.
  */
 void runShardCommands(int num_shards,
                       const std::function<std::string(int)> &command_for,

@@ -1,0 +1,103 @@
+#ifndef RUBIK_RUNNER_LEDGER_H
+#define RUBIK_RUNNER_LEDGER_H
+
+/**
+ * @file
+ * The completed-cell ledger: an append-only, checksummed, fsync'd
+ * journal of finished sweep cells, written next to the output CSV so
+ * `rubik_cli sweep --resume` can skip recomputation after a crash or
+ * SIGKILL and still reproduce the uninterrupted CSV byte for byte.
+ *
+ * Format (plain text, one fsync'd append per record):
+ *
+ *     # rubik sweep ledger v1 spec=<16-hex> cells=<N>
+ *     <index> <16-hex checksum> <csv row without newline>
+ *     ...
+ *
+ * The header pins the spec (fnv1a64 of SweepSpec::serialize()) and
+ * grid size, so resuming against a different spec fails loudly instead
+ * of splicing rows from two experiments. Each record's checksum covers
+ * "<index> <row>", so a torn tail (power cut, SIGKILL mid-append) or
+ * bit rot is detected at scan time: the scan keeps the longest valid
+ * prefix and reports how many bytes it dropped, and reopening for
+ * append truncates the file back to that prefix. Because every record
+ * was fsync'd before its cell was reported complete, the valid prefix
+ * is exactly the set of cells whose rows are durable — a resumed sweep
+ * recomputes only the rest.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "runner/sweep_spec.h"
+
+namespace rubik {
+
+/// The ledger's spec fingerprint: fnv1a64 over serialize().
+uint64_t sweepSpecHash(const SweepSpec &spec);
+
+/// What a ledger file scan found.
+struct LedgerScan
+{
+    bool exists = false;   ///< File was present.
+    bool headerOk = false; ///< Header line parsed (v1, both fields).
+    uint64_t specHash = 0;
+    std::size_t numCells = 0;
+    /// Valid records: cell index -> CSV row (no trailing newline).
+    std::map<std::size_t, std::string> rows;
+    /// Longest clean prefix; reopening truncates the file to this.
+    std::size_t validBytes = 0;
+    /// Bytes past the clean prefix (torn or corrupt tail).
+    std::size_t droppedBytes = 0;
+};
+
+/// Parse `path` (missing file: exists=false). Never throws on corrupt
+/// content — corruption just shortens the valid prefix.
+LedgerScan scanLedger(const std::string &path);
+
+/**
+ * Append-side handle. open() creates the file (fresh header) or, in
+ * resume mode, truncates an existing one to its scanned valid prefix
+ * and appends after it. Every append is written and fsync'd before
+ * returning, so a record the caller saw succeed survives any
+ * subsequent kill. Injected ledger faults (runner/fault.h
+ * kill-mid-write / corrupt-ledger-tail) fire inside append().
+ */
+class SweepLedger
+{
+  public:
+    SweepLedger() = default;
+    ~SweepLedger();
+
+    SweepLedger(const SweepLedger &) = delete;
+    SweepLedger &operator=(const SweepLedger &) = delete;
+
+    /**
+     * Open `path` for `spec`. With resume=false any existing file is
+     * replaced. With resume=true an existing, header-valid file is
+     * continued (throws std::runtime_error on a spec-hash or cell
+     * count mismatch); a corrupt header is replaced with a warning
+     * (recomputing is always safe). `scan_out`, when non-null,
+     * receives the pre-open scan so the caller knows which cells are
+     * already done. Throws on IO failure.
+     */
+    void open(const std::string &path, const SweepSpec &spec,
+              bool resume, LedgerScan *scan_out = nullptr);
+
+    /// Durably record one completed cell. Throws on IO failure.
+    void append(std::size_t index, const std::string &row);
+
+    void close();
+
+    bool isOpen() const { return fd_ >= 0; }
+
+  private:
+    int fd_ = -1;
+    std::string path_;
+};
+
+} // namespace rubik
+
+#endif // RUBIK_RUNNER_LEDGER_H

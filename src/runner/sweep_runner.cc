@@ -16,6 +16,7 @@
 #include "policies/replay.h"
 #include "policies/static_oracle.h"
 #include "runner/experiment_runner.h"
+#include "runner/fault.h"
 #include "sim/simulation.h"
 #include "util/units.h"
 #include "workloads/apps.h"
@@ -235,10 +236,14 @@ sweepCsvRow(const SweepCell &cell, double bound,
 }
 
 void
-runSweep(const SweepSpec &spec, int shard, int num_shards, int jobs,
-         std::FILE *out)
+sweepCellRows(
+    const SweepSpec &spec, std::size_t begin, std::size_t end,
+    int jobs,
+    const std::function<void(std::size_t, const std::string &)> &sink)
 {
     spec.validate();
+    if (begin > end || end > spec.numCells())
+        throw std::runtime_error("sweep cell range outside the grid");
     std::map<std::string, AppProfile> apps;
     for (const auto &name : spec.apps)
         apps.emplace(name, appByNameOrThrow(name));
@@ -246,8 +251,10 @@ runSweep(const SweepSpec &spec, int shard, int num_shards, int jobs,
         if (!isKnownPolicy(policy))
             throw std::runtime_error("unknown policy: " + policy);
     }
-    const ShardRange range =
-        shardRange(spec.numCells(), shard, num_shards);
+    // Resolve seeded fault targets (cell=~S) now that the grid size
+    // is known; inactive injectors make this (and every hook) a no-op.
+    FaultInjector::instance().armCellCount(spec.numCells());
+    const ShardRange range{begin, end};
 
     const DvfsModel dvfs = DvfsModel::haswell(spec.transitionUs * kUs);
     const PowerModel power(dvfs);
@@ -359,11 +366,56 @@ runSweep(const SweepSpec &spec, int shard, int num_shards, int jobs,
     }
     const std::vector<Row> rows = runner.runBatch(std::move(cell_jobs));
 
-    if (shard == 0)
-        std::fprintf(out, "%s\n", sweepCsvHeader());
-    for (const Row &row : rows)
-        std::fputs(sweepCsvRow(row.cell, row.bound, row.outcome).c_str(),
-                   out);
+    for (const Row &row : rows) {
+        // Crash/hang faults fire here, before the row is delivered —
+        // a killed process has durably recorded (ledger) or emitted
+        // (CSV) exactly the cells before the fault point.
+        FaultInjector::instance().onCellEmit(row.cell.index);
+        sink(row.cell.index,
+             sweepCsvRow(row.cell, row.bound, row.outcome));
+    }
+}
+
+void
+runSweep(const SweepSpec &spec, int shard, int num_shards, int jobs,
+         std::FILE *out)
+{
+    spec.validate();
+    const ShardRange range =
+        shardRange(spec.numCells(), shard, num_shards);
+    // Buffer the shard text so `out` stays untouched when a cell
+    // throws (a failed shard must never emit a partial CSV).
+    std::string text;
+    if (shard == 0) {
+        text += sweepCsvHeader();
+        text += '\n';
+    }
+    sweepCellRows(spec, range.begin, range.end, jobs,
+                  [&text](std::size_t, const std::string &row) {
+                      text += row;
+                  });
+    if (!text.empty() &&
+        std::fwrite(text.data(), 1, text.size(), out) != text.size())
+        throw std::runtime_error("sweep: short write of shard CSV");
+}
+
+void
+runSweepCells(const SweepSpec &spec, std::size_t begin,
+              std::size_t end, int jobs, std::FILE *out)
+{
+    std::string text;
+    sweepCellRows(spec, begin, end, jobs,
+                  [&text](std::size_t, const std::string &row) {
+                      text += row;
+                  });
+    if (!text.empty() &&
+        std::fwrite(text.data(), 1, text.size(), out) != text.size())
+        throw std::runtime_error("sweep: short write of cell batch");
+    std::fflush(out);
+    // corrupt-csv-tail fires here: truncate our own finished output
+    // and exit 0, the silent-corruption case the batch coordinator's
+    // row validation has to catch.
+    FaultInjector::instance().onBatchEnd(out);
 }
 
 void

@@ -18,7 +18,9 @@
  * rubik_cli so the CLI's one-shot mode and sweep cells cannot drift.
  */
 
+#include <cstddef>
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -104,16 +106,42 @@ std::string sweepCsvRow(const SweepCell &cell, double bound,
                         const PolicyOutcome &outcome);
 
 /**
+ * Execute cells [begin, end) of the spec's grid on `jobs` workers
+ * (0 = hardware default), delivering each cell's finished CSV row to
+ * `sink(index, row)` in strictly increasing index order (rows carry
+ * their trailing newline). This is the one execution core every sweep
+ * entry point — runSweep shards, `--cells` batch children, and the
+ * orchestrator's in-process path — shares, so their bytes cannot
+ * drift. The fault-injection hook (runner/fault.h) fires per cell in
+ * the emission loop, before the row reaches the sink. Throws
+ * std::runtime_error on an invalid spec, unknown app or policy, or a
+ * range outside the grid.
+ */
+void sweepCellRows(
+    const SweepSpec &spec, std::size_t begin, std::size_t end,
+    int jobs,
+    const std::function<void(std::size_t, const std::string &)>
+        &sink);
+
+/**
  * Execute shard `shard` of `num_shards` of the spec's grid on `jobs`
  * workers (0 = hardware default) and write CSV to `out`. The header is
  * emitted only by shard 0 (header-once); rows follow cell-index order.
  * Traces come from globalTraceStore(), so an enabled --trace-cache is
  * shared with every other shard process on the machine. Throws
  * std::runtime_error on an invalid spec, unknown app or policy, or an
- * out-of-range shard.
+ * out-of-range shard; nothing is written to `out` in that case.
  */
 void runSweep(const SweepSpec &spec, int shard, int num_shards,
               int jobs, std::FILE *out);
+
+/**
+ * Rows-only execution of cells [begin, end) for `rubik_cli sweep
+ * --cells B-E` — the unit a dynamic scheduler leases out. Never emits
+ * the CSV header: the coordinator that merges batches owns it.
+ */
+void runSweepCells(const SweepSpec &spec, std::size_t begin,
+                   std::size_t end, int jobs, std::FILE *out);
 
 /**
  * List shard `shard`/`num_shards`'s cells without running anything:

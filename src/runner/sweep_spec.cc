@@ -297,6 +297,30 @@ parseShardArg(const std::string &text, int *shard, int *num_shards)
     return true;
 }
 
+bool
+parseCellRange(const std::string &text, std::size_t *begin,
+               std::size_t *end)
+{
+    const std::size_t dash = text.find('-');
+    if (dash == std::string::npos || dash == 0 ||
+        dash + 1 >= text.size())
+        return false;
+    errno = 0;
+    char *stop = nullptr;
+    const unsigned long long b = std::strtoull(text.c_str(), &stop, 10);
+    if (errno != 0 || stop != text.c_str() + dash)
+        return false;
+    const unsigned long long e =
+        std::strtoull(text.c_str() + dash + 1, &stop, 10);
+    if (errno != 0 || stop != text.c_str() + text.size())
+        return false;
+    if (b >= e)
+        return false;
+    *begin = static_cast<std::size_t>(b);
+    *end = static_cast<std::size_t>(e);
+    return true;
+}
+
 std::string
 mergeCsvShards(const std::vector<std::string> &shards)
 {

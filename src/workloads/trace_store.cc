@@ -10,12 +10,35 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "runner/fault.h"
 #include "util/error.h"
 #include "workloads/cache_manager.h"
 #include "workloads/file_lock.h"
 #include "workloads/trace_gen.h"
 
 namespace rubik {
+
+namespace {
+
+/**
+ * Bound on the per-key generation lock wait, from
+ * RUBIK_LOCK_TIMEOUT_SEC (read per call so tests can tighten it),
+ * default 120 s. <= 0 restores the unbounded wait.
+ */
+double
+lockTimeoutSeconds()
+{
+    const char *env = std::getenv("RUBIK_LOCK_TIMEOUT_SEC");
+    if (!env || !*env)
+        return 120.0;
+    char *end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end == env)
+        return 120.0;
+    return v;
+}
+
+} // anonymous namespace
 
 std::string
 TraceKey::describe() const
@@ -86,7 +109,23 @@ TraceStore::produce(const TraceKey &key,
     }
     // Not on disk (or corrupt): take the per-key lock and re-probe, so
     // of all concurrent processes racing here exactly one generates.
-    FileLock lock(path + ".lock");
+    // The wait is bounded (RUBIK_LOCK_TIMEOUT_SEC, default 120 s) with
+    // stale-holder detection, so a producer that died mid-generation
+    // leaving its lock held — e.g. through a descriptor inherited by a
+    // wedged child — costs a warning and a duplicate generation, never
+    // a hang. Atomic rename keeps unlocked regeneration correct.
+    FileLock lock(path + ".lock", /*blocking=*/true,
+                  lockTimeoutSeconds());
+    if (!lock.acquired()) {
+        std::fprintf(
+            stderr,
+            "trace-store: %s for %s.lock; generating without the "
+            "lock\n",
+            lock.staleHolder()
+                ? "lock holder is dead (stale lock)"
+                : "gave up waiting",
+            path.c_str());
+    }
     if (auto cached = tryLoadCached(path)) {
         bump(&Stats::diskHits);
         return cached;
@@ -100,6 +139,7 @@ TraceStore::produce(const TraceKey &key,
 std::shared_ptr<const Trace>
 TraceStore::tryLoadCached(const std::string &path)
 {
+    FaultInjector::instance().onTraceIo();
     // One open decides hit vs miss: a concurrent eviction (cache cap)
     // racing us either wins before this open (a clean miss) or loses —
     // the open fd keeps the unlinked inode readable. A second
@@ -138,6 +178,7 @@ void
 TraceStore::writeCacheFile(const std::string &path, const Trace &trace,
                            const std::string &meta)
 {
+    FaultInjector::instance().onTraceIo();
     const std::string tmp =
         path + ".tmp." + std::to_string(::getpid());
     try {

@@ -13,9 +13,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include <gtest/gtest.h>
 
@@ -193,6 +199,57 @@ TEST(RunShardCommands, FailedShardWritesNothing)
     EXPECT_EQ(out, "");
 }
 
+TEST(RunShardCommands, ReplaysEveryShardsStderrOnFailure)
+{
+    // Shard 0 fails, shard 1 succeeds — BOTH stderr captures must be
+    // replayed (in shard order), not just the failing shard's. A
+    // success's diagnostics (e.g. trace-store stats, warnings) used
+    // to vanish whenever any sibling failed.
+    ScratchDir dir;
+    ASSERT_FALSE(dir.path.empty());
+    const std::string errfile = dir.path + "/stderr.capture";
+    std::fflush(stderr);
+    const int saved = ::dup(::fileno(stderr));
+    ASSERT_GE(saved, 0);
+    const int fd = ::open(errfile.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    ASSERT_GE(fd, 0);
+    ASSERT_GE(::dup2(fd, ::fileno(stderr)), 0);
+    ::close(fd);
+
+    std::string msg;
+    try {
+        captureOutput([&](std::FILE *f) {
+            runShardCommands(
+                2,
+                [](int i) {
+                    if (i == 0)
+                        return std::string(
+                            "echo from-shard-0 >&2; exit 3");
+                    return std::string(
+                        "echo from-shard-1 >&2; echo row1");
+                },
+                1, f);
+        });
+    } catch (const std::runtime_error &e) {
+        msg = e.what();
+    }
+    std::fflush(stderr);
+    ::dup2(saved, ::fileno(stderr));
+    ::close(saved);
+
+    std::ifstream in(errfile, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    const std::string replayed = text.str();
+    const std::size_t pos0 = replayed.find("from-shard-0");
+    const std::size_t pos1 = replayed.find("from-shard-1");
+    EXPECT_NE(pos0, std::string::npos) << replayed;
+    EXPECT_NE(pos1, std::string::npos) << replayed;
+    EXPECT_LT(pos0, pos1) << replayed;
+    EXPECT_NE(msg.find("shard 0/2"), std::string::npos) << msg;
+}
+
 TEST(RunShardCommands, RetriesTransientFailures)
 {
     ScratchDir dir;
@@ -282,6 +339,71 @@ TEST(SubprocessBackend, PropagatesChildFailure)
         EXPECT_NE(msg.find("shard 0/2"), std::string::npos) << msg;
         EXPECT_NE(msg.find("exited with status 1"), std::string::npos)
             << msg;
+    }
+}
+
+/// Write an executable script that plays the role of selfExe.
+std::string
+writeScript(const ScratchDir &dir, const std::string &name,
+            const std::string &body)
+{
+    const std::string path = dir.path + "/" + name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "#!/bin/sh\n" << body << "\n";
+    out.close();
+    ::chmod(path.c_str(), 0755);
+    return path;
+}
+
+TEST(SubprocessBackend, DecodesSigkilledChild)
+{
+    // A child killed by a signal mid-shard must surface as "killed by
+    // signal 9" with the shard index — not as a masked exit code 137
+    // or, worse, a silently truncated merge.
+    ScratchDir dir;
+    ASSERT_FALSE(dir.path.empty());
+    BackendConfig cfg;
+    cfg.numShards = 2;
+    // `kill 0` signals the whole process group the dispatch layer
+    // puts each child into, so the held pid dies by the signal no
+    // matter how many shells sit between it and this script.
+    cfg.selfExe = writeScript(dir, "selfkill9",
+                              "echo dying-hard >&2\nkill -KILL 0");
+    const auto backend = makeBackend("subprocess", cfg);
+    try {
+        captureOutput([&](std::FILE *f) {
+            backend->runSweepSpec(tinySpec(), f);
+        });
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("shard 0/2"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("killed by signal 9"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("dying-hard"), std::string::npos) << msg;
+    }
+}
+
+TEST(SubprocessBackend, DecodesSigtermedChild)
+{
+    ScratchDir dir;
+    ASSERT_FALSE(dir.path.empty());
+    BackendConfig cfg;
+    cfg.numShards = 2;
+    cfg.selfExe = writeScript(dir, "selfkill15",
+                              "echo terminated >&2\nkill -TERM 0");
+    const auto backend = makeBackend("subprocess", cfg);
+    try {
+        captureOutput([&](std::FILE *f) {
+            backend->runSweepSpec(tinySpec(), f);
+        });
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("shard 0/2"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("killed by signal 15"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("terminated"), std::string::npos) << msg;
     }
 }
 

@@ -66,7 +66,9 @@
 #include "policies/replay.h"
 #include "runner/backend.h"
 #include "runner/experiment_runner.h"
+#include "runner/fault.h"
 #include "runner/options_parser.h"
+#include "runner/orchestrator.h"
 #include "runner/sweep_runner.h"
 #include "runner/sweep_spec.h"
 #include "util/error.h"
@@ -126,11 +128,31 @@ usage(const char *argv0)
         "[--shards N]\n"
         "       [--retries N] [--trace-cache DIR] [--cache-cap SIZE]\n"
         "       [--trace-stats] [--dry-run] [--simd MODE]\n"
+        "       [--out CSV] [--resume] [--ledger FILE] "
+        "[--schedule static|dynamic]\n"
+        "       [--batch-cells N] [--lease-timeout SEC] "
+        "[--fault SPEC] [--cells B-E]\n"
         "                     run a sweep-spec grid (or one shard) as "
         "CSV on stdout;\n"
         "                     non-local backends dispatch N shard "
         "invocations and\n"
-        "                     merge their CSVs byte-identically\n"
+        "                     merge their CSVs byte-identically.\n"
+        "                     --out/--resume/--ledger/--schedule "
+        "dynamic run the\n"
+        "                     fault-tolerant orchestrator: cells are "
+        "leased in\n"
+        "                     batches (work-stealing after "
+        "--lease-timeout), every\n"
+        "                     finished cell is journaled to the "
+        "ledger, and\n"
+        "                     --resume skips journaled cells — the "
+        "CSV stays\n"
+        "                     byte-identical to an uninterrupted run. "
+        "--cells runs\n"
+        "                     one leased batch (rows only, no header);"
+        " --fault\n"
+        "                     injects deterministic failures "
+        "(docs/backends.md)\n"
         "  %s merge OUT SHARD0 [SHARD1 ...]\n"
         "                     concatenate shard CSVs into OUT "
         "(byte-identical to the unsharded run)\n"
@@ -243,6 +265,10 @@ sweepMain(int argc, char **argv)
     std::string spec_path;
     std::string backend_desc = "local";
     std::string trace_cache, cache_cap;
+    std::string cells_arg, out_path, ledger_path, schedule, fault_spec;
+    long long batch_cells = 0;
+    double lease_timeout = 0.0;
+    bool resume = false;
     int jobs = 0;
     int dispatch_shards = 1, retries = -1;
     bool dry_run = false, trace_stats = false;
@@ -263,6 +289,16 @@ sweepMain(int argc, char **argv)
     parser.value("--cache-cap", [&](const char *v) { cache_cap = v; });
     parser.flag("--trace-stats", [&] { trace_stats = true; });
     parser.flag("--dry-run", [&] { dry_run = true; });
+    parser.value("--cells", [&](const char *v) { cells_arg = v; });
+    parser.value("--out", [&](const char *v) { out_path = v; });
+    parser.value("--ledger", [&](const char *v) { ledger_path = v; });
+    parser.flag("--resume", [&] { resume = true; });
+    parser.value("--schedule", [&](const char *v) { schedule = v; });
+    parser.value("--batch-cells",
+                 [&](const char *v) { batch_cells = std::atoll(v); });
+    parser.value("--lease-timeout",
+                 [&](const char *v) { lease_timeout = std::atof(v); });
+    parser.value("--fault", [&](const char *v) { fault_spec = v; });
     addSimdFlag(parser, &run);
     parser.onUnknown([](const char *token) {
         // Not usage(): that exits 0 on stdout, which would let a
@@ -286,6 +322,61 @@ sweepMain(int argc, char **argv)
                      "--backend/--shards\n");
         return 1;
     }
+    if (!schedule.empty() && schedule != "static" &&
+        schedule != "dynamic") {
+        std::fprintf(stderr,
+                     "sweep: --schedule wants static or dynamic\n");
+        return 1;
+    }
+    const bool orchestrated = !out_path.empty() || resume ||
+                              !ledger_path.empty() ||
+                              schedule == "dynamic";
+    if (!cells_arg.empty() &&
+        (shard.given || orchestrated || dry_run ||
+         backend_desc != "local" || dispatch_shards > 1)) {
+        // --cells is a leased batch child: rows only, no dispatch, no
+        // ledger of its own. The coordinator owns everything else.
+        std::fprintf(stderr,
+                     "sweep: --cells cannot be combined with --shard, "
+                     "--backend/--shards, --dry-run, or the "
+                     "orchestration flags\n");
+        return 1;
+    }
+    if (schedule == "static" && orchestrated) {
+        std::fprintf(stderr,
+                     "sweep: --schedule static contradicts "
+                     "--out/--resume/--ledger\n");
+        return 1;
+    }
+    if (resume && out_path.empty() && ledger_path.empty()) {
+        std::fprintf(stderr,
+                     "sweep: --resume needs --out or --ledger "
+                     "(nothing to resume from)\n");
+        return 1;
+    }
+    if (orchestrated && shard.given) {
+        std::fprintf(stderr,
+                     "sweep: --shard cannot be combined with the "
+                     "orchestration flags\n");
+        return 1;
+    }
+    if (batch_cells < 0 || lease_timeout < 0.0) {
+        std::fprintf(stderr,
+                     "sweep: --batch-cells and --lease-timeout must "
+                     "be >= 0\n");
+        return 1;
+    }
+    if (!fault_spec.empty()) {
+        // Arm this process AND export the spec so dispatched batch
+        // children inherit it (the scheduler strips it from retries).
+        ::setenv("RUBIK_FAULT", fault_spec.c_str(), 1);
+        try {
+            FaultInjector::instance().configure(fault_spec);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "sweep: %s\n", e.what());
+            return 1;
+        }
+    }
     try {
         const SweepSpec spec = SweepSpec::parseFile(spec_path);
         if (dry_run) {
@@ -298,7 +389,31 @@ sweepMain(int argc, char **argv)
             globalTraceStore().setCacheDir(trace_cache);
         if (!cache_cap.empty())
             globalTraceStore().setCacheCap(parseSizeBytes(cache_cap));
-        if (backend_desc == "local" && dispatch_shards == 1) {
+        if (!cells_arg.empty()) {
+            std::size_t begin = 0, end = 0;
+            if (!parseCellRange(cells_arg, &begin, &end)) {
+                std::fprintf(stderr,
+                             "sweep: --cells wants B-E with B < E\n");
+                return 1;
+            }
+            runSweepCells(spec, begin, end, jobs, stdout);
+        } else if (orchestrated) {
+            OrchestratorOptions opt;
+            opt.backendDesc = backend_desc;
+            opt.backend.numShards = dispatch_shards;
+            opt.backend.jobs = jobs;
+            opt.backend.traceCacheDir = trace_cache;
+            opt.backend.traceCacheCap = cache_cap;
+            opt.backend.traceStats = trace_stats;
+            opt.backend.selfExe = selfExePath(argv[0]);
+            opt.outPath = out_path;
+            opt.ledgerPath = ledger_path;
+            opt.resume = resume;
+            opt.batchCells = static_cast<std::size_t>(batch_cells);
+            opt.leaseTimeoutSec = lease_timeout;
+            opt.maxAttempts = retries >= 0 ? retries + 1 : 0;
+            runOrchestratedSweep(spec, opt);
+        } else if (backend_desc == "local" && dispatch_shards == 1) {
             runSweep(spec, shard.shard, shard.numShards, jobs, stdout);
         } else {
             BackendConfig cfg;
