@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Extension: distillation accuracy vs speed (ROADMAP item 1, the
+ * serve daemon's fast path).
+ *
+ * The exact Rubik decision walks every queued request and divides tail
+ * cycles by remaining slack (Eq. 2) — tens of nanoseconds. The
+ * distilled model replaces it with one quantized age-bucket lookup per
+ * request. This bench sweeps the two model-size knobs — decision
+ * leaves (allowed output frequencies) and age buckets (threshold
+ * quantization) — and reports, per shape:
+ *
+ *   - training time and resident LUT size;
+ *   - agreement with the exact controller on a randomized held-out
+ *     grid of queue states (LUT alone, and with the ambiguity-band
+ *     fallback which restores exactness by construction);
+ *   - the fraction of states marked ambiguous (= exact fallback rate);
+ *   - safety (distilled decision >= exact decision: the model may only
+ *     round up, never undershoot the bound);
+ *   - measured per-decision latency of the LUT path.
+ *
+ * A second table widens the fallback band at a fixed shape, trading
+ * fast-path hit rate for guaranteed agreement margin.
+ */
+
+#include <algorithm>
+#include <ctime>
+#include <vector>
+
+#include "common.h"
+#include "core/rubik_controller.h"
+#include "policies/distilled.h"
+#include "policies/replay.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+#include "util/units.h"
+#include "workloads/trace_gen.h"
+
+using namespace rubik;
+using namespace rubik::bench;
+
+namespace {
+
+double
+nowNs()
+{
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<double>(ts.tv_sec) * 1e9 +
+           static_cast<double>(ts.tv_nsec);
+}
+
+/// One synthetic queue state: positions with descending request ages
+/// (FIFO order), a random elapsed-cycles row probe, no power cap.
+struct Probe
+{
+    std::vector<double> arrivals;
+    double now = 0.0;
+    double elapsedCycles = 0.0;
+
+    CoreView view(const DvfsModel &dvfs) const
+    {
+        CoreView v;
+        v.now = now;
+        v.frequency = dvfs.maxFrequency();
+        v.elapsedCycles = elapsedCycles;
+        v.count = arrivals.size();
+        v.busy = true;
+        v.arrivals = arrivals.data();
+        v.dvfs = &dvfs;
+        return v;
+    }
+};
+
+std::vector<Probe>
+makeProbes(Rng &rng, double target, double maxRowBound,
+           std::size_t count, std::size_t maxDepth)
+{
+    std::vector<Probe> probes(count);
+    for (Probe &p : probes) {
+        p.now = 10.0 * target;
+        p.elapsedCycles = rng.uniform(0.0, 1.5 * maxRowBound);
+        const std::size_t depth =
+            1 + static_cast<std::size_t>(rng.uniform(0.0, 1.0) *
+                                         static_cast<double>(maxDepth));
+        std::vector<double> ages(depth);
+        for (double &a : ages)
+            a = rng.uniform(0.0, 1.2 * target);
+        // FIFO: position 0 is the oldest request.
+        std::sort(ages.begin(), ages.end(),
+                  [](double a, double b) { return a > b; });
+        p.arrivals.resize(depth);
+        for (std::size_t i = 0; i < depth; ++i)
+            p.arrivals[i] = p.now - ages[i];
+    }
+    return probes;
+}
+
+/// Round an exact grid decision up into the model's leaf set — the
+/// best any leaf-restricted policy can do, so agreement is measured
+/// against it rather than against unreachable frequencies.
+double
+leafRound(const DistilledModel &model, double frequency)
+{
+    for (const double leaf : model.leafFrequencies()) {
+        if (leaf >= frequency * (1.0 - 1e-12))
+            return leaf;
+    }
+    return model.leafFrequencies().back();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseOptions(argc, argv);
+    Platform plat;
+    const double nominal = plat.dvfs.nominalFrequency();
+    const int requests = opts.numRequests(6000);
+
+    // Warm one exact controller; every model distills from it.
+    const AppProfile app = makeApp(AppId::Masstree);
+    Trace trace =
+        generateLoadTrace(app, 0.4, requests, nominal, opts.seed);
+    annotateClasses(trace, 0.85, nominal);
+    const Trace t50 =
+        generateLoadTrace(app, 0.5, requests, nominal, opts.seed);
+    const double bound =
+        replayFixed(t50, nominal, plat.power).tailLatency(0.95);
+    RubikConfig rc;
+    rc.latencyBound = bound;
+    rc.feedback = false; // constant internal target (serve-mode choice)
+    RubikController exact(plat.dvfs, rc);
+    simulate(trace, exact, plat.dvfs, plat.power);
+
+    const double target = exact.internalTarget();
+    Rng rng(opts.seed + 17);
+    const std::size_t kProbes = opts.fast ? 4096 : 16384;
+
+    struct Shape
+    {
+        std::size_t leaves;
+        std::size_t ageBuckets;
+        std::size_t band;
+    };
+    std::vector<Shape> shapes;
+    for (const std::size_t leaves : {std::size_t(0), std::size_t(8),
+                                     std::size_t(4), std::size_t(2)})
+        for (const std::size_t buckets :
+             {std::size_t(4096), std::size_t(1024), std::size_t(256)})
+            shapes.push_back({leaves, buckets, 0});
+    for (const std::size_t band :
+         {std::size_t(1), std::size_t(2), std::size_t(4)})
+        shapes.push_back({0, 4096, band});
+
+    heading(opts,
+            "Extension: distilled decision model — leaves x age "
+            "buckets (band 0), then fallback-band sweep at full "
+            "grid x 4096, vs agreement and per-decision ns "
+            "(masstree @ 40% load, exact Rubik as teacher)");
+    TablePrinter table({"leaves", "age_buckets", "band", "train_ms",
+                        "lut_kb", "agree_lut", "agree_fb", "ambiguous",
+                        "safe", "decide_ns"},
+                       opts.csv);
+
+    double exactNs = 0.0;
+    for (std::size_t si = 0; si < shapes.size(); ++si) {
+        const Shape &shape = shapes[si];
+        DistilledConfig dc;
+        dc.leaves = shape.leaves;
+        dc.ageBuckets = shape.ageBuckets;
+        dc.fallbackBand = shape.band;
+
+        const double t0 = nowNs();
+        const DistilledModel model =
+            DistilledModel::distill(exact, plat.dvfs, dc);
+        const double trainMs = (nowNs() - t0) * 1e-6;
+
+        const double maxRowBound = model.rowBounds().back();
+        const std::vector<Probe> probes = makeProbes(
+            rng, target, maxRowBound, kProbes, dc.maxPositions / 4);
+
+        std::size_t agreeLut = 0, agreeFb = 0, ambiguous = 0, safe = 0;
+        for (const Probe &p : probes) {
+            const CoreView v = p.view(plat.dvfs);
+            const double want = exact.selectFrequency(v);
+            bool needExact = false;
+            const double got = model.decide(v, &needExact);
+            if (got == leafRound(model, want))
+                ++agreeLut;
+            if (needExact) {
+                ++ambiguous;
+                ++agreeFb; // fallback answers with `want` itself
+            } else if (got == leafRound(model, want)) {
+                ++agreeFb;
+            }
+            if (got >= want * (1.0 - 1e-12))
+                ++safe;
+        }
+
+        // Time the LUT path over the probe set (min of 5 sweeps).
+        double bestNs = 1e30;
+        for (int rep = 0; rep < 5; ++rep) {
+            bool sink = false;
+            double acc = 0.0;
+            const double s0 = nowNs();
+            for (const Probe &p : probes)
+                acc += model.decide(p.view(plat.dvfs), &sink);
+            const double per =
+                (nowNs() - s0) / static_cast<double>(probes.size());
+            if (per < bestNs && acc > 0.0)
+                bestNs = per;
+        }
+        if (si == 0) {
+            // Reference: the exact controller on the same probes.
+            double bestExact = 1e30;
+            for (int rep = 0; rep < 5; ++rep) {
+                double acc = 0.0;
+                const double s0 = nowNs();
+                for (const Probe &p : probes)
+                    acc += exact.selectFrequency(p.view(plat.dvfs));
+                const double per = (nowNs() - s0) /
+                                   static_cast<double>(probes.size());
+                if (per < bestExact && acc > 0.0)
+                    bestExact = per;
+            }
+            exactNs = bestExact;
+        }
+
+        const double n = static_cast<double>(probes.size());
+        table.addRow(
+            {shape.leaves ? std::to_string(shape.leaves) : "full",
+             std::to_string(shape.ageBuckets),
+             std::to_string(shape.band), fmt("%.1f", trainMs),
+             fmt("%.0f", static_cast<double>(model.lutBytes()) / 1024),
+             fmt("%.4f", static_cast<double>(agreeLut) / n),
+             fmt("%.4f", static_cast<double>(agreeFb) / n),
+             fmt("%.4f", static_cast<double>(ambiguous) / n),
+             fmt("%.4f", static_cast<double>(safe) / n),
+             fmt("%.2f", bestNs)});
+    }
+    table.print();
+    heading(opts, "Exact controller on the same probe set: " +
+                      fmt("%.2f", exactNs) + " ns/decision");
+    return 0;
+}

@@ -21,6 +21,7 @@
 #include "core/profiler.h"
 #include "core/rubik_controller.h"
 #include "core/target_tail_table.h"
+#include "policies/distilled.h"
 #include "sim/simulation.h"
 #include "util/fft.h"
 #include "util/rng.h"
@@ -137,6 +138,75 @@ BM_FrequencyDecision(benchmark::State &state)
         benchmark::DoNotOptimize(rubik.selectFrequency(core.view()));
 }
 BENCHMARK(BM_FrequencyDecision)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+/// Warm a controller exactly like BM_FrequencyDecision and enqueue
+/// `depth` requests, so the distilled benches measure the same decision
+/// problem the exact bench does.
+RubikController
+warmController(const DvfsModel &dvfs, CoreEngine &core, int depth)
+{
+    RubikConfig cfg;
+    cfg.latencyBound = 1.0 * kMs;
+    cfg.warmupSamples = 16;
+    RubikController rubik(dvfs, cfg);
+    Rng rng(3);
+    for (int i = 0; i < 64; ++i) {
+        CompletedRequest done;
+        done.computeCycles = rng.lognormal(13.0, 0.3);
+        done.memoryTime = rng.lognormal(-9.0, 0.3);
+        done.completionTime = i * 1e-4;
+        rubik.onCompletion(done, core.view());
+    }
+    rubik.periodicUpdate(core.view()); // builds the table
+    for (int i = 0; i < depth; ++i) {
+        Request r;
+        r.arrivalTime = core.now();
+        r.computeCycles = 5e5;
+        r.memoryTime = 1e-4;
+        core.enqueue(r);
+    }
+    return rubik;
+}
+
+void
+BM_DistilledDecision(benchmark::State &state)
+{
+    // The distilled LUT answering the same queue BM_FrequencyDecision
+    // answers exactly — the serve daemon's per-event hot path (view
+    // already materialized, decide() straight into the table).
+    const DvfsModel dvfs = DvfsModel::haswell();
+    const PowerModel pm(dvfs);
+    CoreEngine core(dvfs, pm);
+    RubikController rubik =
+        warmController(dvfs, core, static_cast<int>(state.range(0)));
+    const DistilledModel model =
+        DistilledModel::distill(rubik, dvfs, DistilledConfig{});
+    const CoreView view = core.view();
+    bool needExact = false;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.decide(view, &needExact));
+}
+BENCHMARK(BM_DistilledDecision)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void
+BM_DistilledPolicyDecision(benchmark::State &state)
+{
+    // Same decision through the full DvfsPolicy interface (view fill,
+    // power-cap ceiling, exact fallback wiring) — the overhead a
+    // simulator-driven DistilledPolicy pays on top of decide().
+    const DvfsModel dvfs = DvfsModel::haswell();
+    const PowerModel pm(dvfs);
+    CoreEngine core(dvfs, pm);
+    RubikController rubik =
+        warmController(dvfs, core, static_cast<int>(state.range(0)));
+    DistilledModel model =
+        DistilledModel::distill(rubik, dvfs, DistilledConfig{});
+    DistilledPolicy policy(std::move(model), rubik, dvfs,
+                           /*autoRetrain=*/false);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(policy.selectFrequency(core.view()));
+}
+BENCHMARK(BM_DistilledPolicyDecision)->Arg(4)->Arg(64);
 
 void
 BM_ConvolveFft(benchmark::State &state)

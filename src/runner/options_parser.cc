@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 
 #include "runner/sweep_spec.h"
 
@@ -18,8 +19,20 @@ OptionsParser::OptionsParser(int argc, char **argv, int start)
 }
 
 void
+OptionsParser::rejectDuplicate(const std::string &name) const
+{
+    // A silently shadowed flag (second registration never dispatched,
+    // find() returns the first) is a programming error at the entry
+    // point — fail loudly at registration time instead.
+    if (find(name.c_str()))
+        throw std::logic_error("OptionsParser: flag registered twice: " +
+                               name);
+}
+
+void
 OptionsParser::flag(const std::string &name, std::function<void()> fn)
 {
+    rejectDuplicate(name);
     Handler h;
     h.name = name;
     h.takesValue = false;
@@ -31,6 +44,7 @@ void
 OptionsParser::value(const std::string &name,
                      std::function<void(const char *)> fn)
 {
+    rejectDuplicate(name);
     Handler h;
     h.name = name;
     h.takesValue = true;

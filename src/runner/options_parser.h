@@ -41,10 +41,12 @@ class OptionsParser
     /// to skip the subcommand token.
     OptionsParser(int argc, char **argv, int start = 1);
 
-    /// Register a boolean flag.
+    /// Register a boolean flag. Throws std::logic_error if `name` is
+    /// already registered (silent shadowing hid real CLI bugs).
     void flag(const std::string &name, std::function<void()> fn);
 
-    /// Register a valued flag; fn receives the value token.
+    /// Register a valued flag; fn receives the value token. Throws
+    /// std::logic_error on a duplicate name, like flag().
     void value(const std::string &name,
                std::function<void(const char *)> fn);
 
@@ -63,6 +65,7 @@ class OptionsParser
     };
 
     const Handler *find(const char *token) const;
+    void rejectDuplicate(const std::string &name) const;
 
     int argc_;
     char **argv_;

@@ -11,12 +11,14 @@
 #include "core/rubik_boost.h"
 #include "core/rubik_controller.h"
 #include "policies/adrenaline.h"
+#include "policies/distilled.h"
 #include "policies/dynamic_oracle.h"
 #include "policies/pegasus.h"
 #include "policies/replay.h"
 #include "policies/static_oracle.h"
 #include "runner/experiment_runner.h"
 #include "runner/fault.h"
+#include "sim/decision_log.h"
 #include "sim/simulation.h"
 #include "util/units.h"
 #include "workloads/apps.h"
@@ -72,8 +74,9 @@ const std::vector<std::string> &
 knownPolicyNames()
 {
     static const std::vector<std::string> names = {
-        "fixed",   "static",     "dynamic", "adrenaline",
-        "pegasus", "rubik",      "rubik-nofb", "boost"};
+        "fixed",   "static",     "dynamic",    "adrenaline",
+        "pegasus", "rubik",      "rubik-nofb", "boost",
+        "distilled"};
     return names;
 }
 
@@ -113,8 +116,16 @@ runPolicy(const std::string &policy, const PolicyRunRequest &request)
     // the outcome's sim-only fields.
     auto run_capped = [&](DvfsPolicy &scheme) {
         scheme.setPowerCap(cap);
+        // The recorder wraps transparently, so a logged run's decision
+        // stream is the unlogged run's stream by construction.
+        std::optional<DecisionRecordingPolicy> recorder;
+        DvfsPolicy *active = &scheme;
+        if (request.decisionLog) {
+            recorder.emplace(scheme, *request.decisionLog);
+            active = &*recorder;
+        }
         const SimResult r =
-            simulate(trace, scheme, dvfs, power, request.options.engine);
+            simulate(trace, *active, dvfs, power, request.options.engine);
         PolicyOutcome o = fromSim(r, dvfs);
         if (request.collectLatencies)
             o.latencies = r.latencies();
@@ -125,10 +136,17 @@ runPolicy(const std::string &policy, const PolicyRunRequest &request)
             throw std::runtime_error(
                 "power cap unsupported for offline policy: " + policy);
     };
+    auto reject_decision_log = [&] {
+        if (request.decisionLog)
+            throw std::runtime_error(
+                "decision log unsupported for replay-based policy: " +
+                policy);
+    };
 
     PolicyOutcome out;
     out.fixedEnergyPerRequest = fixed.energyPerRequest();
     if (policy == "fixed") {
+        reject_decision_log();
         // A capped fixed baseline runs at the cap's frequency ceiling
         // instead of nominal (the baseline replay stays uncapped).
         const double ceiling = capFrequencyCeiling(power, cap);
@@ -147,6 +165,7 @@ runPolicy(const std::string &policy, const PolicyRunRequest &request)
         }
     } else if (policy == "static") {
         reject_cap();
+        reject_decision_log();
         const auto sr = staticOracle(trace, bound, 0.95, dvfs, power);
         fillFromReplay(out, sr.replay);
         out.meanFrequency = sr.frequency;
@@ -154,12 +173,14 @@ runPolicy(const std::string &policy, const PolicyRunRequest &request)
             out.latencies = sr.replay.latencies;
     } else if (policy == "dynamic") {
         reject_cap();
+        reject_decision_log();
         const auto dr = dynamicOracle(trace, bound, 0.95, dvfs, power);
         fillFromReplay(out, dr.replay);
         if (request.collectLatencies)
             out.latencies = dr.replay.latencies;
     } else if (policy == "adrenaline") {
         reject_cap();
+        reject_decision_log();
         const auto ar =
             adrenalineOracle(trace, bound, dvfs, power, nominal);
         fillFromReplay(out, ar.replay);
@@ -182,6 +203,25 @@ runPolicy(const std::string &policy, const PolicyRunRequest &request)
         cfg.feedback = policy == "rubik";
         cfg.table = request.options.tableConfig();
         RubikController scheme(dvfs, cfg);
+        const PolicyOutcome sim = run_capped(scheme);
+        out.tailLatency = sim.tailLatency;
+        out.energyPerRequest = sim.energyPerRequest;
+        out.meanFrequency = sim.meanFrequency;
+        out.meanPower = sim.meanPower;
+        out.transitions = sim.transitions;
+        out.latencies = sim.latencies;
+    } else if (policy == "distilled") {
+        // Rubik with the distilled LUT as the fast path and the exact
+        // controller as fallback + trainer. Feedback is off so the
+        // internal target is constant between table rebuilds and each
+        // auto-retrained model stays faithful for its whole lifetime.
+        RubikConfig cfg;
+        cfg.latencyBound = bound;
+        cfg.feedback = false;
+        cfg.table = request.options.tableConfig();
+        RubikController exact(dvfs, cfg);
+        DistilledPolicy scheme(DistilledModel(), exact, dvfs,
+                               /*autoRetrain=*/true);
         const PolicyOutcome sim = run_capped(scheme);
         out.tailLatency = sim.tailLatency;
         out.energyPerRequest = sim.energyPerRequest;

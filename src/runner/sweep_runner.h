@@ -33,6 +33,8 @@
 
 namespace rubik {
 
+struct DecisionLog;
+
 /// What one policy run reports (the sweep CSV row's numeric fields).
 struct PolicyOutcome
 {
@@ -80,6 +82,17 @@ struct PolicyRunRequest
     double powerCapWatts = 0.0;
     /// Fill PolicyOutcome::latencies with the per-request latencies.
     bool collectLatencies = false;
+    /**
+     * When non-null, the run's ordered decision stream is recorded
+     * here (count + chained hash, optional latency histogram — see
+     * sim/decision_log.h). The serve daemon's replay mode and the
+     * one-shot CLI's --decision-hash both go through this field, which
+     * is what makes their decision streams comparable byte for byte.
+     * Only the simulated online policies produce a decision stream;
+     * the replay-based ones (fixed, static, dynamic, adrenaline)
+     * reject a decision log with std::runtime_error.
+     */
+    DecisionLog *decisionLog = nullptr;
     /**
      * Simulation options (engine behavior, table shape, numerics
      * opt-ins); validated at the top of runPolicy. Defaults reproduce

@@ -1,0 +1,103 @@
+#ifndef RUBIK_SIM_DECISION_LOG_H
+#define RUBIK_SIM_DECISION_LOG_H
+
+/**
+ * @file
+ * Decision-stream recording for byte-identity checks and latency
+ * telemetry.
+ *
+ * A DecisionLog summarizes the ordered stream of frequencies a policy
+ * returned over a run as a count plus a chained FNV-1a hash over each
+ * frequency's raw double bits. Two runs made the same decisions in the
+ * same order iff their (count, hash) pairs match — this is what the
+ * serve daemon's replay mode and the one-shot CLI's `--decision-hash`
+ * compare, and what the CI smoke gate asserts. Optionally each
+ * decision is timed (CLOCK_MONOTONIC) into a LatencyHistogram.
+ *
+ * DecisionRecordingPolicy wraps any DvfsPolicy transparently: all
+ * hooks forward unchanged, so the wrapped run's decisions are the
+ * unwrapped run's decisions by construction.
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <ctime>
+
+#include "sim/policy.h"
+#include "sim/trace.h"
+#include "stats/latency_histogram.h"
+
+namespace rubik {
+
+/// Accumulated summary of one policy run's decision stream.
+struct DecisionLog {
+    uint64_t count = 0;
+    /// Chained fnv1a64 over each decision's double bits, in order.
+    uint64_t hash = 14695981039346656037ull;
+    /// When non-null, per-decision wall time (ns) lands here.
+    LatencyHistogram *latency = nullptr;
+
+    void record(double frequency)
+    {
+        uint64_t bits;
+        std::memcpy(&bits, &frequency, sizeof bits);
+        hash = fnv1a64(&bits, sizeof bits, hash);
+        ++count;
+    }
+};
+
+/// Wraps a policy and records every selectFrequency result into a log.
+class DecisionRecordingPolicy final : public DvfsPolicy
+{
+  public:
+    DecisionRecordingPolicy(DvfsPolicy &inner, DecisionLog &log)
+        : inner_(inner), log_(log)
+    {
+    }
+
+    void reset() override { inner_.reset(); }
+
+    double selectFrequency(const CoreView &core) override
+    {
+        if (log_.latency) {
+            struct timespec t0, t1;
+            clock_gettime(CLOCK_MONOTONIC, &t0);
+            const double f = inner_.selectFrequency(core);
+            clock_gettime(CLOCK_MONOTONIC, &t1);
+            log_.latency->add(
+                static_cast<uint64_t>(t1.tv_sec - t0.tv_sec) * 1000000000ull +
+                static_cast<uint64_t>(t1.tv_nsec - t0.tv_nsec));
+            log_.record(f);
+            return f;
+        }
+        const double f = inner_.selectFrequency(core);
+        log_.record(f);
+        return f;
+    }
+
+    void onCompletion(const CompletedRequest &done,
+                      const CoreView &core) override
+    {
+        inner_.onCompletion(done, core);
+    }
+
+    double nextPeriodicUpdate() const override
+    {
+        return inner_.nextPeriodicUpdate();
+    }
+
+    void periodicUpdate(const CoreView &core) override
+    {
+        inner_.periodicUpdate(core);
+    }
+
+    void setPowerCap(double watts) override { inner_.setPowerCap(watts); }
+
+  private:
+    DvfsPolicy &inner_;
+    DecisionLog &log_;
+};
+
+} // namespace rubik
+
+#endif // RUBIK_SIM_DECISION_LOG_H

@@ -1,0 +1,56 @@
+#include "stats/latency_histogram.h"
+
+#include <algorithm>
+
+namespace rubik {
+
+void LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (std::size_t b = 0; b < kBuckets; ++b)
+        counts_[b] += other.counts_[b];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    max_ = std::max(max_, other.max_);
+}
+
+void LatencyHistogram::reset()
+{
+    for (std::size_t b = 0; b < kBuckets; ++b)
+        counts_[b] = 0;
+    count_ = 0;
+    max_ = 0;
+    sum_ = 0;
+}
+
+double LatencyHistogram::percentileNs(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    // Rank of the target sample, 1-based; q=0 -> first sample.
+    const uint64_t rank = std::max<uint64_t>(
+        1, static_cast<uint64_t>(q * static_cast<double>(count_) + 0.5));
+    uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        if (counts_[b] == 0)
+            continue;
+        if (seen + counts_[b] >= rank) {
+            const double lo =
+                b == 0 ? 0.0 : static_cast<double>(uint64_t(1) << (b - 1));
+            const double hi = b == 0
+                                  ? 1.0
+                                  : std::min(static_cast<double>(
+                                                 b >= 63 ? max_
+                                                         : (uint64_t(1) << b)),
+                                             static_cast<double>(max_));
+            const double frac = static_cast<double>(rank - seen) /
+                                static_cast<double>(counts_[b]);
+            return std::min(lo + frac * (hi > lo ? hi - lo : 0.0),
+                            static_cast<double>(max_));
+        }
+        seen += counts_[b];
+    }
+    return static_cast<double>(max_);
+}
+
+} // namespace rubik

@@ -17,12 +17,64 @@
 
 #include "core/rubik_controller.h"
 #include "runner/experiment_runner.h"
+#include "runner/options_parser.h"
 #include "sim/simulation.h"
 #include "util/rng.h"
 #include "workloads/trace_gen.h"
 
 namespace rubik {
 namespace {
+
+// ------------------------------------------------------------------
+// OptionsParser registration hygiene: a flag registered twice used to
+// shadow silently (first registration won), hiding real CLI wiring
+// bugs — e.g. a subcommand adding --bound-ms on top of addRunFlags.
+
+TEST(OptionsParser, DuplicateFlagRegistrationThrows)
+{
+    char prog[] = "prog";
+    char *argv[] = {prog};
+    OptionsParser parser(1, argv);
+    parser.flag("--verbose", [] {});
+    EXPECT_THROW(parser.flag("--verbose", [] {}), std::logic_error);
+    // A valued flag with the same name collides too: the token match
+    // is name-based, not kind-based.
+    EXPECT_THROW(parser.value("--verbose", [](const char *) {}),
+                 std::logic_error);
+}
+
+TEST(OptionsParser, DuplicateValueRegistrationThrows)
+{
+    char prog[] = "prog";
+    char *argv[] = {prog};
+    OptionsParser parser(1, argv);
+    parser.value("--seed", [](const char *) {});
+    EXPECT_THROW(parser.value("--seed", [](const char *) {}),
+                 std::logic_error);
+    EXPECT_THROW(parser.flag("--seed", [] {}), std::logic_error);
+    // The error names the flag, so the broken registration is
+    // identifiable from the what() string alone.
+    try {
+        parser.value("--seed", [](const char *) {});
+        FAIL() << "expected std::logic_error";
+    } catch (const std::logic_error &e) {
+        EXPECT_NE(std::string(e.what()).find("--seed"),
+                  std::string::npos);
+    }
+}
+
+TEST(OptionsParser, DistinctFlagsStillRegister)
+{
+    char prog[] = "prog";
+    char a[] = "--csv";
+    char *argv[] = {prog, a};
+    bool csv = false;
+    OptionsParser parser(2, argv);
+    parser.flag("--csv", [&] { csv = true; });
+    parser.value("--seed", [](const char *) {});
+    parser.run();
+    EXPECT_TRUE(csv);
+}
 
 TEST(ExperimentRunner, RunsAllJobsInSubmissionOrder)
 {

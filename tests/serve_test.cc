@@ -1,0 +1,563 @@
+/**
+ * @file
+ * Tests for the live serving stack: ServeEngine invariants (grid
+ * decisions, warmup, bounded queue, error replies, stats JSON,
+ * decision-log accounting), decision identity between the engine and a
+ * hand-driven exact controller fed the same event stream, the
+ * LatencyHistogram, and — when RUBIK_CLI points at the built binary —
+ * the daemon lifecycle end to end: start, ping, replay producing a
+ * decision hash byte-identical to the one-shot CLI's, well-formed
+ * --stats, and a SIGTERM shutdown that exits 0 and removes the socket.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "core/rubik_controller.h"
+#include "runner/subproc.h"
+#include "serve/daemon.h"
+#include "serve/serve_engine.h"
+#include "stats/latency_histogram.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace rubik {
+namespace {
+
+// ------------------------------------------------------------------
+// LatencyHistogram
+
+TEST(LatencyHistogram, BucketsCountsAndPercentiles)
+{
+    EXPECT_EQ(LatencyHistogram::bucketOf(0), 0u);
+    EXPECT_EQ(LatencyHistogram::bucketOf(1), 0u);
+    EXPECT_EQ(LatencyHistogram::bucketOf(2), 1u);
+    EXPECT_EQ(LatencyHistogram::bucketOf(3), 2u);
+    EXPECT_EQ(LatencyHistogram::bucketOf(4), 2u);
+    EXPECT_EQ(LatencyHistogram::bucketOf(5), 3u);
+
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentileNs(0.5), 0.0);
+    for (uint64_t ns : {10u, 20u, 30u, 40u, 1000u})
+        h.add(ns);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.maxNs(), 1000u);
+    EXPECT_DOUBLE_EQ(h.meanNs(), 220.0);
+    // Percentiles are monotone and clamped to the observed max.
+    double prev = 0.0;
+    for (double q : {0.1, 0.5, 0.9, 0.99, 1.0}) {
+        const double p = h.percentileNs(q);
+        EXPECT_GE(p, prev);
+        EXPECT_LE(p, 1000.0);
+        prev = p;
+    }
+
+    LatencyHistogram other;
+    other.add(5000);
+    h.merge(other);
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.maxNs(), 5000u);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.maxNs(), 0u);
+}
+
+// ------------------------------------------------------------------
+// ServeEngine
+
+/// One event of a synthetic serving stream.
+struct Event
+{
+    double t = 0.0;
+    bool arrival = true;
+    double cycles = 0.0; ///< completions: measured compute cycles
+    double mem = 0.0;    ///< completions: measured memory time
+};
+
+/// Deterministic open-loop stream: Poisson-ish arrivals, FIFO
+/// completions a service time later, merged into one time-ordered
+/// event list spanning several update periods.
+std::vector<Event>
+makeStream(int requests, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Event> arrivals(requests), completions(requests);
+    double t = 0.0, done = 0.0;
+    for (int i = 0; i < requests; ++i) {
+        t += rng.uniform(5e-5, 2e-4);
+        arrivals[i] = {t, true, 0.0, 0.0};
+        // Service mean below the arrival gap mean: the queue drains,
+        // ages stay inside the bound, and decisions actually vary
+        // (an overloaded stream saturates at max frequency forever).
+        const double service = rng.uniform(2e-5, 1e-4);
+        done = std::max(done, t) + service;
+        completions[i] = {done, false, rng.lognormal(13.0, 0.3),
+                          rng.lognormal(-9.0, 0.3)};
+    }
+    std::vector<Event> events;
+    events.reserve(2 * static_cast<std::size_t>(requests));
+    std::size_t a = 0, c = 0;
+    while (a < arrivals.size() || c < completions.size()) {
+        // Completions only fire for already-arrived requests, so on a
+        // tie the arrival goes first.
+        if (a < arrivals.size() &&
+            (c >= completions.size() || arrivals[a].t <= completions[c].t))
+            events.push_back(arrivals[a++]);
+        else
+            events.push_back(completions[c++]);
+    }
+    return events;
+}
+
+ServeConfig
+testConfig()
+{
+    ServeConfig cfg;
+    cfg.latencyBound = 1.0 * kMs;
+    cfg.updatePeriod = 10.0 * kMs;
+    cfg.timeDecisions = false; // determinism over telemetry in tests
+    return cfg;
+}
+
+TEST(ServeEngine, DecisionsStayOnTheGridAndWarmUp)
+{
+    const DvfsModel dvfs = DvfsModel::haswell();
+    ServeEngine engine(dvfs, testConfig());
+    EXPECT_FALSE(engine.warm());
+
+    const std::vector<Event> events = makeStream(400, 9);
+    const std::vector<double> &grid = dvfs.frequencies();
+    uint64_t okEvents = 0;
+    for (const Event &e : events) {
+        const ServeDecision d =
+            e.arrival ? engine.onArrival(e.t)
+                      : engine.onCompletion(e.t, e.cycles, e.mem);
+        ASSERT_TRUE(d.ok);
+        ++okEvents;
+        EXPECT_TRUE(std::find(grid.begin(), grid.end(), d.frequency) !=
+                    grid.end())
+            << "off-grid decision " << d.frequency;
+    }
+    EXPECT_TRUE(engine.warm());
+    EXPECT_GE(engine.tableRebuilds(), 1u);
+    EXPECT_EQ(engine.queueDepth(), 0u);
+    // Every accepted event produced exactly one recorded decision.
+    EXPECT_EQ(engine.decisionLog().count, okEvents);
+    EXPECT_GT(engine.transitions(), 0u);
+}
+
+TEST(ServeEngine, CompletionOnEmptyQueueIsAnError)
+{
+    const DvfsModel dvfs = DvfsModel::haswell();
+    ServeEngine engine(dvfs, testConfig());
+    const ServeDecision d = engine.onCompletion(1e-3, 1e5, 1e-5);
+    EXPECT_FALSE(d.ok);
+    ASSERT_NE(d.error, nullptr);
+    EXPECT_STREQ(d.error, "completion with empty queue");
+    EXPECT_EQ(engine.decisionLog().count, 0u);
+}
+
+TEST(ServeEngine, BoundedQueueRejectsOverflow)
+{
+    const DvfsModel dvfs = DvfsModel::haswell();
+    ServeConfig cfg = testConfig();
+    cfg.maxQueue = 4;
+    ServeEngine engine(dvfs, cfg);
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(engine.onArrival(1e-5 * (i + 1)).ok);
+    const ServeDecision d = engine.onArrival(5e-5);
+    EXPECT_FALSE(d.ok);
+    ASSERT_NE(d.error, nullptr);
+    EXPECT_STREQ(d.error, "queue full");
+    EXPECT_EQ(engine.queueDepth(), 4u);
+    EXPECT_EQ(engine.decisionLog().count, 4u);
+    EXPECT_NE(engine.statsJson().find("\"rejected\":1"),
+              std::string::npos);
+}
+
+TEST(ServeEngine, DecisionTimingLandsInHistogram)
+{
+    const DvfsModel dvfs = DvfsModel::haswell();
+    ServeConfig cfg = testConfig();
+    cfg.timeDecisions = true;
+    ServeEngine engine(dvfs, cfg);
+    for (const Event &e : makeStream(100, 3)) {
+        if (e.arrival)
+            engine.onArrival(e.t);
+        else
+            engine.onCompletion(e.t, e.cycles, e.mem);
+    }
+    EXPECT_EQ(engine.decisionLatency().count(),
+              engine.decisionLog().count);
+    EXPECT_GT(engine.decisionLatency().maxNs(), 0u);
+}
+
+TEST(ServeEngine, StatsJsonIsWellFormed)
+{
+    const DvfsModel dvfs = DvfsModel::haswell();
+    ServeEngine engine(dvfs, testConfig());
+    for (const Event &e : makeStream(150, 5)) {
+        if (e.arrival)
+            engine.onArrival(e.t);
+        else
+            engine.onCompletion(e.t, e.cycles, e.mem);
+    }
+    const std::string json = engine.statsJson();
+    ASSERT_FALSE(json.empty());
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    int depth = 0;
+    for (char ch : json) {
+        if (ch == '{')
+            ++depth;
+        else if (ch == '}')
+            --depth;
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+    for (const char *key :
+         {"\"table_version\":", "\"warm\":", "\"internal_target_ms\":",
+          "\"queue_depth\":", "\"frequency_ghz\":", "\"decisions\":",
+          "\"decision_hash\":", "\"transitions\":", "\"latency_ns\":",
+          "\"distilled\":", "\"rejected\":"}) {
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    }
+}
+
+// The engine is a stream-driven wrapper over the exact controller; a
+// hand-driven mirror replicating its event ordering (periodic updates
+// due before the event, then completion feed, then one decision) must
+// see the identical frequency at every step.
+TEST(ServeEngine, MatchesHandDrivenExactController)
+{
+    const DvfsModel dvfs = DvfsModel::haswell();
+    const ServeConfig cfg = testConfig();
+    ServeEngine engine(dvfs, cfg);
+
+    RubikConfig rc;
+    rc.latencyBound = cfg.latencyBound;
+    rc.percentile = cfg.percentile;
+    rc.updatePeriod = cfg.updatePeriod;
+    rc.feedback = cfg.feedback;
+    rc.table = cfg.table;
+    RubikController mirror(dvfs, rc);
+    std::deque<double> queue;
+    std::vector<double> lane;
+    std::vector<int> hints;
+    double now = 0.0, elapsed = 0.0;
+    double frequency = dvfs.maxFrequency();
+
+    auto mirrorView = [&]() {
+        lane.assign(queue.begin(), queue.end());
+        hints.assign(queue.size(), -1);
+        CoreView v;
+        v.now = now;
+        v.frequency = frequency;
+        v.elapsedCycles = elapsed;
+        v.count = lane.size();
+        v.busy = !lane.empty();
+        v.arrivals = lane.data();
+        v.classHints = hints.data();
+        v.dvfs = &dvfs;
+        return v;
+    };
+    auto advanceTo = [&](double t) {
+        while (mirror.nextPeriodicUpdate() <= t) {
+            const double at = mirror.nextPeriodicUpdate();
+            const double save = now;
+            now = at;
+            mirror.periodicUpdate(mirrorView());
+            now = save;
+        }
+        if (t > now)
+            now = t;
+    };
+
+    for (const Event &e : makeStream(400, 9)) {
+        double got = 0.0, want = 0.0;
+        if (e.arrival) {
+            got = engine.onArrival(e.t).frequency;
+            advanceTo(e.t);
+            queue.push_back(e.t);
+            elapsed = 0.0;
+            want = mirror.selectFrequency(mirrorView());
+        } else {
+            got = engine.onCompletion(e.t, e.cycles, e.mem).frequency;
+            advanceTo(e.t);
+            CompletedRequest done;
+            done.arrivalTime = queue.front();
+            done.completionTime = e.t;
+            done.computeCycles = e.cycles;
+            done.memoryTime = e.mem;
+            done.classHint = -1;
+            queue.pop_front();
+            elapsed = 0.0;
+            mirror.onCompletion(done, mirrorView());
+            want = mirror.selectFrequency(mirrorView());
+        }
+        frequency = want;
+        ASSERT_EQ(got, want) << "diverged at t=" << e.t;
+    }
+    EXPECT_TRUE(engine.warm());
+}
+
+TEST(ServeEngine, DistilledModeTrainsAndServesFastPath)
+{
+    const DvfsModel dvfs = DvfsModel::haswell();
+    ServeConfig cfg = testConfig();
+    cfg.distill = true;
+    ServeEngine engine(dvfs, cfg);
+    ASSERT_NE(engine.distilled(), nullptr);
+    EXPECT_FALSE(engine.distilled()->model().trained());
+
+    const std::vector<double> &grid = dvfs.frequencies();
+    for (const Event &e : makeStream(400, 9)) {
+        const ServeDecision d =
+            e.arrival ? engine.onArrival(e.t)
+                      : engine.onCompletion(e.t, e.cycles, e.mem);
+        ASSERT_TRUE(d.ok);
+        EXPECT_TRUE(std::find(grid.begin(), grid.end(), d.frequency) !=
+                    grid.end());
+    }
+    EXPECT_TRUE(engine.warm());
+    EXPECT_TRUE(engine.distilled()->model().trained());
+    EXPECT_GE(engine.distilled()->retrains(), 1u);
+    EXPECT_GT(engine.distilled()->fastDecisions(), 0u);
+    const std::string json = engine.statsJson();
+    EXPECT_NE(json.find("\"enabled\":true"), std::string::npos);
+    EXPECT_NE(json.find("\"trained\":true"), std::string::npos);
+}
+
+// ------------------------------------------------------------------
+// Daemon lifecycle (needs the built CLI)
+
+struct ScratchDir
+{
+    ScratchDir()
+    {
+        char tmpl[] = "/tmp/rubik_serve_test_XXXXXX";
+        if (mkdtemp(tmpl))
+            path = tmpl;
+    }
+    ~ScratchDir()
+    {
+        if (!path.empty()) {
+            std::error_code ec;
+            std::filesystem::remove_all(path, ec);
+        }
+    }
+    std::string path;
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+struct CommandResult
+{
+    int status = -1;
+    std::string out;
+    std::string err;
+};
+
+CommandResult
+runCommand(const std::string &cmd, const std::string &dir,
+           const std::string &tag)
+{
+    const std::string out = dir + "/" + tag + ".stdout";
+    const std::string err = dir + "/" + tag + ".stderr";
+    CommandResult r;
+    r.status = waitCommand(spawnShellCommand(cmd, out, err));
+    r.out = readFile(out);
+    r.err = readFile(err);
+    return r;
+}
+
+class ServeDaemonCli : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        const char *env = std::getenv("RUBIK_CLI");
+        if (!env || !*env || !std::filesystem::exists(env))
+            GTEST_SKIP() << "RUBIK_CLI not set or missing";
+        cli = env;
+        ASSERT_FALSE(scratch.path.empty());
+        socketPath = scratch.path + "/daemon.sock";
+    }
+
+    void TearDown() override
+    {
+        if (daemonPid > 0) {
+            int status = 0;
+            if (!waitCommandFor(daemonPid, 0.0, &status))
+                killCommandGroup(daemonPid);
+            daemonPid = -1;
+        }
+    }
+
+    /// Start the daemon and block until it answers ping.
+    void startDaemon(const std::string &extraFlags)
+    {
+        // "exec": the pid must be the daemon itself (not a lingering
+        // sh wrapper) so ::kill(pid, SIGTERM) exercises its handler.
+        daemonPid = spawnShellCommand(
+            "exec " + cli + " serve --socket " + socketPath +
+                " --bound-ms 2 " + extraFlags,
+            scratch.path + "/daemon.stdout",
+            scratch.path + "/daemon.stderr");
+        ASSERT_GT(daemonPid, 0);
+        for (int i = 0; i < 200; ++i) {
+            try {
+                if (serveQuery(socketPath, "ping", 2.0) == "ok")
+                    return;
+            } catch (const std::exception &) {
+            }
+            int status = 0;
+            ASSERT_FALSE(waitCommandFor(daemonPid, 0.0, &status))
+                << "daemon died during startup: "
+                << describeWaitStatus(status) << "\n"
+                << readFile(scratch.path + "/daemon.stderr");
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+        FAIL() << "daemon never answered ping";
+    }
+
+    std::string cli;
+    ScratchDir scratch;
+    std::string socketPath;
+    pid_t daemonPid = -1;
+};
+
+/// Pull `"key":"value"` out of a one-line JSON reply.
+std::string
+jsonStringField(const std::string &json, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\":\"";
+    const std::size_t at = json.find(needle);
+    if (at == std::string::npos)
+        return "";
+    const std::size_t start = at + needle.size();
+    const std::size_t end = json.find('"', start);
+    return end == std::string::npos ? "" : json.substr(start, end - start);
+}
+
+TEST_F(ServeDaemonCli, ReplayMatchesOneShotAndShutsDownOnSigterm)
+{
+    const std::string tracePath = scratch.path + "/t.rtrace";
+    const std::string gen = " --app masstree --load 0.4 --requests 1500"
+                            " --seed 42";
+
+    // 1. A class-annotated trace, generated exactly like the one-shot
+    //    run's.
+    CommandResult r = runCommand(
+        cli + " trace gen --out " + tracePath + gen, scratch.path, "gen");
+    ASSERT_TRUE(commandSucceeded(r.status)) << r.err;
+
+    // 2. The one-shot reference hash for the same workload and bound.
+    r = runCommand(cli + gen +
+                       " --bound-ms 2 --policy rubik --decision-hash"
+                       " --csv",
+                   scratch.path, "oneshot");
+    ASSERT_TRUE(commandSucceeded(r.status)) << r.err;
+    std::istringstream csv(r.out);
+    std::string header, row;
+    ASSERT_TRUE(std::getline(csv, header));
+    ASSERT_TRUE(std::getline(csv, row));
+    ASSERT_NE(header.find(",decisions,decision_hash"),
+              std::string::npos)
+        << header;
+    const std::string wantHash = row.substr(row.rfind(',') + 1);
+    ASSERT_EQ(wantHash.size(), 16u) << row;
+
+    // 3. Daemon replay of the same trace must reproduce the decision
+    //    stream byte for byte — same hash, via the same runPolicy path.
+    startDaemon("");
+    const std::string reply =
+        serveQuery(socketPath, "replay " + tracePath + " rubik", 60.0);
+    ASSERT_EQ(reply.compare(0, 1, "{"), 0) << reply;
+    EXPECT_EQ(jsonStringField(reply, "decision_hash"), wantHash)
+        << reply;
+
+    // 4. Live events answer with frequencies; errors answer with err.
+    EXPECT_EQ(serveQuery(socketPath, "a 0.001").compare(0, 2, "f "), 0);
+    EXPECT_EQ(serveQuery(socketPath, "c 0.002 5e5 1e-4")
+                  .compare(0, 2, "f "),
+              0);
+    EXPECT_EQ(serveQuery(socketPath, "c 0.003 5e5 1e-4")
+                  .compare(0, 4, "err "),
+              0);
+    EXPECT_EQ(serveQuery(socketPath, "bogus").compare(0, 4, "err "), 0);
+
+    // 5. --stats is one well-formed JSON line (python validates in CI;
+    //    here: brace balance plus the keys the gate greps for).
+    r = runCommand(cli + " serve --socket " + socketPath + " --stats",
+                   scratch.path, "stats");
+    ASSERT_TRUE(commandSucceeded(r.status)) << r.err;
+    const std::string stats = r.out.substr(0, r.out.find('\n'));
+    ASSERT_FALSE(stats.empty());
+    EXPECT_EQ(stats.front(), '{');
+    EXPECT_EQ(stats.back(), '}');
+    EXPECT_NE(stats.find("\"decisions\":"), std::string::npos);
+    EXPECT_NE(stats.find("\"decision_hash\":"), std::string::npos);
+
+    // 6. SIGTERM: clean exit 0, socket removed.
+    ASSERT_EQ(::kill(daemonPid, SIGTERM), 0);
+    int status = 0;
+    ASSERT_TRUE(waitCommandFor(daemonPid, 30.0, &status))
+        << "daemon ignored SIGTERM";
+    daemonPid = -1;
+    EXPECT_TRUE(commandSucceeded(status)) << describeWaitStatus(status);
+    EXPECT_FALSE(std::filesystem::exists(socketPath));
+}
+
+TEST_F(ServeDaemonCli, ShutdownCommandExitsCleanly)
+{
+    startDaemon("--distill --age-buckets 512");
+    EXPECT_EQ(serveQuery(socketPath, "shutdown"), "ok");
+    int status = 0;
+    ASSERT_TRUE(waitCommandFor(daemonPid, 30.0, &status));
+    daemonPid = -1;
+    EXPECT_TRUE(commandSucceeded(status)) << describeWaitStatus(status);
+    EXPECT_FALSE(std::filesystem::exists(socketPath));
+}
+
+TEST_F(ServeDaemonCli, RefusesSecondDaemonOnLiveSocket)
+{
+    startDaemon("");
+    const CommandResult r = runCommand(
+        cli + " serve --socket " + socketPath + " --bound-ms 2",
+        scratch.path, "second");
+    EXPECT_FALSE(commandSucceeded(r.status));
+    EXPECT_NE(r.err.find("already listening"), std::string::npos)
+        << r.err;
+    // The loser must not have unlinked the winner's socket.
+    EXPECT_EQ(serveQuery(socketPath, "ping"), "ok");
+    EXPECT_EQ(serveQuery(socketPath, "shutdown"), "ok");
+    int status = 0;
+    ASSERT_TRUE(waitCommandFor(daemonPid, 30.0, &status));
+    daemonPid = -1;
+}
+
+} // namespace
+} // namespace rubik

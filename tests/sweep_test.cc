@@ -315,9 +315,10 @@ TEST(PolicyNames, KnownPolicyLookup)
     EXPECT_TRUE(isKnownPolicy("rubik"));
     EXPECT_TRUE(isKnownPolicy("rubik-nofb"));
     EXPECT_TRUE(isKnownPolicy("boost"));
+    EXPECT_TRUE(isKnownPolicy("distilled"));
     EXPECT_FALSE(isKnownPolicy("Rubik"));
     EXPECT_FALSE(isKnownPolicy(""));
-    EXPECT_EQ(knownPolicyNames().size(), 8u);
+    EXPECT_EQ(knownPolicyNames().size(), 9u);
 }
 
 TEST(TraceStore, CountsHitsAndMisses)

@@ -52,6 +52,7 @@
  */
 
 #include <algorithm>
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -63,6 +64,7 @@
 #include <vector>
 
 #include "fleet/fleet_sim.h"
+#include "policies/distilled.h"
 #include "policies/replay.h"
 #include "runner/backend.h"
 #include "runner/experiment_runner.h"
@@ -71,6 +73,9 @@
 #include "runner/orchestrator.h"
 #include "runner/sweep_runner.h"
 #include "runner/sweep_spec.h"
+#include "serve/daemon.h"
+#include "sim/decision_log.h"
+#include "sim/simulation.h"
 #include "util/error.h"
 #include "util/units.h"
 #include "workloads/cache_manager.h"
@@ -93,6 +98,7 @@ struct CliOptions
     bool csv = false;
     bool json = false;
     bool bursty = false;
+    bool decisionHash = false;  ///< Report the chained decision hash.
     int jobs = 0;               ///< Sweep workers; 0: hardware default.
     SimOptions sim;             ///< PolicyRunRequest::options source.
 };
@@ -122,6 +128,11 @@ usage(const char *argv0)
         "identical)\n"
         "  --csv              machine-readable output\n"
         "  --json             JSON array output (one object per load)\n"
+        "  --decision-hash    report the chained per-decision hash and "
+        "count\n"
+        "                     (byte-comparable with the serve daemon's "
+        "replay;\n"
+        "                     replay-based policies do not support it)\n"
         "subcommands:\n"
         "  %s sweep --spec FILE [--shard I/N] [--jobs N]\n"
         "       [--backend local|subprocess|command:<tmpl>] "
@@ -182,8 +193,51 @@ usage(const char *argv0)
         " --fix removes corrupt ones\n"
         "                       vacuum  [--cap SIZE] [--max-age DUR]  "
         "LRU-evict to the cap\n"
-        "                       stats   [--json]  aggregate totals\n",
-        argv0, argv0, argv0, argv0, argv0);
+        "                       stats   [--json]  aggregate totals\n"
+        "  %s serve --socket PATH --bound-ms MS [--percentile P]\n"
+        "       [--update-ms MS] [--feedback] [--distill] "
+        "[--model FILE]\n"
+        "       [--leaves N] [--age-buckets N] [--max-positions N]\n"
+        "       [--fallback-band N] [--max-queue N] [--no-timing]\n"
+        "       [--transition-us US] [--simd MODE]\n"
+        "                     run the live decision daemon on a Unix "
+        "socket\n"
+        "                     (docs/serving.md): newline-delimited "
+        "arrival/\n"
+        "                     completion events in, frequency decisions "
+        "out.\n"
+        "                     --distill serves from an auto-retrained "
+        "LUT fast\n"
+        "                     path with exact fallback; --model seeds it "
+        "from a\n"
+        "                     distill file. Query a running daemon "
+        "with:\n"
+        "  %s serve --socket PATH --stats | --shutdown\n"
+        "                     print the daemon's one-line JSON stats / "
+        "ask it\n"
+        "                     to exit cleanly\n"
+        "  %s distill --out FILE [--app NAME] [--load F] "
+        "[--requests N]\n"
+        "       [--bound-ms MS] [--seed S] [--leaves N] "
+        "[--age-buckets N]\n"
+        "       [--max-positions N] [--fallback-band N] [--bursty]\n"
+        "       [--transition-us US]\n"
+        "                     warm the exact controller on a generated "
+        "trace,\n"
+        "                     train the distilled decision model "
+        "against it,\n"
+        "                     and write the versioned model file "
+        "(checksummed\n"
+        "                     like .rtrace)\n"
+        "  %s trace gen --out FILE [--app NAME] [--load F] "
+        "[--requests N]\n"
+        "       [--seed S] [--bursty]\n"
+        "                     write a class-annotated .rtrace file — "
+        "the serve\n"
+        "                     daemon's replay input, generated exactly "
+        "like the\n"
+        "                     one-shot run's trace\n",
+        argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
     std::exit(0);
 }
 
@@ -231,6 +285,7 @@ parse(int argc, char **argv)
     parser.flag("--csv", [&o] { o.csv = true; });
     parser.flag("--json", [&o] { o.json = true; });
     parser.flag("--bursty", [&o] { o.bursty = true; });
+    parser.flag("--decision-hash", [&o] { o.decisionHash = true; });
     addRunFlags(parser, &run);
     addSimdFlag(parser, &run);
     parser.onUnknown([argv](const char *) { usage(argv[0]); });
@@ -981,6 +1036,263 @@ fleetMain(int argc, char **argv)
     return 0;
 }
 
+/// Auto-bound shared by the one-shot, distill, and serve entry
+/// points: the fixed-frequency 95th-percentile tail at 50% load.
+double
+autoBound(const AppProfile &app, int requests, double nominal,
+          uint64_t seed, const PowerModel &power)
+{
+    const Trace t50 =
+        generateLoadTrace(app, 0.5, requests, nominal, seed);
+    return replayFixed(t50, nominal, power).tailLatency(0.95);
+}
+
+/// `rubik_cli serve --socket PATH ...`: the live decision daemon, or
+/// (with --stats/--shutdown) a one-line client query against one.
+int
+serveMain(int argc, char **argv)
+{
+    std::string socket_path;
+    bool stats = false, shutdown = false;
+    ServeConfig sc;
+    double bound_ms = 0.0, update_ms = 100.0, transition_us = 4.0;
+    CommonRunOptions run;
+    OptionsParser parser(argc, argv, 2);
+    parser.value("--socket", [&](const char *v) { socket_path = v; });
+    parser.flag("--stats", [&] { stats = true; });
+    parser.flag("--shutdown", [&] { shutdown = true; });
+    parser.value("--bound-ms",
+                 [&](const char *v) { bound_ms = std::atof(v); });
+    parser.value("--percentile", [&](const char *v) {
+        sc.percentile = std::atof(v);
+    });
+    parser.value("--update-ms",
+                 [&](const char *v) { update_ms = std::atof(v); });
+    parser.flag("--feedback", [&] { sc.feedback = true; });
+    parser.flag("--distill", [&] { sc.distill = true; });
+    parser.value("--model", [&](const char *v) { sc.modelPath = v; });
+    parser.value("--leaves", [&](const char *v) {
+        sc.distillConfig.leaves =
+            static_cast<std::size_t>(std::atoll(v));
+    });
+    parser.value("--age-buckets", [&](const char *v) {
+        sc.distillConfig.ageBuckets =
+            static_cast<std::size_t>(std::atoll(v));
+    });
+    parser.value("--max-positions", [&](const char *v) {
+        sc.distillConfig.maxPositions =
+            static_cast<std::size_t>(std::atoll(v));
+    });
+    parser.value("--fallback-band", [&](const char *v) {
+        sc.distillConfig.fallbackBand =
+            static_cast<std::size_t>(std::atoll(v));
+    });
+    parser.value("--max-queue", [&](const char *v) {
+        sc.maxQueue = static_cast<std::size_t>(std::atoll(v));
+    });
+    parser.flag("--no-timing", [&] { sc.timeDecisions = false; });
+    parser.value("--transition-us", [&](const char *v) {
+        transition_us = std::atof(v);
+    });
+    addSimdFlag(parser, &run);
+    parser.onUnknown([](const char *token) {
+        std::fprintf(stderr, "serve: unknown flag %s\n", token);
+        std::exit(1);
+    });
+    parser.run();
+    if (run.simdGiven)
+        applySimdSelection(run);
+    if (socket_path.empty()) {
+        std::fprintf(stderr, "serve needs --socket PATH\n");
+        return 1;
+    }
+    if (stats || shutdown) {
+        // Client mode: one query line against a running daemon.
+        try {
+            const std::string reply =
+                serveQuery(socket_path, stats ? "stats" : "shutdown");
+            std::printf("%s\n", reply.c_str());
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 1;
+        }
+        return 0;
+    }
+    if (bound_ms <= 0.0) {
+        std::fprintf(stderr, "serve needs --bound-ms MS > 0\n");
+        return 1;
+    }
+    sc.latencyBound = bound_ms * kMs;
+    sc.updatePeriod = update_ms * kMs;
+    DaemonConfig dc;
+    dc.socketPath = socket_path;
+    dc.serve = sc;
+    const DvfsModel dvfs = DvfsModel::haswell(transition_us * kUs);
+    try {
+        return runServeDaemon(dvfs, dc);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "serve: %s\n", e.what());
+        return 1;
+    }
+}
+
+/// `rubik_cli distill --out FILE ...`: warm the exact controller on a
+/// generated trace, then train and save the distilled model.
+int
+distillMain(int argc, char **argv)
+{
+    std::string app_name = "masstree", out_path;
+    double load = 0.4, bound_ms = 0.0, transition_us = 4.0;
+    bool bursty = false;
+    DistilledConfig dc;
+    CommonRunOptions run;
+    run.requests = 9000;
+    OptionsParser parser(argc, argv, 2);
+    parser.value("--app", [&](const char *v) { app_name = v; });
+    parser.value("--load", [&](const char *v) { load = std::atof(v); });
+    parser.value("--bound-ms",
+                 [&](const char *v) { bound_ms = std::atof(v); });
+    parser.value("--out", [&](const char *v) { out_path = v; });
+    parser.value("--leaves", [&](const char *v) {
+        dc.leaves = static_cast<std::size_t>(std::atoll(v));
+    });
+    parser.value("--age-buckets", [&](const char *v) {
+        dc.ageBuckets = static_cast<std::size_t>(std::atoll(v));
+    });
+    parser.value("--max-positions", [&](const char *v) {
+        dc.maxPositions = static_cast<std::size_t>(std::atoll(v));
+    });
+    parser.value("--fallback-band", [&](const char *v) {
+        dc.fallbackBand = static_cast<std::size_t>(std::atoll(v));
+    });
+    parser.flag("--bursty", [&] { bursty = true; });
+    parser.value("--transition-us", [&](const char *v) {
+        transition_us = std::atof(v);
+    });
+    addRunFlags(parser, &run);
+    addSimdFlag(parser, &run);
+    parser.onUnknown([](const char *token) {
+        std::fprintf(stderr, "distill: unknown flag %s\n", token);
+        std::exit(1);
+    });
+    parser.run();
+    if (run.simdGiven)
+        applySimdSelection(run);
+    if (out_path.empty()) {
+        std::fprintf(stderr, "distill needs --out FILE\n");
+        return 1;
+    }
+
+    const DvfsModel dvfs = DvfsModel::haswell(transition_us * kUs);
+    const PowerModel power(dvfs);
+    const double nominal = dvfs.nominalFrequency();
+    const AppProfile app = makeApp(appByName(app_name));
+    try {
+        double bound = bound_ms * kMs;
+        if (bound <= 0.0)
+            bound = autoBound(app, run.requests, nominal, run.seed,
+                              power);
+        Trace trace =
+            bursty ? generateBurstyTrace(app, load, run.requests,
+                                         nominal, run.seed)
+                   : generateLoadTrace(app, load, run.requests,
+                                       nominal, run.seed);
+        annotateClasses(trace, 0.85, nominal);
+
+        // Feedback off: the internal target must be a constant for
+        // the trained thresholds to stay faithful (serve mode makes
+        // the same choice).
+        RubikConfig rc;
+        rc.latencyBound = bound;
+        rc.feedback = false;
+        RubikController exact(dvfs, rc);
+        simulate(trace, exact, dvfs, power);
+        if (!exact.warm()) {
+            std::fprintf(stderr,
+                         "distill: controller never warmed "
+                         "(need more --requests)\n");
+            return 1;
+        }
+        const DistilledModel model =
+            DistilledModel::distill(exact, dvfs, dc);
+        model.save(out_path);
+        std::printf("distilled %s/%s load %.2f -> %s\n",
+                    app_name.c_str(), "rubik", load, out_path.c_str());
+        std::printf("target      %.4f ms (internal, feedback off)\n",
+                    model.trainedTarget() / kMs);
+        std::printf("leaves      %zu frequencies\n",
+                    model.leafFrequencies().size());
+        std::printf("rows        %zu x %zu positions x %zu age "
+                    "buckets\n",
+                    model.rowBounds().size(), dc.maxPositions,
+                    dc.ageBuckets);
+        std::printf("lut         %zu bytes resident, %zu bytes on "
+                    "disk\n",
+                    model.lutBytes(), model.serialize().size());
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "distill: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
+
+/// `rubik_cli trace gen --out FILE ...`: write a class-annotated
+/// binary trace, generated exactly like the one-shot run's.
+int
+traceMain(int argc, char **argv)
+{
+    const std::string action = argc > 2 ? argv[2] : "";
+    if (action != "gen") {
+        std::fprintf(stderr, "trace wants: gen\n");
+        return 1;
+    }
+    std::string app_name = "masstree", out_path;
+    double load = 0.4;
+    bool bursty = false;
+    CommonRunOptions run;
+    run.requests = 9000;
+    OptionsParser parser(argc, argv, 3);
+    parser.value("--app", [&](const char *v) { app_name = v; });
+    parser.value("--load", [&](const char *v) { load = std::atof(v); });
+    parser.value("--out", [&](const char *v) { out_path = v; });
+    parser.flag("--bursty", [&] { bursty = true; });
+    addRunFlags(parser, &run);
+    parser.onUnknown([](const char *token) {
+        std::fprintf(stderr, "trace gen: unknown flag %s\n", token);
+        std::exit(1);
+    });
+    parser.run();
+    if (out_path.empty()) {
+        std::fprintf(stderr, "trace gen needs --out FILE\n");
+        return 1;
+    }
+    const DvfsModel dvfs = DvfsModel::haswell(4.0 * kUs);
+    const double nominal = dvfs.nominalFrequency();
+    const AppProfile app = makeApp(appByName(app_name));
+    try {
+        Trace trace =
+            bursty ? generateBurstyTrace(app, load, run.requests,
+                                         nominal, run.seed)
+                   : generateLoadTrace(app, load, run.requests,
+                                       nominal, run.seed);
+        annotateClasses(trace, 0.85, nominal);
+        char meta[160];
+        std::snprintf(meta, sizeof(meta),
+                      "app=%s load=%.4f requests=%d seed=%llu "
+                      "bursty=%d classes=0.85",
+                      app_name.c_str(), load, run.requests,
+                      static_cast<unsigned long long>(run.seed),
+                      bursty ? 1 : 0);
+        saveTraceBinary(trace, out_path, meta);
+        std::printf("wrote %s: %zu requests (%s)\n", out_path.c_str(),
+                    trace.size(), meta);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "trace gen: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
+
 } // anonymous namespace
 
 int
@@ -994,6 +1306,12 @@ main(int argc, char **argv)
         return cacheMain(argc, argv);
     if (argc > 1 && !std::strcmp(argv[1], "fleet"))
         return fleetMain(argc, argv);
+    if (argc > 1 && !std::strcmp(argv[1], "serve"))
+        return serveMain(argc, argv);
+    if (argc > 1 && !std::strcmp(argv[1], "distill"))
+        return distillMain(argc, argv);
+    if (argc > 1 && !std::strcmp(argv[1], "trace"))
+        return traceMain(argc, argv);
 
     const CliOptions o = parse(argc, argv);
     const DvfsModel dvfs = DvfsModel::haswell(o.transitionUs * kUs);
@@ -1011,15 +1329,13 @@ main(int argc, char **argv)
     }
 
     double bound = o.boundMs * kMs;
-    if (bound <= 0.0) {
-        const Trace t50 =
-            generateLoadTrace(app, 0.5, o.requests, nominal, o.seed);
-        bound = replayFixed(t50, nominal, power).tailLatency(0.95);
-    }
+    if (bound <= 0.0)
+        bound = autoBound(app, o.requests, nominal, o.seed, power);
 
     // One sweep job per load. Every job owns its trace and reads only
     // shared immutable state, so parallel results match a serial sweep.
-    auto run_load = [&](double load) {
+    std::vector<DecisionLog> decisionLogs(o.loads.size());
+    auto run_load = [&](double load, DecisionLog *log) {
         Trace trace = o.bursty
                           ? generateBurstyTrace(app, load, o.requests,
                                                 nominal, o.seed)
@@ -1032,20 +1348,33 @@ main(int argc, char **argv)
         req.dvfs = &dvfs;
         req.power = &power;
         req.options = o.sim;
+        req.decisionLog = log;
         return runPolicy(o.policy, req);
     };
 
     ExperimentRunner runner(o.jobs);
     std::vector<std::function<PolicyOutcome()>> jobs;
-    for (double load : o.loads)
-        jobs.push_back([&run_load, load] { return run_load(load); });
-    const std::vector<PolicyOutcome> results =
-        runner.runBatch(std::move(jobs));
+    for (std::size_t li = 0; li < o.loads.size(); ++li) {
+        DecisionLog *log =
+            o.decisionHash ? &decisionLogs[li] : nullptr;
+        const double load = o.loads[li];
+        jobs.push_back(
+            [&run_load, load, log] { return run_load(load, log); });
+    }
+    std::vector<PolicyOutcome> results;
+    try {
+        results = runner.runBatch(std::move(jobs));
+    } catch (const std::exception &e) {
+        // E.g. --decision-hash with a replay-based policy.
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
 
     if (o.csv) {
         std::printf("app,policy,load,bound_ms,tail_ms,tail_over_bound,"
                     "energy_mj_per_req,savings_vs_fixed,mean_freq_ghz,"
-                    "mean_power_w,transitions\n");
+                    "mean_power_w,transitions%s\n",
+                    o.decisionHash ? ",decisions,decision_hash" : "");
     }
     if (o.json)
         std::printf("[");
@@ -1054,6 +1383,7 @@ main(int argc, char **argv)
         const PolicyOutcome &out = results[li];
         const double savings =
             1.0 - out.energyPerRequest / out.fixedEnergyPerRequest;
+        const DecisionLog &dlog = decisionLogs[li];
         if (o.json) {
             // One object per load, cache ls-style: key order matches
             // the CSV columns (docs/fleet.md documents the schema).
@@ -1063,24 +1393,35 @@ main(int argc, char **argv)
                 "\"tail_ms\": %.4f, \"tail_over_bound\": %.3f, "
                 "\"energy_mj_per_req\": %.4f, "
                 "\"savings_vs_fixed\": %.4f, \"mean_freq_ghz\": %.2f, "
-                "\"mean_power_w\": %.4f, \"transitions\": %llu}",
+                "\"mean_power_w\": %.4f, \"transitions\": %llu",
                 li ? "," : "", jsonEscape(o.app).c_str(),
                 jsonEscape(o.policy).c_str(), load, bound / kMs,
                 out.tailLatency / kMs, out.tailLatency / bound,
                 out.energyPerRequest / kMj, savings,
                 out.meanFrequency / kGHz, out.meanPower,
                 static_cast<unsigned long long>(out.transitions));
+            if (o.decisionHash) {
+                std::printf(", \"decisions\": %" PRIu64
+                            ", \"decision_hash\": \"%016" PRIx64 "\"",
+                            dlog.count, dlog.hash);
+            }
+            std::printf("}");
             continue;
         }
         if (o.csv) {
             std::printf("%s,%s,%.2f,%.4f,%.4f,%.3f,%.4f,%.4f,%.2f,"
-                        "%.4f,%llu\n",
+                        "%.4f,%llu",
                         o.app.c_str(), o.policy.c_str(), load,
                         bound / kMs, out.tailLatency / kMs,
                         out.tailLatency / bound,
                         out.energyPerRequest / kMj, savings,
                         out.meanFrequency / kGHz, out.meanPower,
                         static_cast<unsigned long long>(out.transitions));
+            if (o.decisionHash) {
+                std::printf(",%" PRIu64 ",%016" PRIx64, dlog.count,
+                            dlog.hash);
+            }
+            std::printf("\n");
             continue;
         }
         if (li > 0)
@@ -1104,6 +1445,10 @@ main(int argc, char **argv)
         if (out.transitions > 0)
             std::printf("transitions    %llu\n",
                         static_cast<unsigned long long>(out.transitions));
+        if (o.decisionHash)
+            std::printf("decision hash  %016" PRIx64 " (%" PRIu64
+                        " decisions)\n",
+                        dlog.hash, dlog.count);
     }
     if (o.json)
         std::printf("%s]\n", o.loads.empty() ? "" : "\n");
