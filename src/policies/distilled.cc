@@ -46,8 +46,13 @@ DistilledModel::distill(RubikController &exact, const DvfsModel &dvfs,
 {
     RUBIK_ASSERT(exact.warm(),
                  "distill: exact controller must be warm (table built)");
-    RUBIK_ASSERT(exact.powerCap() <= 0.0,
-                 "distill: train against an uncapped controller");
+    // Train against the uncapped decision: the cap is a decide-time
+    // clamp (capCeiling re-applies it in DistilledPolicy), not a table
+    // property — and the probe views below carry no power model, so a
+    // capped selectFrequency would dereference null. Clear the cap for
+    // the probes and restore it before returning.
+    const double savedCap = exact.powerCap();
+    exact.setPowerCap(0.0);
 
     DistilledModel m;
     m.cfg_ = config;
@@ -145,6 +150,7 @@ DistilledModel::distill(RubikController &exact, const DvfsModel &dvfs,
         }
     }
 
+    exact.setPowerCap(savedCap);
     m.buildLut();
     return m;
 }

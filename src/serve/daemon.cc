@@ -263,12 +263,6 @@ runServeDaemon(const DvfsModel &dvfs, const DaemonConfig &config)
         if (ready == 0)
             continue;
 
-        if (fds[0].revents & POLLIN) {
-            const int fd = ::accept(listener, nullptr, nullptr);
-            if (fd >= 0)
-                clients.push_back(Client{fd, {}});
-        }
-
         for (std::size_t i = 0; i < clients.size();) {
             Client &c = clients[i];
             const short revents = fds[i + 1].revents;
@@ -305,6 +299,14 @@ runServeDaemon(const DvfsModel &dvfs, const DaemonConfig &config)
                 break;
             }
             ++i;
+        }
+
+        // Accept only after servicing: a client pushed into `clients`
+        // mid-round would have no pollfd, desyncing fds[i + 1] above.
+        if (fds[0].revents & POLLIN) {
+            const int fd = ::accept(listener, nullptr, nullptr);
+            if (fd >= 0)
+                clients.push_back(Client{fd, {}});
         }
     }
 

@@ -26,6 +26,10 @@ ServeEngine::ServeEngine(const DvfsModel &dvfs, const ServeConfig &config)
 {
     RUBIK_ASSERT(cfg_.latencyBound > 0.0,
                  "serve: latency bound must be set");
+    // A zero period would make RubikController::periodicUpdate's
+    // catch-up loop (nextUpdate_ += period) spin forever.
+    RUBIK_ASSERT(cfg_.updatePeriod > 0.0,
+                 "serve: update period must be positive");
     RubikConfig rc;
     rc.latencyBound = cfg_.latencyBound;
     rc.percentile = cfg_.percentile;

@@ -15,6 +15,7 @@
  * the daemon runs.
  */
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 
@@ -60,13 +61,15 @@ class LatencyHistogram
      */
     double percentileNs(double q) const;
 
-    /// Bucket index for a sample: floor(log2(ns)) + 1, 0 for ns <= 1.
+    /// Bucket index for a sample: floor(log2(ns)) + 1, 0 for ns <= 1,
+    /// clamped so samples >= 2^63 land in the top bucket.
     static std::size_t bucketOf(uint64_t ns)
     {
         if (ns <= 1)
             return 0;
-        return kBuckets - static_cast<std::size_t>(
-                              __builtin_clzll(ns - 1));
+        return std::min(kBuckets - 1,
+                        kBuckets - static_cast<std::size_t>(
+                                       __builtin_clzll(ns - 1)));
     }
 
     const uint64_t *counts() const { return counts_; }

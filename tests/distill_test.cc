@@ -143,6 +143,19 @@ TEST_F(DistillFidelity, GridAgreementAtLeast99Percent)
     EXPECT_EQ(safe, probes.size());
 }
 
+TEST_F(DistillFidelity, DistillUnderPowerCapTrainsUncappedAndRestores)
+{
+    // Fleet runs set a cap on the policy before the table warms, so the
+    // first auto-retrain distills from a capped controller. Training
+    // must see the uncapped decision (the cap is re-applied at decide
+    // time) and must leave the cap in place afterwards.
+    const std::string uncappedBytes = train().serialize();
+    exact.setPowerCap(3.0);
+    const DistilledModel model = train();
+    EXPECT_DOUBLE_EQ(exact.powerCap(), 3.0);
+    EXPECT_EQ(model.serialize(), uncappedBytes);
+}
+
 TEST_F(DistillFidelity, HeldOutAgreementAtLeast99Percent)
 {
     // A disjoint probe distribution: deeper queues, different seed.

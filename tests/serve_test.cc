@@ -49,6 +49,12 @@ TEST(LatencyHistogram, BucketsCountsAndPercentiles)
     EXPECT_EQ(LatencyHistogram::bucketOf(3), 2u);
     EXPECT_EQ(LatencyHistogram::bucketOf(4), 2u);
     EXPECT_EQ(LatencyHistogram::bucketOf(5), 3u);
+    // Samples at/above 2^63 (clz == 0) clamp into the top bucket
+    // instead of indexing one past the array.
+    EXPECT_EQ(LatencyHistogram::bucketOf(1ull << 63),
+              LatencyHistogram::kBuckets - 1);
+    EXPECT_EQ(LatencyHistogram::bucketOf(UINT64_MAX),
+              LatencyHistogram::kBuckets - 1);
 
     LatencyHistogram h;
     EXPECT_EQ(h.count(), 0u);

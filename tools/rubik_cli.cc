@@ -1122,6 +1122,10 @@ serveMain(int argc, char **argv)
         std::fprintf(stderr, "serve needs --bound-ms MS > 0\n");
         return 1;
     }
+    if (update_ms <= 0.0) {
+        std::fprintf(stderr, "serve needs --update-ms MS > 0\n");
+        return 1;
+    }
     sc.latencyBound = bound_ms * kMs;
     sc.updatePeriod = update_ms * kMs;
     DaemonConfig dc;
