@@ -93,6 +93,8 @@ FleetConfig::validate() const
         throw std::runtime_error("load quantum must be in (0, 0.5]");
     if (!isKnownPolicy(policy))
         throw std::runtime_error("unknown policy: " + policy);
+    if (thermal.enabled)
+        thermal.params.validate();
     appByNameOrThrow(app); // Throws on an unknown app.
 }
 
@@ -107,6 +109,17 @@ runFleet(const FleetConfig &config, int jobs)
     const std::size_t max_ceiling = dvfs.numFrequencies() - 1;
     const int cores = config.totalCores();
     const bool capped = config.budgetWatts > 0.0;
+    // Thermal derating: the sustained per-core power at which the RC
+    // network settles exactly at the junction limit with every core of
+    // a machine active. No cap above it is honorable, so it bounds
+    // both granted caps and the uncapped case.
+    double thermal_budget = 0.0;
+    if (config.thermal.enabled) {
+        const ThermalModel tmodel(config.thermal.params,
+                                  config.coresPerMachine);
+        thermal_budget =
+            tmodel.steadyStateCoreBudget(config.coresPerMachine);
+    }
 
     TraceStore &store = globalTraceStore();
     ExperimentRunner runner(jobs);
@@ -194,6 +207,12 @@ runFleet(const FleetConfig &config, int jobs)
                 key.ceiling =
                     dvfs.indexOf(capFrequencyCeiling(power, cap));
             }
+            if (config.thermal.enabled) {
+                cap = capped ? std::min(cap, thermal_budget)
+                             : thermal_budget;
+                key.ceiling =
+                    dvfs.indexOf(capFrequencyCeiling(power, cap));
+            }
             GroupInfo &info = groups[key];
             if (info.cores == 0)
                 info.capWatts = cap;
@@ -226,6 +245,7 @@ runFleet(const FleetConfig &config, int jobs)
                 req.power = &power;
                 req.powerCapWatts = cap;
                 req.collectLatencies = true;
+                req.options.thermal = config.thermal;
                 return runPolicy(config.policy, req);
             });
         }

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "fleet/load_model.h"
+#include "power/thermal_model.h"
 
 namespace rubik {
 
@@ -61,6 +62,17 @@ struct FleetConfig
     double transitionUs = 4.0; ///< DVFS transition latency (us).
     uint64_t seed = 42;
     LoadModelConfig loadModel; ///< seed is overridden with `seed`.
+    /**
+     * Thermal modeling (power/thermal_model.h). When enabled, every
+     * per-core cap the water-filler grants is first derated to the
+     * machine's steady-state thermal budget — the sustained per-core
+     * power at which the RC network settles exactly at the junction
+     * limit with all coresPerMachine cores active — so the fleet
+     * never plans on power a machine cannot sustain thermally; group
+     * simulations then run with temperature-dependent leakage.
+     * Default off: legacy fleet outputs are bitwise unchanged.
+     */
+    ThermalOptions thermal;
 
     int totalCores() const { return machines * coresPerMachine; }
 

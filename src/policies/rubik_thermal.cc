@@ -1,0 +1,89 @@
+#include "policies/rubik_thermal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace rubik {
+
+RubikThermalController::RubikThermalController(
+    const DvfsModel &dvfs, const PowerModel &power,
+    const RubikThermalConfig &config)
+    : dvfs_(dvfs), power_(power), cfg_(config), inner_(dvfs, config.base)
+{
+    cfg_.thermal.validate();
+    const double tau = cfg_.thermal.coreR * cfg_.thermal.coreC;
+    horizonDecay_ = std::exp(-cfg_.horizon / tau);
+    budgetWatts_ = std::numeric_limits<double>::infinity();
+    ceilingFreq_ = dvfs_.maxFrequency();
+}
+
+void
+RubikThermalController::reset()
+{
+    inner_.reset();
+    budgetWatts_ = std::numeric_limits<double>::infinity();
+    ceilingFreq_ = dvfs_.maxFrequency();
+}
+
+double
+RubikThermalController::selectFrequency(const CoreView &core)
+{
+    // Rubik already honors the coordinator's power cap internally; the
+    // thermal ceiling clamps on top, so whichever envelope is tighter
+    // wins.
+    return std::min(inner_.selectFrequency(core), ceilingFreq_);
+}
+
+void
+RubikThermalController::onCompletion(const CompletedRequest &done,
+                                     const CoreView &core)
+{
+    inner_.onCompletion(done, core);
+}
+
+double
+RubikThermalController::nextPeriodicUpdate() const
+{
+    return inner_.nextPeriodicUpdate();
+}
+
+void
+RubikThermalController::periodicUpdate(const CoreView &core)
+{
+    inner_.periodicUpdate(core);
+}
+
+void
+RubikThermalController::setPowerCap(double watts)
+{
+    DvfsPolicy::setPowerCap(watts);
+    inner_.setPowerCap(watts);
+}
+
+void
+RubikThermalController::onThermalSample(double now, double core_temp,
+                                        double package_temp)
+{
+    (void)now;
+    const double limit = cfg_.thermal.junction - cfg_.margin;
+    const double k = horizonDecay_;
+    double budget;
+    if (1.0 - k < 1e-12) {
+        // Horizon much shorter than the core time constant: the die
+        // barely moves, fall back to the steady-state budget.
+        budget = (limit - package_temp) / cfg_.thermal.coreR;
+    } else {
+        budget = ((limit - core_temp * k) / (1.0 - k) - package_temp) /
+                 cfg_.thermal.coreR;
+    }
+    budgetWatts_ = std::max(0.0, budget);
+    // capFrequencyCeiling treats a non-positive cap as "uncapped"; an
+    // exhausted thermal budget means the opposite — pin to the grid
+    // floor until the die cools.
+    ceilingFreq_ = budgetWatts_ > 0.0
+                       ? capFrequencyCeiling(power_, budgetWatts_)
+                       : dvfs_.minFrequency();
+}
+
+} // namespace rubik

@@ -1,0 +1,95 @@
+#ifndef RUBIK_POLICIES_RUBIK_THERMAL_H
+#define RUBIK_POLICIES_RUBIK_THERMAL_H
+
+/**
+ * @file
+ * RubikThermal: Rubik with thermal-capacity-aware boost headroom.
+ *
+ * Plain Rubik boosts to whatever frequency the tail-table constraints
+ * demand; on a thermally-limited part that can push the die into the
+ * junction limit and force hardware throttling. RubikThermal budgets
+ * the boost against recent thermal history: every thermal quantum the
+ * simulation driver reports the RC-network state (the on-die sensor,
+ * DvfsPolicy::onThermalSample), and the controller computes the largest
+ * constant power P that keeps the core node under the junction limit
+ * (minus a safety margin) over a planning horizon h:
+ *
+ *     T(h) = T_inf + (T - T_inf) e^{-h/tau},  T_inf = T_pkg + P R_c
+ *     T(h) <= T_lim  =>  P <= ((T_lim - T e^{-h/tau}) / (1 - e^{-h/tau})
+ *                              - T_pkg) / R_c
+ *
+ * A cold die gets a large transient budget (the RC mass absorbs the
+ * burst); as the die warms the budget decays toward the steady-state
+ * (T_lim - T_pkg) / R_c. The budget is translated into a DVFS ceiling
+ * with capFrequencyCeiling — exactly how setPowerCap clamps the
+ * coordinator's water-filled allocation — and Rubik's choice is clamped
+ * beneath it. The junction-residency pin in tests/thermal_test.cc
+ * mirrors fleet_test's cap-residency test: the die never sits above the
+ * limit for more than one DVFS transition latency.
+ */
+
+#include "core/rubik_controller.h"
+#include "power/power_model.h"
+#include "power/thermal_model.h"
+#include "sim/policy.h"
+
+namespace rubik {
+
+/// RubikThermal configuration: plain Rubik plus the thermal envelope.
+struct RubikThermalConfig
+{
+    RubikConfig base;
+    /// RC network + leakage curve; must match the simulation's
+    /// ThermalOptions so the sensor readings describe the same die.
+    ThermalParams thermal;
+    /// Planning horizon (s) the power budget must stay safe over.
+    /// Defaults to one table-rebuild period.
+    double horizon = 100e-3;
+    /// Safety margin under the junction limit (K): covers the
+    /// single-quantum overshoot while a downward transition is in
+    /// flight.
+    double margin = 2.0;
+};
+
+/**
+ * Thermal-capacity-aware Rubik controller.
+ */
+class RubikThermalController : public DvfsPolicy
+{
+  public:
+    RubikThermalController(const DvfsModel &dvfs, const PowerModel &power,
+                           const RubikThermalConfig &config);
+
+    void reset() override;
+    double selectFrequency(const CoreView &core) override;
+    void onCompletion(const CompletedRequest &done,
+                      const CoreView &core) override;
+    double nextPeriodicUpdate() const override;
+    void periodicUpdate(const CoreView &core) override;
+    void setPowerCap(double watts) override;
+    void onThermalSample(double now, double core_temp,
+                         double package_temp) override;
+
+    /// @name Introspection (tests, benches)
+    /// @{
+    /// Current RC-aware power budget (W); +inf before the first sample.
+    double thermalBudgetWatts() const { return budgetWatts_; }
+    /// Grid ceiling implied by the budget (grid max before a sample).
+    double thermalCeiling() const { return ceilingFreq_; }
+    const RubikController &inner() const { return inner_; }
+    /// @}
+
+  private:
+    const DvfsModel &dvfs_;
+    const PowerModel &power_;
+    RubikThermalConfig cfg_;
+    RubikController inner_;
+    /// Precomputed e^{-h/tau} of the core node.
+    double horizonDecay_ = 0.0;
+    double budgetWatts_ = 0.0;
+    double ceilingFreq_ = 0.0;
+};
+
+} // namespace rubik
+
+#endif // RUBIK_POLICIES_RUBIK_THERMAL_H

@@ -1,0 +1,114 @@
+#include "power/thermal_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rubik {
+
+void
+ThermalParams::validate() const
+{
+    if (coreR <= 0.0)
+        throw std::runtime_error("ThermalParams: coreR must be > 0");
+    if (coreC <= 0.0)
+        throw std::runtime_error("ThermalParams: coreC must be > 0");
+    if (packageR <= 0.0)
+        throw std::runtime_error("ThermalParams: packageR must be > 0");
+    if (junction <= ambient)
+        throw std::runtime_error(
+            "ThermalParams: junction must exceed ambient");
+    if (leakBeta < 0.0)
+        throw std::runtime_error("ThermalParams: leakBeta must be >= 0");
+    if (quantum <= 0.0)
+        throw std::runtime_error("ThermalParams: quantum must be > 0");
+}
+
+ThermalModel::ThermalModel(const ThermalParams &params, int num_cores)
+    : params_(params)
+{
+    params_.validate();
+    if (num_cores < 1)
+        throw std::runtime_error("ThermalModel: need >= 1 core node");
+    coreTemp_.assign(static_cast<std::size_t>(num_cores), params_.ambient);
+    packageTemp_ = params_.ambient;
+}
+
+void
+ThermalModel::reset()
+{
+    std::fill(coreTemp_.begin(), coreTemp_.end(), params_.ambient);
+    packageTemp_ = params_.ambient;
+}
+
+void
+ThermalModel::step(double dt, const double *core_watts,
+                   double package_watts)
+{
+    if (dt <= 0.0)
+        return;
+    const std::size_t n = coreTemp_.size();
+    const bool pinned = params_.packageC <= 0.0;
+    const double pkg0 = pinned ? params_.ambient : packageTemp_;
+
+    // Package node first, from the start-of-step core temperatures: the
+    // equilibrium mixes the ambient sink and the core couplings with
+    // their conductances, and the time constant is the total
+    // conductance over the package mass.
+    if (!pinned) {
+        const double g_amb = 1.0 / params_.packageR;
+        const double g_core = 1.0 / params_.coreR;
+        double flow = params_.ambient * g_amb + package_watts;
+        for (std::size_t i = 0; i < n; ++i)
+            flow += coreTemp_[i] * g_core;
+        const double g_total =
+            g_amb + static_cast<double>(n) * g_core;
+        const double t_inf = flow / g_total;
+        const double tau = params_.packageC / g_total;
+        packageTemp_ =
+            t_inf + (packageTemp_ - t_inf) * std::exp(-dt / tau);
+    }
+
+    // Core nodes: exact exponential relaxation toward the equilibrium
+    // implied by the start-of-step package temperature.
+    const double tau_c = params_.coreR * params_.coreC;
+    const double decay = std::exp(-dt / tau_c);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t_inf = pkg0 + core_watts[i] * params_.coreR;
+        coreTemp_[i] = t_inf + (coreTemp_[i] - t_inf) * decay;
+    }
+}
+
+double
+ThermalModel::maxCoreTemp() const
+{
+    double t = coreTemp_[0];
+    for (const double c : coreTemp_)
+        t = std::max(t, c);
+    return t;
+}
+
+double
+ThermalModel::leakScale(double temp_c) const
+{
+    return std::exp(params_.leakBeta * (temp_c - params_.leakTref));
+}
+
+double
+ThermalModel::totalResistance(int active_cores) const
+{
+    if (params_.packageC <= 0.0)
+        return params_.coreR;
+    return params_.coreR +
+           static_cast<double>(std::max(1, active_cores)) *
+               params_.packageR;
+}
+
+double
+ThermalModel::steadyStateCoreBudget(int active_cores) const
+{
+    return (params_.junction - params_.ambient) /
+           totalResistance(active_cores);
+}
+
+} // namespace rubik

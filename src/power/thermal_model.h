@@ -1,0 +1,139 @@
+#ifndef RUBIK_POWER_THERMAL_MODEL_H
+#define RUBIK_POWER_THERMAL_MODEL_H
+
+/**
+ * @file
+ * Discrete-time thermal RC network with temperature-dependent leakage.
+ *
+ * The power model (power/power_model.h) charges a fixed leakage share
+ * `kLeak * V(f)`, but real chips couple power and temperature: leakage
+ * grows roughly exponentially with die temperature, which itself tracks
+ * recent power draw through the package's thermal mass (the McPAT-style
+ * sub-threshold model; see docs/thermal.md). This file models that
+ * coupling with a two-level RC network:
+ *
+ *   per-core node:  C_c dT_i/dt = P_i - (T_i - T_pkg) / R_c
+ *   package node:   C_p dT_p/dt = sum_i (T_i - T_pkg) / R_c
+ *                                 + P_pkg - (T_p - T_amb) / R_p
+ *
+ * advanced once per control quantum. Each step holds the neighbor
+ * temperatures and injected power constant over the quantum and applies
+ * the *exact* single-node solution
+ *
+ *   T(t + dt) = T_inf + (T(t) - T_inf) * exp(-dt / tau)
+ *
+ * rather than an Euler update, so a single-node configuration matches
+ * the analytic exponential step response to rounding error — the
+ * closed-form pin tests/thermal_test.cc enforces.
+ *
+ * Temperature feeds back into power through the leakage multiplier
+ *
+ *   leakScale(T) = exp(leakBeta * (T - leakTref))
+ *
+ * which scales the static share of busy-core energy. Everything here is
+ * opt-in: ThermalOptions defaults to disabled, and a disabled run takes
+ * the exact legacy arithmetic (byte-identical outputs, CI-gated).
+ */
+
+#include <vector>
+
+namespace rubik {
+
+/// RC-network and leakage-curve parameters. Temperatures in deg C,
+/// resistances in K/W, capacitances in J/K, times in seconds.
+struct ThermalParams
+{
+    /// Core die -> package spreader resistance (K/W).
+    double coreR = 1.8;
+    /// Core die thermal mass (J/K); core tau = coreR * coreC ~ 14 ms.
+    double coreC = 0.008;
+    /// Package -> ambient (heatsink) resistance (K/W).
+    double packageR = 0.5;
+    /// Package + heatsink thermal mass (J/K); <= 0 pins the package
+    /// node at ambient (ideal heatsink), giving a single-node network.
+    double packageC = 40.0;
+    /// Case ambient temperature (deg C).
+    double ambient = 45.0;
+    /// Junction temperature limit T_j (deg C).
+    double junction = 95.0;
+    /// Leakage temperature sensitivity (1/K).
+    double leakBeta = 0.025;
+    /// Temperature at which leakScale == 1 (deg C). Defaults to the
+    /// ambient, so a cold chip reproduces the legacy fixed leakage.
+    double leakTref = 45.0;
+    /// Thermal control quantum (s): how often the simulation advances
+    /// the network and re-samples the leakage multiplier.
+    double quantum = 1e-3;
+
+    /// Throws std::runtime_error naming the offending knob.
+    void validate() const;
+};
+
+/// Opt-in thermal modeling knobs carried by SimOptions. Disabled by
+/// default: a disabled run never constructs a ThermalModel and its
+/// outputs are byte-identical to the legacy fixed-leakage path.
+struct ThermalOptions
+{
+    bool enabled = false;
+    ThermalParams params;
+};
+
+/**
+ * The RC network state: `numCores` core nodes plus one shared package
+ * node, all starting at ambient.
+ */
+class ThermalModel
+{
+  public:
+    explicit ThermalModel(const ThermalParams &params, int num_cores = 1);
+
+    /// Reset every node to ambient.
+    void reset();
+
+    /**
+     * Advance the network by dt seconds with `core_watts[i]` injected
+     * into core node i (and `package_watts` directly into the package
+     * node) held constant over the interval. Each node takes the exact
+     * exponential step toward the equilibrium implied by the
+     * start-of-step neighbor temperatures.
+     */
+    void step(double dt, const double *core_watts,
+              double package_watts = 0.0);
+
+    /// Single-core convenience overload.
+    void step(double dt, double core_watts, double package_watts = 0.0)
+    {
+        step(dt, &core_watts, package_watts);
+    }
+
+    double coreTemp(int i) const { return coreTemp_[i]; }
+    double packageTemp() const { return packageTemp_; }
+    double maxCoreTemp() const;
+    int numCores() const { return static_cast<int>(coreTemp_.size()); }
+
+    /// Leakage multiplier at temperature T: exp(beta * (T - Tref)).
+    /// Monotone increasing in T; exactly 1 at T == leakTref.
+    double leakScale(double temp_c) const;
+
+    /// Core-to-ambient resistance seen by a single core when all
+    /// `active_cores` cores dissipate equally: R_c + n * R_p (the
+    /// package carries n times one core's power). With packageC <= 0
+    /// the package node is pinned at ambient and only R_c remains.
+    double totalResistance(int active_cores = 1) const;
+
+    /// Steady-state per-core power budget that keeps the die exactly at
+    /// the junction limit when `active_cores` cores dissipate equally:
+    /// (T_j - T_amb) / totalResistance(active_cores).
+    double steadyStateCoreBudget(int active_cores = 1) const;
+
+    const ThermalParams &params() const { return params_; }
+
+  private:
+    ThermalParams params_;
+    std::vector<double> coreTemp_;
+    double packageTemp_ = 0.0;
+};
+
+} // namespace rubik
+
+#endif // RUBIK_POWER_THERMAL_MODEL_H

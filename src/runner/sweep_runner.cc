@@ -15,6 +15,7 @@
 #include "policies/dynamic_oracle.h"
 #include "policies/pegasus.h"
 #include "policies/replay.h"
+#include "policies/rubik_thermal.h"
 #include "policies/static_oracle.h"
 #include "runner/experiment_runner.h"
 #include "runner/fault.h"
@@ -50,6 +51,20 @@ fromSim(const SimResult &r, const DvfsModel &dvfs)
         r.core.busyTime > 0 ? weighted / r.core.busyTime : 0.0;
     o.meanPower = r.meanActiveCorePower();
     o.transitions = r.core.numTransitions;
+    if (r.thermal.enabled) {
+        // Thermally-corrected measurement: the temperature-driven
+        // leakage surcharge lands in every outcome's energy and power.
+        // Never taken on the legacy path (enabled is false there), so
+        // disabled runs stay bitwise identical.
+        o.energyPerRequest = r.thermalCoreEnergyPerRequest();
+        o.meanPower = r.thermalMeanActiveCorePower();
+        o.maxCoreTemp = r.thermal.maxCoreTemp;
+        o.extraLeakagePerRequest =
+            r.completed.empty()
+                ? 0.0
+                : r.thermal.extraLeakageEnergy /
+                      static_cast<double>(r.completed.size());
+    }
     return o;
 }
 
@@ -74,9 +89,9 @@ const std::vector<std::string> &
 knownPolicyNames()
 {
     static const std::vector<std::string> names = {
-        "fixed",   "static",     "dynamic",    "adrenaline",
-        "pegasus", "rubik",      "rubik-nofb", "boost",
-        "distilled"};
+        "fixed",     "static", "dynamic",    "adrenaline",
+        "pegasus",   "rubik",  "rubik-nofb", "boost",
+        "distilled", "rubik-thermal"};
     return names;
 }
 
@@ -125,7 +140,8 @@ runPolicy(const std::string &policy, const PolicyRunRequest &request)
             active = &*recorder;
         }
         const SimResult r =
-            simulate(trace, *active, dvfs, power, request.options.engine);
+            simulate(trace, *active, dvfs, power, request.options.engine,
+                     request.options.thermal);
         PolicyOutcome o = fromSim(r, dvfs);
         if (request.collectLatencies)
             o.latencies = r.latencies();
@@ -145,6 +161,18 @@ runPolicy(const std::string &policy, const PolicyRunRequest &request)
 
     PolicyOutcome out;
     out.fixedEnergyPerRequest = fixed.energyPerRequest();
+    // Adopt a simulated outcome's fields (everything but the shared
+    // fixed baseline, which is set above).
+    auto adopt = [&out](const PolicyOutcome &sim) {
+        out.tailLatency = sim.tailLatency;
+        out.energyPerRequest = sim.energyPerRequest;
+        out.meanFrequency = sim.meanFrequency;
+        out.meanPower = sim.meanPower;
+        out.transitions = sim.transitions;
+        out.maxCoreTemp = sim.maxCoreTemp;
+        out.extraLeakagePerRequest = sim.extraLeakagePerRequest;
+        out.latencies = sim.latencies;
+    };
     if (policy == "fixed") {
         reject_decision_log();
         // A capped fixed baseline runs at the cap's frequency ceiling
@@ -190,26 +218,28 @@ runPolicy(const std::string &policy, const PolicyRunRequest &request)
         PegasusConfig cfg;
         cfg.latencyBound = bound;
         PegasusPolicy scheme(dvfs, cfg);
-        const PolicyOutcome sim = run_capped(scheme);
-        out.tailLatency = sim.tailLatency;
-        out.energyPerRequest = sim.energyPerRequest;
-        out.meanFrequency = sim.meanFrequency;
-        out.meanPower = sim.meanPower;
-        out.transitions = sim.transitions;
-        out.latencies = sim.latencies;
+        adopt(run_capped(scheme));
     } else if (policy == "rubik" || policy == "rubik-nofb") {
         RubikConfig cfg;
         cfg.latencyBound = bound;
         cfg.feedback = policy == "rubik";
         cfg.table = request.options.tableConfig();
         RubikController scheme(dvfs, cfg);
-        const PolicyOutcome sim = run_capped(scheme);
-        out.tailLatency = sim.tailLatency;
-        out.energyPerRequest = sim.energyPerRequest;
-        out.meanFrequency = sim.meanFrequency;
-        out.meanPower = sim.meanPower;
-        out.transitions = sim.transitions;
-        out.latencies = sim.latencies;
+        adopt(run_capped(scheme));
+    } else if (policy == "rubik-thermal") {
+        // The thermal-capacity-aware variant is meaningless without the
+        // RC network feeding it sensor samples; reject instead of
+        // silently running as plain Rubik (mirrors reject_cap above).
+        if (!request.options.thermal.enabled)
+            throw std::runtime_error(
+                "policy rubik-thermal requires thermal modeling "
+                "(SimOptions::thermal / --thermal)");
+        RubikThermalConfig cfg;
+        cfg.base.latencyBound = bound;
+        cfg.base.table = request.options.tableConfig();
+        cfg.thermal = request.options.thermal.params;
+        RubikThermalController scheme(dvfs, power, cfg);
+        adopt(run_capped(scheme));
     } else if (policy == "distilled") {
         // Rubik with the distilled LUT as the fast path and the exact
         // controller as fallback + trainer. Feedback is off so the
@@ -222,25 +252,13 @@ runPolicy(const std::string &policy, const PolicyRunRequest &request)
         RubikController exact(dvfs, cfg);
         DistilledPolicy scheme(DistilledModel(), exact, dvfs,
                                /*autoRetrain=*/true);
-        const PolicyOutcome sim = run_capped(scheme);
-        out.tailLatency = sim.tailLatency;
-        out.energyPerRequest = sim.energyPerRequest;
-        out.meanFrequency = sim.meanFrequency;
-        out.meanPower = sim.meanPower;
-        out.transitions = sim.transitions;
-        out.latencies = sim.latencies;
+        adopt(run_capped(scheme));
     } else if (policy == "boost") {
         RubikBoostConfig cfg;
         cfg.base.latencyBound = bound;
         cfg.base.table = request.options.tableConfig();
         RubikBoostController scheme(dvfs, cfg);
-        const PolicyOutcome sim = run_capped(scheme);
-        out.tailLatency = sim.tailLatency;
-        out.energyPerRequest = sim.energyPerRequest;
-        out.meanFrequency = sim.meanFrequency;
-        out.meanPower = sim.meanPower;
-        out.transitions = sim.transitions;
-        out.latencies = sim.latencies;
+        adopt(run_capped(scheme));
     } else {
         throw std::runtime_error("unknown policy: " + policy);
     }

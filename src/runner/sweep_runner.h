@@ -44,6 +44,11 @@ struct PolicyOutcome
     double meanPower = 0.0;        ///< Mean active core power (W).
     uint64_t transitions = 0;
     double fixedEnergyPerRequest = 0.0; ///< Fixed-nominal baseline.
+    /// @name Thermal telemetry (zero unless SimOptions::thermal ran)
+    /// @{
+    double maxCoreTemp = 0.0;          ///< Peak die temperature (C).
+    double extraLeakagePerRequest = 0.0; ///< T-driven leakage (J/req).
+    /// @}
     /// Per-request latencies (s), filled only when the request asked
     /// for them (PolicyRunRequest::collectLatencies); the fleet layer
     /// pools them across core groups for fleet-wide percentiles.

@@ -77,6 +77,12 @@ struct CoreStats
     uint64_t numTransitions = 0;      ///< Completed DVFS transitions.
     EnergyBreakdown energy;           ///< Core components only.
     std::vector<double> freqResidency; ///< Busy seconds per grid frequency.
+    /// Static (leakage) share of energy.coreActive: the kLeak * V(f)
+    /// term integrated over busy time. A pure addition alongside the
+    /// legacy accumulators — the thermal model scales this component by
+    /// its temperature-dependent leakage multiplier without perturbing
+    /// any existing sum.
+    double staticBusyEnergy = 0.0;
 };
 
 /**
@@ -425,6 +431,7 @@ CoreEngine::advanceTo(double t)
         // progress.
         const double p = statPow_;
         stats_.energy.coreActive += p * dt;
+        stats_.staticBusyEnergy += statPow_ * dt;
         runningEnergy_ += p * dt;
         stats_.busyTime += dt;
         now_ = t;
@@ -438,6 +445,7 @@ CoreEngine::advanceTo(double t)
         // stall multiplier.
         const double p = dynBase_ * stallActivity_ + statPow_;
         stats_.energy.coreActive += p * wake_dt;
+        stats_.staticBusyEnergy += statPow_ * wake_dt;
         runningEnergy_ += p * wake_dt;
         stats_.busyTime += wake_dt;
         wakeRemaining_ -= wake_dt;
@@ -470,6 +478,7 @@ CoreEngine::advanceTo(double t)
         (1.0 - stall_frac) + stall_frac * stallActivity_;
     const double p = dynBase_ * activity + statPow_;
     stats_.energy.coreActive += p * dt;
+    stats_.staticBusyEnergy += statPow_ * dt;
     runningEnergy_ += p * dt;
     stats_.busyTime += dt;
     stats_.stallTime += stall_frac * dt;

@@ -66,6 +66,22 @@ class DvfsPolicy
     virtual void periodicUpdate(const CoreView &core) { (void)core; }
 
     /**
+     * Thermal telemetry: the simulation driver reports the RC-network
+     * state at every thermal quantum boundary when thermal modeling is
+     * enabled (SimOptions::thermal) — what an on-die digital thermal
+     * sensor provides in a real deployment. Never called on the legacy
+     * (thermal-off) path. Thermal-capacity-aware policies
+     * (policies/rubik_thermal.h) budget their boost headroom from it.
+     */
+    virtual void onThermalSample(double now, double core_temp,
+                                 double package_temp)
+    {
+        (void)now;
+        (void)core_temp;
+        (void)package_temp;
+    }
+
+    /**
      * Optional per-core power cap in watts (a fleet coordinator's
      * water-filled allocation). The base class only records the value —
      * a policy that does not override its frequency choice is

@@ -26,6 +26,8 @@ SimOptions::validate() const
     if (table.buckets < 2)
         throw std::runtime_error(
             "SimOptions: table.buckets must be >= 2");
+    if (thermal.enabled)
+        thermal.params.validate();
 }
 
 TailTableConfig

@@ -34,6 +34,7 @@
  */
 
 #include "core/target_tail_table.h"
+#include "power/thermal_model.h"
 #include "sim/simulation.h"
 #include "util/simd.h"
 
@@ -68,6 +69,10 @@ struct SimOptions
     TailTableConfig table;
     /// Opt-in numerics deviations; see NumericsOptions.
     NumericsOptions numerics;
+    /// Opt-in thermal RC network + temperature-dependent leakage
+    /// (power/thermal_model.h). Disabled by default; a disabled run is
+    /// byte-identical to the legacy fixed-leakage path (CI-gated).
+    ThermalOptions thermal;
 
     /**
      * Check every field is in range (throws std::runtime_error with

@@ -1,6 +1,7 @@
 #include "sim/simulation.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "stats/percentile.h"
 #include "util/error.h"
@@ -53,6 +54,23 @@ SimResult::utilization() const
     return core.busyTime / simTime;
 }
 
+double
+SimResult::thermalCoreEnergyPerRequest() const
+{
+    if (completed.empty())
+        return 0.0;
+    return thermalCoreActiveEnergy() /
+           static_cast<double>(completed.size());
+}
+
+double
+SimResult::thermalMeanActiveCorePower() const
+{
+    if (simTime <= 0.0)
+        return 0.0;
+    return thermalCoreActiveEnergy() / simTime;
+}
+
 namespace {
 
 /**
@@ -67,7 +85,8 @@ namespace {
 template <class Policy>
 SimResult
 simulateLoop(const Trace &trace, Policy &policy, const DvfsModel &dvfs,
-             const PowerModel &power, const SimConfig &config)
+             const PowerModel &power, const SimConfig &config,
+             const ThermalOptions &thermal)
 {
     CoreEngineConfig ecfg;
     ecfg.initialFrequency = config.initialFrequency;
@@ -81,6 +100,24 @@ simulateLoop(const Trace &trace, Policy &policy, const DvfsModel &dvfs,
     SimResult result;
     result.completed.reserve(trace.size());
 
+    // Thermal-quantum event stream. Disabled: t_thermal stays at kNever
+    // (it never wins the min below), no model is constructed, and the
+    // loop body is the exact legacy sequence — outputs are bitwise
+    // identical, which the golden CSVs pin.
+    const bool thermal_on = thermal.enabled;
+    std::optional<ThermalModel> tm;
+    double t_thermal = DvfsPolicy::kNever;
+    double last_thermal_time = 0.0;
+    double last_total_energy = 0.0;
+    double last_static_energy = 0.0;
+    if (thermal_on) {
+        tm.emplace(thermal.params, /*num_cores=*/1);
+        t_thermal = thermal.params.quantum;
+        result.thermal.enabled = true;
+        result.thermal.maxCoreTemp = tm->coreTemp(0);
+        result.thermal.maxPackageTemp = tm->packageTemp();
+    }
+
     // Pointer-walk the (time-sorted) trace: the driver touches only the
     // next pending record, and the end test stays in registers.
     const TraceRecord *next_arrival = trace.data();
@@ -93,7 +130,8 @@ simulateLoop(const Trace &trace, Policy &policy, const DvfsModel &dvfs,
                                      : DvfsPolicy::kNever;
         const double t_engine = core.nextEventTime();
         const double t_policy = policy.nextPeriodicUpdate();
-        const double t_next = std::min({t_arrival, t_engine, t_policy});
+        const double t_next =
+            std::min({t_arrival, t_engine, t_policy, t_thermal});
         RUBIK_ASSERT(t_next < DvfsPolicy::kNever,
                      "simulation stuck with no next event");
 
@@ -132,6 +170,51 @@ simulateLoop(const Trace &trace, Policy &policy, const DvfsModel &dvfs,
             consult_policy = true;
         }
 
+        // Thermal quantum boundary: advance the RC network with the
+        // quantum's mean core power, charge the temperature-dependent
+        // leakage surcharge, and report the sensor state.
+        if (thermal_on && t_thermal <= t_next + 1e-12) {
+            const CoreStats &cs = core.stats();
+            const double total_energy = cs.energy.coreActive +
+                                        cs.energy.coreIdle +
+                                        cs.energy.coreSleep;
+            const double dt = core.now() - last_thermal_time;
+            // Leakage over the quantum is scaled at the quantum's
+            // start-of-interval temperature (what a sensor read at the
+            // previous boundary gives a real controller).
+            const double scale = tm->leakScale(tm->coreTemp(0));
+            const double extra =
+                (scale - 1.0) * (cs.staticBusyEnergy -
+                                 last_static_energy);
+            result.thermal.extraLeakageEnergy += extra;
+            // The RC network is heated by the corrected power: legacy
+            // accounting plus the leakage surcharge.
+            const double watts =
+                dt > 0.0
+                    ? (total_energy - last_total_energy + extra) / dt
+                    : 0.0;
+            tm->step(dt, watts);
+            const double core_temp = tm->coreTemp(0);
+            const double pkg_temp = tm->packageTemp();
+            result.thermal.maxCoreTemp =
+                std::max(result.thermal.maxCoreTemp, core_temp);
+            result.thermal.maxPackageTemp =
+                std::max(result.thermal.maxPackageTemp, pkg_temp);
+            if (core_temp > thermal.params.junction)
+                result.thermal.timeAboveJunction += dt;
+            ++result.thermal.quanta;
+            if (config.recordTimeline) {
+                result.thermal.timeline.push_back(
+                    {core.now(), core_temp, pkg_temp, extra});
+            }
+            policy.onThermalSample(core.now(), core_temp, pkg_temp);
+            last_thermal_time = core.now();
+            last_total_energy = total_energy;
+            last_static_energy = cs.staticBusyEnergy;
+            t_thermal += thermal.params.quantum;
+            consult_policy = true;
+        }
+
         if (consult_policy)
             core.requestFrequency(policy.selectFrequency(core.view()));
     }
@@ -139,6 +222,10 @@ simulateLoop(const Trace &trace, Policy &policy, const DvfsModel &dvfs,
     result.core = core.stats();
     result.simTime = core.now();
     result.freqTimeline = core.timeline();
+    if (thermal_on) {
+        result.thermal.finalCoreTemp = tm->coreTemp(0);
+        result.thermal.finalPackageTemp = tm->packageTemp();
+    }
     return result;
 }
 
@@ -148,12 +235,20 @@ SimResult
 simulate(const Trace &trace, DvfsPolicy &policy, const DvfsModel &dvfs,
          const PowerModel &power, const SimConfig &config)
 {
+    return simulate(trace, policy, dvfs, power, config, ThermalOptions());
+}
+
+SimResult
+simulate(const Trace &trace, DvfsPolicy &policy, const DvfsModel &dvfs,
+         const PowerModel &power, const SimConfig &config,
+         const ThermalOptions &thermal)
+{
     // Fixed-frequency baselines dominate the figure sweeps (every
     // frequency point of the static curves runs one); dispatch them
     // through the statically-typed loop.
     if (auto *fixed = dynamic_cast<FixedFrequencyPolicy *>(&policy))
-        return simulateLoop(trace, *fixed, dvfs, power, config);
-    return simulateLoop(trace, policy, dvfs, power, config);
+        return simulateLoop(trace, *fixed, dvfs, power, config, thermal);
+    return simulateLoop(trace, policy, dvfs, power, config, thermal);
 }
 
 EnergyBreakdown

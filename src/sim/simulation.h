@@ -12,10 +12,12 @@
  * src/coloc.
  */
 
+#include <cstdint>
 #include <vector>
 
 #include "power/dvfs_model.h"
 #include "power/power_model.h"
+#include "power/thermal_model.h"
 #include "sim/core_engine.h"
 #include "sim/policy.h"
 #include "sim/trace.h"
@@ -31,6 +33,41 @@ struct SimConfig
     bool recordTimeline = false;    ///< Keep the (time, freq) change log.
 };
 
+/// One thermal quantum boundary: the RC state and the leakage energy
+/// correction charged for the quantum that just ended.
+struct ThermalSample
+{
+    double time = 0.0;            ///< Quantum-end simulated time (s).
+    double coreTemp = 0.0;        ///< Core node temperature (deg C).
+    double packageTemp = 0.0;     ///< Package node temperature (deg C).
+    /// (leakScale(T) - 1) * static busy energy of the quantum (J).
+    double extraLeakEnergy = 0.0;
+};
+
+/// Thermal accounting of one run; `enabled` is false (and everything
+/// zero) on the legacy path.
+struct ThermalStats
+{
+    bool enabled = false;
+    /// Total temperature-driven leakage energy added on top of the
+    /// fixed-leakage core.energy accounting (J). Accumulated quantum by
+    /// quantum in time order, so when the engine records a timeline the
+    /// in-order sum of ThermalSample::extraLeakEnergy reproduces it
+    /// bitwise (the energy-conservation pin in tests/thermal_test.cc).
+    double extraLeakageEnergy = 0.0;
+    double maxCoreTemp = 0.0;     ///< Peak core node temperature (C).
+    double maxPackageTemp = 0.0;  ///< Peak package temperature (C).
+    double finalCoreTemp = 0.0;
+    double finalPackageTemp = 0.0;
+    /// Simulated time spent with the core node above the junction
+    /// limit (s), quantized to thermal quanta.
+    double timeAboveJunction = 0.0;
+    uint64_t quanta = 0;          ///< Thermal quanta processed.
+    /// One sample per quantum; recorded only with
+    /// SimConfig::recordTimeline.
+    std::vector<ThermalSample> timeline;
+};
+
 /// Results of a simulation run.
 struct SimResult
 {
@@ -38,6 +75,7 @@ struct SimResult
     CoreStats core;
     double simTime = 0.0;           ///< Time of the last completion.
     std::vector<std::pair<double, double>> freqTimeline;
+    ThermalStats thermal;           ///< Zero unless thermal enabled.
 
     /// Response latencies in completion order.
     std::vector<double> latencies() const;
@@ -59,6 +97,20 @@ struct SimResult
 
     /// Fraction of wall time the core was serving requests.
     double utilization() const;
+
+    /// @name Thermally-corrected accounting
+    /// With thermal modeling enabled these add the temperature-driven
+    /// leakage surcharge to the active-core numbers; on the legacy path
+    /// the surcharge is exactly 0.0 and they reduce to the plain
+    /// accessors above.
+    /// @{
+    double thermalCoreActiveEnergy() const
+    {
+        return core.energy.coreActive + thermal.extraLeakageEnergy;
+    }
+    double thermalCoreEnergyPerRequest() const;
+    double thermalMeanActiveCorePower() const;
+    /// @}
 };
 
 /**
@@ -70,6 +122,19 @@ struct SimResult
 SimResult simulate(const Trace &trace, DvfsPolicy &policy,
                    const DvfsModel &dvfs, const PowerModel &power,
                    const SimConfig &config = SimConfig());
+
+/**
+ * As above, with opt-in thermal modeling: when `thermal.enabled`, the
+ * driver adds a thermal-quantum event stream to the event loop; each
+ * quantum advances the RC network (power/thermal_model.h) with the
+ * quantum's mean core power, charges the temperature-dependent leakage
+ * surcharge into SimResult::thermal, and reports the sensor state to
+ * DvfsPolicy::onThermalSample. With `thermal.enabled == false` this is
+ * exactly the legacy loop (bitwise-identical results, CI-gated).
+ */
+SimResult simulate(const Trace &trace, DvfsPolicy &policy,
+                   const DvfsModel &dvfs, const PowerModel &power,
+                   const SimConfig &config, const ThermalOptions &thermal);
 
 /// Per-component full-system energy for `copies` replicas of this run
 /// sharing one server (Sec. 5.2 runs 6 copies of the app, one per core).

@@ -1,0 +1,145 @@
+#include "workloads/scenarios.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "workloads/arrival.h"
+#include "workloads/service_model.h"
+#include "workloads/trace_gen.h"
+
+namespace rubik {
+
+Trace
+generateDiurnalTrace(const AppProfile &app, double base_load,
+                     double amplitude, double period, double end_time,
+                     double nominal_freq, uint64_t seed,
+                     int steps_per_period)
+{
+    RUBIK_ASSERT(base_load > 0 && base_load < 1.5,
+                 "base load must be in (0, 1.5)");
+    RUBIK_ASSERT(amplitude >= 0 && amplitude < 1.0,
+                 "amplitude must be in [0, 1)");
+    RUBIK_ASSERT(period > 0 && end_time > 0, "need positive times");
+    RUBIK_ASSERT(steps_per_period >= 4, "need >= 4 steps per period");
+
+    // Sample the sine at segment midpoints so each piecewise-constant
+    // segment carries the mean rate of its span to first order.
+    const double seg = period / static_cast<double>(steps_per_period);
+    std::vector<std::pair<double, double>> load_steps;
+    for (double t = 0.0; t < end_time; t += seg) {
+        const double mid = t + 0.5 * seg;
+        const double load =
+            base_load *
+            (1.0 + amplitude * std::sin(2.0 * M_PI * mid / period));
+        load_steps.emplace_back(t, load);
+    }
+    return generateSteppedTrace(app, load_steps, end_time, nominal_freq,
+                                seed);
+}
+
+Trace
+generateFlashCrowdTrace(const AppProfile &app, double base_load,
+                        double peak_load, double crowd_time, double decay,
+                        double end_time, double nominal_freq,
+                        uint64_t seed, int decay_steps)
+{
+    RUBIK_ASSERT(base_load > 0 && base_load < 1.5,
+                 "base load must be in (0, 1.5)");
+    RUBIK_ASSERT(peak_load > base_load && peak_load < 1.5,
+                 "peak load must be in (base, 1.5)");
+    RUBIK_ASSERT(crowd_time >= 0 && decay > 0 && end_time > crowd_time,
+                 "need crowd_time >= 0, decay > 0, end_time > crowd");
+    RUBIK_ASSERT(decay_steps >= 2, "need >= 2 decay steps");
+
+    std::vector<std::pair<double, double>> load_steps;
+    load_steps.emplace_back(0.0, base_load);
+    // The decaying shoulder, piecewise-constant at segment-midpoint
+    // values over four time constants (then back to base).
+    const double span = 4.0 * decay;
+    const double seg = span / static_cast<double>(decay_steps);
+    for (int i = 0; i < decay_steps; ++i) {
+        const double t = crowd_time + seg * static_cast<double>(i);
+        if (t >= end_time)
+            break;
+        const double mid = seg * (static_cast<double>(i) + 0.5);
+        const double load =
+            base_load + (peak_load - base_load) * std::exp(-mid / decay);
+        load_steps.emplace_back(t, load);
+    }
+    load_steps.emplace_back(crowd_time + span, base_load);
+    return generateSteppedTrace(app, load_steps, end_time, nominal_freq,
+                                seed);
+}
+
+Trace
+generateCascadeTrace(const AppProfile &app, double total_load, int tiers,
+                     double fanout, double tier_delay,
+                     int num_root_requests, double nominal_freq,
+                     uint64_t seed)
+{
+    RUBIK_ASSERT(total_load > 0 && total_load < 1.5,
+                 "total load must be in (0, 1.5)");
+    RUBIK_ASSERT(tiers >= 1, "need >= 1 tier");
+    RUBIK_ASSERT(fanout >= 0, "fanout must be >= 0");
+    RUBIK_ASSERT(tier_delay > 0, "tier delay must be > 0");
+    RUBIK_ASSERT(num_root_requests > 0, "need a positive request count");
+
+    // Cascade multiplier: expected requests per root across all tiers.
+    double mult = 0.0;
+    double level = 1.0;
+    for (int k = 0; k < tiers; ++k) {
+        mult += level;
+        level *= fanout;
+    }
+    const double root_rate =
+        total_load * app.maxQps(nominal_freq, nominal_freq) / mult;
+
+    Rng rng(seed);
+    Rng arrival_rng = rng.split();
+    Rng demand_rng = rng.split();
+    Rng cascade_rng = rng.split();
+    DemandSplitter splitter(app.memFraction, app.memNoise, nominal_freq);
+    const ArrivalProcess roots(root_rate);
+
+    // Depth-first expansion keeps the draw order (and thus the trace)
+    // a pure function of the seed: each request draws its demand, then
+    // its child count, then each child's lag, recursively.
+    Trace trace;
+    struct Frame
+    {
+        double time;
+        int tier;
+    };
+    std::vector<Frame> stack;
+    double t = 0.0;
+    for (int i = 0; i < num_root_requests; ++i) {
+        t = roots.nextArrival(t, arrival_rng);
+        stack.push_back({t, 0});
+        while (!stack.empty()) {
+            const Frame f = stack.back();
+            stack.pop_back();
+            const double total = app.serviceTime->sample(demand_rng);
+            const ServiceDemand d = splitter.split(total, demand_rng);
+            trace.push_back(
+                {f.time, d.computeCycles, d.memoryTime, f.tier});
+            if (f.tier + 1 >= tiers)
+                continue;
+            int children = static_cast<int>(std::floor(fanout));
+            const double frac = fanout - std::floor(fanout);
+            if (frac > 0.0 && cascade_rng.uniform() < frac)
+                ++children;
+            for (int c = 0; c < children; ++c) {
+                const double lag = cascade_rng.exponential(tier_delay);
+                stack.push_back({f.time + lag, f.tier + 1});
+            }
+        }
+    }
+    std::stable_sort(trace.begin(), trace.end(),
+                     [](const TraceRecord &a, const TraceRecord &b) {
+                         return a.arrivalTime < b.arrivalTime;
+                     });
+    return trace;
+}
+
+} // namespace rubik

@@ -1,0 +1,72 @@
+#ifndef RUBIK_WORKLOADS_SCENARIOS_H
+#define RUBIK_WORKLOADS_SCENARIOS_H
+
+/**
+ * @file
+ * Adversarial workload scenarios: the arrival patterns that stress the
+ * thermal envelope and the controller's adaptation machinery beyond the
+ * paper's steady Poisson clients.
+ *
+ *  - Diurnal sine: the day/night swell every user-facing service sees.
+ *    Long sustained high-load phases heat-soak the package, so a
+ *    thermally-limited part has the least boost headroom exactly when
+ *    load peaks.
+ *  - Flash crowd: a step to a hot rate that decays back (a viral link,
+ *    a retry storm). The transient rides on whatever thermal state the
+ *    base load left behind.
+ *  - Correlated multi-tier cascade: each front-end request fans out
+ *    into follow-on tiers with short lags, so arrivals cluster far
+ *    tighter than Poisson and queue depth spikes arrive in bursts.
+ *
+ * All generators are deterministic in the seed and return ordinary
+ * Traces, so every scheme replays identical requests (and external
+ * traces imported via workloads/trace_import.h are interchangeable with
+ * them).
+ */
+
+#include "sim/trace.h"
+#include "workloads/apps.h"
+
+namespace rubik {
+
+/**
+ * Diurnal load: load(t) = base * (1 + amplitude * sin(2 pi t / period)),
+ * discretized into `steps_per_period` piecewise-constant segments (the
+ * exact-simulation arrival process is piecewise-constant Poisson).
+ * `amplitude` must leave the rate positive (amplitude < 1).
+ */
+Trace generateDiurnalTrace(const AppProfile &app, double base_load,
+                           double amplitude, double period,
+                           double end_time, double nominal_freq,
+                           uint64_t seed, int steps_per_period = 32);
+
+/**
+ * Flash crowd: `base_load` until `crowd_time`, then an instantaneous
+ * step to `peak_load` that decays exponentially back toward base with
+ * time constant `decay` (discretized into `decay_steps` segments over
+ * four time constants).
+ */
+Trace generateFlashCrowdTrace(const AppProfile &app, double base_load,
+                              double peak_load, double crowd_time,
+                              double decay, double end_time,
+                              double nominal_freq, uint64_t seed,
+                              int decay_steps = 16);
+
+/**
+ * Correlated multi-tier cascade: tier-0 (front-end) requests arrive
+ * Poisson; every tier-k request spawns `fanout` tier-(k+1) requests
+ * (fractional fanout is a Bernoulli extra child), each lagged by an
+ * exponential delay with mean `tier_delay`. All tiers serve on the same
+ * core, demands are drawn from the app's distribution, and classHint
+ * carries the tier index. `total_load` is the aggregate load across all
+ * tiers (the root rate is derated by the cascade multiplier), so a
+ * cascade trace is load-comparable with a plain one.
+ */
+Trace generateCascadeTrace(const AppProfile &app, double total_load,
+                           int tiers, double fanout, double tier_delay,
+                           int num_root_requests, double nominal_freq,
+                           uint64_t seed);
+
+} // namespace rubik
+
+#endif // RUBIK_WORKLOADS_SCENARIOS_H

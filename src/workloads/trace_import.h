@@ -1,0 +1,69 @@
+#ifndef RUBIK_WORKLOADS_TRACE_IMPORT_H
+#define RUBIK_WORKLOADS_TRACE_IMPORT_H
+
+/**
+ * @file
+ * Strict import of external request traces (production CSV dumps) into
+ * the checksummed binary `.rtrace` format (sim/trace.h).
+ *
+ * The generator-side CSV writer (saveTrace) is trusted; an external
+ * trace is not. Imported files are validated row by row, and every
+ * rejection is a std::runtime_error whose message carries the source
+ * name and the 1-based line number of the offending row, so a
+ * malformed production dump points at the exact line to fix:
+ *
+ *  - header: line 1 must name 3 or 4 comma-separated columns
+ *    (`arrival_s,compute_cycles,memory_time_s[,class]`), and the first
+ *    must start with "arrival";
+ *  - rows: exactly as many fields as the header, each field a fully
+ *    parsed number (no stray characters);
+ *  - physics: arrivals finite, >= 0, and non-decreasing; compute
+ *    cycles and memory time finite and >= 0 (NaN and negative service
+ *    demands are the classic corrupt-dump signatures);
+ *  - truncation: the final row must end in a newline — a dump cut off
+ *    mid-write fails on its last line instead of importing short.
+ *
+ * A valid import round-trips: import -> saveTraceBinary -> load ->
+ * serialize reproduces the identical bytes (doubles are stored
+ * bit-exact), which is what trace_import_test pins.
+ */
+
+#include <string>
+
+#include "sim/trace.h"
+
+namespace rubik {
+
+/**
+ * Parse a strict trace CSV from in-memory `text`. `source` names the
+ * origin in error messages ("stdin", a path, ...). Throws
+ * std::runtime_error (`<source>:<line>: <reason>`) on any violation of
+ * the rules above; returns the parsed trace otherwise. A missing class
+ * column leaves classHint at -1 (unclassified).
+ */
+Trace parseTraceCsv(const std::string &text, const std::string &source);
+
+/// Read `path` and parseTraceCsv its contents; throws
+/// std::runtime_error on IO as well as on validation failures.
+Trace importTraceCsv(const std::string &path);
+
+/// What convertTraceCsv wrote, for caller-side reporting.
+struct TraceImportResult
+{
+    uint64_t records = 0;  ///< Imported request count.
+    uint64_t checksum = 0; ///< FNV-1a checksum stored in the .rtrace.
+    double duration = 0.0; ///< Arrival span of the trace (s).
+};
+
+/**
+ * Validate `csv_path` and write the checksummed binary encoding to
+ * `rtrace_path` (meta records the source file name and record count).
+ * Throws std::runtime_error on validation or IO failure; nothing is
+ * written in that case.
+ */
+TraceImportResult convertTraceCsv(const std::string &csv_path,
+                                  const std::string &rtrace_path);
+
+} // namespace rubik
+
+#endif // RUBIK_WORKLOADS_TRACE_IMPORT_H

@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Closed-form pins for the thermal RC network (power/thermal_model.h)
+ * and the thermally-aware simulation path:
+ *
+ *  - a single-node network (packageC = 0 pins the package at ambient)
+ *    stepped quantum by quantum matches the analytic step-response
+ *    exponential to ulp-scale tolerance;
+ *  - the steady state reached under temperature-dependent power
+ *    satisfies the fixed-point equation P(T*) * R = T* - T_amb;
+ *  - leakScale is exactly 1 at the reference temperature and strictly
+ *    monotone in temperature;
+ *  - per-quantum leakage corrections recorded in the thermal timeline
+ *    sum (in order) to the run's total bitwise — energy conservation
+ *    over the event partition;
+ *  - with ThermalOptions disabled the simulation is bitwise the legacy
+ *    path, and RubikThermal with roomy headroom is bitwise plain Rubik;
+ *  - RubikThermal under a tight junction limit keeps the die at the
+ *    limit (residency bounded by quantization), the mirror of
+ *    fleet_test's cap-residency gate;
+ *  - fleet thermal derating caps what the water-filler can grant.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/rubik_controller.h"
+#include "fleet/fleet_sim.h"
+#include "policies/rubik_thermal.h"
+#include "power/thermal_model.h"
+#include "runner/sweep_runner.h"
+#include "sim/simulation.h"
+#include "util/units.h"
+#include "workloads/apps.h"
+#include "workloads/trace_gen.h"
+
+namespace rubik {
+namespace {
+
+ThermalParams
+singleNodeParams()
+{
+    ThermalParams p;
+    p.packageC = 0.0; // Pins the package node at ambient.
+    return p;
+}
+
+TEST(ThermalParams, ValidateRejectsNonPhysicalFields)
+{
+    const auto expect_throws = [](void (*mutate)(ThermalParams &)) {
+        ThermalParams p;
+        mutate(p);
+        EXPECT_THROW(p.validate(), std::runtime_error);
+    };
+    expect_throws([](ThermalParams &p) { p.coreR = 0.0; });
+    expect_throws([](ThermalParams &p) { p.coreC = -1.0; });
+    expect_throws([](ThermalParams &p) { p.packageR = 0.0; });
+    expect_throws([](ThermalParams &p) { p.junction = p.ambient; });
+    expect_throws([](ThermalParams &p) { p.leakBeta = -0.1; });
+    expect_throws([](ThermalParams &p) { p.quantum = 0.0; });
+    EXPECT_NO_THROW(ThermalParams().validate());
+    EXPECT_THROW(ThermalModel(ThermalParams(), 0), std::runtime_error);
+}
+
+TEST(ThermalModel, SingleNodeStepMatchesAnalyticExponential)
+{
+    const ThermalParams p = singleNodeParams();
+    ThermalModel tm(p, 1);
+    const double watts = 5.0;
+    const double dt = p.quantum;
+    const double tau = p.coreR * p.coreC;
+
+    // k quantum steps vs the closed-form step response
+    //   T(t) = T_amb + P*R * (1 - exp(-t / tau)).
+    // Each step multiplies by exp(-dt/tau) exactly, so the discrete
+    // trajectory accumulates at most ~k ulps of drift relative to the
+    // single-exp analytic form.
+    for (int k = 1; k <= 256; ++k) {
+        tm.step(dt, watts);
+        const double t = static_cast<double>(k) * dt;
+        const double analytic =
+            p.ambient +
+            watts * p.coreR * (1.0 - std::exp(-t / tau));
+        const double tol = 512.0 *
+                           std::numeric_limits<double>::epsilon() *
+                           std::abs(analytic);
+        EXPECT_NEAR(tm.coreTemp(0), analytic, tol) << "step " << k;
+    }
+}
+
+TEST(ThermalModel, SteadyStateSatisfiesFixedPointEquation)
+{
+    const ThermalParams p = singleNodeParams();
+    ThermalModel tm(p, 1);
+    const double base_watts = 3.0;
+
+    // Drive with temperature-dependent power P(T) = P0 * leakScale(T)
+    // (sampled at the step's start temperature, like the simulator)
+    // until the trajectory stops moving. The settle point must satisfy
+    //   P(T*) * R = T* - T_amb
+    // — heat in equals heat conducted to ambient.
+    for (int k = 0; k < 40000; ++k)
+        tm.step(p.quantum, base_watts * tm.leakScale(tm.coreTemp(0)));
+    const double t_star = tm.coreTemp(0);
+    const double residual =
+        base_watts * tm.leakScale(t_star) * p.coreR -
+        (t_star - p.ambient);
+    EXPECT_LT(std::abs(residual), 1e-9)
+        << "fixed point violated at T* = " << t_star;
+    EXPECT_GT(t_star, p.ambient + base_watts * p.coreR)
+        << "leakage feedback must push T* above the fixed-leakage "
+           "settle point";
+}
+
+TEST(ThermalModel, LeakScaleUnitAtReferenceAndMonotone)
+{
+    const ThermalModel tm(ThermalParams(), 1);
+    EXPECT_EQ(tm.leakScale(tm.params().leakTref), 1.0);
+    double prev = 0.0;
+    for (double t = 20.0; t <= 110.0; t += 1.0) {
+        const double s = tm.leakScale(t);
+        EXPECT_GT(s, prev) << "at " << t;
+        prev = s;
+    }
+}
+
+TEST(ThermalModel, SustainedBudgetPowerSettlesAtJunction)
+{
+    // steadyStateCoreBudget is defined as the power that settles the
+    // network exactly at the junction limit; heating at the budget for
+    // many time constants must approach it (single-node closed form).
+    const ThermalParams p = singleNodeParams();
+    ThermalModel tm(p, 1);
+    const double budget = tm.steadyStateCoreBudget(1);
+    EXPECT_DOUBLE_EQ(budget,
+                     (p.junction - p.ambient) / p.coreR);
+    for (int k = 0; k < 20000; ++k)
+        tm.step(p.quantum, budget);
+    EXPECT_NEAR(tm.coreTemp(0), p.junction, 1e-6);
+
+    // The two-node budget derates further: the package resistance is
+    // shared by every active core.
+    const ThermalModel two(ThermalParams(), 4);
+    EXPECT_DOUBLE_EQ(two.totalResistance(4),
+                     ThermalParams().coreR +
+                         4.0 * ThermalParams().packageR);
+    EXPECT_LT(two.steadyStateCoreBudget(4), budget);
+}
+
+struct SimSetup
+{
+    AppProfile app = makeApp(AppId::Masstree);
+    DvfsModel dvfs = DvfsModel::haswell();
+    PowerModel power;
+    Trace trace;
+    double bound = 0.0;
+
+    explicit SimSetup(double load, int requests = 1500)
+        : power(dvfs)
+    {
+        const double nominal = dvfs.nominalFrequency();
+        trace = generateLoadTrace(app, load, requests, nominal, 42);
+        annotateClasses(trace, 0.85, nominal);
+        bound = 0.7 * kMs;
+    }
+};
+
+TEST(ThermalSim, DisabledIsBitwiseLegacy)
+{
+    const SimSetup s(0.5);
+    RubikConfig rc;
+    rc.latencyBound = s.bound;
+
+    RubikController legacy(s.dvfs, rc);
+    const SimResult a = simulate(s.trace, legacy, s.dvfs, s.power);
+
+    RubikController with_opts(s.dvfs, rc);
+    const SimResult b = simulate(s.trace, with_opts, s.dvfs, s.power,
+                                 SimConfig(), ThermalOptions());
+
+    EXPECT_FALSE(b.thermal.enabled);
+    EXPECT_EQ(b.thermal.quanta, 0u);
+    EXPECT_EQ(b.thermal.extraLeakageEnergy, 0.0);
+    EXPECT_EQ(a.core.energy.coreActive, b.core.energy.coreActive);
+    EXPECT_EQ(a.core.energy.coreIdle, b.core.energy.coreIdle);
+    EXPECT_EQ(a.core.numTransitions, b.core.numTransitions);
+    EXPECT_EQ(a.tailLatency(0.95), b.tailLatency(0.95));
+    EXPECT_EQ(a.core.staticBusyEnergy, b.core.staticBusyEnergy);
+}
+
+TEST(ThermalSim, TimelineLeakageSumsToTotalBitwise)
+{
+    const SimSetup s(0.6);
+    RubikConfig rc;
+    rc.latencyBound = s.bound;
+    RubikController rubik(s.dvfs, rc);
+
+    SimConfig cfg;
+    cfg.recordTimeline = true;
+    ThermalOptions thermal;
+    thermal.enabled = true;
+    const SimResult r =
+        simulate(s.trace, rubik, s.dvfs, s.power, cfg, thermal);
+
+    ASSERT_TRUE(r.thermal.enabled);
+    ASSERT_GT(r.thermal.quanta, 0u);
+    ASSERT_EQ(r.thermal.timeline.size(), r.thermal.quanta);
+
+    // Energy conservation over the event partition: the in-order sum
+    // of per-quantum corrections reproduces the run total bitwise
+    // (both are the same additions in the same order).
+    double sum = 0.0;
+    for (const ThermalSample &sample : r.thermal.timeline)
+        sum += sample.extraLeakEnergy;
+    EXPECT_EQ(sum, r.thermal.extraLeakageEnergy);
+    EXPECT_GT(r.thermal.extraLeakageEnergy, 0.0);
+    EXPECT_EQ(r.thermalCoreActiveEnergy(),
+              r.core.energy.coreActive +
+                  r.thermal.extraLeakageEnergy);
+
+    // The static share is a sub-account of active energy.
+    EXPECT_GT(r.core.staticBusyEnergy, 0.0);
+    EXPECT_LT(r.core.staticBusyEnergy, r.core.energy.coreActive);
+    // And the die warmed above ambient while staying physical.
+    EXPECT_GT(r.thermal.maxCoreTemp, thermal.params.ambient);
+    EXPECT_GT(r.thermal.maxCoreTemp, r.thermal.maxPackageTemp);
+}
+
+TEST(ThermalSim, RunsAreDeterministic)
+{
+    const SimSetup s(0.6);
+    PolicyRunRequest req;
+    req.trace = &s.trace;
+    req.bound = s.bound;
+    req.dvfs = &s.dvfs;
+    req.power = &s.power;
+    req.options.thermal.enabled = true;
+
+    const PolicyOutcome a = runPolicy("rubik-thermal", req);
+    const PolicyOutcome b = runPolicy("rubik-thermal", req);
+    EXPECT_EQ(a.tailLatency, b.tailLatency);
+    EXPECT_EQ(a.energyPerRequest, b.energyPerRequest);
+    EXPECT_EQ(a.maxCoreTemp, b.maxCoreTemp);
+    EXPECT_EQ(a.extraLeakagePerRequest, b.extraLeakagePerRequest);
+}
+
+TEST(ThermalSim, RubikThermalRequiresThermalModeling)
+{
+    const SimSetup s(0.4);
+    PolicyRunRequest req;
+    req.trace = &s.trace;
+    req.bound = s.bound;
+    req.dvfs = &s.dvfs;
+    req.power = &s.power;
+    EXPECT_THROW(runPolicy("rubik-thermal", req), std::runtime_error);
+}
+
+TEST(ThermalSim, RoomyHeadroomIsBitwisePlainRubik)
+{
+    // When the junction limit never binds, the thermal ceiling stays
+    // at the grid maximum and RubikThermal's decisions are exactly the
+    // inner controller's.
+    const SimSetup s(0.6);
+    PolicyRunRequest req;
+    req.trace = &s.trace;
+    req.bound = s.bound;
+    req.dvfs = &s.dvfs;
+    req.power = &s.power;
+    req.options.thermal.enabled = true;
+    req.options.thermal.params.junction = 200.0;
+
+    const PolicyOutcome rubik = runPolicy("rubik", req);
+    const PolicyOutcome thermal = runPolicy("rubik-thermal", req);
+    EXPECT_EQ(rubik.tailLatency, thermal.tailLatency);
+    EXPECT_EQ(rubik.energyPerRequest, thermal.energyPerRequest);
+    EXPECT_EQ(rubik.transitions, thermal.transitions);
+    EXPECT_EQ(rubik.maxCoreTemp, thermal.maxCoreTemp);
+}
+
+TEST(ThermalSim, RubikThermalBoundsJunctionResidency)
+{
+    // Under a junction limit well inside the workload's self-heating,
+    // the RC-aware ceiling must keep the die at the limit: residency
+    // above the junction is bounded by the control quantization (one
+    // thermal quantum plus one transition latency), the mirror of
+    // fleet_test's cap-residency gate. Plain Rubik has no such bound.
+    const SimSetup s(0.7, 3000);
+    ThermalOptions thermal;
+    thermal.enabled = true;
+    thermal.params.junction = 52.0;
+
+    RubikThermalConfig cfg;
+    cfg.base.latencyBound = s.bound;
+    cfg.thermal = thermal.params;
+    RubikThermalController ctrl(s.dvfs, s.power, cfg);
+    const SimResult guarded = simulate(s.trace, ctrl, s.dvfs, s.power,
+                                       SimConfig(), thermal);
+    ASSERT_GT(guarded.thermal.quanta, 0u);
+    EXPECT_LE(guarded.thermal.timeAboveJunction,
+              thermal.params.quantum + s.dvfs.transitionLatency() +
+                  1e-12);
+    EXPECT_LE(guarded.thermal.maxCoreTemp,
+              thermal.params.junction + 0.5);
+
+    RubikConfig rc;
+    rc.latencyBound = s.bound;
+    RubikController plain(s.dvfs, rc);
+    const SimResult hot = simulate(s.trace, plain, s.dvfs, s.power,
+                                   SimConfig(), thermal);
+    EXPECT_GT(hot.thermal.maxCoreTemp, thermal.params.junction)
+        << "stress config too mild: plain rubik never crossed the "
+           "junction limit, so the guarded run proves nothing";
+}
+
+TEST(ThermalFleet, DeratingCapsGrantedPower)
+{
+    FleetConfig cfg;
+    cfg.machines = 8;
+    cfg.epochs = 2;
+    cfg.requestsPerEpoch = 400;
+    cfg.budgetWatts = 0.0; // Uncapped: only the thermal budget binds.
+
+    const FleetResult unguarded = runFleet(cfg, 2);
+
+    cfg.thermal.enabled = true;
+    cfg.thermal.params.junction = 60.0;
+    const FleetResult guarded = runFleet(cfg, 2);
+
+    // The derated fleet cannot draw more than the per-core steady-state
+    // budget, and must draw less than the unguarded fleet.
+    const ThermalModel tm(cfg.thermal.params, cfg.coresPerMachine);
+    const double ceiling =
+        tm.steadyStateCoreBudget(cfg.coresPerMachine) *
+        cfg.totalCores();
+    EXPECT_LT(guarded.peakPower, unguarded.peakPower);
+    EXPECT_LE(guarded.peakPower, ceiling * 1.05)
+        << "granted power exceeds the thermal envelope";
+
+    cfg.thermal.params.junction = 40.0; // Below ambient: invalid.
+    EXPECT_THROW(runFleet(cfg, 2), std::runtime_error);
+}
+
+} // namespace
+} // namespace rubik

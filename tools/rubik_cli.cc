@@ -80,6 +80,7 @@
 #include "util/units.h"
 #include "workloads/cache_manager.h"
 #include "workloads/trace_gen.h"
+#include "workloads/trace_import.h"
 #include "workloads/trace_store.h"
 
 using namespace rubik;
@@ -115,12 +116,28 @@ usage(const char *argv0)
         "  --loads F1,F2,...  sweep several loads in parallel\n"
         "  --jobs N           sweep worker threads (default: hardware)\n"
         "  --policy NAME      fixed|static|dynamic|adrenaline|pegasus|"
-        "rubik|rubik-nofb|boost (default rubik)\n"
+        "rubik|rubik-nofb|boost|\n"
+        "                     distilled|rubik-thermal (default rubik;\n"
+        "                     rubik-thermal needs --thermal)\n"
         "  --requests N       trace length (default 9000)\n"
         "  --bound-ms MS      tail latency bound; 0 = auto from 50%% "
         "load (default)\n"
         "  --transition-us US DVFS transition latency (default 4)\n"
         "  --bursty           MMPP-2 arrivals instead of Poisson\n"
+        "  --thermal          enable the thermal RC network and "
+        "temperature-\n"
+        "                     dependent leakage (docs/thermal.md); "
+        "off by\n"
+        "                     default, and off reproduces legacy "
+        "outputs\n"
+        "                     bitwise. Adds max_temp_c and\n"
+        "                     extra_leak_mj_per_req to --csv/--json\n"
+        "  --tj C             junction temperature limit in C "
+        "(default 95)\n"
+        "  --ambient C        ambient/coolant temperature in C "
+        "(default 45;\n"
+        "                     also re-pins the leakage reference "
+        "temperature)\n"
         "  --seed S           RNG seed (default 42)\n"
         "  --simd MODE        auto|scalar|avx2|neon kernel dispatch "
         "(default auto;\n"
@@ -175,6 +192,7 @@ usage(const char *argv0)
         "[--surge-fraction F]\n"
         "       [--max-core-load F] [--load-quantum F] "
         "[--transition-us US]\n"
+        "       [--thermal] [--tj C] [--ambient C]\n"
         "       [--jobs N] [--shard I/N] [--simd MODE] "
         "[--csv | --json]\n"
         "                     sweep fleet size x global power budget "
@@ -236,8 +254,22 @@ usage(const char *argv0)
         "the serve\n"
         "                     daemon's replay input, generated exactly "
         "like the\n"
-        "                     one-shot run's trace\n",
-        argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+        "                     one-shot run's trace\n"
+        "  %s trace import --in CSV --out FILE\n"
+        "                     validate an external trace CSV "
+        "(arrival_s,\n"
+        "                     compute_cycles,memory_time_s[,class]) "
+        "and convert\n"
+        "                     it to the checksummed .rtrace format; "
+        "malformed\n"
+        "                     rows, non-monotonic arrivals, NaN or "
+        "negative\n"
+        "                     demands, and truncated files are "
+        "rejected with\n"
+        "                     the offending line number "
+        "(docs/thermal.md)\n",
+        argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
+        argv0);
     std::exit(0);
 }
 
@@ -285,6 +317,20 @@ parse(int argc, char **argv)
     parser.flag("--csv", [&o] { o.csv = true; });
     parser.flag("--json", [&o] { o.json = true; });
     parser.flag("--bursty", [&o] { o.bursty = true; });
+    // Thermal flags write into run.sim: parse() adopts run.sim after
+    // parser.run() (addRunFlags owns the shared SimOptions).
+    parser.flag("--thermal",
+                [&run] { run.sim.thermal.enabled = true; });
+    parser.value("--tj", [&run](const char *v) {
+        run.sim.thermal.params.junction = std::atof(v);
+    });
+    parser.value("--ambient", [&run](const char *v) {
+        // The leakage reference follows ambient so a chip at rest has
+        // exactly the calibrated (legacy) leakage share.
+        run.sim.thermal.params.ambient = std::atof(v);
+        run.sim.thermal.params.leakTref =
+            run.sim.thermal.params.ambient;
+    });
     parser.flag("--decision-hash", [&o] { o.decisionHash = true; });
     addRunFlags(parser, &run);
     addSimdFlag(parser, &run);
@@ -832,6 +878,14 @@ fleetMain(int argc, char **argv)
     parser.value("--transition-us", [&](const char *v) {
         base.transitionUs = std::atof(v);
     });
+    parser.flag("--thermal", [&] { base.thermal.enabled = true; });
+    parser.value("--tj", [&](const char *v) {
+        base.thermal.params.junction = std::atof(v);
+    });
+    parser.value("--ambient", [&](const char *v) {
+        base.thermal.params.ambient = std::atof(v);
+        base.thermal.params.leakTref = base.thermal.params.ambient;
+    });
     parser.value("--jobs", [&](const char *v) { jobs = std::atoi(v); });
     addShardFlag(parser, &shard);
     addSimdFlag(parser, &run);
@@ -1240,14 +1294,51 @@ distillMain(int argc, char **argv)
     return 0;
 }
 
+/// `rubik_cli trace import --in CSV --out FILE`: validate an external
+/// trace CSV and convert it to the checksummed binary format. Every
+/// rejection names the offending line; nothing is written on failure.
+int
+traceImportMain(int argc, char **argv)
+{
+    std::string in_path, out_path;
+    OptionsParser parser(argc, argv, 3);
+    parser.value("--in", [&](const char *v) { in_path = v; });
+    parser.value("--out", [&](const char *v) { out_path = v; });
+    parser.onUnknown([](const char *token) {
+        std::fprintf(stderr, "trace import: unknown flag %s\n", token);
+        std::exit(1);
+    });
+    parser.run();
+    if (in_path.empty() || out_path.empty()) {
+        std::fprintf(stderr,
+                     "trace import needs --in CSV and --out FILE\n");
+        return 1;
+    }
+    try {
+        const TraceImportResult r = convertTraceCsv(in_path, out_path);
+        std::printf("imported %s -> %s: %llu requests over %.3f s "
+                    "(checksum %016llx)\n",
+                    in_path.c_str(), out_path.c_str(),
+                    static_cast<unsigned long long>(r.records),
+                    r.duration,
+                    static_cast<unsigned long long>(r.checksum));
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
+
 /// `rubik_cli trace gen --out FILE ...`: write a class-annotated
 /// binary trace, generated exactly like the one-shot run's.
 int
 traceMain(int argc, char **argv)
 {
     const std::string action = argc > 2 ? argv[2] : "";
+    if (action == "import")
+        return traceImportMain(argc, argv);
     if (action != "gen") {
-        std::fprintf(stderr, "trace wants: gen\n");
+        std::fprintf(stderr, "trace wants: gen|import\n");
         return 1;
     }
     std::string app_name = "masstree", out_path;
@@ -1377,7 +1468,10 @@ main(int argc, char **argv)
     if (o.csv) {
         std::printf("app,policy,load,bound_ms,tail_ms,tail_over_bound,"
                     "energy_mj_per_req,savings_vs_fixed,mean_freq_ghz,"
-                    "mean_power_w,transitions%s\n",
+                    "mean_power_w,transitions%s%s\n",
+                    o.sim.thermal.enabled
+                        ? ",max_temp_c,extra_leak_mj_per_req"
+                        : "",
                     o.decisionHash ? ",decisions,decision_hash" : "");
     }
     if (o.json)
@@ -1404,6 +1498,12 @@ main(int argc, char **argv)
                 out.energyPerRequest / kMj, savings,
                 out.meanFrequency / kGHz, out.meanPower,
                 static_cast<unsigned long long>(out.transitions));
+            if (o.sim.thermal.enabled) {
+                std::printf(", \"max_temp_c\": %.2f, "
+                            "\"extra_leak_mj_per_req\": %.4f",
+                            out.maxCoreTemp,
+                            out.extraLeakagePerRequest / kMj);
+            }
             if (o.decisionHash) {
                 std::printf(", \"decisions\": %" PRIu64
                             ", \"decision_hash\": \"%016" PRIx64 "\"",
@@ -1421,6 +1521,10 @@ main(int argc, char **argv)
                         out.energyPerRequest / kMj, savings,
                         out.meanFrequency / kGHz, out.meanPower,
                         static_cast<unsigned long long>(out.transitions));
+            if (o.sim.thermal.enabled) {
+                std::printf(",%.2f,%.4f", out.maxCoreTemp,
+                            out.extraLeakagePerRequest / kMj);
+            }
             if (o.decisionHash) {
                 std::printf(",%" PRIu64 ",%016" PRIx64, dlog.count,
                             dlog.hash);
@@ -1443,6 +1547,11 @@ main(int argc, char **argv)
                     out.energyPerRequest / kMj, savings * 100);
         std::printf("mean power     %.3f W (active core)\n",
                     out.meanPower);
+        if (o.sim.thermal.enabled)
+            std::printf("max core temp  %.2f C (+%.4f mJ/req "
+                        "thermal leakage)\n",
+                        out.maxCoreTemp,
+                        out.extraLeakagePerRequest / kMj);
         if (out.meanFrequency > 0)
             std::printf("mean frequency %.2f GHz (busy-time weighted)\n",
                         out.meanFrequency / kGHz);
